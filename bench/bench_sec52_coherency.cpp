@@ -1,0 +1,89 @@
+// E10 — Section 5.2: explicit sync-driven cache coherency.
+//
+// "Using local GetSpace and PutSpace events for explicit cache coherency
+// control results in a simple and efficient implementation in comparison
+// with existing generic coherency mechanisms such as bus snooping."
+//
+// We decode a stream and account every coherency action the shells
+// actually performed (invalidations on window extension, flushes before
+// putspace), then compare against what a snooping protocol would cost on
+// the same run: every cached write would have to be broadcast for lookup
+// in every other cache.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace eclipse;
+
+int main() {
+  eclipse::bench::printHeader("E10: explicit coherency vs snooping cost accounting",
+                              "Section 5.2");
+
+  const auto w = eclipse::bench::makeWorkload();
+  app::EclipseInstance inst;
+  const auto r = eclipse::bench::runDecode(inst, w);
+  std::printf("\ndecode: %llu cycles, bit-exact: %s\n",
+              static_cast<unsigned long long>(r.cycles), r.bit_exact ? "yes" : "NO");
+
+  std::printf("\nper-stream coherency actions (driven purely by GetSpace/PutSpace):\n");
+  std::printf("%-10s %5s %6s %10s %10s %12s %10s %12s\n", "shell", "row", "dir", "hits",
+              "misses", "invalidates", "flushes", "bytes");
+  std::uint64_t invals = 0, flushes = 0, hits = 0, misses = 0, writes = 0, getspace = 0,
+                putspace = 0;
+  for (auto& sh : inst.shells()) {
+    for (std::uint32_t i = 0; i < sh->streams().capacity(); ++i) {
+      const auto& row = sh->streams().row(i);
+      if (!row.valid) continue;
+      std::printf("%-10s %5u %6s %10llu %10llu %12llu %10llu %12llu\n", sh->name().c_str(), i,
+                  row.is_producer ? "out" : "in", static_cast<unsigned long long>(row.cache_hits),
+                  static_cast<unsigned long long>(row.cache_misses),
+                  static_cast<unsigned long long>(row.cache_invalidations),
+                  static_cast<unsigned long long>(row.cache_flushes),
+                  static_cast<unsigned long long>(row.bytes_transferred));
+      invals += row.cache_invalidations;
+      flushes += row.cache_flushes;
+      hits += row.cache_hits;
+      misses += row.cache_misses;
+      writes += row.write_calls;
+      getspace += row.getspace_calls;
+      putspace += row.putspace_calls;
+    }
+  }
+
+  const std::uint64_t sync_msgs = inst.network().messagesSent();
+  std::printf("\ntotals: %llu hits, %llu misses, %llu invalidations, %llu flushes\n",
+              static_cast<unsigned long long>(hits), static_cast<unsigned long long>(misses),
+              static_cast<unsigned long long>(invals), static_cast<unsigned long long>(flushes));
+
+  // Hypothetical snooping cost on the same run: every cached write is a
+  // potential remote hit, so each Write call broadcasts an address lookup
+  // to every other shell's caches. Note the asymmetry: the explicit
+  // scheme's invalidations and flushes are *local* cache operations (no
+  // shared wiring); the only inter-shell coherency traffic is the putspace
+  // message stream, which the application needs for synchronization
+  // anyway. Snooping, by contrast, puts every broadcast on shared wiring
+  // that every cache must monitor.
+  const std::uint64_t shells = inst.shells().size();
+  const std::uint64_t snoop_lookups = writes * (shells - 1);
+  std::printf("\ncoherency traffic comparison:\n");
+  std::printf("  %-52s %12llu\n", "explicit: inter-shell messages (putspace, dual-use)",
+              static_cast<unsigned long long>(sync_msgs));
+  std::printf("  %-52s %12llu\n", "explicit: local-only actions (invalidate + flush)",
+              static_cast<unsigned long long>(invals + flushes));
+  std::printf("  %-52s %12llu\n", "snooping: broadcast lookups on shared wiring",
+              static_cast<unsigned long long>(snoop_lookups));
+  std::printf("  shared-wiring events, explicit vs snoop: %.1f%%\n",
+              100.0 * static_cast<double>(sync_msgs) / static_cast<double>(snoop_lookups));
+  std::printf("  (getspace=%llu putspace=%llu: sync calls double as coherency points)\n",
+              static_cast<unsigned long long>(getspace),
+              static_cast<unsigned long long>(putspace));
+
+  // Window privacy invariant (observation 1): hits never needed any
+  // inter-shell communication, so the hit count is "free" concurrency.
+  std::printf("\nwindow-privacy payoff: %llu cache hits (%.1f%% of accesses) required no\n"
+              "coherency traffic at all because granted windows are private.\n",
+              static_cast<unsigned long long>(hits),
+              100.0 * static_cast<double>(hits) / static_cast<double>(hits + misses));
+  return r.bit_exact ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+// E7 — Section 7: design-space exploration of the communication network
+// ("bus latency and width, etc."). The paper's instance chose a wide
+// (128-bit) on-chip bus pair; this sweep shows why.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace eclipse;
+
+int main() {
+  eclipse::bench::printHeader("E7: stream-bus width and latency sweep", "Section 7");
+
+  const auto w = eclipse::bench::makeWorkload();
+
+  std::printf("\n-- width sweep (arbitration latency 1) --\n");
+  std::printf("%12s %12s %10s %10s %12s\n", "width[bits]", "cycles", "rd-bus%", "wr-bus%",
+              "slowdown");
+  sim::Cycle base = 0;
+  for (const std::uint32_t width : {32u, 16u, 8u, 4u, 2u}) {
+    app::InstanceParams ip;
+    ip.sram.bus_width_bytes = width;
+    app::EclipseInstance inst(ip);
+    const auto r = eclipse::bench::runDecode(inst, w);
+    if (!r.bit_exact) {
+      std::printf("CONFIG FAILED CORRECTNESS width=%u\n", width);
+      return 1;
+    }
+    if (base == 0) base = r.cycles;
+    std::printf("%12u %12llu %9.1f%% %9.1f%% %11.2fx\n", width * 8,
+                static_cast<unsigned long long>(r.cycles),
+                100.0 * inst.sram().readBus().utilization(r.cycles),
+                100.0 * inst.sram().writeBus().utilization(r.cycles),
+                static_cast<double>(r.cycles) / static_cast<double>(base));
+  }
+
+  std::printf("\n-- arbitration latency sweep (width 128 bits) --\n");
+  std::printf("%12s %12s %10s %12s\n", "arb[cycles]", "cycles", "rd-bus%", "slowdown");
+  base = 0;
+  for (const sim::Cycle arb : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    app::InstanceParams ip;
+    ip.sram.bus_arbitration_latency = arb;
+    app::EclipseInstance inst(ip);
+    const auto r = eclipse::bench::runDecode(inst, w);
+    if (!r.bit_exact) return 1;
+    if (base == 0) base = r.cycles;
+    std::printf("%12llu %12llu %9.1f%% %11.2fx\n", static_cast<unsigned long long>(arb),
+                static_cast<unsigned long long>(r.cycles),
+                100.0 * inst.sram().readBus().utilization(r.cycles),
+                static_cast<double>(r.cycles) / static_cast<double>(base));
+  }
+
+  std::printf("\n-- off-chip (system bus) latency sweep --\n");
+  std::printf("%12s %12s %12s %12s\n", "lat[cycles]", "cycles", "sysbus%", "slowdown");
+  base = 0;
+  for (const sim::Cycle lat : {20u, 40u, 60u, 90u, 140u}) {
+    app::InstanceParams ip;
+    ip.dram.access_latency = lat;
+    app::EclipseInstance inst(ip);
+    const auto r = eclipse::bench::runDecode(inst, w);
+    if (!r.bit_exact) return 1;
+    if (base == 0) base = r.cycles;
+    std::printf("%12llu %12llu %11.1f%% %11.2fx\n", static_cast<unsigned long long>(lat),
+                static_cast<unsigned long long>(r.cycles),
+                100.0 * inst.dram().bus().utilization(r.cycles),
+                static_cast<double>(r.cycles) / static_cast<double>(base));
+  }
+
+  std::printf("\nshape check vs paper: decode time is insensitive to the stream bus until\n"
+              "the width drops enough to saturate it (the wide-bus rationale of Section 3),\n"
+              "while off-chip latency feeds straight into the MC-bound pictures.\n");
+  return 0;
+}

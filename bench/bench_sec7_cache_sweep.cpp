@@ -1,0 +1,68 @@
+// E6 — Section 7: design-space exploration of the shell stream caches
+// ("Experiments include caching strategies in the shell (e.g. varying
+// cache size, cache prefetching or not)").
+//
+// Sweeps cache line size, lines per port and prefetching, reporting decode
+// time, hit rate and SRAM bus traffic for each point.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace eclipse;
+
+int main() {
+  eclipse::bench::printHeader("E6: shell cache design-space sweep", "Section 7");
+
+  const auto w = eclipse::bench::makeWorkload();
+
+  struct Point {
+    std::uint32_t line;
+    std::uint32_t lines;
+    bool prefetch;
+  };
+  std::vector<Point> points = {
+      {64, 2, true},  {64, 2, false}, {64, 1, true},  {64, 1, false}, {64, 4, true},
+      {32, 2, true},  {32, 2, false}, {32, 4, true},  {128, 2, true}, {128, 2, false},
+      {16, 4, true},  {16, 4, false},
+  };
+
+  std::printf("\n%8s %7s %9s %12s %10s %10s %10s %10s\n", "line[B]", "lines", "prefetch",
+              "cycles", "hit-rate", "rd-bus%", "wr-bus%", "prefetches");
+  sim::Cycle baseline = 0;
+  for (const auto& p : points) {
+    app::InstanceParams ip;
+    ip.cache_line_bytes = p.line;
+    ip.cache_lines_per_port = p.lines;
+    ip.prefetch = p.prefetch;
+    app::EclipseInstance inst(ip);
+    const auto r = eclipse::bench::runDecode(inst, w);
+    if (!r.bit_exact) {
+      std::printf("CONFIG FAILED CORRECTNESS line=%u lines=%u\n", p.line, p.lines);
+      return 1;
+    }
+    std::uint64_t hits = 0, misses = 0, prefetches = 0;
+    for (auto& sh : inst.shells()) {
+      for (std::uint32_t i = 0; i < sh->streams().capacity(); ++i) {
+        const auto& row = sh->streams().row(i);
+        if (!row.valid) continue;
+        hits += row.cache_hits;
+        misses += row.cache_misses;
+        prefetches += row.prefetches;
+      }
+    }
+    if (baseline == 0) baseline = r.cycles;
+    std::printf("%8u %7u %9s %12llu %9.1f%% %9.1f%% %9.1f%% %10llu   (%+.1f%%)\n", p.line,
+                p.lines, p.prefetch ? "on" : "off", static_cast<unsigned long long>(r.cycles),
+                100.0 * static_cast<double>(hits) / static_cast<double>(hits + misses),
+                100.0 * inst.sram().readBus().utilization(r.cycles),
+                100.0 * inst.sram().writeBus().utilization(r.cycles),
+                static_cast<unsigned long long>(prefetches),
+                100.0 * (static_cast<double>(r.cycles) / static_cast<double>(baseline) - 1.0));
+  }
+
+  std::printf("\nshape check vs paper: prefetching and larger lines trade SRAM bandwidth\n"
+              "for fewer coprocessor stalls; every configuration stays bit-exact because\n"
+              "coherency is driven by the synchronization events, not by cache geometry.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+#pragma once
+
+// Shared helpers for the experiment-reproduction benches (DESIGN.md E1-E11).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "eclipse/eclipse.hpp"
+
+namespace eclipse::bench {
+
+/// Standard workload for the decode experiments: a synthetic sequence with
+/// strong texture (rich I-frames), moderate object motion (P residuals) and
+/// low noise (cheap B residuals) — the load profile Figure 10 relies on.
+struct Workload {
+  media::VideoGenParams video;
+  media::CodecParams codec;
+  std::vector<media::Frame> frames;
+  std::vector<std::uint8_t> bitstream;
+  std::vector<media::PictureStats> picture_stats;  // coded order
+  std::vector<media::Frame> golden;                // encoder reconstruction
+};
+
+inline Workload makeWorkload(int width = 176, int height = 144, int frame_count = 9,
+                             int qscale = 14, media::GopStructure gop = {9, 3},
+                             std::uint64_t seed = 3) {
+  Workload w;
+  w.video.width = width;
+  w.video.height = height;
+  w.video.frames = frame_count;
+  w.video.seed = seed;
+  w.video.detail = 8;        // heavy texture: expensive I frames
+  w.video.noise_level = 0.0; // no noise: inter residuals stay cheap
+  w.video.motion_speed = 4;
+  w.frames = media::generateVideo(w.video);
+  w.codec.width = width;
+  w.codec.height = height;
+  w.codec.qscale = qscale;
+  w.codec.gop = gop;
+  media::Encoder enc(w.codec);
+  w.bitstream = enc.encode(w.frames);
+  w.picture_stats = enc.pictureStats();
+  w.golden = enc.reconstructed();
+  return w;
+}
+
+/// Result of one timed decode run.
+struct DecodeRun {
+  sim::Cycle cycles = 0;
+  bool bit_exact = false;
+  std::uint64_t macroblocks = 0;
+};
+
+inline DecodeRun runDecode(app::EclipseInstance& inst, const Workload& w) {
+  app::DecodeApp dec(inst, w.bitstream);
+  DecodeRun r;
+  r.cycles = inst.run();
+  if (!dec.done()) {
+    std::fprintf(stderr, "warning: decode incomplete at cycle %llu\n",
+                 static_cast<unsigned long long>(r.cycles));
+    return r;
+  }
+  r.macroblocks = dec.macroblocksDecoded();
+  const auto out = dec.frames();
+  r.bit_exact = out.size() == w.golden.size();
+  for (std::size_t i = 0; r.bit_exact && i < out.size(); ++i) {
+    r.bit_exact = out[i] == w.golden[i];
+  }
+  return r;
+}
+
+inline void printHeader(const char* experiment, const char* paper_artifact) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper artifact: %s\n", paper_artifact);
+  std::printf("==================================================================\n");
+}
+
+}  // namespace eclipse::bench

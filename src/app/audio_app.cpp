@@ -1,0 +1,157 @@
+#include "eclipse/app/audio_app.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "eclipse/coproc/limits.hpp"
+#include "eclipse/coproc/packet_io.hpp"
+#include "eclipse/media/packets.hpp"
+
+namespace eclipse::app {
+
+namespace {
+
+using coproc::packet_io::frameBytes;
+using coproc::withCtl;
+
+std::uint32_t getU32(std::span<const std::uint8_t> in, std::size_t at) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, in.data() + at, 4);
+  return v;
+}
+
+}  // namespace
+
+struct AudioDecodeApp::FeederState {
+  sim::Addr dram_addr = 0;
+  std::size_t stream_bytes = 0;
+  std::uint32_t block_samples = 0;
+  std::uint32_t total_samples = 0;
+  std::size_t pos = 16;  // past the stream header
+  std::uint32_t samples_fed = 0;
+  bool eos_sent = false;
+};
+
+struct AudioDecodeApp::DecoderState {
+  std::uint32_t block_samples = 0;
+  sim::Cycle cycles_per_sample = 6;
+  bool done = false;
+};
+
+AudioDecodeApp::AudioDecodeApp(EclipseInstance& inst, std::vector<std::uint8_t> coded_stream,
+                               const AudioAppConfig& cfg)
+    : inst_(inst) {
+  if (coded_stream.size() < 16 || getU32(coded_stream, 0) != media::audio::kAudioMagic) {
+    throw std::invalid_argument("AudioDecodeApp: not an audio elementary stream");
+  }
+  const std::uint32_t block_samples = getU32(coded_stream, 8);
+  total_samples_ = getU32(coded_stream, 12);
+
+  auto on_done = inst.registerApp();
+  sink_ = &inst.createByteSink(std::move(on_done));
+
+  t_feeder_ = inst.allocTask(inst.cpuShell());
+  t_decoder_ = inst.allocTask(inst.cpuShell());
+  t_sink_ = inst.allocTask(sink_->shell());
+
+  // The coded stream lives off-chip, like the video elementary streams.
+  const sim::Addr addr = inst.allocDram(coded_stream.size());
+  inst.dram().storage().write(addr, coded_stream);
+
+  feeder_ = std::make_shared<FeederState>();
+  feeder_->dram_addr = addr;
+  feeder_->stream_bytes = coded_stream.size();
+  feeder_->block_samples = block_samples;
+  feeder_->total_samples = total_samples_;
+  decoder_ = std::make_shared<DecoderState>();
+  decoder_->block_samples = block_samples;
+  decoder_->cycles_per_sample = cfg.cycles_per_sample;
+
+  using EP = EclipseInstance::Endpoint;
+  auto& cpu_sh = inst.cpuShell();
+  inst.connectStream(EP{&cpu_sh, t_feeder_, 0}, EP{&cpu_sh, t_decoder_, 0}, cfg.block_buffer);
+  inst.connectStream(EP{&cpu_sh, t_decoder_, 1}, EP{&sink_->shell(), t_sink_, 0},
+                     cfg.pcm_buffer);
+
+  const std::uint32_t block_frame =
+      frameBytes(1 + static_cast<std::uint32_t>(media::audio::blockBytes(block_samples)));
+  const std::uint32_t pcm_frame = frameBytes(1 + block_samples * 2);
+
+  // Feeder: one coded block per processing step, fetched from off-chip.
+  inst.cpu().registerTask(
+      t_feeder_,
+      [this, block_frame](sim::TaskId task, std::uint32_t) -> sim::Task<void> {
+        auto& sh = inst_.cpuShell();
+        auto& st = *feeder_;
+        if (st.eos_sent) {
+          inst_.cpu().finish(task);
+          co_return;
+        }
+        if (!co_await sh.getSpace(task, 0, withCtl(block_frame))) co_return;
+        if (st.samples_fed >= st.total_samples) {
+          co_await coproc::packet_io::write(sh, task, 0, media::packTag(media::PacketTag::Eos),
+                                            /*wait=*/false);
+          st.eos_sent = true;
+          inst_.cpu().finish(task);
+          co_return;
+        }
+        const std::size_t bb = media::audio::blockBytes(st.block_samples);
+        if (st.pos + bb > st.stream_bytes) {
+          throw std::runtime_error("AudioDecodeApp: truncated audio stream");
+        }
+        std::vector<std::uint8_t> pkt(1 + bb);
+        pkt[0] = static_cast<std::uint8_t>(media::PacketTag::Mb);
+        co_await inst_.dram().read(st.dram_addr + st.pos,
+                                   std::span<std::uint8_t>(pkt).subspan(1),
+                                   static_cast<int>(sh.id()));
+        st.pos += bb;
+        st.samples_fed += st.block_samples;
+        co_await coproc::packet_io::write(sh, task, 0, pkt, /*wait=*/false);
+      });
+
+  // Decoder: one block per processing step.
+  inst.cpu().registerTask(
+      t_decoder_,
+      [this, pcm_frame](sim::TaskId task, std::uint32_t) -> sim::Task<void> {
+        auto& sh = inst_.cpuShell();
+        auto& st = *decoder_;
+        if (!co_await sh.getSpace(task, 1, withCtl(pcm_frame))) co_return;
+        std::vector<std::uint8_t> pkt;
+        if (co_await coproc::packet_io::tryRead(sh, task, 0, pkt) ==
+            coproc::packet_io::ReadStatus::Blocked) {
+          co_return;
+        }
+        if (static_cast<media::PacketTag>(pkt.at(0)) == media::PacketTag::Eos) {
+          co_await coproc::packet_io::write(sh, task, 1, pkt, /*wait=*/false);
+          st.done = true;
+          inst_.cpu().finish(task);
+          co_return;
+        }
+        std::vector<std::int16_t> samples;
+        media::audio::decodeBlock(std::span<const std::uint8_t>(pkt).subspan(1),
+                                  st.block_samples, samples);
+        co_await inst_.simulator().delay(static_cast<sim::Cycle>(samples.size()) *
+                                         st.cycles_per_sample);
+        std::vector<std::uint8_t> out(1 + samples.size() * 2);
+        out[0] = static_cast<std::uint8_t>(media::PacketTag::Mb);
+        std::memcpy(out.data() + 1, samples.data(), samples.size() * 2);
+        co_await coproc::packet_io::write(sh, task, 1, out, /*wait=*/false);
+      });
+
+  const shell::TaskConfig tc{true, cfg.budget_cycles, 0};
+  cpu_sh.configureTask(t_feeder_, shell::TaskConfig{cfg.feeder_enabled, cfg.budget_cycles, 0});
+  cpu_sh.configureTask(t_decoder_, tc);
+  sink_->shell().configureTask(t_sink_, tc);
+}
+
+bool AudioDecodeApp::done() const { return sink_->done(); }
+
+std::vector<std::int16_t> AudioDecodeApp::pcm() const {
+  const auto& bytes = sink_->bytes();
+  std::vector<std::int16_t> out(bytes.size() / 2);
+  std::memcpy(out.data(), bytes.data(), out.size() * 2);
+  out.resize(total_samples_);
+  return out;
+}
+
+}  // namespace eclipse::app

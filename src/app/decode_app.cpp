@@ -1,0 +1,75 @@
+#include "eclipse/app/decode_app.hpp"
+
+#include "eclipse/media/bitstream.hpp"
+#include "eclipse/media/codec.hpp"
+
+namespace eclipse::app {
+
+DecodeApp::DecodeApp(EclipseInstance& inst, std::vector<std::uint8_t> bitstream,
+                     const DecodeAppConfig& cfg)
+    : inst_(inst) {
+  // Peek at the sequence header to size the off-chip frame store.
+  media::BitReader br(bitstream);
+  const media::SeqHeader sh = media::stages::parseSeqHeader(br);
+
+  auto on_done = inst.registerApp();
+  sink_ = &inst.createFrameSink(std::move(on_done));
+
+  // Task slots on each coprocessor.
+  t_vld_ = inst.allocTask(inst.vldShell());
+  t_rlsq_ = inst.allocTask(inst.rlsqShell());
+  t_dct_ = inst.allocTask(inst.dctShell());
+  t_mc_ = inst.allocTask(inst.mcShell());
+  t_sink_ = inst.allocTask(sink_->shell());
+
+  // Off-chip resources: the compressed stream and a 3-slot frame store.
+  const sim::Addr bs_addr = inst.allocDram(bitstream.size());
+  inst.dram().storage().write(bs_addr, bitstream);
+  const sim::Addr store = inst.allocDram(
+      static_cast<std::size_t>(coproc::McCoproc::frameSlotBytes(sh)) * 3);
+
+  coproc::VldTaskConfig vc;
+  vc.bitstream_addr = bs_addr;
+  vc.bitstream_bytes = static_cast<std::uint32_t>(bitstream.size());
+  inst.vld().configureTask(t_vld_, vc);
+
+  coproc::McTaskConfig mcc;
+  mcc.kind = coproc::McTaskKind::DecodeRecon;
+  mcc.frame_store_base = store;
+  mcc.frame_store_slots = 3;
+  inst.mc().configureTask(t_mc_, mcc);
+
+  // Stream FIFOs in on-chip SRAM (Figure 3).
+  using EP = EclipseInstance::Endpoint;
+  s_coef_ = inst.connectStream(EP{&inst.vldShell(), t_vld_, coproc::VldCoproc::kOutCoef},
+                               EP{&inst.rlsqShell(), t_rlsq_, coproc::RlsqCoproc::kIn},
+                               cfg.coef_buffer);
+  s_hdr_ = inst.connectStream(EP{&inst.vldShell(), t_vld_, coproc::VldCoproc::kOutHdr},
+                              EP{&inst.mcShell(), t_mc_, coproc::McCoproc::kInHdr},
+                              cfg.hdr_buffer);
+  s_blocks_ = inst.connectStream(EP{&inst.rlsqShell(), t_rlsq_, coproc::RlsqCoproc::kOut},
+                                 EP{&inst.dctShell(), t_dct_, coproc::DctCoproc::kIn},
+                                 cfg.blocks_buffer);
+  s_res_ = inst.connectStream(EP{&inst.dctShell(), t_dct_, coproc::DctCoproc::kOut},
+                              EP{&inst.mcShell(), t_mc_, coproc::McCoproc::kInRes},
+                              cfg.res_buffer);
+  s_pix_ = inst.connectStream(EP{&inst.mcShell(), t_mc_, coproc::McCoproc::kOutPix},
+                              EP{&sink_->shell(), t_sink_, coproc::FrameSink::kIn},
+                              cfg.pix_buffer);
+
+  // Task-table entries: budgets and parameter words (Section 5.3).
+  const shell::TaskConfig tc{true, cfg.budget_cycles, 0};
+  inst.vldShell().configureTask(t_vld_, shell::TaskConfig{cfg.vld_enabled, cfg.budget_cycles, 0});
+  inst.rlsqShell().configureTask(t_rlsq_, tc);  // info 0 = decode direction
+  inst.dctShell().configureTask(t_dct_, tc);    // info 0 = inverse DCT
+  inst.mcShell().configureTask(t_mc_, tc);
+  sink_->shell().configureTask(t_sink_, tc);
+}
+
+bool DecodeApp::done() const { return sink_->done(); }
+
+std::vector<media::Frame> DecodeApp::frames() const { return sink_->framesInDisplayOrder(); }
+
+std::uint64_t DecodeApp::macroblocksDecoded() const { return sink_->macroblocksReceived(); }
+
+}  // namespace eclipse::app

@@ -1,0 +1,95 @@
+#include "eclipse/app/encode_app.hpp"
+
+namespace eclipse::app {
+
+EncodeApp::EncodeApp(EclipseInstance& inst, std::vector<media::Frame> frames,
+                     const media::CodecParams& params, const EncodeAppConfig& cfg)
+    : inst_(inst) {
+  const media::SeqHeader sh = params.toSeqHeader(static_cast<int>(frames.size()));
+
+  auto on_done = inst.registerApp();
+  sink_ = &inst.createByteSink(std::move(on_done));
+
+  // Task slots: two tasks on each of DCT, RLSQ and MC/ME, two on the CPU.
+  t_src_ = inst.allocTask(inst.cpuShell());
+  t_vle_ = inst.allocTask(inst.cpuShell());
+  t_me_ = inst.allocTask(inst.mcShell());
+  t_recon_ = inst.allocTask(inst.mcShell());
+  t_fdct_ = inst.allocTask(inst.dctShell());
+  t_idct_ = inst.allocTask(inst.dctShell());
+  t_qrle_ = inst.allocTask(inst.rlsqShell());
+  t_deq_ = inst.allocTask(inst.rlsqShell());
+  t_sink_ = inst.allocTask(sink_->shell());
+
+  // Shared off-chip reconstruction frame store for ME and RECON.
+  const sim::Addr store = inst.allocDram(
+      static_cast<std::size_t>(coproc::McCoproc::frameSlotBytes(sh)) * 3);
+  coproc::McTaskConfig me_cfg;
+  me_cfg.kind = coproc::McTaskKind::MotionEst;
+  me_cfg.frame_store_base = store;
+  inst.mc().configureTask(t_me_, me_cfg);
+  coproc::McTaskConfig rec_cfg;
+  rec_cfg.kind = coproc::McTaskKind::EncodeRecon;
+  rec_cfg.frame_store_base = store;
+  inst.mc().configureTask(t_recon_, rec_cfg);
+
+  // Software tasks on the DSP-CPU.
+  source_ = std::make_unique<coproc::EncoderSource>(inst.cpu(), std::move(frames), params);
+  vle_ = std::make_unique<coproc::VleTask>(inst.cpu());
+  inst.cpu().registerTask(t_src_, [this](sim::TaskId t, std::uint32_t info) {
+    return source_->step(t, info);
+  });
+  inst.cpu().registerTask(t_vle_, [this](sim::TaskId t, std::uint32_t info) {
+    return vle_->step(t, info);
+  });
+
+  using EP = EclipseInstance::Endpoint;
+  auto& cpu_sh = inst.cpuShell();
+  auto& mc_sh = inst.mcShell();
+  auto& dct_sh = inst.dctShell();
+  auto& rlsq_sh = inst.rlsqShell();
+
+  // Forward path.
+  inst.connectStream(EP{&cpu_sh, t_src_, coproc::EncoderSource::kOut},
+                     EP{&mc_sh, t_me_, coproc::McCoproc::kInCur}, cfg.cur_buffer);
+  inst.connectStream(EP{&mc_sh, t_me_, coproc::McCoproc::kOutRes},
+                     EP{&dct_sh, t_fdct_, coproc::DctCoproc::kIn}, cfg.res_buffer);
+  inst.connectStream(EP{&mc_sh, t_me_, coproc::McCoproc::kOutHdrVle},
+                     EP{&cpu_sh, t_vle_, coproc::VleTask::kInHdr}, cfg.hdr_buffer);
+  inst.connectStream(EP{&dct_sh, t_fdct_, coproc::DctCoproc::kOut},
+                     EP{&rlsq_sh, t_qrle_, coproc::RlsqCoproc::kIn}, cfg.res_buffer);
+  inst.connectStream(EP{&rlsq_sh, t_qrle_, coproc::RlsqCoproc::kOut},
+                     EP{&cpu_sh, t_vle_, coproc::VleTask::kInCoef}, cfg.coef_buffer);
+  inst.connectStream(EP{&cpu_sh, t_vle_, coproc::VleTask::kOut},
+                     EP{&sink_->shell(), t_sink_, coproc::ByteSink::kIn}, cfg.chunk_buffer);
+
+  // Embedded-decoder reconstruction loop.
+  inst.connectStream(EP{&mc_sh, t_me_, coproc::McCoproc::kOutHdrRec},
+                     EP{&mc_sh, t_recon_, coproc::McCoproc::kInHdr}, cfg.hdr_buffer);
+  inst.connectStream(EP{&rlsq_sh, t_qrle_, coproc::RlsqCoproc::kOutRecon},
+                     EP{&rlsq_sh, t_deq_, coproc::RlsqCoproc::kIn}, cfg.coef_buffer);
+  inst.connectStream(EP{&rlsq_sh, t_deq_, coproc::RlsqCoproc::kOut},
+                     EP{&dct_sh, t_idct_, coproc::DctCoproc::kIn}, cfg.res_buffer);
+  inst.connectStream(EP{&dct_sh, t_idct_, coproc::DctCoproc::kOut},
+                     EP{&mc_sh, t_recon_, coproc::McCoproc::kInRes}, cfg.res_buffer);
+  inst.connectStream(EP{&mc_sh, t_recon_, coproc::McCoproc::kOutToken},
+                     EP{&cpu_sh, t_src_, coproc::EncoderSource::kInToken}, cfg.token_buffer);
+
+  // Task-table entries: direction bits select the shared hardware's mode.
+  const shell::TaskConfig tc{true, cfg.budget_cycles, 0};
+  cpu_sh.configureTask(t_src_, tc);
+  cpu_sh.configureTask(t_vle_, tc);
+  mc_sh.configureTask(t_me_, tc);
+  mc_sh.configureTask(t_recon_, tc);
+  dct_sh.configureTask(t_fdct_, shell::TaskConfig{true, cfg.budget_cycles, coproc::kDctInfoForward});
+  dct_sh.configureTask(t_idct_, tc);
+  rlsq_sh.configureTask(t_qrle_, shell::TaskConfig{true, cfg.budget_cycles, coproc::kRlsqInfoEncode});
+  rlsq_sh.configureTask(t_deq_, tc);
+  sink_->shell().configureTask(t_sink_, tc);
+}
+
+bool EncodeApp::done() const { return sink_->done(); }
+
+const std::vector<std::uint8_t>& EncodeApp::bitstream() const { return sink_->bytes(); }
+
+}  // namespace eclipse::app

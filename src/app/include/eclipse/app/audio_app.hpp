@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eclipse/app/instance.hpp"
+#include "eclipse/media/audio.hpp"
+
+namespace eclipse::app {
+
+/// Audio decoding application — software-only, on the DSP-CPU.
+///
+/// Section 6: "Audio decoding, variable-length encoding, and
+/// de-multiplexing are executed in software on the media processor."
+/// Two software tasks time-share the CPU with whatever else runs there:
+///
+///   feeder (CPU): fetches coded ADPCM blocks from off-chip memory and
+///                 streams them through an on-chip FIFO,
+///   decoder (CPU): decodes blocks to PCM and streams the samples to a
+///                 byte sink.
+///
+/// Both tasks follow the abortable-step discipline, so audio work
+/// interleaves with video tasks on the same processor.
+/// Stream-buffer sizes and software timing of the audio graph.
+struct AudioAppConfig {
+  std::uint32_t block_buffer = 1024;  ///< feeder -> decoder FIFO bytes
+  std::uint32_t pcm_buffer = 2048;    ///< decoder -> sink FIFO bytes
+  std::uint32_t budget_cycles = 2000;
+  sim::Cycle cycles_per_sample = 6;   ///< software ADPCM inner loop
+
+  /// When false, the feeder task starts disabled (a demux task enables it
+  /// once the audio elementary stream is staged).
+  bool feeder_enabled = true;
+};
+
+class AudioDecodeApp {
+ public:
+  AudioDecodeApp(EclipseInstance& inst, std::vector<std::uint8_t> coded_stream,
+                 const AudioAppConfig& cfg = {});
+
+  [[nodiscard]] bool done() const;
+  /// Decoded PCM samples (valid after completion).
+  [[nodiscard]] std::vector<std::int16_t> pcm() const;
+
+  [[nodiscard]] sim::TaskId feederTask() const { return t_feeder_; }
+  [[nodiscard]] sim::TaskId decoderTask() const { return t_decoder_; }
+
+ private:
+  struct FeederState;
+  struct DecoderState;
+
+  EclipseInstance& inst_;
+  coproc::ByteSink* sink_ = nullptr;
+  std::shared_ptr<FeederState> feeder_;
+  std::shared_ptr<DecoderState> decoder_;
+  sim::TaskId t_feeder_ = 0, t_decoder_ = 0, t_sink_ = 0;
+  std::uint32_t total_samples_ = 0;
+};
+
+}  // namespace eclipse::app

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eclipse/app/instance.hpp"
+#include "eclipse/media/types.hpp"
+
+namespace eclipse::app {
+
+/// Stream-buffer sizes of the decode graph (bytes, cache-line multiples).
+/// Defaults fit two simultaneous decode applications in a 32 kB SRAM.
+struct DecodeAppConfig {
+  std::uint32_t coef_buffer = 4096;    ///< VLD -> RLSQ
+  std::uint32_t hdr_buffer = 1024;     ///< VLD -> MC (headers / motion vectors)
+  std::uint32_t blocks_buffer = 2048;  ///< RLSQ -> DCT
+  std::uint32_t res_buffer = 2048;     ///< DCT -> MC (residuals)
+  std::uint32_t pix_buffer = 2048;     ///< MC -> output
+  std::uint32_t budget_cycles = 2000;  ///< scheduler budget for every task
+
+  /// When false, the VLD task starts disabled; a controller (e.g. a demux
+  /// task that must stage the elementary stream first) enables it later
+  /// through the task table. Run-time application control, Section 3.
+  bool vld_enabled = true;
+};
+
+/// One MPEG decoding application configured onto an Eclipse instance — the
+/// Figure-2 process network mapped as in Figure 3/8:
+///
+///   bitstream (off-chip) -> VLD -> RLSQ -> DCT(inverse) -> MC -> sink
+///                              \________________________--^
+///                               (headers / motion vectors)
+///
+/// Several DecodeApps can run on the same instance simultaneously; each
+/// adds one task to every coprocessor's task table (time-shared hardware).
+class DecodeApp {
+ public:
+  DecodeApp(EclipseInstance& inst, std::vector<std::uint8_t> bitstream,
+            const DecodeAppConfig& cfg = {});
+
+  [[nodiscard]] bool done() const;
+  [[nodiscard]] std::vector<media::Frame> frames() const;
+  [[nodiscard]] std::uint64_t macroblocksDecoded() const;
+
+  // Stream handles for measurement (Figures 9/10: buffer filling of the
+  // RLSQ, DCT and MC input streams).
+  [[nodiscard]] const EclipseInstance::StreamHandle& coefStream() const { return s_coef_; }
+  [[nodiscard]] const EclipseInstance::StreamHandle& hdrStream() const { return s_hdr_; }
+  [[nodiscard]] const EclipseInstance::StreamHandle& blocksStream() const { return s_blocks_; }
+  [[nodiscard]] const EclipseInstance::StreamHandle& resStream() const { return s_res_; }
+  [[nodiscard]] const EclipseInstance::StreamHandle& pixStream() const { return s_pix_; }
+
+  [[nodiscard]] sim::TaskId vldTask() const { return t_vld_; }
+  [[nodiscard]] sim::TaskId rlsqTask() const { return t_rlsq_; }
+  [[nodiscard]] sim::TaskId dctTask() const { return t_dct_; }
+  [[nodiscard]] sim::TaskId mcTask() const { return t_mc_; }
+
+ private:
+  EclipseInstance& inst_;
+  coproc::FrameSink* sink_ = nullptr;
+  sim::TaskId t_vld_ = 0, t_rlsq_ = 0, t_dct_ = 0, t_mc_ = 0, t_sink_ = 0;
+  EclipseInstance::StreamHandle s_coef_{}, s_hdr_{}, s_blocks_{}, s_res_{}, s_pix_{};
+};
+
+}  // namespace eclipse::app

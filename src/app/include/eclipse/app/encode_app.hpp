@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "eclipse/app/instance.hpp"
+#include "eclipse/coproc/soft_tasks.hpp"
+#include "eclipse/media/codec.hpp"
+
+namespace eclipse::app {
+
+/// Stream-buffer sizes of the encode graph.
+struct EncodeAppConfig {
+  std::uint32_t cur_buffer = 2048;     ///< source -> ME (current MBs)
+  std::uint32_t res_buffer = 2048;     ///< ME -> FDCT and recon-loop block streams
+  std::uint32_t hdr_buffer = 1024;     ///< ME -> VLE / ME -> recon headers
+  std::uint32_t coef_buffer = 4096;    ///< QRLE -> VLE and QRLE -> DEQ
+  std::uint32_t token_buffer = 256;    ///< recon -> source frame-done tokens
+  std::uint32_t chunk_buffer = 1024;   ///< VLE -> byte sink
+  std::uint32_t budget_cycles = 2000;
+};
+
+/// One MPEG encoding application on an Eclipse instance.
+///
+/// The encoder *embeds* a decoder (Section 2.1): the same DCT, RLSQ and
+/// MC/ME coprocessors each run two tasks of this application —
+///
+///   source(CPU) -> ME(MC) -> FDCT(DCT) -> QRLE(RLSQ) -> VLE(CPU) -> sink
+///                                             \-> DEQ(RLSQ) -> IDCT(DCT) -> RECON(MC)
+///   RECON -> source: frame-done tokens close the reconstruction loop.
+class EncodeApp {
+ public:
+  EncodeApp(EclipseInstance& inst, std::vector<media::Frame> frames,
+            const media::CodecParams& params, const EncodeAppConfig& cfg = {});
+
+  [[nodiscard]] bool done() const;
+  /// The produced elementary stream (valid after completion).
+  [[nodiscard]] const std::vector<std::uint8_t>& bitstream() const;
+
+  [[nodiscard]] sim::TaskId meTask() const { return t_me_; }
+  [[nodiscard]] sim::TaskId fdctTask() const { return t_fdct_; }
+  [[nodiscard]] sim::TaskId qrleTask() const { return t_qrle_; }
+  [[nodiscard]] sim::TaskId deqTask() const { return t_deq_; }
+  [[nodiscard]] sim::TaskId idctTask() const { return t_idct_; }
+  [[nodiscard]] sim::TaskId reconTask() const { return t_recon_; }
+
+ private:
+  EclipseInstance& inst_;
+  coproc::ByteSink* sink_ = nullptr;
+  std::unique_ptr<coproc::EncoderSource> source_;
+  std::unique_ptr<coproc::VleTask> vle_;
+  sim::TaskId t_src_ = 0, t_me_ = 0, t_fdct_ = 0, t_qrle_ = 0, t_vle_ = 0;
+  sim::TaskId t_deq_ = 0, t_idct_ = 0, t_recon_ = 0, t_sink_ = 0;
+};
+
+}  // namespace eclipse::app

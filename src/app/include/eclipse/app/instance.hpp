@@ -1,0 +1,169 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eclipse/coproc/dct_coproc.hpp"
+#include "eclipse/coproc/mc.hpp"
+#include "eclipse/coproc/rlsq.hpp"
+#include "eclipse/coproc/sinks.hpp"
+#include "eclipse/coproc/soft_cpu.hpp"
+#include "eclipse/coproc/vld.hpp"
+#include "eclipse/mem/message_network.hpp"
+#include "eclipse/mem/pi_bus.hpp"
+#include "eclipse/mem/sram.hpp"
+#include "eclipse/shell/shell.hpp"
+#include "eclipse/sim/config.hpp"
+#include "eclipse/sim/simulator.hpp"
+
+namespace eclipse::app {
+
+/// Parameters of one Eclipse instance — the template parameters of
+/// Section 3 (memory size, bus width, caches, coprocessor timing, ...).
+/// Defaults correspond to the Figure-8 MPEG instance.
+struct InstanceParams {
+  mem::SramParams sram{};
+  mem::DramParams dram{};
+  sim::Cycle message_latency = 2;
+
+  // Shell template parameters (applied to every shell; per-shell overrides
+  // can be made before start()).
+  std::uint32_t cache_line_bytes = 64;
+  std::uint32_t cache_lines_per_port = 2;
+  bool prefetch = true;
+  sim::Cycle sync_latency = 2;
+  sim::Cycle gettask_latency = 2;
+  sim::Cycle io_latency = 1;
+  std::uint32_t port_width_bytes = 16;
+  std::uint32_t max_tasks = 8;
+  std::uint32_t max_streams = 24;
+  sim::Cycle profiler_period = 0;
+  bool best_guess = true;
+
+  coproc::VldParams vld{};
+  coproc::RlsqParams rlsq{};
+  coproc::DctParams dct{};
+  coproc::McParams mc{};
+
+  /// Loads overrides from a setup file (Section 7 design-space
+  /// exploration); unknown keys are ignored by this loader.
+  static InstanceParams fromConfig(const sim::Config& cfg);
+};
+
+/// One Eclipse subsystem instance: the coprocessors of Figure 8 behind
+/// their shells, the shared SRAM with its split read/write buses, the
+/// off-chip memory on the system bus, the inter-shell message network, and
+/// the PI-bus with every shell's tables mapped.
+///
+/// Applications (DecodeApp, EncodeApp) are configured onto a running
+/// instance at run time, exactly like the CPU programming the stream and
+/// task tables of a real subsystem.
+class EclipseInstance {
+ public:
+  explicit EclipseInstance(const InstanceParams& params = {});
+
+  /// Tears down the simulation processes before the memory/bus models they
+  /// reference (members are destroyed in reverse declaration order, which
+  /// would otherwise free the models while suspended coroutine frames
+  /// still hold guards into them).
+  ~EclipseInstance() { sim_.destroyProcesses(); }
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] mem::SharedSram& sram() { return *sram_; }
+  [[nodiscard]] mem::OffChipMemory& dram() { return *dram_; }
+  [[nodiscard]] mem::MessageNetwork& network() { return *network_; }
+  [[nodiscard]] mem::PiBus& piBus() { return pi_bus_; }
+  [[nodiscard]] const InstanceParams& params() const { return params_; }
+
+  [[nodiscard]] coproc::VldCoproc& vld() { return *vld_; }
+  [[nodiscard]] coproc::RlsqCoproc& rlsq() { return *rlsq_; }
+  [[nodiscard]] coproc::DctCoproc& dct() { return *dct_; }
+  [[nodiscard]] coproc::McCoproc& mc() { return *mc_; }
+  [[nodiscard]] coproc::SoftCpu& cpu() { return *cpu_; }
+
+  [[nodiscard]] shell::Shell& vldShell() { return *shells_[0]; }
+  [[nodiscard]] shell::Shell& rlsqShell() { return *shells_[1]; }
+  [[nodiscard]] shell::Shell& dctShell() { return *shells_[2]; }
+  [[nodiscard]] shell::Shell& mcShell() { return *shells_[3]; }
+  [[nodiscard]] shell::Shell& cpuShell() { return *shells_[4]; }
+  [[nodiscard]] std::vector<std::unique_ptr<shell::Shell>>& shells() { return shells_; }
+
+  /// Creates a frame sink (display writer) with its own shell.
+  coproc::FrameSink& createFrameSink(std::function<void()> on_done);
+  /// Creates a byte sink (e.g. for an encoder's output bitstream).
+  coproc::ByteSink& createByteSink(std::function<void()> on_done);
+
+  /// Allocates a stream buffer in on-chip SRAM (cache-line aligned).
+  sim::Addr allocSram(std::uint32_t bytes);
+  /// Allocates a region in off-chip memory.
+  sim::Addr allocDram(std::size_t bytes);
+
+  /// Allocates the next free task slot on a shell.
+  sim::TaskId allocTask(shell::Shell& sh);
+
+  /// One end of a stream.
+  struct Endpoint {
+    shell::Shell* shell;
+    sim::TaskId task;
+    sim::PortId port;
+  };
+
+  /// Handle to a configured stream (for measurement access).
+  struct StreamHandle {
+    shell::Shell* producer_shell = nullptr;
+    std::uint32_t producer_row = 0;
+    shell::Shell* consumer_shell = nullptr;
+    std::uint32_t consumer_row = 0;
+    sim::Addr buffer_base = 0;
+    std::uint32_t buffer_bytes = 0;
+  };
+
+  /// Allocates a FIFO in SRAM and programs both shells' stream tables.
+  StreamHandle connectStream(const Endpoint& producer, const Endpoint& consumer,
+                             std::uint32_t buffer_bytes);
+
+  /// Starts every coprocessor control loop (and profilers if enabled).
+  /// Idempotent per coprocessor; sinks created later start on creation.
+  void start();
+
+  /// Registers an application completion slot; returns a callback that the
+  /// application fires when done. The simulation stops when every
+  /// registered application has completed.
+  std::function<void()> registerApp();
+
+  /// Runs the simulation until all registered applications complete, the
+  /// event queue drains, or `until` is reached.
+  sim::Cycle run(sim::Cycle until = sim::Simulator::kForever);
+
+  [[nodiscard]] int pendingApps() const { return pending_apps_; }
+
+ private:
+  shell::Shell& makeShell(const std::string& name);
+
+  InstanceParams params_;
+  sim::Simulator sim_;
+  std::unique_ptr<mem::SharedSram> sram_;
+  std::unique_ptr<mem::OffChipMemory> dram_;
+  std::unique_ptr<mem::MessageNetwork> network_;
+  mem::PiBus pi_bus_;
+
+  std::vector<std::unique_ptr<shell::Shell>> shells_;
+  std::vector<std::unique_ptr<coproc::Coprocessor>> extra_coprocs_;
+  std::unique_ptr<coproc::VldCoproc> vld_;
+  std::unique_ptr<coproc::RlsqCoproc> rlsq_;
+  std::unique_ptr<coproc::DctCoproc> dct_;
+  std::unique_ptr<coproc::McCoproc> mc_;
+  std::unique_ptr<coproc::SoftCpu> cpu_;
+
+  sim::Addr sram_next_ = 0;
+  sim::Addr dram_next_ = 0;
+  std::vector<std::uint32_t> next_task_;  // per shell id
+  std::uint32_t next_shell_id_ = 0;
+  int pending_apps_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace eclipse::app

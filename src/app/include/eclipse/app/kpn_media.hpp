@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eclipse/kpn/graph.hpp"
+#include "eclipse/media/codec.hpp"
+
+namespace eclipse::app {
+
+/// Functional Kahn-Process-Network decoder — the *application model* level
+/// of the paper's refinement trajectory (Section 4: "Kahn application
+/// models are gradually refined into task-level code").
+///
+/// The network has exactly the Figure-2 shape used by the Eclipse mapping:
+///
+///   vld --coefs--> rlsq --blocks--> idct --residual--> mc --pixels--> sink
+///     \---------------------headers/motion-vectors-----^
+///
+/// Tasks exchange the same serialised packets as the timed coprocessors,
+/// and every stage calls the same media::stages functions, so the KPN
+/// output is bit-exact with both the golden decoder and the cycle-level
+/// Eclipse run — a direct, testable statement of Kahn determinism.
+class KpnDecoder {
+ public:
+  /// Buffer capacity per stream edge in bytes.
+  explicit KpnDecoder(std::vector<std::uint8_t> bitstream, std::size_t fifo_bytes = 16384);
+
+  /// Runs the network to completion and returns frames in display order.
+  std::vector<media::Frame> run();
+
+  /// The underlying graph (inspect structure, edge statistics).
+  [[nodiscard]] kpn::Graph& graph() { return graph_; }
+
+  /// Edge ids for measurement (maxFill etc. after run()).
+  [[nodiscard]] int coefEdge() const { return e_coef_; }
+  [[nodiscard]] int hdrEdge() const { return e_hdr_; }
+  [[nodiscard]] int blocksEdge() const { return e_blocks_; }
+  [[nodiscard]] int resEdge() const { return e_res_; }
+  [[nodiscard]] int pixEdge() const { return e_pix_; }
+
+ private:
+  kpn::Graph graph_;
+  std::vector<media::Frame> result_;
+  int e_coef_ = -1, e_hdr_ = -1, e_blocks_ = -1, e_res_ = -1, e_pix_ = -1;
+};
+
+/// Functional Kahn-Process-Network encoder — the application-model level
+/// of the encoding graph that EncodeApp maps onto the coprocessors:
+///
+///   src -> me -> fdct -> qrle -> vle -> bitstream
+///                           \-> deq -> idct -> recon
+///   recon -> src: frame-done tokens gate dependent pictures.
+///
+/// The reference frame store is shared state between the me and recon
+/// tasks (the functional analogue of the off-chip frame store, which in
+/// Eclipse also lives outside the stream semantics); the token protocol
+/// serialises accesses. With matching search parameters the produced
+/// stream is bit-identical to both media::Encoder and app::EncodeApp.
+class KpnEncoder {
+ public:
+  KpnEncoder(std::vector<media::Frame> frames, const media::CodecParams& params,
+             std::size_t fifo_bytes = 16384);
+
+  /// Runs the network to completion; returns the elementary stream.
+  std::vector<std::uint8_t> run();
+
+  [[nodiscard]] kpn::Graph& graph() { return graph_; }
+
+  /// Shared reference frame store (defined in the implementation).
+  struct RefStore;
+
+ private:
+  kpn::Graph graph_;
+  std::vector<std::uint8_t> result_;
+};
+
+}  // namespace eclipse::app

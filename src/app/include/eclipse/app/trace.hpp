@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eclipse/sim/stats.hpp"
+
+namespace eclipse::app {
+
+/// Text renderer for simulation time-series — the "performance viewer" of
+/// Section 7 / Figure 9, reduced to deterministic terminal output. Each
+/// series is rendered as one panel of a vertical stack; values are sampled
+/// into `width` columns and quantised to `height` rows.
+struct ChartOptions {
+  int width = 100;
+  int height = 8;
+  bool show_scale = true;
+};
+
+/// Renders one series as an ASCII area chart.
+[[nodiscard]] std::string renderSeries(const sim::TimeSeries& series, const ChartOptions& opts = {});
+
+/// Renders several series as stacked panels with a shared time axis.
+[[nodiscard]] std::string renderStack(const std::vector<const sim::TimeSeries*>& series,
+                                      const ChartOptions& opts = {});
+
+/// CSV export (cycle, value) with one column per series; rows are the union
+/// of sample times (empty cells where a series has no sample).
+[[nodiscard]] std::string toCsv(const std::vector<const sim::TimeSeries*>& series);
+
+/// Differentiates a cumulative counter series into a per-interval rate
+/// series (e.g. cumulative busy cycles -> windowed utilization).
+[[nodiscard]] sim::TimeSeries differentiate(const sim::TimeSeries& cumulative, std::string name);
+
+/// Renders 0..1-valued series (task stall/activity traces) as one-line
+/// strips on a shared time axis — the task-activity lanes of the Figure-9
+/// viewer. Glyphs by bucket mean: ' ' (0), '.' , ':', '#' (1).
+[[nodiscard]] std::string renderActivityStrips(const std::vector<const sim::TimeSeries*>& series,
+                                               int width = 100);
+
+}  // namespace eclipse::app

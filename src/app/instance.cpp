@@ -1,0 +1,187 @@
+#include "eclipse/app/instance.hpp"
+
+#include <stdexcept>
+
+namespace eclipse::app {
+
+InstanceParams InstanceParams::fromConfig(const sim::Config& cfg) {
+  InstanceParams p;
+  p.sram.size_bytes = static_cast<std::size_t>(cfg.getInt("sram.size_bytes", static_cast<std::int64_t>(p.sram.size_bytes)));
+  p.sram.bus_width_bytes = static_cast<std::uint32_t>(cfg.getInt("sram.bus_width_bytes", p.sram.bus_width_bytes));
+  p.sram.bus_arbitration_latency = static_cast<sim::Cycle>(cfg.getInt("sram.bus_arbitration_latency", static_cast<std::int64_t>(p.sram.bus_arbitration_latency)));
+  p.sram.access_latency = static_cast<sim::Cycle>(cfg.getInt("sram.access_latency", static_cast<std::int64_t>(p.sram.access_latency)));
+  p.dram.size_bytes = static_cast<std::size_t>(cfg.getInt("dram.size_bytes", static_cast<std::int64_t>(p.dram.size_bytes)));
+  p.dram.bus_width_bytes = static_cast<std::uint32_t>(cfg.getInt("dram.bus_width_bytes", p.dram.bus_width_bytes));
+  p.dram.bus_arbitration_latency = static_cast<sim::Cycle>(cfg.getInt("dram.bus_arbitration_latency", static_cast<std::int64_t>(p.dram.bus_arbitration_latency)));
+  p.dram.access_latency = static_cast<sim::Cycle>(cfg.getInt("dram.access_latency", static_cast<std::int64_t>(p.dram.access_latency)));
+  p.message_latency = static_cast<sim::Cycle>(cfg.getInt("network.message_latency", static_cast<std::int64_t>(p.message_latency)));
+  p.cache_line_bytes = static_cast<std::uint32_t>(cfg.getInt("shell.cache_line_bytes", p.cache_line_bytes));
+  p.cache_lines_per_port = static_cast<std::uint32_t>(cfg.getInt("shell.cache_lines_per_port", p.cache_lines_per_port));
+  p.prefetch = cfg.getBool("shell.prefetch", p.prefetch);
+  p.sync_latency = static_cast<sim::Cycle>(cfg.getInt("shell.sync_latency", static_cast<std::int64_t>(p.sync_latency)));
+  p.gettask_latency = static_cast<sim::Cycle>(cfg.getInt("shell.gettask_latency", static_cast<std::int64_t>(p.gettask_latency)));
+  p.io_latency = static_cast<sim::Cycle>(cfg.getInt("shell.io_latency", static_cast<std::int64_t>(p.io_latency)));
+  p.port_width_bytes = static_cast<std::uint32_t>(cfg.getInt("shell.port_width_bytes", p.port_width_bytes));
+  p.profiler_period = static_cast<sim::Cycle>(cfg.getInt("shell.profiler_period", static_cast<std::int64_t>(p.profiler_period)));
+  p.best_guess = cfg.getBool("shell.best_guess", p.best_guess);
+  p.vld.cycles_per_symbol = static_cast<sim::Cycle>(cfg.getInt("vld.cycles_per_symbol", static_cast<std::int64_t>(p.vld.cycles_per_symbol)));
+  p.vld.fetch_chunk = static_cast<std::uint32_t>(cfg.getInt("vld.fetch_chunk", p.vld.fetch_chunk));
+  p.rlsq.cycles_per_pair = static_cast<sim::Cycle>(cfg.getInt("rlsq.cycles_per_pair", static_cast<std::int64_t>(p.rlsq.cycles_per_pair)));
+  p.rlsq.cycles_per_block = static_cast<sim::Cycle>(cfg.getInt("rlsq.cycles_per_block", static_cast<std::int64_t>(p.rlsq.cycles_per_block)));
+  p.dct.cycles_per_block = static_cast<sim::Cycle>(cfg.getInt("dct.cycles_per_block", static_cast<std::int64_t>(p.dct.cycles_per_block)));
+  p.dct.pipelined = cfg.getBool("dct.pipelined", p.dct.pipelined);
+  p.mc.cycles_per_block_add = static_cast<sim::Cycle>(cfg.getInt("mc.cycles_per_block_add", static_cast<std::int64_t>(p.mc.cycles_per_block_add)));
+  p.mc.cycles_per_candidate = static_cast<sim::Cycle>(cfg.getInt("mc.cycles_per_candidate", static_cast<std::int64_t>(p.mc.cycles_per_candidate)));
+  p.mc.search_range = static_cast<int>(cfg.getInt("mc.search_range", p.mc.search_range));
+  return p;
+}
+
+EclipseInstance::EclipseInstance(const InstanceParams& params) : params_(params) {
+  sram_ = std::make_unique<mem::SharedSram>(sim_, params_.sram);
+  dram_ = std::make_unique<mem::OffChipMemory>(sim_, params_.dram);
+  network_ = std::make_unique<mem::MessageNetwork>(sim_, params_.message_latency);
+
+  // The five computation modules of the Figure-8 instance, each behind its
+  // own shell instance derived from the shell template.
+  vld_ = std::make_unique<coproc::VldCoproc>(sim_, makeShell("vld"), *dram_, params_.vld);
+  rlsq_ = std::make_unique<coproc::RlsqCoproc>(sim_, makeShell("rlsq"), params_.rlsq);
+  dct_ = std::make_unique<coproc::DctCoproc>(sim_, makeShell("dct"), params_.dct);
+  mc_ = std::make_unique<coproc::McCoproc>(sim_, makeShell("mc"), *dram_, params_.mc);
+  cpu_ = std::make_unique<coproc::SoftCpu>(sim_, makeShell("dsp-cpu"));
+}
+
+shell::Shell& EclipseInstance::makeShell(const std::string& name) {
+  shell::ShellParams sp;
+  sp.id = next_shell_id_++;
+  sp.name = name;
+  sp.port_width_bytes = params_.port_width_bytes;
+  sp.cache_line_bytes = params_.cache_line_bytes;
+  sp.cache_lines_per_port = params_.cache_lines_per_port;
+  sp.prefetch = params_.prefetch;
+  sp.sync_latency = params_.sync_latency;
+  sp.gettask_latency = params_.gettask_latency;
+  sp.io_latency = params_.io_latency;
+  sp.max_tasks = params_.max_tasks;
+  sp.max_streams = params_.max_streams;
+  sp.profiler_period = params_.profiler_period;
+  sp.best_guess = params_.best_guess;
+  auto sh = std::make_unique<shell::Shell>(sim_, sp, *sram_, *network_);
+  sh->mapMmio(pi_bus_, static_cast<sim::Addr>(sp.id) * 0x10000);
+  shells_.push_back(std::move(sh));
+  next_task_.push_back(0);
+  return *shells_.back();
+}
+
+coproc::FrameSink& EclipseInstance::createFrameSink(std::function<void()> on_done) {
+  auto& sh = makeShell("frame-sink-" + std::to_string(next_shell_id_));
+  auto sink = std::make_unique<coproc::FrameSink>(sim_, sh, std::move(on_done));
+  auto& ref = *sink;
+  extra_coprocs_.push_back(std::move(sink));
+  if (started_) {
+    ref.start();
+    if (params_.profiler_period > 0) sh.startProfiler();
+  }
+  return ref;
+}
+
+coproc::ByteSink& EclipseInstance::createByteSink(std::function<void()> on_done) {
+  auto& sh = makeShell("byte-sink-" + std::to_string(next_shell_id_));
+  auto sink = std::make_unique<coproc::ByteSink>(sim_, sh, std::move(on_done));
+  auto& ref = *sink;
+  extra_coprocs_.push_back(std::move(sink));
+  if (started_) {
+    ref.start();
+    if (params_.profiler_period > 0) sh.startProfiler();
+  }
+  return ref;
+}
+
+sim::Addr EclipseInstance::allocSram(std::uint32_t bytes) {
+  const std::uint32_t line = params_.cache_line_bytes;
+  const std::uint32_t rounded = (bytes + line - 1) / line * line;
+  if (sram_next_ + rounded > sram_->storage().size()) {
+    throw std::runtime_error("EclipseInstance: out of on-chip SRAM (" +
+                             std::to_string(sram_->storage().size()) + " bytes)");
+  }
+  const sim::Addr addr = sram_next_;
+  sram_next_ += rounded;
+  return addr;
+}
+
+sim::Addr EclipseInstance::allocDram(std::size_t bytes) {
+  const std::size_t rounded = (bytes + 63) / 64 * 64;
+  if (dram_next_ + rounded > dram_->storage().size()) {
+    throw std::runtime_error("EclipseInstance: out of off-chip memory");
+  }
+  const sim::Addr addr = dram_next_;
+  dram_next_ += rounded;
+  return addr;
+}
+
+sim::TaskId EclipseInstance::allocTask(shell::Shell& sh) {
+  const std::uint32_t id = sh.id();
+  if (next_task_.at(id) >= params_.max_tasks) {
+    throw std::runtime_error("EclipseInstance: task table of " + sh.name() + " is full");
+  }
+  return static_cast<sim::TaskId>(next_task_[id]++);
+}
+
+EclipseInstance::StreamHandle EclipseInstance::connectStream(const Endpoint& producer,
+                                                             const Endpoint& consumer,
+                                                             std::uint32_t buffer_bytes) {
+  const sim::Addr base = allocSram(buffer_bytes);
+
+  shell::StreamConfig pc;
+  pc.task = producer.task;
+  pc.port = producer.port;
+  pc.is_producer = true;
+  pc.buffer_base = base;
+  pc.buffer_bytes = buffer_bytes;
+  pc.remote_shell = consumer.shell->id();
+  pc.remote_row = 0;  // patched below
+  pc.initial_space = buffer_bytes;
+  const std::uint32_t prow = producer.shell->configureStream(pc);
+
+  shell::StreamConfig cc;
+  cc.task = consumer.task;
+  cc.port = consumer.port;
+  cc.is_producer = false;
+  cc.buffer_base = base;
+  cc.buffer_bytes = buffer_bytes;
+  cc.remote_shell = producer.shell->id();
+  cc.remote_row = prow;
+  cc.initial_space = 0;
+  const std::uint32_t crow = consumer.shell->configureStream(cc);
+
+  producer.shell->streams().row(prow).remote_row = crow;
+
+  return StreamHandle{producer.shell, prow, consumer.shell, crow, base, buffer_bytes};
+}
+
+void EclipseInstance::start() {
+  if (started_) return;
+  started_ = true;
+  vld_->start();
+  rlsq_->start();
+  dct_->start();
+  mc_->start();
+  cpu_->start();
+  for (auto& c : extra_coprocs_) c->start();
+  if (params_.profiler_period > 0) {
+    for (auto& sh : shells_) sh->startProfiler();
+  }
+}
+
+std::function<void()> EclipseInstance::registerApp() {
+  ++pending_apps_;
+  return [this] {
+    if (--pending_apps_ <= 0) sim_.stop();
+  };
+}
+
+sim::Cycle EclipseInstance::run(sim::Cycle until) {
+  start();
+  return sim_.run(until);
+}
+
+}  // namespace eclipse::app

@@ -1,0 +1,155 @@
+#include "eclipse/app/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace eclipse::app {
+
+namespace {
+
+/// Resamples a series into `width` buckets over [t0, t1] (bucket mean;
+/// carries the previous value through empty buckets).
+std::vector<double> resample(const sim::TimeSeries& s, sim::Cycle t0, sim::Cycle t1, int width) {
+  std::vector<double> out(static_cast<std::size_t>(width), 0.0);
+  if (s.empty() || t1 <= t0) return out;
+  std::vector<double> sums(static_cast<std::size_t>(width), 0.0);
+  std::vector<int> counts(static_cast<std::size_t>(width), 0);
+  const double span = static_cast<double>(t1 - t0);
+  for (const auto& [c, v] : s.points()) {
+    if (c < t0 || c > t1) continue;
+    int b = static_cast<int>(static_cast<double>(c - t0) / span * width);
+    b = std::min(b, width - 1);
+    sums[static_cast<std::size_t>(b)] += v;
+    counts[static_cast<std::size_t>(b)] += 1;
+  }
+  double last = 0.0;
+  for (int b = 0; b < width; ++b) {
+    if (counts[static_cast<std::size_t>(b)] > 0) {
+      last = sums[static_cast<std::size_t>(b)] / counts[static_cast<std::size_t>(b)];
+    }
+    out[static_cast<std::size_t>(b)] = last;
+  }
+  return out;
+}
+
+void timeSpan(const std::vector<const sim::TimeSeries*>& series, sim::Cycle& t0, sim::Cycle& t1) {
+  t0 = ~0ULL;
+  t1 = 0;
+  for (const auto* s : series) {
+    if (s == nullptr || s->empty()) continue;
+    t0 = std::min(t0, s->points().front().first);
+    t1 = std::max(t1, s->points().back().first);
+  }
+  if (t0 > t1) {
+    t0 = 0;
+    t1 = 0;
+  }
+}
+
+std::string renderPanel(const sim::TimeSeries& s, sim::Cycle t0, sim::Cycle t1,
+                        const ChartOptions& opts) {
+  std::ostringstream ss;
+  const auto vals = resample(s, t0, t1, opts.width);
+  double vmax = 0.0;
+  for (double v : vals) vmax = std::max(vmax, v);
+  ss << s.name() << "  (max " << vmax << ")\n";
+  if (vmax <= 0.0) vmax = 1.0;
+  for (int row = opts.height - 1; row >= 0; --row) {
+    const double lo = vmax * row / opts.height;
+    ss << (opts.show_scale && row == opts.height - 1 ? '+' : '|');
+    for (int col = 0; col < opts.width; ++col) {
+      ss << (vals[static_cast<std::size_t>(col)] > lo ? '#' : ' ');
+    }
+    ss << '\n';
+  }
+  ss << '+' << std::string(static_cast<std::size_t>(opts.width), '-') << '\n';
+  return ss.str();
+}
+
+}  // namespace
+
+std::string renderSeries(const sim::TimeSeries& series, const ChartOptions& opts) {
+  sim::Cycle t0 = 0, t1 = 0;
+  std::vector<const sim::TimeSeries*> v{&series};
+  timeSpan(v, t0, t1);
+  return renderPanel(series, t0, t1, opts);
+}
+
+std::string renderStack(const std::vector<const sim::TimeSeries*>& series,
+                        const ChartOptions& opts) {
+  sim::Cycle t0 = 0, t1 = 0;
+  timeSpan(series, t0, t1);
+  std::ostringstream ss;
+  ss << "cycles " << t0 << " .. " << t1 << "\n";
+  for (const auto* s : series) {
+    if (s != nullptr) ss << renderPanel(*s, t0, t1, opts);
+  }
+  return ss.str();
+}
+
+std::string toCsv(const std::vector<const sim::TimeSeries*>& series) {
+  std::map<sim::Cycle, std::vector<double>> rows;
+  std::map<sim::Cycle, std::vector<bool>> present;
+  const std::size_t n = series.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (series[i] == nullptr) continue;
+    for (const auto& [c, v] : series[i]->points()) {
+      auto& row = rows[c];
+      auto& pres = present[c];
+      row.resize(n, 0.0);
+      pres.resize(n, false);
+      row[i] = v;
+      pres[i] = true;
+    }
+  }
+  std::ostringstream ss;
+  ss << "cycle";
+  for (const auto* s : series) ss << ',' << (s != nullptr ? s->name() : "");
+  ss << '\n';
+  for (const auto& [c, row] : rows) {
+    ss << c;
+    const auto& pres = present[c];
+    for (std::size_t i = 0; i < n; ++i) {
+      ss << ',';
+      if (i < row.size() && pres[i]) ss << row[i];
+    }
+    ss << '\n';
+  }
+  return ss.str();
+}
+
+std::string renderActivityStrips(const std::vector<const sim::TimeSeries*>& series, int width) {
+  sim::Cycle t0 = 0, t1 = 0;
+  timeSpan(series, t0, t1);
+  std::ostringstream ss;
+  ss << "activity lanes, cycles " << t0 << " .. " << t1 << "\n";
+  std::size_t label_width = 0;
+  for (const auto* s : series) {
+    if (s != nullptr) label_width = std::max(label_width, s->name().size());
+  }
+  for (const auto* s : series) {
+    if (s == nullptr) continue;
+    const auto vals = resample(*s, t0, t1, width);
+    ss << s->name() << std::string(label_width - s->name().size(), ' ') << " |";
+    for (const double v : vals) {
+      ss << (v < 0.125 ? ' ' : v < 0.5 ? '.' : v < 0.875 ? ':' : '#');
+    }
+    ss << "|\n";
+  }
+  return ss.str();
+}
+
+sim::TimeSeries differentiate(const sim::TimeSeries& cumulative, std::string name) {
+  sim::TimeSeries out(std::move(name));
+  const auto& pts = cumulative.points();
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    const double dv = pts[i].second - pts[i - 1].second;
+    const double dt = static_cast<double>(pts[i].first - pts[i - 1].first);
+    out.sample(pts[i].first, dt > 0 ? dv / dt : 0.0);
+  }
+  return out;
+}
+
+}  // namespace eclipse::app

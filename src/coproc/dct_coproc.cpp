@@ -1,0 +1,41 @@
+#include "eclipse/coproc/dct_coproc.hpp"
+
+#include "eclipse/coproc/limits.hpp"
+#include "eclipse/coproc/packet_io.hpp"
+
+namespace eclipse::coproc {
+
+sim::Task<void> DctCoproc::step(sim::TaskId task, std::uint32_t task_info) {
+  if (!co_await shell_.getSpace(task, kOut, withCtl(kMaxBlocksFrame))) co_return;
+  std::vector<std::uint8_t> pkt;
+  if (co_await packet_io::tryRead(shell_, task, kIn, pkt) == packet_io::ReadStatus::Blocked) {
+    co_return;
+  }
+  const auto tag = packet_io::tagOf(pkt);
+  if (tag == media::PacketTag::Mb) {
+    media::MbBlocks in, out;
+    media::ByteReader r(packet_io::payloadOf(pkt));
+    media::get(r, in);
+    int nb;
+    if ((task_info & kDctInfoForward) != 0) {
+      media::stages::fdctMb(in, out);
+      nb = media::kBlocksPerMacroblock;  // forward transforms every block
+    } else {
+      media::stages::idctMb(in, out);
+      nb = 0;  // inverse only processes coded blocks
+      for (int b = 0; b < media::kBlocksPerMacroblock; ++b) {
+        if ((in.cbp & (1u << b)) != 0) ++nb;
+      }
+    }
+    blocks_ += static_cast<std::uint64_t>(nb);
+    co_await sim_.delay(static_cast<sim::Cycle>(nb) * params_.blockCycles());
+    co_await packet_io::write(shell_, task, kOut, media::packPacket(media::PacketTag::Mb, out),
+                              /*wait=*/false);
+    co_return;
+  }
+  // Control packets pass through unchanged.
+  co_await packet_io::write(shell_, task, kOut, pkt, /*wait=*/false);
+  if (tag == media::PacketTag::Eos) finishTask(task);
+}
+
+}  // namespace eclipse::coproc

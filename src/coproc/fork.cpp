@@ -1,0 +1,26 @@
+#include "eclipse/coproc/fork.hpp"
+
+#include "eclipse/coproc/packet_io.hpp"
+#include "eclipse/media/packets.hpp"
+
+namespace eclipse::coproc {
+
+sim::Task<void> ForkCoproc::step(sim::TaskId task, std::uint32_t /*task_info*/) {
+  // Every consumer must have room before the input is consumed; otherwise
+  // abort the step (slowest consumer throttles the multicast, exactly the
+  // semantics of a Kahn stream with several readers).
+  for (int out = 1; out <= fanout_; ++out) {
+    if (!co_await shell_.getSpace(task, out, max_frame_)) co_return;
+  }
+  std::vector<std::uint8_t> pkt;
+  if (co_await packet_io::tryRead(shell_, task, kIn, pkt) == packet_io::ReadStatus::Blocked) {
+    co_return;
+  }
+  for (int out = 1; out <= fanout_; ++out) {
+    co_await packet_io::write(shell_, task, out, pkt, /*wait=*/false);
+  }
+  ++packets_;
+  if (packet_io::tagOf(pkt) == media::PacketTag::Eos) finishTask(task);
+}
+
+}  // namespace eclipse::coproc

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+#include "eclipse/coproc/coprocessor.hpp"
+
+namespace eclipse::coproc {
+
+/// Stream duplicator ("tee") coprocessor.
+///
+/// The paper's streams connect "the output port of a producing task and
+/// the input port of one or more consuming tasks"; the stream-table
+/// mechanism of Section 5.1 is point-to-point, so multicast is realised by
+/// a forwarding element that copies one input stream to N output streams —
+/// each with its own FIFO, synchronization and back-pressure. A fork task
+/// makes this an ordinary multi-tasking coprocessor.
+///
+/// Ports per task: 0 = in, 1..fanout = out. Packets (length-framed) are
+/// copied verbatim; Eos retires the task.
+class ForkCoproc final : public Coprocessor {
+ public:
+  static constexpr sim::PortId kIn = 0;
+
+  /// `max_frame_bytes` bounds the packets this fork will carry (used to
+  /// reserve output space before consuming input).
+  ForkCoproc(sim::Simulator& sim, shell::Shell& sh, int fanout, std::uint32_t max_frame_bytes)
+      : Coprocessor(sim, sh, "fork"), fanout_(fanout), max_frame_(max_frame_bytes) {}
+
+  [[nodiscard]] int fanout() const { return fanout_; }
+  [[nodiscard]] std::uint64_t packetsForwarded() const { return packets_; }
+
+ protected:
+  sim::Task<void> step(sim::TaskId task, std::uint32_t task_info) override;
+
+ private:
+  int fanout_;
+  std::uint32_t max_frame_;
+  std::uint64_t packets_ = 0;
+};
+
+}  // namespace eclipse::coproc

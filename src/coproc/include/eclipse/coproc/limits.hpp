@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+
+#include "eclipse/coproc/packet_io.hpp"
+
+namespace eclipse::coproc {
+
+/// Worst-case framed packet sizes on each stream kind, used by producing
+/// coprocessors to reserve output space *before* reading input — the
+/// deadlock-free step pattern of Section 4. Stream buffers must be at least
+/// one worst-case frame (and a multiple of the cache line size).
+
+/// MbCoefs: tag + cbp + intra + qscale + 6 * (u16 count + 64 pairs of 3 bytes).
+inline constexpr std::uint32_t kMaxCoefsFrame =
+    packet_io::kFrameHeaderBytes + 1 + 3 + 6 * (2 + 64 * 3);
+
+/// MbBlocks: tag + cbp + intra + 6 * 64 coefficients of 2 bytes.
+inline constexpr std::uint32_t kMaxBlocksFrame =
+    packet_io::kFrameHeaderBytes + 1 + 2 + 6 * 64 * 2;
+
+/// MbPixels: tag + 384 samples.
+inline constexpr std::uint32_t kMaxPixelsFrame = packet_io::kFrameHeaderBytes + 1 + 384;
+
+/// MbHeader: tag + serialised header.
+inline constexpr std::uint32_t kMaxHeaderFrame = packet_io::kFrameHeaderBytes + 1 + 16;
+
+/// Control packets (Seq / Pic / Eos / tokens).
+inline constexpr std::uint32_t kMaxCtlFrame = packet_io::kFrameHeaderBytes + 1 + 12;
+
+/// A conservative bound covering any control packet alongside the payload
+/// bound of the given kind (producers reserve max(kind, ctl)).
+[[nodiscard]] constexpr std::uint32_t withCtl(std::uint32_t kind_max) {
+  return kind_max > kMaxCtlFrame ? kind_max : kMaxCtlFrame;
+}
+
+}  // namespace eclipse::coproc

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "eclipse/media/packets.hpp"
+#include "eclipse/shell/shell.hpp"
+#include "eclipse/sim/coro.hpp"
+
+namespace eclipse::coproc {
+
+/// Length-framed packet transport over an Eclipse stream.
+///
+/// Every packet on an inter-task stream is framed as
+///     u32 length | u8 tag | payload[length-1]
+/// Reading is two-phase: GetSpace(4) for the length word, then
+/// GetSpace(4+length) for the whole packet — the data-dependent
+/// conditional-input pattern of Section 4.2. Nothing is committed until
+/// the whole packet is readable, so an aborted step simply re-reads the
+/// length word on its next attempt.
+namespace packet_io {
+
+inline constexpr std::uint32_t kFrameHeaderBytes = 4;
+
+/// Result of a non-committing packet read attempt.
+enum class ReadStatus {
+  Ok,       ///< packet read and committed
+  Blocked,  ///< insufficient data; nothing committed — abort the step
+};
+
+/// Attempts to read one whole packet from (task, port). On Ok the packet
+/// (tag byte + payload) is in `out` and its bytes are committed.
+sim::Task<ReadStatus> tryRead(shell::Shell& sh, sim::TaskId task, sim::PortId port,
+                              std::vector<std::uint8_t>& out);
+
+/// Blocking read: waits for space instead of aborting (used by coprocessor
+/// designs that park rather than switch, and by the sinks).
+sim::Task<void> blockingRead(shell::Shell& sh, sim::TaskId task, sim::PortId port,
+                             std::vector<std::uint8_t>& out);
+
+/// Result of a non-committing read: the packet contents plus the number of
+/// stream bytes to PutSpace once the whole processing step is certain to
+/// complete.
+struct PeekResult {
+  ReadStatus status = ReadStatus::Blocked;
+  std::uint32_t frame_bytes = 0;
+};
+
+/// Reads one whole packet *without committing it*. Used by coprocessors
+/// with several input streams that must all be readable before any of them
+/// may be consumed (Section 4.2's restartable step): peek every input,
+/// compute, then PutSpace the returned frame_bytes on each port.
+sim::Task<PeekResult> tryPeek(shell::Shell& sh, sim::TaskId task, sim::PortId port,
+                              std::vector<std::uint8_t>& out);
+
+/// Attempts to reserve room for a `bytes`-byte packet (frame header
+/// included) on an output port. Returns false when the step should abort.
+sim::Task<bool> tryReserve(shell::Shell& sh, sim::TaskId task, sim::PortId port,
+                           std::uint32_t bytes);
+
+/// Writes and commits one framed packet (tag + payload). Requires room for
+/// kFrameHeaderBytes + data.size() to have been granted (tryReserve) or
+/// waits for it (`wait` = true).
+sim::Task<void> write(shell::Shell& sh, sim::TaskId task, sim::PortId port,
+                      std::span<const std::uint8_t> data, bool wait);
+
+/// Frame size on the wire of a packet with `payload_bytes` content bytes.
+[[nodiscard]] inline std::uint32_t frameBytes(std::uint32_t payload_bytes) {
+  return kFrameHeaderBytes + payload_bytes;
+}
+
+/// Tag of a packet previously read by tryRead/blockingRead.
+[[nodiscard]] inline media::PacketTag tagOf(const std::vector<std::uint8_t>& packet) {
+  return static_cast<media::PacketTag>(packet.at(0));
+}
+
+/// Payload view (bytes after the tag).
+[[nodiscard]] inline std::span<const std::uint8_t> payloadOf(
+    const std::vector<std::uint8_t>& packet) {
+  return std::span<const std::uint8_t>(packet).subspan(1);
+}
+
+}  // namespace packet_io
+
+}  // namespace eclipse::coproc

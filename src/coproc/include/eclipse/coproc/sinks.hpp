@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "eclipse/coproc/coprocessor.hpp"
+#include "eclipse/media/codec.hpp"
+
+namespace eclipse::coproc {
+
+/// Output-side coprocessor that assembles the MC pixel stream back into
+/// display frames (stands in for the display/memory writer of a real SoC).
+/// Fires `on_done` when the end-of-stream packet arrives.
+class FrameSink final : public Coprocessor {
+ public:
+  static constexpr sim::PortId kIn = 0;
+
+  FrameSink(sim::Simulator& sim, shell::Shell& sh, std::function<void()> on_done)
+      : Coprocessor(sim, sh, "frame-sink"), on_done_(std::move(on_done)) {}
+
+  /// Decoded frames in display order (valid after completion).
+  [[nodiscard]] std::vector<media::Frame> framesInDisplayOrder() const;
+
+  [[nodiscard]] bool done() const { return done_; }
+  [[nodiscard]] const media::SeqHeader& seqHeader() const { return seq_; }
+  [[nodiscard]] std::uint64_t macroblocksReceived() const { return mbs_; }
+
+ protected:
+  sim::Task<void> step(sim::TaskId task, std::uint32_t task_info) override;
+
+ private:
+  std::function<void()> on_done_;
+  media::SeqHeader seq_{};
+  media::PicHeader pic_{};
+  std::map<int, media::Frame> frames_;  // by temporal_ref
+  int mb_index_ = 0;
+  std::uint64_t mbs_ = 0;
+  bool done_ = false;
+};
+
+/// Collects a raw byte stream (e.g. the variable-length encoder's output
+/// bitstream) delivered as Mb-tagged chunk packets. Fires `on_done` on Eos.
+class ByteSink final : public Coprocessor {
+ public:
+  static constexpr sim::PortId kIn = 0;
+
+  ByteSink(sim::Simulator& sim, shell::Shell& sh, std::function<void()> on_done)
+      : Coprocessor(sim, sh, "byte-sink"), on_done_(std::move(on_done)) {}
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  [[nodiscard]] bool done() const { return done_; }
+
+ protected:
+  sim::Task<void> step(sim::TaskId task, std::uint32_t task_info) override;
+
+ private:
+  std::function<void()> on_done_;
+  std::vector<std::uint8_t> bytes_;
+  bool done_ = false;
+};
+
+}  // namespace eclipse::coproc

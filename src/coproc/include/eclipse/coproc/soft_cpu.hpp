@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "eclipse/coproc/coprocessor.hpp"
+
+namespace eclipse::coproc {
+
+/// The programmable media processor (the paper's DSP-CPU).
+///
+/// Functions that are application-specific or likely to change with
+/// standards run in software here (Section 6: audio decoding, variable
+/// length *encoding* and de-multiplexing run on the media processor). The
+/// CPU is modelled as a multi-tasking coprocessor whose processing steps
+/// execute registered software handlers; its shell is identical to a
+/// hardware shell (the media processor shell of Figure 4).
+///
+/// Handlers must follow the same restartable-step discipline as hardware
+/// coprocessors: abort (plain co_return) on a denied GetSpace so the CPU
+/// can switch to another software task instead of spinning.
+class SoftCpu final : public Coprocessor {
+ public:
+  using StepHandler = std::function<sim::Task<void>(sim::TaskId task, std::uint32_t info)>;
+
+  SoftCpu(sim::Simulator& sim, shell::Shell& sh) : Coprocessor(sim, sh, "dsp-cpu") {}
+
+  /// Binds a software step handler to a task slot.
+  void registerTask(sim::TaskId task, StepHandler handler) {
+    handlers_[task] = std::move(handler);
+  }
+
+  /// Software tasks call this when their stream ends.
+  void finish(sim::TaskId task) { finishTask(task); }
+
+ protected:
+  sim::Task<void> step(sim::TaskId task, std::uint32_t task_info) override {
+    auto it = handlers_.find(task);
+    if (it == handlers_.end()) throw std::logic_error("SoftCpu: unregistered task scheduled");
+    co_await it->second(task, task_info);
+  }
+
+ private:
+  std::map<sim::TaskId, StepHandler> handlers_;
+};
+
+}  // namespace eclipse::coproc

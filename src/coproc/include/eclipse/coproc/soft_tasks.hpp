@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eclipse/coproc/soft_cpu.hpp"
+#include "eclipse/media/bitstream.hpp"
+#include "eclipse/media/codec.hpp"
+
+namespace eclipse::coproc {
+
+/// Software frame source for the encoding application (runs on the
+/// DSP-CPU). Reorders display frames into coded order and streams them as
+/// Seq / Pic / MbPixels packets to the MC/ME coprocessor. Emission of
+/// pictures that reference earlier frames is gated by frame-done tokens
+/// from the encoder reconstruction task, so motion estimation never reads a
+/// reference slot that is still being written.
+class EncoderSource {
+ public:
+  static constexpr sim::PortId kOut = 0;
+  static constexpr sim::PortId kInToken = 1;
+
+  EncoderSource(SoftCpu& cpu, std::vector<media::Frame> frames, const media::CodecParams& params);
+
+  /// Step handler to register on the SoftCpu.
+  sim::Task<void> step(sim::TaskId task, std::uint32_t info);
+
+ private:
+  enum class Phase { Seq, PicStart, Mb, Eos, Done };
+
+  SoftCpu& cpu_;
+  std::vector<media::Frame> frames_;
+  media::CodecParams params_;
+  media::SeqHeader seq_{};
+  std::vector<media::CodedPicture> order_;
+  Phase phase_ = Phase::Seq;
+  std::size_t pic_idx_ = 0;
+  int mb_index_ = 0;
+  int mb_count_ = 0;
+  int refs_emitted_ = 0;
+  int tokens_received_ = 0;
+};
+
+/// Software variable-length encoder (runs on the DSP-CPU, Section 6).
+/// Pairs macroblock headers from motion estimation with quantised
+/// coefficients from RLSQ, assembles the elementary stream and emits it as
+/// byte chunks to a ByteSink.
+class VleTask {
+ public:
+  static constexpr sim::PortId kInHdr = 0;
+  static constexpr sim::PortId kInCoef = 1;
+  static constexpr sim::PortId kOut = 2;
+
+  /// `cycles_per_symbol` models the software VLC loop (slower than the
+  /// hardware VLD's table lookups).
+  VleTask(SoftCpu& cpu, sim::Cycle cycles_per_symbol = 12)
+      : cpu_(cpu), cycles_per_symbol_(cycles_per_symbol) {}
+
+  sim::Task<void> step(sim::TaskId task, std::uint32_t info);
+
+  [[nodiscard]] std::uint64_t bitsEmitted() const { return bits_; }
+
+ private:
+  static constexpr std::size_t kChunkBytes = 256;
+
+  SoftCpu& cpu_;
+  sim::Cycle cycles_per_symbol_;
+  media::BitWriter bw_;
+  media::SeqHeader seq_{};
+  std::vector<std::uint8_t> pending_;
+  bool eos_seen_ = false;
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace eclipse::coproc

@@ -1,0 +1,557 @@
+#include "eclipse/coproc/mc.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+#include "eclipse/coproc/limits.hpp"
+#include "eclipse/coproc/packet_io.hpp"
+#include "eclipse/media/motion.hpp"
+
+namespace eclipse::coproc {
+
+namespace {
+
+struct PlaneGeom {
+  sim::Addr offset;  // from slot base
+  int stride;
+  int width;
+  int height;
+};
+
+PlaneGeom planeGeom(const media::SeqHeader& sh, int plane) {
+  const int w = sh.width;
+  const int h = sh.height;
+  if (plane == 0) return PlaneGeom{0, w, w, h};
+  const sim::Addr luma = static_cast<sim::Addr>(w) * h;
+  const sim::Addr chroma = static_cast<sim::Addr>(w / 2) * (h / 2);
+  if (plane == 1) return PlaneGeom{luma, w / 2, w / 2, h / 2};
+  return PlaneGeom{luma + chroma, w / 2, w / 2, h / 2};
+}
+
+int clampi(int v, int lo, int hi) { return v < lo ? lo : (v > hi ? hi : v); }
+
+/// Bilinear sample of a fetched full-pel region at integer offset (x, y)
+/// with half-pel fraction bits (fx, fy) — bit-exact with
+/// motion::sampleHalfPel on the source plane.
+std::uint8_t bilinear(const std::vector<std::uint8_t>& region, int rw, int x, int y, int fx,
+                      int fy) {
+  const int a = region[static_cast<std::size_t>(y * rw + x)];
+  if (fx == 0 && fy == 0) return static_cast<std::uint8_t>(a);
+  if (fx != 0 && fy == 0) {
+    const int b = region[static_cast<std::size_t>(y * rw + x + 1)];
+    return static_cast<std::uint8_t>((a + b + 1) / 2);
+  }
+  if (fx == 0) {
+    const int b = region[static_cast<std::size_t>((y + 1) * rw + x)];
+    return static_cast<std::uint8_t>((a + b + 1) / 2);
+  }
+  const int b = region[static_cast<std::size_t>(y * rw + x + 1)];
+  const int c = region[static_cast<std::size_t>((y + 1) * rw + x)];
+  const int d = region[static_cast<std::size_t>((y + 1) * rw + x + 1)];
+  return static_cast<std::uint8_t>((a + b + c + d + 2) / 4);
+}
+
+}  // namespace
+
+void McCoproc::configureTask(sim::TaskId task, const McTaskConfig& cfg) {
+  TaskState st;
+  st.cfg = cfg;
+  states_[task] = std::move(st);
+}
+
+sim::Addr McCoproc::slotBase(const TaskState& st, std::int32_t slot) const {
+  if (slot < 0) throw std::logic_error("McCoproc: prediction from a missing reference slot");
+  return st.cfg.frame_store_base +
+         static_cast<sim::Addr>(slot) * frameSlotBytes(st.seq);
+}
+
+sim::Task<void> McCoproc::fetchRegion(TaskState& st, std::int32_t slot, int plane, int x0, int y0,
+                                      int w, int h, std::vector<std::uint8_t>& out) {
+  const PlaneGeom g = planeGeom(st.seq, plane);
+  const sim::Addr base = slotBase(st, slot) + g.offset;
+  out.resize(static_cast<std::size_t>(w) * static_cast<std::size_t>(h));
+
+  // Timing: one 2D burst over the system bus of the region size.
+  co_await dram_.touchRead(out.size(), static_cast<int>(shell_.id()));
+
+  // Function: clamped per-sample gather (replicated frame edges, exactly
+  // like motion::sampleHalfPel's full-pel clamping).
+  const auto view = dram_.storage().view();
+  for (int y = 0; y < h; ++y) {
+    const int sy = clampi(y0 + y, 0, g.height - 1);
+    for (int x = 0; x < w; ++x) {
+      const int sx = clampi(x0 + x, 0, g.width - 1);
+      out[static_cast<std::size_t>(y * w + x)] =
+          view[static_cast<std::size_t>(base + static_cast<sim::Addr>(sy) * static_cast<sim::Addr>(g.stride) +
+                                        static_cast<sim::Addr>(sx))];
+    }
+  }
+}
+
+sim::Task<void> McCoproc::writeReconMb(TaskState& st, std::int32_t slot, int mb_x, int mb_y,
+                                       const media::MbPixels& px) {
+  const sim::Addr base = slotBase(st, slot);
+  const PlaneGeom gy = planeGeom(st.seq, 0);
+  const PlaneGeom gcb = planeGeom(st.seq, 1);
+  const PlaneGeom gcr = planeGeom(st.seq, 2);
+  auto storage = dram_.storage().view();
+
+  // Function: scatter the rows into the frame slot.
+  for (int y = 0; y < media::kMbSize; ++y) {
+    const sim::Addr row = base + gy.offset +
+                          static_cast<sim::Addr>(mb_y * media::kMbSize + y) * static_cast<sim::Addr>(gy.stride) +
+                          static_cast<sim::Addr>(mb_x * media::kMbSize);
+    std::copy_n(px.y.begin() + y * media::kMbSize, media::kMbSize,
+                storage.begin() + static_cast<std::ptrdiff_t>(row));
+  }
+  for (int y = 0; y < 8; ++y) {
+    const sim::Addr row_cb = base + gcb.offset +
+                             static_cast<sim::Addr>(mb_y * 8 + y) * static_cast<sim::Addr>(gcb.stride) +
+                             static_cast<sim::Addr>(mb_x * 8);
+    const sim::Addr row_cr = base + gcr.offset +
+                             static_cast<sim::Addr>(mb_y * 8 + y) * static_cast<sim::Addr>(gcr.stride) +
+                             static_cast<sim::Addr>(mb_x * 8);
+    std::copy_n(px.cb.begin() + y * 8, 8, storage.begin() + static_cast<std::ptrdiff_t>(row_cb));
+    std::copy_n(px.cr.begin() + y * 8, 8, storage.begin() + static_cast<std::ptrdiff_t>(row_cr));
+  }
+
+  // Timing: three posted write bursts (Y, Cb, Cr). Writes go through a
+  // write buffer, so the coprocessor stalls only for bus occupancy, not
+  // for the off-chip access latency (reads cannot be posted).
+  co_await dram_.bus().transfer(256, static_cast<int>(shell_.id()));
+  co_await dram_.bus().transfer(64, static_cast<int>(shell_.id()));
+  co_await dram_.bus().transfer(64, static_cast<int>(shell_.id()));
+}
+
+sim::Task<void> McCoproc::predictTimed(TaskState& st, const media::MbHeader& h,
+                                       media::MbPixels& pred) {
+  if (h.mode == media::MbMode::Intra) {
+    pred.y.fill(128);
+    pred.cb.fill(128);
+    pred.cr.fill(128);
+    co_return;
+  }
+
+  const int px = h.mb_x * media::kMbSize;
+  const int py = h.mb_y * media::kMbSize;
+
+  auto fetchOne = [&](std::int32_t slot, media::MotionVector mv,
+                      media::MbPixels& out) -> sim::Task<void> {
+    ++predictions_;
+    // Luma 17x17 region at the floor of the half-pel coordinate.
+    const int cx = 2 * px + mv.x;
+    const int cy = 2 * py + mv.y;
+    const int x0 = cx >> 1, fx = cx & 1;
+    const int y0 = cy >> 1, fy = cy & 1;
+    std::vector<std::uint8_t> region;
+    co_await fetchRegion(st, slot, 0, x0, y0, 17, 17, region);
+    for (int y = 0; y < media::kMbSize; ++y) {
+      for (int x = 0; x < media::kMbSize; ++x) {
+        out.y[static_cast<std::size_t>(y * media::kMbSize + x)] = bilinear(region, 17, x, y, fx, fy);
+      }
+    }
+    // Chroma: the luma vector halved (truncation toward zero, MPEG-2).
+    const int cvx = mv.x / 2;
+    const int cvy = mv.y / 2;
+    const int pcx = px / 2, pcy = py / 2;
+    const int ccx = 2 * pcx + cvx, ccy = 2 * pcy + cvy;
+    const int cx0 = ccx >> 1, cfx = ccx & 1;
+    const int cy0 = ccy >> 1, cfy = ccy & 1;
+    std::vector<std::uint8_t> rcb, rcr;
+    co_await fetchRegion(st, slot, 1, cx0, cy0, 9, 9, rcb);
+    co_await fetchRegion(st, slot, 2, cx0, cy0, 9, 9, rcr);
+    for (int y = 0; y < 8; ++y) {
+      for (int x = 0; x < 8; ++x) {
+        out.cb[static_cast<std::size_t>(y * 8 + x)] = bilinear(rcb, 9, x, y, cfx, cfy);
+        out.cr[static_cast<std::size_t>(y * 8 + x)] = bilinear(rcr, 9, x, y, cfx, cfy);
+      }
+    }
+  };
+
+  // Reference slot selection mirrors the decoder: P pictures predict from
+  // the most recent reference; B pictures use (prev, last) as (fwd, bwd).
+  const std::int32_t fwd_slot =
+      st.pic.type == media::FrameType::B ? st.refs.prev : st.refs.last;
+  const std::int32_t bwd_slot = st.refs.last;
+
+  switch (h.mode) {
+    case media::MbMode::Forward:
+      co_await fetchOne(fwd_slot, h.mv_fwd, pred);
+      break;
+    case media::MbMode::Backward:
+      co_await fetchOne(bwd_slot, h.mv_bwd, pred);
+      break;
+    case media::MbMode::Bidirectional: {
+      media::MbPixels a, b;
+      co_await fetchOne(fwd_slot, h.mv_fwd, a);
+      co_await fetchOne(bwd_slot, h.mv_bwd, b);
+      media::motion::average(a.y, b.y, pred.y);
+      media::motion::average(a.cb, b.cb, pred.cb);
+      media::motion::average(a.cr, b.cr, pred.cr);
+      break;
+    }
+    case media::MbMode::Intra:
+      break;  // handled above
+  }
+}
+
+sim::Task<void> McCoproc::decideMode(TaskState& st, const media::MbPixels& cur,
+                                     media::MbHeader& h) {
+  if (st.pic.type == media::FrameType::I) {
+    h.mode = media::MbMode::Intra;
+    co_return;
+  }
+  ++searches_;
+
+  const int R = params_.search_range;
+  const int S = 2 * R + 19;  // window edge: covers full search + half-pel refine
+  const int px = h.mb_x * media::kMbSize;
+  const int py = h.mb_y * media::kMbSize;
+  const int wx0 = px - (R + 1);
+  const int wy0 = py - (R + 1);
+
+  // SAD of a half-pel candidate against a fetched window.
+  auto sadHalf = [&](const std::vector<std::uint8_t>& win, int mvx, int mvy) {
+    std::uint32_t sad = 0;
+    for (int y = 0; y < media::kMbSize; ++y) {
+      const int hy = 2 * y + mvy + 2 * (R + 1);
+      for (int x = 0; x < media::kMbSize; ++x) {
+        const int hx = 2 * x + mvx + 2 * (R + 1);
+        const int p = bilinear(win, S, hx >> 1, hy >> 1, hx & 1, hy & 1);
+        sad += static_cast<std::uint32_t>(
+            std::abs(static_cast<int>(cur.y[static_cast<std::size_t>(y * media::kMbSize + x)]) - p));
+      }
+    }
+    return sad;
+  };
+
+  // Full-pel exhaustive search plus half-pel refinement in one window.
+  struct Best {
+    media::MotionVector mv;
+    std::uint32_t sad = std::numeric_limits<std::uint32_t>::max();
+  };
+  int candidates = 0;
+  auto searchWindow = [&](const std::vector<std::uint8_t>& win) {
+    // The zero vector is evaluated first so that it wins SAD ties — the
+    // same preference order as motion::search (keeps the window search
+    // bit-identical with the functional encoder's full search).
+    Best best{media::MotionVector{0, 0}, sadHalf(win, 0, 0)};
+    ++candidates;
+    for (int dy = -R; dy <= R; ++dy) {
+      for (int dx = -R; dx <= R; ++dx) {
+        if (dx == 0 && dy == 0) continue;
+        const std::uint32_t sad = sadHalf(win, 2 * dx, 2 * dy);
+        ++candidates;
+        if (sad < best.sad) {
+          best = Best{media::MotionVector{static_cast<std::int16_t>(2 * dx),
+                                          static_cast<std::int16_t>(2 * dy)},
+                      sad};
+        }
+      }
+    }
+    if (params_.half_pel) {
+      Best refined = best;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          const int mvx = best.mv.x + dx;
+          const int mvy = best.mv.y + dy;
+          const std::uint32_t sad = sadHalf(win, mvx, mvy);
+          ++candidates;
+          if (sad < refined.sad) {
+            refined = Best{media::MotionVector{static_cast<std::int16_t>(mvx),
+                                               static_cast<std::int16_t>(mvy)},
+                           sad};
+          }
+        }
+      }
+      best = refined;
+    }
+    return best;
+  };
+
+  const std::int32_t fwd_slot =
+      st.pic.type == media::FrameType::B ? st.refs.prev : st.refs.last;
+  std::vector<std::uint8_t> win_f;
+  co_await fetchRegion(st, fwd_slot, 0, wx0, wy0, S, S, win_f);
+  const Best best_f = searchWindow(win_f);
+
+  Best best_b;
+  std::uint32_t sad_bidi = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint8_t> win_b;
+  if (st.pic.type == media::FrameType::B) {
+    co_await fetchRegion(st, st.refs.last, 0, wx0, wy0, S, S, win_b);
+    best_b = searchWindow(win_b);
+    // Bidirectional: average of the two best predictions.
+    std::uint32_t sad = 0;
+    for (int y = 0; y < media::kMbSize; ++y) {
+      const int hfy = 2 * y + best_f.mv.y + 2 * (R + 1);
+      const int hby = 2 * y + best_b.mv.y + 2 * (R + 1);
+      for (int x = 0; x < media::kMbSize; ++x) {
+        const int hfx = 2 * x + best_f.mv.x + 2 * (R + 1);
+        const int hbx = 2 * x + best_b.mv.x + 2 * (R + 1);
+        const int pf = bilinear(win_f, S, hfx >> 1, hfy >> 1, hfx & 1, hfy & 1);
+        const int pb = bilinear(win_b, S, hbx >> 1, hby >> 1, hbx & 1, hby & 1);
+        const int p = (pf + pb + 1) / 2;
+        sad += static_cast<std::uint32_t>(
+            std::abs(static_cast<int>(cur.y[static_cast<std::size_t>(y * media::kMbSize + x)]) - p));
+      }
+    }
+    sad_bidi = sad;
+    ++candidates;
+  }
+
+  co_await sim_.delay(static_cast<sim::Cycle>(candidates) * params_.cycles_per_candidate);
+
+  // Intra activity of the current macroblock (mean absolute deviation).
+  std::uint32_t sum = 0;
+  for (const auto v : cur.y) sum += v;
+  const std::uint32_t mean = sum / 256;
+  std::uint32_t activity = 0;
+  for (const auto v : cur.y) {
+    activity += static_cast<std::uint32_t>(std::abs(static_cast<int>(v) - static_cast<int>(mean)));
+  }
+
+  std::uint32_t best_sad = best_f.sad;
+  media::MbMode mode = media::MbMode::Forward;
+  if (st.pic.type == media::FrameType::B) {
+    if (best_b.sad < best_sad) {
+      best_sad = best_b.sad;
+      mode = media::MbMode::Backward;
+    }
+    if (sad_bidi < best_sad) {
+      best_sad = sad_bidi;
+      mode = media::MbMode::Bidirectional;
+    }
+  }
+  if (best_sad > activity) {
+    h.mode = media::MbMode::Intra;
+    co_return;
+  }
+  h.mode = mode;
+  if (mode == media::MbMode::Forward || mode == media::MbMode::Bidirectional) h.mv_fwd = best_f.mv;
+  if (mode == media::MbMode::Backward || mode == media::MbMode::Bidirectional) h.mv_bwd = best_b.mv;
+}
+
+void McCoproc::onPicHeader(TaskState& st, const media::PicHeader& ph) {
+  if (st.prev_pic_was_ref) st.refs.rotate(st.write_slot);
+  st.pic = ph;
+  const bool is_ref = ph.type != media::FrameType::B;
+  if (is_ref) st.write_slot = st.refs.pickFree(st.cfg.frame_store_slots);
+  st.prev_pic_was_ref = is_ref;
+  st.mb_index = 0;
+}
+
+sim::Task<void> McCoproc::step(sim::TaskId task, std::uint32_t /*task_info*/) {
+  auto it = states_.find(task);
+  if (it == states_.end()) throw std::logic_error("McCoproc: unconfigured task scheduled");
+  TaskState& st = it->second;
+  switch (st.cfg.kind) {
+    case McTaskKind::DecodeRecon: co_await stepDecodeRecon(task, st); break;
+    case McTaskKind::MotionEst: co_await stepMotionEst(task, st); break;
+    case McTaskKind::EncodeRecon: co_await stepEncodeRecon(task, st); break;
+  }
+}
+
+sim::Task<void> McCoproc::stepDecodeRecon(sim::TaskId task, TaskState& st) {
+  if (!co_await shell_.getSpace(task, kOutPix, withCtl(kMaxPixelsFrame))) co_return;
+  std::vector<std::uint8_t> hdr_pkt, res_pkt;
+  const auto hdr = co_await packet_io::tryPeek(shell_, task, kInHdr, hdr_pkt);
+  if (hdr.status == packet_io::ReadStatus::Blocked) co_return;
+  const auto res = co_await packet_io::tryPeek(shell_, task, kInRes, res_pkt);
+  if (res.status == packet_io::ReadStatus::Blocked) co_return;
+  if (packet_io::tagOf(hdr_pkt) != packet_io::tagOf(res_pkt)) {
+    throw std::runtime_error("McCoproc: header/residual streams out of step");
+  }
+
+  switch (packet_io::tagOf(hdr_pkt)) {
+    case media::PacketTag::Seq: {
+      media::ByteReader r(packet_io::payloadOf(hdr_pkt));
+      media::get(r, st.seq);
+      st.have_seq = true;
+      st.mb_count = (st.seq.width / media::kMbSize) * (st.seq.height / media::kMbSize);
+      co_await packet_io::write(shell_, task, kOutPix, hdr_pkt, /*wait=*/false);
+      break;
+    }
+    case media::PacketTag::Pic: {
+      media::PicHeader ph;
+      media::ByteReader r(packet_io::payloadOf(hdr_pkt));
+      media::get(r, ph);
+      onPicHeader(st, ph);
+      pic_events_.push_back(PicEvent{task, ph, sim_.now()});
+      co_await packet_io::write(shell_, task, kOutPix, hdr_pkt, /*wait=*/false);
+      break;
+    }
+    case media::PacketTag::Mb: {
+      media::MbHeader h;
+      media::MbBlocks residual;
+      {
+        media::ByteReader rh(packet_io::payloadOf(hdr_pkt));
+        media::get(rh, h);
+        media::ByteReader rr(packet_io::payloadOf(res_pkt));
+        media::get(rr, residual);
+      }
+      media::MbPixels pred, recon;
+      co_await predictTimed(st, h, pred);
+      media::stages::addResidualMb(pred, residual, recon);
+      co_await sim_.delay(static_cast<sim::Cycle>(media::kBlocksPerMacroblock) *
+                          params_.cycles_per_block_add);
+      if (st.pic.type != media::FrameType::B) {
+        co_await writeReconMb(st, st.write_slot, h.mb_x, h.mb_y, recon);
+      }
+      co_await packet_io::write(shell_, task, kOutPix,
+                                media::packPacket(media::PacketTag::Mb, recon), /*wait=*/false);
+      ++st.mb_index;
+      break;
+    }
+    case media::PacketTag::Eos: {
+      co_await packet_io::write(shell_, task, kOutPix, hdr_pkt, /*wait=*/false);
+      finishTask(task);
+      break;
+    }
+  }
+
+  co_await shell_.putSpace(task, kInHdr, hdr.frame_bytes);
+  co_await shell_.putSpace(task, kInRes, res.frame_bytes);
+}
+
+sim::Task<void> McCoproc::stepMotionEst(sim::TaskId task, TaskState& st) {
+  if (!co_await shell_.getSpace(task, kOutRes, withCtl(kMaxBlocksFrame))) co_return;
+  if (!co_await shell_.getSpace(task, kOutHdrVle, withCtl(kMaxHeaderFrame))) co_return;
+  if (!co_await shell_.getSpace(task, kOutHdrRec, withCtl(kMaxHeaderFrame))) co_return;
+
+  std::vector<std::uint8_t> pkt;
+  const auto in = co_await packet_io::tryPeek(shell_, task, kInCur, pkt);
+  if (in.status == packet_io::ReadStatus::Blocked) co_return;
+
+  switch (packet_io::tagOf(pkt)) {
+    case media::PacketTag::Seq: {
+      media::ByteReader r(packet_io::payloadOf(pkt));
+      media::get(r, st.seq);
+      st.have_seq = true;
+      st.mb_count = (st.seq.width / media::kMbSize) * (st.seq.height / media::kMbSize);
+      co_await packet_io::write(shell_, task, kOutRes, pkt, /*wait=*/false);
+      co_await packet_io::write(shell_, task, kOutHdrVle, pkt, /*wait=*/false);
+      co_await packet_io::write(shell_, task, kOutHdrRec, pkt, /*wait=*/false);
+      break;
+    }
+    case media::PacketTag::Pic: {
+      media::PicHeader ph;
+      media::ByteReader r(packet_io::payloadOf(pkt));
+      media::get(r, ph);
+      onPicHeader(st, ph);
+      co_await packet_io::write(shell_, task, kOutRes, pkt, /*wait=*/false);
+      co_await packet_io::write(shell_, task, kOutHdrVle, pkt, /*wait=*/false);
+      if (ph.type != media::FrameType::B) {
+        // Only reference pictures travel down the reconstruction loop.
+        co_await packet_io::write(shell_, task, kOutHdrRec, pkt, /*wait=*/false);
+      }
+      break;
+    }
+    case media::PacketTag::Mb: {
+      media::MbPixels cur;
+      media::ByteReader r(packet_io::payloadOf(pkt));
+      media::get(r, cur);
+      const int mb_x = st.mb_index % (st.seq.width / media::kMbSize);
+      const int mb_y = st.mb_index / (st.seq.width / media::kMbSize);
+
+      media::MbHeader h;
+      h.mb_x = static_cast<std::uint16_t>(mb_x);
+      h.mb_y = static_cast<std::uint16_t>(mb_y);
+      h.qscale = st.seq.qscale;
+      co_await decideMode(st, cur, h);
+
+      media::MbPixels pred;
+      co_await predictTimed(st, h, pred);
+      media::MbBlocks residual;
+      media::stages::residualMb(cur, pred, residual);
+      residual.intra = h.mode == media::MbMode::Intra ? 1 : 0;
+      co_await sim_.delay(static_cast<sim::Cycle>(media::kBlocksPerMacroblock) *
+                          params_.cycles_per_block_add);
+
+      co_await packet_io::write(shell_, task, kOutRes,
+                                media::packPacket(media::PacketTag::Mb, residual),
+                                /*wait=*/false);
+      const auto hdr_pkt = media::packPacket(media::PacketTag::Mb, h);
+      co_await packet_io::write(shell_, task, kOutHdrVle, hdr_pkt, /*wait=*/false);
+      if (st.pic.type != media::FrameType::B) {
+        co_await packet_io::write(shell_, task, kOutHdrRec, hdr_pkt, /*wait=*/false);
+      }
+      ++st.mb_index;
+      break;
+    }
+    case media::PacketTag::Eos: {
+      co_await packet_io::write(shell_, task, kOutRes, pkt, /*wait=*/false);
+      co_await packet_io::write(shell_, task, kOutHdrVle, pkt, /*wait=*/false);
+      co_await packet_io::write(shell_, task, kOutHdrRec, pkt, /*wait=*/false);
+      finishTask(task);
+      break;
+    }
+  }
+
+  co_await shell_.putSpace(task, kInCur, in.frame_bytes);
+}
+
+sim::Task<void> McCoproc::stepEncodeRecon(sim::TaskId task, TaskState& st) {
+  if (!co_await shell_.getSpace(task, kOutToken, withCtl(kMaxCtlFrame))) co_return;
+  std::vector<std::uint8_t> hdr_pkt, res_pkt;
+  const auto hdr = co_await packet_io::tryPeek(shell_, task, kInHdr, hdr_pkt);
+  if (hdr.status == packet_io::ReadStatus::Blocked) co_return;
+  const auto res = co_await packet_io::tryPeek(shell_, task, kInRes, res_pkt);
+  if (res.status == packet_io::ReadStatus::Blocked) co_return;
+  if (packet_io::tagOf(hdr_pkt) != packet_io::tagOf(res_pkt)) {
+    throw std::runtime_error("McCoproc: encode-recon streams out of step");
+  }
+
+  switch (packet_io::tagOf(hdr_pkt)) {
+    case media::PacketTag::Seq: {
+      media::ByteReader r(packet_io::payloadOf(hdr_pkt));
+      media::get(r, st.seq);
+      st.have_seq = true;
+      st.mb_count = (st.seq.width / media::kMbSize) * (st.seq.height / media::kMbSize);
+      break;
+    }
+    case media::PacketTag::Pic: {
+      media::PicHeader ph;
+      media::ByteReader r(packet_io::payloadOf(hdr_pkt));
+      media::get(r, ph);
+      onPicHeader(st, ph);
+      break;
+    }
+    case media::PacketTag::Mb: {
+      media::MbHeader h;
+      media::MbBlocks residual;
+      {
+        media::ByteReader rh(packet_io::payloadOf(hdr_pkt));
+        media::get(rh, h);
+        media::ByteReader rr(packet_io::payloadOf(res_pkt));
+        media::get(rr, residual);
+      }
+      media::MbPixels pred, recon;
+      co_await predictTimed(st, h, pred);
+      media::stages::addResidualMb(pred, residual, recon);
+      co_await sim_.delay(static_cast<sim::Cycle>(media::kBlocksPerMacroblock) *
+                          params_.cycles_per_block_add);
+      co_await writeReconMb(st, st.write_slot, h.mb_x, h.mb_y, recon);
+      if (++st.mb_index >= st.mb_count) {
+        // Frame-done token: unblocks the source for dependent pictures.
+        co_await packet_io::write(shell_, task, kOutToken,
+                                  media::packPacket(media::PacketTag::Pic, st.pic),
+                                  /*wait=*/false);
+      }
+      break;
+    }
+    case media::PacketTag::Eos: {
+      co_await packet_io::write(shell_, task, kOutToken, hdr_pkt, /*wait=*/false);
+      finishTask(task);
+      break;
+    }
+  }
+
+  co_await shell_.putSpace(task, kInHdr, hdr.frame_bytes);
+  co_await shell_.putSpace(task, kInRes, res.frame_bytes);
+}
+
+}  // namespace eclipse::coproc

@@ -1,0 +1,79 @@
+#include "eclipse/coproc/packet_io.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace eclipse::coproc::packet_io {
+
+namespace {
+
+std::uint32_t decodeLen(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+}  // namespace
+
+sim::Task<ReadStatus> tryRead(shell::Shell& sh, sim::TaskId task, sim::PortId port,
+                              std::vector<std::uint8_t>& out) {
+  if (!co_await sh.getSpace(task, port, kFrameHeaderBytes)) co_return ReadStatus::Blocked;
+  std::uint8_t hdr[kFrameHeaderBytes];
+  co_await sh.read(task, port, 0, hdr);
+  const std::uint32_t len = decodeLen(hdr);
+  if (len == 0) throw std::runtime_error("packet_io: zero-length packet frame");
+  if (!co_await sh.getSpace(task, port, kFrameHeaderBytes + len)) {
+    co_return ReadStatus::Blocked;  // abort; the length word stays uncommitted
+  }
+  out.resize(len);
+  co_await sh.read(task, port, kFrameHeaderBytes, out);
+  co_await sh.putSpace(task, port, kFrameHeaderBytes + len);
+  co_return ReadStatus::Ok;
+}
+
+sim::Task<PeekResult> tryPeek(shell::Shell& sh, sim::TaskId task, sim::PortId port,
+                              std::vector<std::uint8_t>& out) {
+  if (!co_await sh.getSpace(task, port, kFrameHeaderBytes)) co_return PeekResult{};
+  std::uint8_t hdr[kFrameHeaderBytes];
+  co_await sh.read(task, port, 0, hdr);
+  const std::uint32_t len = decodeLen(hdr);
+  if (len == 0) throw std::runtime_error("packet_io: zero-length packet frame");
+  if (!co_await sh.getSpace(task, port, kFrameHeaderBytes + len)) co_return PeekResult{};
+  out.resize(len);
+  co_await sh.read(task, port, kFrameHeaderBytes, out);
+  co_return PeekResult{ReadStatus::Ok, kFrameHeaderBytes + len};
+}
+
+sim::Task<void> blockingRead(shell::Shell& sh, sim::TaskId task, sim::PortId port,
+                             std::vector<std::uint8_t>& out) {
+  co_await sh.waitSpace(task, port, kFrameHeaderBytes);
+  std::uint8_t hdr[kFrameHeaderBytes];
+  co_await sh.read(task, port, 0, hdr);
+  const std::uint32_t len = decodeLen(hdr);
+  if (len == 0) throw std::runtime_error("packet_io: zero-length packet frame");
+  co_await sh.waitSpace(task, port, kFrameHeaderBytes + len);
+  out.resize(len);
+  co_await sh.read(task, port, kFrameHeaderBytes, out);
+  co_await sh.putSpace(task, port, kFrameHeaderBytes + len);
+}
+
+sim::Task<bool> tryReserve(shell::Shell& sh, sim::TaskId task, sim::PortId port,
+                           std::uint32_t bytes) {
+  co_return co_await sh.getSpace(task, port, bytes);
+}
+
+sim::Task<void> write(shell::Shell& sh, sim::TaskId task, sim::PortId port,
+                      std::span<const std::uint8_t> data, bool wait) {
+  const auto len = static_cast<std::uint32_t>(data.size());
+  const std::uint32_t total = kFrameHeaderBytes + len;
+  if (wait) {
+    co_await sh.waitSpace(task, port, total);
+  }
+  std::uint8_t hdr[kFrameHeaderBytes];
+  std::memcpy(hdr, &len, sizeof len);
+  co_await sh.write(task, port, 0, hdr);
+  co_await sh.write(task, port, kFrameHeaderBytes, data);
+  co_await sh.putSpace(task, port, total);
+}
+
+}  // namespace eclipse::coproc::packet_io

@@ -1,0 +1,77 @@
+#include "eclipse/coproc/sinks.hpp"
+
+#include <stdexcept>
+
+#include "eclipse/coproc/packet_io.hpp"
+
+namespace eclipse::coproc {
+
+std::vector<media::Frame> FrameSink::framesInDisplayOrder() const {
+  std::vector<media::Frame> out;
+  out.reserve(frames_.size());
+  for (const auto& [idx, f] : frames_) out.push_back(f);
+  return out;
+}
+
+sim::Task<void> FrameSink::step(sim::TaskId task, std::uint32_t /*task_info*/) {
+  std::vector<std::uint8_t> pkt;
+  if (co_await packet_io::tryRead(shell_, task, kIn, pkt) == packet_io::ReadStatus::Blocked) {
+    co_return;
+  }
+  switch (packet_io::tagOf(pkt)) {
+    case media::PacketTag::Seq: {
+      media::ByteReader r(packet_io::payloadOf(pkt));
+      media::get(r, seq_);
+      break;
+    }
+    case media::PacketTag::Pic: {
+      media::ByteReader r(packet_io::payloadOf(pkt));
+      media::get(r, pic_);
+      frames_.emplace(pic_.temporal_ref, media::Frame(seq_.width, seq_.height));
+      mb_index_ = 0;
+      break;
+    }
+    case media::PacketTag::Mb: {
+      media::MbPixels px;
+      media::ByteReader r(packet_io::payloadOf(pkt));
+      media::get(r, px);
+      const int mb_w = seq_.width / media::kMbSize;
+      auto it = frames_.find(pic_.temporal_ref);
+      if (it == frames_.end()) throw std::runtime_error("FrameSink: MB before picture header");
+      media::stages::placeMb(it->second, mb_index_ % mb_w, mb_index_ / mb_w, px);
+      ++mb_index_;
+      ++mbs_;
+      break;
+    }
+    case media::PacketTag::Eos: {
+      done_ = true;
+      finishTask(task);
+      if (on_done_) on_done_();
+      break;
+    }
+  }
+}
+
+sim::Task<void> ByteSink::step(sim::TaskId task, std::uint32_t /*task_info*/) {
+  std::vector<std::uint8_t> pkt;
+  if (co_await packet_io::tryRead(shell_, task, kIn, pkt) == packet_io::ReadStatus::Blocked) {
+    co_return;
+  }
+  switch (packet_io::tagOf(pkt)) {
+    case media::PacketTag::Mb: {
+      const auto payload = packet_io::payloadOf(pkt);
+      bytes_.insert(bytes_.end(), payload.begin(), payload.end());
+      break;
+    }
+    case media::PacketTag::Eos: {
+      done_ = true;
+      finishTask(task);
+      if (on_done_) on_done_();
+      break;
+    }
+    default:
+      throw std::runtime_error("ByteSink: unexpected packet tag");
+  }
+}
+
+}  // namespace eclipse::coproc

@@ -1,0 +1,104 @@
+#include "eclipse/coproc/vld.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "eclipse/coproc/limits.hpp"
+#include "eclipse/coproc/packet_io.hpp"
+
+namespace eclipse::coproc {
+
+void VldCoproc::configureTask(sim::TaskId task, const VldTaskConfig& cfg) {
+  TaskState st;
+  st.cfg = cfg;
+  st.bitstream.resize(cfg.bitstream_bytes);
+  // Functional copy of the stream; the timing of off-chip fetches is
+  // modelled separately in ensureFetched (DESIGN.md: function/timing split).
+  dram_.storage().read(cfg.bitstream_addr, st.bitstream);
+  st.reader = std::make_unique<media::BitReader>(st.bitstream);
+  states_[task] = std::move(st);
+}
+
+sim::Task<void> VldCoproc::ensureFetched(TaskState& st) {
+  const std::uint64_t needed_bytes = (st.reader->bitPosition() + 7) / 8;
+  while (st.fetched_bytes < needed_bytes) {
+    const std::uint32_t chunk = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        params_.fetch_chunk, st.cfg.bitstream_bytes - st.fetched_bytes));
+    std::vector<std::uint8_t> buf(chunk);
+    co_await dram_.read(st.cfg.bitstream_addr + st.fetched_bytes, buf,
+                        static_cast<int>(shell_.id()));
+    st.fetched_bytes += chunk;
+  }
+}
+
+sim::Task<void> VldCoproc::step(sim::TaskId task, std::uint32_t /*task_info*/) {
+  auto it = states_.find(task);
+  if (it == states_.end()) throw std::logic_error("VldCoproc: unconfigured task scheduled");
+  TaskState& st = it->second;
+
+  // Both output streams must accept this step's packets before anything is
+  // consumed from the bit-stream; otherwise abandon the step (the shell
+  // recorded the denial, so the scheduler will not re-pick the task until
+  // space arrives).
+  if (!co_await shell_.getSpace(task, kOutCoef, withCtl(kMaxCoefsFrame))) co_return;
+  if (!co_await shell_.getSpace(task, kOutHdr, withCtl(kMaxHeaderFrame))) co_return;
+
+  switch (st.phase) {
+    case Phase::SeqHeader: {
+      st.seq = media::stages::parseSeqHeader(*st.reader);
+      st.mb_count = (st.seq.width / media::kMbSize) * (st.seq.height / media::kMbSize);
+      co_await ensureFetched(st);
+      co_await sim_.delay(8 * params_.cycles_per_symbol);
+      symbols_ += 8;
+      const auto pkt = media::packPacket(media::PacketTag::Seq, st.seq);
+      co_await packet_io::write(shell_, task, kOutCoef, pkt, /*wait=*/false);
+      co_await packet_io::write(shell_, task, kOutHdr, pkt, /*wait=*/false);
+      st.phase = Phase::PicHeader;
+      break;
+    }
+    case Phase::PicHeader: {
+      st.pic = media::stages::parsePicHeader(*st.reader);
+      co_await ensureFetched(st);
+      co_await sim_.delay(3 * params_.cycles_per_symbol);
+      symbols_ += 3;
+      const auto pkt = media::packPacket(media::PacketTag::Pic, st.pic);
+      co_await packet_io::write(shell_, task, kOutCoef, pkt, /*wait=*/false);
+      co_await packet_io::write(shell_, task, kOutHdr, pkt, /*wait=*/false);
+      st.mb_index = 0;
+      st.phase = Phase::Macroblock;
+      break;
+    }
+    case Phase::Macroblock: {
+      const int mb_w = st.seq.width / media::kMbSize;
+      const auto mb_x = static_cast<std::uint16_t>(st.mb_index % mb_w);
+      const auto mb_y = static_cast<std::uint16_t>(st.mb_index / mb_w);
+      auto parsed = media::stages::parseMb(*st.reader, st.pic.type, mb_x, mb_y, st.pic.qscale);
+      co_await ensureFetched(st);
+      co_await sim_.delay(static_cast<sim::Cycle>(parsed.symbols) * params_.cycles_per_symbol);
+      symbols_ += static_cast<std::uint64_t>(parsed.symbols);
+      co_await packet_io::write(shell_, task, kOutCoef,
+                                media::packPacket(media::PacketTag::Mb, parsed.coefs),
+                                /*wait=*/false);
+      co_await packet_io::write(shell_, task, kOutHdr,
+                                media::packPacket(media::PacketTag::Mb, parsed.header),
+                                /*wait=*/false);
+      if (++st.mb_index >= st.mb_count) {
+        st.phase = ++st.pics_done >= st.seq.frame_count ? Phase::EndOfStream : Phase::PicHeader;
+      }
+      break;
+    }
+    case Phase::EndOfStream: {
+      const auto pkt = media::packTag(media::PacketTag::Eos);
+      co_await packet_io::write(shell_, task, kOutCoef, pkt, /*wait=*/false);
+      co_await packet_io::write(shell_, task, kOutHdr, pkt, /*wait=*/false);
+      st.phase = Phase::Done;
+      finishTask(task);
+      break;
+    }
+    case Phase::Done:
+      finishTask(task);
+      break;
+  }
+}
+
+}  // namespace eclipse::coproc

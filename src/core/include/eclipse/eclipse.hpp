@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file eclipse.hpp
+/// Umbrella header: the public API of the Eclipse library.
+///
+/// Layering (bottom-up):
+///   eclipse::sim    — deterministic event-driven cycle-level kernel
+///   eclipse::mem    — SRAM / DRAM / buses / message network / PI-bus
+///   eclipse::kpn    — functional Kahn Process Network runtime
+///   eclipse::media  — MPEG-2-like codec substrate (stages + golden codecs)
+///   eclipse::shell  — the coprocessor shell (the paper's contribution)
+///   eclipse::coproc — coprocessors programmed against the five primitives
+///   eclipse::app    — instance builder, application graphs, trace output
+///
+/// Quickstart: see examples/quickstart.cpp.
+
+#include "eclipse/app/audio_app.hpp"
+#include "eclipse/app/av_app.hpp"
+#include "eclipse/app/decode_app.hpp"
+#include "eclipse/app/encode_app.hpp"
+#include "eclipse/app/instance.hpp"
+#include "eclipse/app/trace.hpp"
+#include "eclipse/kpn/graph.hpp"
+#include "eclipse/media/audio.hpp"
+#include "eclipse/media/codec.hpp"
+#include "eclipse/media/metrics.hpp"
+#include "eclipse/media/mux.hpp"
+#include "eclipse/media/video_gen.hpp"
+#include "eclipse/shell/shell.hpp"
+#include "eclipse/sim/config.hpp"
+#include "eclipse/sim/simulator.hpp"

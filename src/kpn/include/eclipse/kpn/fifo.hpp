@@ -1,0 +1,163 @@
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace eclipse::kpn {
+
+/// Thrown when a blocking FIFO operation times out — in a correctly sized
+/// Kahn network this indicates deadlock (insufficient buffer capacity or a
+/// cyclic dependency), which Kahn semantics turn into permanent blocking.
+class DeadlockError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Bounded byte FIFO with blocking semantics — the functional-model stream.
+///
+/// Exactly one producer and one consumer (the paper's streams have one
+/// producer; multicast is expressed with an explicit fork task). Reading
+/// from a stream with insufficient data blocks the consumer; writing to a
+/// full stream blocks the producer, which is what bounds Kahn's otherwise
+/// unbounded FIFOs to a finite buffer.
+class ByteFifo {
+ public:
+  explicit ByteFifo(std::size_t capacity, std::string name = {})
+      : capacity_(capacity), name_(std::move(name)) {
+    if (capacity_ == 0) throw std::invalid_argument("ByteFifo: capacity must be > 0");
+    data_.resize(capacity_);
+  }
+
+  ByteFifo(const ByteFifo&) = delete;
+  ByteFifo& operator=(const ByteFifo&) = delete;
+
+  /// Blocks until `out.size()` bytes are available (or EOF). Returns false
+  /// if the stream closed before the request could be fully satisfied.
+  bool readAll(std::span<std::uint8_t> out) {
+    std::unique_lock lock(mu_);
+    std::size_t done = 0;
+    while (done < out.size()) {
+      waitFor(lock, [&] { return fill_ > 0 || closed_; });
+      if (fill_ == 0 && closed_) return false;
+      const std::size_t n = std::min(out.size() - done, fill_);
+      popLocked(out.subspan(done, n));
+      done += n;
+      cv_.notify_all();
+    }
+    return true;
+  }
+
+  /// Blocks until at least one byte is available; reads up to out.size().
+  /// Returns the number of bytes read; 0 means EOF.
+  std::size_t readSome(std::span<std::uint8_t> out) {
+    std::unique_lock lock(mu_);
+    waitFor(lock, [&] { return fill_ > 0 || closed_; });
+    if (fill_ == 0) return 0;
+    const std::size_t n = std::min(out.size(), fill_);
+    popLocked(out.subspan(0, n));
+    cv_.notify_all();
+    return n;
+  }
+
+  /// Blocks until there is room for all of `in`, then appends it.
+  /// Throws std::logic_error when writing to a closed stream.
+  void write(std::span<const std::uint8_t> in) {
+    std::unique_lock lock(mu_);
+    std::size_t done = 0;
+    while (done < in.size()) {
+      if (closed_) throw std::logic_error("ByteFifo: write after close on " + name_);
+      waitFor(lock, [&] { return fill_ < capacity_ || closed_; });
+      if (closed_) throw std::logic_error("ByteFifo: write after close on " + name_);
+      const std::size_t n = std::min(in.size() - done, capacity_ - fill_);
+      pushLocked(in.subspan(done, n));
+      done += n;
+      cv_.notify_all();
+    }
+  }
+
+  /// Marks end-of-stream; readers drain remaining bytes, then see EOF.
+  void close() {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  [[nodiscard]] std::size_t fill() const {
+    std::lock_guard lock(mu_);
+    return fill_;
+  }
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+  [[nodiscard]] std::uint64_t totalProduced() const {
+    std::lock_guard lock(mu_);
+    return produced_;
+  }
+  [[nodiscard]] std::uint64_t totalConsumed() const {
+    std::lock_guard lock(mu_);
+    return consumed_;
+  }
+  [[nodiscard]] std::size_t maxFill() const {
+    std::lock_guard lock(mu_);
+    return max_fill_;
+  }
+
+  /// Blocking-wait timeout; a Kahn deadlock surfaces as DeadlockError.
+  void setTimeout(std::chrono::milliseconds t) { timeout_ = t; }
+
+ private:
+  template <typename Pred>
+  void waitFor(std::unique_lock<std::mutex>& lock, Pred pred) {
+    if (!cv_.wait_for(lock, timeout_, pred)) {
+      throw DeadlockError("ByteFifo: blocked > timeout on stream '" + name_ +
+                          "' (likely Kahn deadlock / undersized buffer)");
+    }
+  }
+
+  void popLocked(std::span<std::uint8_t> out) {
+    for (auto& b : out) {
+      b = data_[head_];
+      head_ = (head_ + 1) % capacity_;
+    }
+    fill_ -= out.size();
+    consumed_ += out.size();
+  }
+
+  void pushLocked(std::span<const std::uint8_t> in) {
+    for (auto b : in) {
+      data_[tail_] = b;
+      tail_ = (tail_ + 1) % capacity_;
+    }
+    fill_ += in.size();
+    produced_ += in.size();
+    max_fill_ = std::max(max_fill_, fill_);
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::uint8_t> data_;
+  std::size_t capacity_;
+  std::string name_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t fill_ = 0;
+  std::size_t max_fill_ = 0;
+  bool closed_ = false;
+  std::uint64_t produced_ = 0;
+  std::uint64_t consumed_ = 0;
+  std::chrono::milliseconds timeout_{30000};
+};
+
+}  // namespace eclipse::kpn

@@ -1,0 +1,178 @@
+#include "eclipse/media/audio.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "eclipse/sim/prng.hpp"
+
+namespace eclipse::media::audio {
+
+namespace {
+
+// Standard IMA ADPCM tables.
+constexpr int kStepTable[89] = {
+    7,     8,     9,     10,    11,    12,    13,    14,    16,    17,    19,    21,    23,
+    25,    28,    31,    34,    37,    41,    45,    50,    55,    60,    66,    73,    80,
+    88,    97,    107,   118,   130,   143,   157,   173,   190,   209,   230,   253,   279,
+    307,   337,   371,   408,   449,   494,   544,   598,   658,   724,   796,   876,   963,
+    1060,  1166,  1282,  1411,  1552,  1707,  1878,  2066,  2272,  2499,  2749,  3024,  3327,
+    3660,  4026,  4428,  4871,  5358,  5894,  6484,  7132,  7845,  8630,  9493,  10442, 11487,
+    12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767};
+
+constexpr int kIndexTable[16] = {-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8};
+
+int clampi(int v, int lo, int hi) { return v < lo ? lo : (v > hi ? hi : v); }
+
+/// Shared ADPCM state machine: one 4-bit code <-> one sample.
+struct Adpcm {
+  int predictor = 0;
+  int index = 0;
+
+  std::uint8_t encodeSample(int sample) {
+    const int step = kStepTable[index];
+    int diff = sample - predictor;
+    std::uint8_t code = 0;
+    if (diff < 0) {
+      code = 8;
+      diff = -diff;
+    }
+    int temp = step;
+    if (diff >= temp) {
+      code |= 4;
+      diff -= temp;
+    }
+    temp >>= 1;
+    if (diff >= temp) {
+      code |= 2;
+      diff -= temp;
+    }
+    temp >>= 1;
+    if (diff >= temp) code |= 1;
+    decodeSample(code);  // track the decoder's reconstruction exactly
+    return code;
+  }
+
+  int decodeSample(std::uint8_t code) {
+    const int step = kStepTable[index];
+    int diff = step >> 3;
+    if ((code & 4) != 0) diff += step;
+    if ((code & 2) != 0) diff += step >> 1;
+    if ((code & 1) != 0) diff += step >> 2;
+    if ((code & 8) != 0) diff = -diff;
+    predictor = clampi(predictor + diff, -32768, 32767);
+    index = clampi(index + kIndexTable[code], 0, 88);
+    return predictor;
+  }
+};
+
+void putU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  const auto n = out.size();
+  out.resize(n + 4);
+  std::memcpy(out.data() + n, &v, 4);
+}
+
+std::uint32_t getU32(std::span<const std::uint8_t> in, std::size_t at) {
+  if (at + 4 > in.size()) throw std::runtime_error("audio: truncated stream");
+  std::uint32_t v = 0;
+  std::memcpy(&v, in.data() + at, 4);
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(std::span<const std::int16_t> pcm, const AudioParams& params) {
+  if (params.block_samples == 0 || params.block_samples % 2 != 0) {
+    throw std::invalid_argument("audio::encode: block_samples must be even and > 0");
+  }
+  std::vector<std::uint8_t> out;
+  putU32(out, kAudioMagic);
+  putU32(out, params.sample_rate);
+  putU32(out, params.block_samples);
+  putU32(out, static_cast<std::uint32_t>(pcm.size()));
+
+  Adpcm state;
+  for (std::size_t base = 0; base < pcm.size(); base += params.block_samples) {
+    // Block header: predictor restart point.
+    const auto pred = static_cast<std::int16_t>(state.predictor);
+    out.push_back(static_cast<std::uint8_t>(pred & 0xFF));
+    out.push_back(static_cast<std::uint8_t>((pred >> 8) & 0xFF));
+    out.push_back(static_cast<std::uint8_t>(state.index));
+    out.push_back(0);  // pad / reserved
+    for (std::uint32_t i = 0; i < params.block_samples; i += 2) {
+      const int s0 = base + i < pcm.size() ? pcm[base + i] : 0;
+      const int s1 = base + i + 1 < pcm.size() ? pcm[base + i + 1] : 0;
+      const std::uint8_t lo = state.encodeSample(s0);
+      const std::uint8_t hi = state.encodeSample(s1);
+      out.push_back(static_cast<std::uint8_t>(lo | (hi << 4)));
+    }
+  }
+  return out;
+}
+
+void decodeBlock(std::span<const std::uint8_t> block, std::uint32_t block_samples,
+                 std::vector<std::int16_t>& out) {
+  if (block.size() != blockBytes(block_samples)) {
+    throw std::runtime_error("audio::decodeBlock: bad block size");
+  }
+  Adpcm state;
+  state.predictor = static_cast<std::int16_t>(block[0] | (block[1] << 8));
+  state.index = clampi(block[2], 0, 88);
+  for (std::uint32_t i = 0; i < block_samples / 2; ++i) {
+    const std::uint8_t byte = block[4 + i];
+    out.push_back(static_cast<std::int16_t>(state.decodeSample(byte & 0x0F)));
+    out.push_back(static_cast<std::int16_t>(state.decodeSample(byte >> 4)));
+  }
+}
+
+std::vector<std::int16_t> decode(std::span<const std::uint8_t> bytes) {
+  if (getU32(bytes, 0) != kAudioMagic) throw std::runtime_error("audio: bad magic");
+  const std::uint32_t block_samples = getU32(bytes, 8);
+  const std::uint32_t total = getU32(bytes, 12);
+  if (block_samples == 0 || block_samples % 2 != 0) {
+    throw std::runtime_error("audio: bad block size");
+  }
+  std::vector<std::int16_t> out;
+  out.reserve(total);
+  std::size_t pos = 16;
+  const std::size_t bb = blockBytes(block_samples);
+  while (out.size() < total) {
+    if (pos + bb > bytes.size()) throw std::runtime_error("audio: truncated stream");
+    decodeBlock(bytes.subspan(pos, bb), block_samples, out);
+    pos += bb;
+  }
+  out.resize(total);
+  return out;
+}
+
+double snrDb(std::span<const std::int16_t> original, std::span<const std::int16_t> decoded) {
+  if (original.size() != decoded.size() || original.empty()) {
+    throw std::invalid_argument("audio::snrDb: size mismatch");
+  }
+  double signal = 0, noise = 0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const double s = original[i];
+    const double n = static_cast<double>(original[i]) - decoded[i];
+    signal += s * s;
+    noise += n * n;
+  }
+  if (noise <= 0) return 120.0;
+  return 10.0 * std::log10(signal / noise);
+}
+
+std::vector<std::int16_t> generateTone(std::size_t samples, std::uint64_t seed) {
+  sim::Prng rng(seed);
+  const double f1 = 200.0 + rng.uniform() * 800.0;
+  const double f2 = 1000.0 + rng.uniform() * 3000.0;
+  const double a2 = 0.2 + rng.uniform() * 0.3;
+  std::vector<std::int16_t> out(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double t = static_cast<double>(i) / 48000.0;
+    const double env = 0.6 + 0.4 * std::sin(2 * M_PI * 3.0 * t);
+    const double v = env * (std::sin(2 * M_PI * f1 * t) + a2 * std::sin(2 * M_PI * f2 * t));
+    out[i] = static_cast<std::int16_t>(clampi(static_cast<int>(std::lround(v * 12000)), -32768, 32767));
+  }
+  return out;
+}
+
+}  // namespace eclipse::media::audio

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace eclipse::media::audio {
+
+/// Block-based IMA-ADPCM-style audio codec.
+///
+/// The paper's instance runs audio decoding in software on the media
+/// processor (Section 6 / Figure 8). This substrate provides a small,
+/// self-contained audio elementary stream for those software tasks:
+/// 4-bit ADPCM with per-block predictor restart (so blocks are
+/// independently decodable — the audio analogue of the video packets).
+struct AudioParams {
+  std::uint32_t sample_rate = 48000;
+  std::uint32_t block_samples = 256;  ///< samples per independently coded block
+};
+
+/// Coded stream layout:
+///   header: u32 magic, u32 sample_rate, u32 block_samples, u32 total_samples
+///   per block: i16 predictor, u8 step_index, u8 pad, block_samples/2 code bytes
+inline constexpr std::uint32_t kAudioMagic = 0x414D4345;  // "ECMA"
+
+/// Encodes mono 16-bit PCM. The last block is zero-padded.
+[[nodiscard]] std::vector<std::uint8_t> encode(std::span<const std::int16_t> pcm,
+                                               const AudioParams& params = {});
+
+/// Decodes a stream produced by encode(). Throws std::runtime_error on a
+/// malformed stream.
+[[nodiscard]] std::vector<std::int16_t> decode(std::span<const std::uint8_t> bytes);
+
+/// Decodes a single block payload (predictor + step + codes) of
+/// `block_samples` samples — the unit of work of the software decoder task.
+void decodeBlock(std::span<const std::uint8_t> block, std::uint32_t block_samples,
+                 std::vector<std::int16_t>& out);
+
+/// Bytes of one coded block (header fields + codes).
+[[nodiscard]] constexpr std::size_t blockBytes(std::uint32_t block_samples) {
+  return 4 + block_samples / 2;
+}
+
+/// Signal-to-noise ratio in dB of the decoded signal vs the original.
+[[nodiscard]] double snrDb(std::span<const std::int16_t> original,
+                           std::span<const std::int16_t> decoded);
+
+/// Deterministic synthetic test signal: a mix of sinusoids with a slow
+/// envelope (seeded), in the style of the synthetic video generator.
+[[nodiscard]] std::vector<std::int16_t> generateTone(std::size_t samples, std::uint64_t seed);
+
+}  // namespace eclipse::media::audio

@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace eclipse::media {
+
+/// Thrown on malformed bitstreams (truncation, out-of-range codes).
+class BitstreamError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// MSB-first bit writer used by the variable-length encoder.
+class BitWriter {
+ public:
+  /// Appends the `count` least-significant bits of `bits`, MSB first.
+  void put(std::uint32_t bits, int count) {
+    if (count < 0 || count > 32) throw std::invalid_argument("BitWriter::put: bad count");
+    for (int i = count - 1; i >= 0; --i) {
+      putBit((bits >> i) & 1u);
+    }
+  }
+
+  void putBit(std::uint32_t bit) {
+    acc_ = static_cast<std::uint8_t>((acc_ << 1) | (bit & 1u));
+    if (++acc_bits_ == 8) {
+      bytes_.push_back(acc_);
+      acc_ = 0;
+      acc_bits_ = 0;
+    }
+  }
+
+  /// Unsigned Exp-Golomb code (as in H.26x): 0 -> '1', 1 -> '010', ...
+  void putUe(std::uint32_t v) {
+    const std::uint64_t code = static_cast<std::uint64_t>(v) + 1;
+    int len = 0;
+    while ((code >> len) > 1) ++len;
+    put(0, len);                                   // len leading zeros
+    put(static_cast<std::uint32_t>(code), len + 1);  // code itself
+  }
+
+  /// Signed Exp-Golomb: 0 -> 0, 1 -> 1, -1 -> 2, 2 -> 3, -2 -> 4, ...
+  void putSe(std::int32_t v) {
+    const std::uint32_t mapped =
+        v > 0 ? static_cast<std::uint32_t>(2 * v - 1) : static_cast<std::uint32_t>(-2 * v);
+    putUe(mapped);
+  }
+
+  /// Pads with zero bits to the next byte boundary.
+  void align() {
+    while (acc_bits_ != 0) putBit(0);
+  }
+
+  /// Finishes the stream (byte-aligns) and returns the bytes.
+  [[nodiscard]] std::vector<std::uint8_t> finish() {
+    align();
+    return std::move(bytes_);
+  }
+
+  /// Drains the completed bytes so far, leaving any partial byte in the
+  /// accumulator. Lets a streaming encoder emit output incrementally.
+  [[nodiscard]] std::vector<std::uint8_t> drainFullBytes() {
+    std::vector<std::uint8_t> out = std::move(bytes_);
+    bytes_.clear();
+    return out;
+  }
+
+  [[nodiscard]] std::size_t bitCount() const { return bytes_.size() * 8 + acc_bits_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint8_t acc_ = 0;
+  int acc_bits_ = 0;
+};
+
+/// MSB-first bit reader matching BitWriter.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::uint32_t getBit() {
+    if (pos_ >= data_.size() * 8) throw BitstreamError("BitReader: read past end of stream");
+    const std::uint8_t byte = data_[pos_ / 8];
+    const std::uint32_t bit = (byte >> (7 - pos_ % 8)) & 1u;
+    ++pos_;
+    return bit;
+  }
+
+  [[nodiscard]] std::uint32_t get(int count) {
+    if (count < 0 || count > 32) throw std::invalid_argument("BitReader::get: bad count");
+    std::uint32_t v = 0;
+    for (int i = 0; i < count; ++i) v = (v << 1) | getBit();
+    return v;
+  }
+
+  [[nodiscard]] std::uint32_t getUe() {
+    int zeros = 0;
+    while (getBit() == 0) {
+      if (++zeros > 31) throw BitstreamError("BitReader: malformed Exp-Golomb code");
+    }
+    std::uint32_t v = 1;
+    for (int i = 0; i < zeros; ++i) v = (v << 1) | getBit();
+    return v - 1;
+  }
+
+  [[nodiscard]] std::int32_t getSe() {
+    const std::uint32_t mapped = getUe();
+    const auto half = static_cast<std::int32_t>((mapped + 1) / 2);
+    return (mapped % 2 == 1) ? half : -half;
+  }
+
+  void align() { pos_ = (pos_ + 7) / 8 * 8; }
+
+  [[nodiscard]] std::size_t bitPosition() const { return pos_; }
+  [[nodiscard]] std::size_t bitsRemaining() const { return data_.size() * 8 - pos_; }
+  [[nodiscard]] bool exhausted() const { return pos_ >= data_.size() * 8; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace eclipse::media

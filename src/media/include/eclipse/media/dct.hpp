@@ -1,0 +1,30 @@
+#pragma once
+
+#include "eclipse/media/types.hpp"
+
+namespace eclipse::media {
+
+/// 8x8 forward DCT (DCT-II), fixed-point integer implementation.
+///
+/// Both the encoder and the decoder use dct::inverse for reconstruction, so
+/// encode→decode round trips are bit-exact by construction; the transform
+/// accuracy only affects compression quality, not correctness.
+namespace dct {
+
+/// Forward transform of spatial samples/residuals into coefficients.
+void forward(const Block& in, Block& out);
+
+/// Inverse transform of coefficients into spatial samples/residuals.
+void inverse(const Block& in, Block& out);
+
+/// Rough per-block hardware cost in coprocessor cycles; the paper's DCT
+/// coprocessor processes one 8x8 block per processing step.
+inline constexpr int kCyclesPerBlock = 64;
+
+/// Per-block cycles when the coprocessor is pipelined (Section 7 mentions
+/// pipelining the DCT coprocessor as a performance fix).
+inline constexpr int kCyclesPerBlockPipelined = 16;
+
+}  // namespace dct
+
+}  // namespace eclipse::media

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <vector>
+
+#include "eclipse/media/types.hpp"
+
+namespace eclipse::media {
+
+/// Mean squared error between two equally-sized sample planes.
+[[nodiscard]] double mse(const std::vector<std::uint8_t>& a, const std::vector<std::uint8_t>& b);
+
+/// Peak signal-to-noise ratio (dB) of the luma plane; returns +inf for
+/// identical planes.
+[[nodiscard]] double psnrLuma(const Frame& a, const Frame& b);
+
+/// PSNR over all three planes (4:2:0 weighted by sample count).
+[[nodiscard]] double psnr(const Frame& a, const Frame& b);
+
+/// Average luma PSNR over a sequence.
+[[nodiscard]] double averagePsnr(const std::vector<Frame>& a, const std::vector<Frame>& b);
+
+}  // namespace eclipse::media

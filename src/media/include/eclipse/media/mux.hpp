@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace eclipse::media::mux {
+
+/// Minimal transport multiplex (the paper's de-multiplexing runs in
+/// software on the media processor, Section 6).
+///
+/// Fixed-size transport packets in the spirit of MPEG-2 TS:
+///   u8  stream_id   (0..kMaxStreams-1)
+///   u16 payload_len (<= kPayloadBytes; short only in a stream's last packet)
+///   u8  payload[kPayloadBytes]  (zero-padded)
+/// Packets of the input streams are interleaved round-robin, weighted by
+/// remaining stream length so that streams finish together (roughly
+/// matching the rate coupling of a real multiplex).
+inline constexpr std::size_t kPacketBytes = 188;
+inline constexpr std::size_t kHeaderBytes = 3;
+inline constexpr std::size_t kPayloadBytes = kPacketBytes - kHeaderBytes;
+inline constexpr int kMaxStreams = 16;
+
+/// Interleaves elementary streams into a transport stream.
+[[nodiscard]] std::vector<std::uint8_t> interleave(
+    const std::vector<std::vector<std::uint8_t>>& streams);
+
+/// Splits a transport stream back into its elementary streams.
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] std::vector<std::vector<std::uint8_t>> split(std::span<const std::uint8_t> ts);
+
+/// Parses one transport packet; returns its stream id and payload view.
+struct Packet {
+  int stream_id = 0;
+  std::span<const std::uint8_t> payload;
+};
+[[nodiscard]] Packet parsePacket(std::span<const std::uint8_t> packet);
+
+}  // namespace eclipse::media::mux

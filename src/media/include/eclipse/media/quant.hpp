@@ -1,0 +1,30 @@
+#pragma once
+
+#include <array>
+
+#include "eclipse/media/types.hpp"
+
+namespace eclipse::media::quant {
+
+/// Quantization weight matrix (values scaled so that 16 = unit weight, as
+/// in MPEG-2 where the default intra matrix weights high frequencies more).
+using Matrix = std::array<std::uint8_t, 64>;
+
+/// Flat matrix (all 16): uniform quantizer.
+[[nodiscard]] const Matrix& flatMatrix();
+
+/// MPEG-2 default intra matrix (ISO/IEC 13818-2 6.3.11).
+[[nodiscard]] const Matrix& defaultIntraMatrix();
+
+/// Quantizes raster-order coefficients in place of `levels`:
+/// level = round(coef * 16 / (qscale * m[i])), clamped to [-2047, 2047].
+void quantize(const Block& coefs, Block& levels, int qscale, const Matrix& m);
+
+/// Reconstructs coefficients: coef = level * qscale * m[i] / 16.
+void dequantize(const Block& levels, Block& coefs, int qscale, const Matrix& m);
+
+/// Valid quantizer scale range (MPEG-2 quantiser_scale_code is 1..31).
+inline constexpr int kMinQscale = 1;
+inline constexpr int kMaxQscale = 31;
+
+}  // namespace eclipse::media::quant

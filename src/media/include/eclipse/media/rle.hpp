@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eclipse/media/types.hpp"
+
+namespace eclipse::media::rle {
+
+/// One (zero-run, level) pair of the run-length representation of a
+/// scanned coefficient block. `level` is never zero.
+struct RunLevel {
+  std::uint8_t run = 0;
+  std::int16_t level = 0;
+  bool operator==(const RunLevel&) const = default;
+};
+
+/// Run-length encodes a block in scan order. Trailing zeros are implied by
+/// end-of-block and produce no pairs.
+[[nodiscard]] std::vector<RunLevel> encode(const Block& scanned);
+
+/// Expands pairs back into a 64-coefficient scanned block (zero-filled).
+/// Throws BitstreamError if the pairs overflow the block (malformed
+/// bitstream content that only surfaces after entropy decoding).
+void decode(const std::vector<RunLevel>& pairs, Block& scanned);
+
+}  // namespace eclipse::media::rle

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <array>
+
+#include "eclipse/media/types.hpp"
+
+namespace eclipse::media::scan {
+
+/// Coefficient scan orders (MPEG-2 has two: the classic zigzag and the
+/// "alternate" scan better suited to interlaced material).
+enum class Order { Zigzag = 0, Alternate = 1 };
+
+/// Scan table: scanned[i] = block[table[i]].
+[[nodiscard]] const std::array<int, 64>& table(Order order);
+
+/// Reorders a block from raster order into scan order.
+void toScan(const Block& raster, Block& scanned, Order order = Order::Zigzag);
+
+/// Reorders a block from scan order back into raster order.
+void fromScan(const Block& scanned, Block& raster, Order order = Order::Zigzag);
+
+}  // namespace eclipse::media::scan

@@ -1,0 +1,137 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace eclipse::media {
+
+/// MPEG frame/picture types. I-frames are intra coded, P-frames predict
+/// from the previous I/P reference, B-frames predict from the surrounding
+/// I/P references in both temporal directions.
+enum class FrameType : std::uint8_t { I = 0, P = 1, B = 2 };
+
+[[nodiscard]] inline char frameTypeChar(FrameType t) {
+  switch (t) {
+    case FrameType::I: return 'I';
+    case FrameType::P: return 'P';
+    case FrameType::B: return 'B';
+  }
+  return '?';
+}
+
+/// One 8x8 block of samples or coefficients.
+using Block = std::array<std::int16_t, 64>;
+
+/// Number of 8x8 blocks in a 4:2:0 macroblock: 4 luma + Cb + Cr.
+inline constexpr int kBlocksPerMacroblock = 6;
+
+/// Luma size of a macroblock edge.
+inline constexpr int kMbSize = 16;
+
+/// 4:2:0 YCbCr frame. Dimensions must be multiples of 16 (whole
+/// macroblocks), as in MPEG-2 main profile usage.
+class Frame {
+ public:
+  Frame() = default;
+  Frame(int width, int height) : width_(width), height_(height) {
+    if (width <= 0 || height <= 0 || width % kMbSize != 0 || height % kMbSize != 0) {
+      throw std::invalid_argument("Frame: dimensions must be positive multiples of 16");
+    }
+    y_.assign(static_cast<std::size_t>(width) * static_cast<std::size_t>(height), 16);
+    cb_.assign(static_cast<std::size_t>(width / 2) * static_cast<std::size_t>(height / 2), 128);
+    cr_ = cb_;
+  }
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] int mbWidth() const { return width_ / kMbSize; }
+  [[nodiscard]] int mbHeight() const { return height_ / kMbSize; }
+  [[nodiscard]] int mbCount() const { return mbWidth() * mbHeight(); }
+  [[nodiscard]] bool empty() const { return width_ == 0; }
+
+  [[nodiscard]] std::vector<std::uint8_t>& yPlane() { return y_; }
+  [[nodiscard]] std::vector<std::uint8_t>& cbPlane() { return cb_; }
+  [[nodiscard]] std::vector<std::uint8_t>& crPlane() { return cr_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& yPlane() const { return y_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& cbPlane() const { return cb_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& crPlane() const { return cr_; }
+
+  [[nodiscard]] std::uint8_t yAt(int x, int y) const {
+    return y_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+              static_cast<std::size_t>(x)];
+  }
+  void setY(int x, int y, std::uint8_t v) {
+    y_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+       static_cast<std::size_t>(x)] = v;
+  }
+
+  [[nodiscard]] bool sameDimensions(const Frame& other) const {
+    return width_ == other.width_ && height_ == other.height_;
+  }
+
+  bool operator==(const Frame& other) const {
+    return width_ == other.width_ && height_ == other.height_ && y_ == other.y_ &&
+           cb_ == other.cb_ && cr_ == other.cr_;
+  }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint8_t> y_;
+  std::vector<std::uint8_t> cb_;
+  std::vector<std::uint8_t> cr_;
+};
+
+/// Group-of-pictures structure: `n` = GOP length (I-frame period),
+/// `m` = prediction distance (1 = no B-frames, 3 = two B's between
+/// references: the classic IBBPBBP... pattern).
+struct GopStructure {
+  int n = 9;
+  int m = 3;
+
+  /// Frame type of display-order index `i` within the sequence.
+  [[nodiscard]] FrameType typeAt(int i) const {
+    const int in_gop = i % n;
+    if (in_gop == 0) return FrameType::I;
+    return in_gop % m == 0 ? FrameType::P : FrameType::B;
+  }
+
+  /// Pattern string such as "IBBPBBPBB" for one GOP.
+  [[nodiscard]] std::string pattern() const {
+    std::string s;
+    for (int i = 0; i < n; ++i) s.push_back(frameTypeChar(typeAt(i)));
+    return s;
+  }
+};
+
+/// Motion vector in half-pel units.
+struct MotionVector {
+  std::int16_t x = 0;
+  std::int16_t y = 0;
+  bool operator==(const MotionVector&) const = default;
+};
+
+/// Macroblock prediction modes.
+enum class MbMode : std::uint8_t {
+  Intra = 0,
+  Forward = 1,   // predict from past reference (P and B frames)
+  Backward = 2,  // predict from future reference (B frames only)
+  Bidirectional = 3,
+};
+
+/// Decoded/encoded macroblock side information ("the packet header" the VLD
+/// hands to motion compensation).
+struct MbHeader {
+  std::uint16_t mb_x = 0;
+  std::uint16_t mb_y = 0;
+  MbMode mode = MbMode::Intra;
+  MotionVector mv_fwd;
+  MotionVector mv_bwd;
+  std::uint8_t cbp = 0;  // coded block pattern, bit i => block i has coefficients
+  std::uint8_t qscale = 8;
+};
+
+}  // namespace eclipse::media

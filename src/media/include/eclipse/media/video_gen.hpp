@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eclipse/media/types.hpp"
+#include "eclipse/sim/prng.hpp"
+
+namespace eclipse::media {
+
+/// Synthetic test-video generator (DESIGN.md substitution 2).
+///
+/// Real MPEG conformance material is not available offline, so experiments
+/// run on generated sequences engineered to exercise the codec the same
+/// way: a textured moving background provides non-trivial intra content
+/// (VLD/RLSQ load on I-frames), translating foreground objects provide
+/// motion (MC load, B-frame bidirectional fetches), and per-frame noise and
+/// scene cuts modulate the worst/average load ratio.
+struct VideoGenParams {
+  int width = 176;
+  int height = 144;
+  int frames = 9;
+  std::uint64_t seed = 1;
+  int object_count = 3;      // translating rectangles
+  int motion_speed = 2;      // max pels/frame of object and background motion
+  double noise_level = 2.0;  // uniform noise amplitude added to every pel
+  int detail = 3;            // background texture frequency (0 = flat)
+  int scene_cut_period = 0;  // insert a scene change every k frames (0 = never)
+};
+
+/// Generates `params.frames` frames in display order.
+[[nodiscard]] std::vector<Frame> generateVideo(const VideoGenParams& params);
+
+/// Generates a single frame (frame `index` of the sequence).
+[[nodiscard]] Frame generateFrame(const VideoGenParams& params, int index);
+
+}  // namespace eclipse::media

@@ -1,0 +1,51 @@
+#include "eclipse/media/metrics.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace eclipse::media {
+
+double mse(const std::vector<std::uint8_t>& a, const std::vector<std::uint8_t>& b) {
+  if (a.size() != b.size() || a.empty()) throw std::invalid_argument("mse: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    acc += d * d;
+  }
+  return acc / static_cast<double>(a.size());
+}
+
+namespace {
+
+double mseToPsnr(double m) {
+  if (m <= 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(255.0 * 255.0 / m);
+}
+
+}  // namespace
+
+double psnrLuma(const Frame& a, const Frame& b) {
+  if (!a.sameDimensions(b)) throw std::invalid_argument("psnr: dimension mismatch");
+  return mseToPsnr(mse(a.yPlane(), b.yPlane()));
+}
+
+double psnr(const Frame& a, const Frame& b) {
+  if (!a.sameDimensions(b)) throw std::invalid_argument("psnr: dimension mismatch");
+  const double my = mse(a.yPlane(), b.yPlane());
+  const double mcb = mse(a.cbPlane(), b.cbPlane());
+  const double mcr = mse(a.crPlane(), b.crPlane());
+  const double wy = static_cast<double>(a.yPlane().size());
+  const double wc = static_cast<double>(a.cbPlane().size());
+  const double m = (my * wy + mcb * wc + mcr * wc) / (wy + 2 * wc);
+  return mseToPsnr(m);
+}
+
+double averagePsnr(const std::vector<Frame>& a, const std::vector<Frame>& b) {
+  if (a.size() != b.size() || a.empty()) throw std::invalid_argument("averagePsnr: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += psnrLuma(a[i], b[i]);
+  return acc / static_cast<double>(a.size());
+}
+
+}  // namespace eclipse::media

@@ -1,0 +1,178 @@
+#include "eclipse/media/motion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace eclipse::media::motion {
+
+namespace {
+
+int clampi(int v, int lo, int hi) { return v < lo ? lo : (v > hi ? hi : v); }
+
+std::uint8_t fullPel(const std::vector<std::uint8_t>& plane, int w, int h, int x, int y) {
+  x = clampi(x, 0, w - 1);
+  y = clampi(y, 0, h - 1);
+  return plane[static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
+               static_cast<std::size_t>(x)];
+}
+
+}  // namespace
+
+std::uint8_t sampleHalfPel(const std::vector<std::uint8_t>& plane, int w, int h, int x2, int y2) {
+  const int x = x2 >> 1;
+  const int y = y2 >> 1;
+  const bool hx = (x2 & 1) != 0;
+  const bool hy = (y2 & 1) != 0;
+  const int a = fullPel(plane, w, h, x, y);
+  if (!hx && !hy) return static_cast<std::uint8_t>(a);
+  if (hx && !hy) {
+    const int b = fullPel(plane, w, h, x + 1, y);
+    return static_cast<std::uint8_t>((a + b + 1) / 2);
+  }
+  if (!hx) {
+    const int b = fullPel(plane, w, h, x, y + 1);
+    return static_cast<std::uint8_t>((a + b + 1) / 2);
+  }
+  const int b = fullPel(plane, w, h, x + 1, y);
+  const int c = fullPel(plane, w, h, x, y + 1);
+  const int d = fullPel(plane, w, h, x + 1, y + 1);
+  return static_cast<std::uint8_t>((a + b + c + d + 2) / 4);
+}
+
+void predictLuma(const Frame& ref, int px, int py, MotionVector mv, LumaMb& out) {
+  const auto& plane = ref.yPlane();
+  const int w = ref.width();
+  const int h = ref.height();
+  for (int y = 0; y < kMbSize; ++y) {
+    for (int x = 0; x < kMbSize; ++x) {
+      out[static_cast<std::size_t>(y * kMbSize + x)] =
+          sampleHalfPel(plane, w, h, 2 * (px + x) + mv.x, 2 * (py + y) + mv.y);
+    }
+  }
+}
+
+void predictChroma(const std::vector<std::uint8_t>& plane, int w, int h, int px, int py,
+                   MotionVector mv, ChromaMb& out) {
+  // MPEG-2: chroma vector = luma vector / 2 (rounding toward zero),
+  // still in half-pel units of the chroma grid.
+  const int cvx = mv.x / 2;
+  const int cvy = mv.y / 2;
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      out[static_cast<std::size_t>(y * 8 + x)] =
+          sampleHalfPel(plane, w, h, 2 * (px + x) + cvx, 2 * (py + y) + cvy);
+    }
+  }
+}
+
+void average(const LumaMb& a, const LumaMb& b, LumaMb& out) {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>((a[i] + b[i] + 1) / 2);
+  }
+}
+
+void average(const ChromaMb& a, const ChromaMb& b, ChromaMb& out) {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>((a[i] + b[i] + 1) / 2);
+  }
+}
+
+std::uint32_t sadLuma(const Frame& cur, const Frame& ref, int mb_x, int mb_y, MotionVector mv) {
+  const int px = mb_x * kMbSize;
+  const int py = mb_y * kMbSize;
+  const auto& rplane = ref.yPlane();
+  std::uint32_t sad = 0;
+  for (int y = 0; y < kMbSize; ++y) {
+    for (int x = 0; x < kMbSize; ++x) {
+      const int c = cur.yAt(px + x, py + y);
+      const int p = sampleHalfPel(rplane, ref.width(), ref.height(), 2 * (px + x) + mv.x,
+                                  2 * (py + y) + mv.y);
+      sad += static_cast<std::uint32_t>(std::abs(c - p));
+    }
+  }
+  return sad;
+}
+
+namespace {
+
+SearchResult refineHalfPel(const Frame& cur, const Frame& ref, int mb_x, int mb_y,
+                           SearchResult best) {
+  // All eight half-pel candidates are anchored on the full-pel winner;
+  // `best` must not drift mid-iteration or the candidate set changes.
+  const MotionVector center = best.mv;
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      if (dx == 0 && dy == 0) continue;
+      const MotionVector mv{static_cast<std::int16_t>(center.x + dx),
+                            static_cast<std::int16_t>(center.y + dy)};
+      const std::uint32_t sad = sadLuma(cur, ref, mb_x, mb_y, mv);
+      if (sad < best.sad) best = SearchResult{mv, sad};
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+SearchResult search(const Frame& cur, const Frame& ref, int mb_x, int mb_y,
+                    const SearchParams& params) {
+  SearchResult best{MotionVector{0, 0}, sadLuma(cur, ref, mb_x, mb_y, MotionVector{0, 0})};
+
+  if (params.algo == SearchParams::Algo::FullSearch) {
+    for (int dy = -params.range; dy <= params.range; ++dy) {
+      for (int dx = -params.range; dx <= params.range; ++dx) {
+        if (dx == 0 && dy == 0) continue;
+        const MotionVector mv{static_cast<std::int16_t>(2 * dx),
+                              static_cast<std::int16_t>(2 * dy)};
+        const std::uint32_t sad = sadLuma(cur, ref, mb_x, mb_y, mv);
+        if (sad < best.sad) best = SearchResult{mv, sad};
+      }
+    }
+  } else {
+    // Three-step (logarithmic) search at full-pel resolution.
+    int step = 1;
+    while (2 * step < params.range) step *= 2;
+    MotionVector center{0, 0};
+    while (step >= 1) {
+      SearchResult round_best = best;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          const MotionVector mv{static_cast<std::int16_t>(center.x + 2 * dx * step),
+                                static_cast<std::int16_t>(center.y + 2 * dy * step)};
+          if (std::abs(mv.x) > 2 * params.range || std::abs(mv.y) > 2 * params.range) continue;
+          const std::uint32_t sad = sadLuma(cur, ref, mb_x, mb_y, mv);
+          if (sad < round_best.sad) round_best = SearchResult{mv, sad};
+        }
+      }
+      best = round_best;
+      center = best.mv;
+      step /= 2;
+    }
+  }
+
+  if (params.half_pel) best = refineHalfPel(cur, ref, mb_x, mb_y, best);
+  return best;
+}
+
+std::uint32_t intraActivity(const Frame& cur, int mb_x, int mb_y) {
+  const int px = mb_x * kMbSize;
+  const int py = mb_y * kMbSize;
+  std::uint32_t sum = 0;
+  for (int y = 0; y < kMbSize; ++y) {
+    for (int x = 0; x < kMbSize; ++x) sum += cur.yAt(px + x, py + y);
+  }
+  const std::uint32_t mean = sum / 256;
+  std::uint32_t activity = 0;
+  for (int y = 0; y < kMbSize; ++y) {
+    for (int x = 0; x < kMbSize; ++x) {
+      activity += static_cast<std::uint32_t>(
+          std::abs(static_cast<int>(cur.yAt(px + x, py + y)) - static_cast<int>(mean)));
+    }
+  }
+  return activity;
+}
+
+}  // namespace eclipse::media::motion

@@ -1,0 +1,71 @@
+#include "eclipse/media/mux.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace eclipse::media::mux {
+
+std::vector<std::uint8_t> interleave(const std::vector<std::vector<std::uint8_t>>& streams) {
+  if (streams.empty() || streams.size() > kMaxStreams) {
+    throw std::invalid_argument("mux::interleave: 1..16 streams supported");
+  }
+  std::vector<std::size_t> pos(streams.size(), 0);
+  std::vector<std::uint8_t> out;
+
+  auto remaining = [&](std::size_t s) { return streams[s].size() - pos[s]; };
+
+  while (true) {
+    // Pick the stream with the most data left (keeps streams finishing
+    // together, like a rate-coupled multiplex).
+    std::size_t best = streams.size();
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+      if (remaining(s) == 0) continue;
+      if (best == streams.size() || remaining(s) > remaining(best)) best = s;
+    }
+    if (best == streams.size()) break;
+
+    const auto n = static_cast<std::uint16_t>(
+        std::min<std::size_t>(kPayloadBytes, remaining(best)));
+    out.push_back(static_cast<std::uint8_t>(best));
+    out.push_back(static_cast<std::uint8_t>(n & 0xFF));
+    out.push_back(static_cast<std::uint8_t>(n >> 8));
+    const std::size_t at = out.size();
+    out.resize(at + kPayloadBytes, 0);
+    std::memcpy(out.data() + at, streams[best].data() + pos[best], n);
+    pos[best] += n;
+  }
+  return out;
+}
+
+Packet parsePacket(std::span<const std::uint8_t> packet) {
+  if (packet.size() != kPacketBytes) {
+    throw std::runtime_error("mux::parsePacket: bad packet size");
+  }
+  Packet p;
+  p.stream_id = packet[0];
+  const std::uint16_t len = static_cast<std::uint16_t>(packet[1] | (packet[2] << 8));
+  if (p.stream_id >= kMaxStreams || len > kPayloadBytes) {
+    throw std::runtime_error("mux::parsePacket: malformed packet header");
+  }
+  p.payload = packet.subspan(kHeaderBytes, len);
+  return p;
+}
+
+std::vector<std::vector<std::uint8_t>> split(std::span<const std::uint8_t> ts) {
+  if (ts.size() % kPacketBytes != 0) {
+    throw std::runtime_error("mux::split: transport stream size not packet-aligned");
+  }
+  std::vector<std::vector<std::uint8_t>> out;
+  for (std::size_t at = 0; at < ts.size(); at += kPacketBytes) {
+    const Packet p = parsePacket(ts.subspan(at, kPacketBytes));
+    if (static_cast<std::size_t>(p.stream_id) >= out.size()) {
+      out.resize(static_cast<std::size_t>(p.stream_id) + 1);
+    }
+    auto& dst = out[static_cast<std::size_t>(p.stream_id)];
+    dst.insert(dst.end(), p.payload.begin(), p.payload.end());
+  }
+  return out;
+}
+
+}  // namespace eclipse::media::mux

@@ -1,0 +1,67 @@
+#include "eclipse/media/quant.hpp"
+
+#include <stdexcept>
+
+namespace eclipse::media::quant {
+
+namespace {
+
+constexpr Matrix kFlat = [] {
+  Matrix m{};
+  for (auto& v : m) v = 16;
+  return m;
+}();
+
+// ISO/IEC 13818-2 default intra quantiser matrix.
+constexpr Matrix kDefaultIntra = {
+    8,  16, 19, 22, 26, 27, 29, 34, 16, 16, 22, 24, 27, 29, 34, 37,
+    19, 22, 26, 27, 29, 34, 34, 38, 22, 22, 26, 27, 29, 34, 37, 40,
+    22, 26, 27, 29, 32, 35, 40, 48, 26, 27, 29, 32, 35, 40, 48, 58,
+    26, 27, 29, 34, 38, 46, 56, 69, 27, 29, 35, 38, 46, 56, 69, 83};
+
+std::int16_t clampLevel(std::int32_t v) {
+  if (v > 2047) return 2047;
+  if (v < -2047) return -2047;
+  return static_cast<std::int16_t>(v);
+}
+
+std::int16_t clampCoef(std::int32_t v) {
+  if (v > 32767) return 32767;
+  if (v < -32768) return -32768;
+  return static_cast<std::int16_t>(v);
+}
+
+void checkQscale(int qscale) {
+  if (qscale < kMinQscale || qscale > kMaxQscale) {
+    throw std::invalid_argument("quant: qscale out of range [1, 31]");
+  }
+}
+
+}  // namespace
+
+const Matrix& flatMatrix() { return kFlat; }
+const Matrix& defaultIntraMatrix() { return kDefaultIntra; }
+
+void quantize(const Block& coefs, Block& levels, int qscale, const Matrix& m) {
+  checkQscale(qscale);
+  for (int i = 0; i < 64; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const std::int32_t step = qscale * m[idx];  // step/16 is the real step
+    const std::int32_t c = coefs[idx] * 16;
+    // Round half away from zero for symmetry around 0.
+    const std::int32_t lv = c >= 0 ? (c + step / 2) / step : -((-c + step / 2) / step);
+    levels[idx] = clampLevel(lv);
+  }
+}
+
+void dequantize(const Block& levels, Block& coefs, int qscale, const Matrix& m) {
+  checkQscale(qscale);
+  for (int i = 0; i < 64; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const std::int32_t step = qscale * m[idx];
+    const std::int32_t c = levels[idx] * step / 16;
+    coefs[idx] = clampCoef(c);
+  }
+}
+
+}  // namespace eclipse::media::quant

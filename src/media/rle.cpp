@@ -1,0 +1,34 @@
+#include "eclipse/media/rle.hpp"
+
+#include "eclipse/media/bitstream.hpp"
+
+namespace eclipse::media::rle {
+
+std::vector<RunLevel> encode(const Block& scanned) {
+  std::vector<RunLevel> pairs;
+  int run = 0;
+  for (int i = 0; i < 64; ++i) {
+    const std::int16_t v = scanned[static_cast<std::size_t>(i)];
+    if (v == 0) {
+      ++run;
+    } else {
+      pairs.push_back(RunLevel{static_cast<std::uint8_t>(run), v});
+      run = 0;
+    }
+  }
+  return pairs;
+}
+
+void decode(const std::vector<RunLevel>& pairs, Block& scanned) {
+  scanned.fill(0);
+  int pos = 0;
+  for (const auto& p : pairs) {
+    pos += p.run;
+    if (p.level == 0) throw BitstreamError("rle::decode: zero level");
+    if (pos >= 64) throw BitstreamError("rle::decode: pairs overflow 8x8 block");
+    scanned[static_cast<std::size_t>(pos)] = p.level;
+    ++pos;
+  }
+}
+
+}  // namespace eclipse::media::rle

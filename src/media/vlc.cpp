@@ -1,0 +1,70 @@
+#include "eclipse/media/vlc.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace eclipse::media::vlc {
+
+namespace {
+
+bool isCommon(const rle::RunLevel& p) {
+  return p.run < 4 && p.level != 0 && std::abs(p.level) <= 4;
+}
+
+int ueBits(std::uint32_t v) {
+  int len = 0;
+  const std::uint64_t code = static_cast<std::uint64_t>(v) + 1;
+  while ((code >> len) > 1) ++len;
+  return 2 * len + 1;
+}
+
+}  // namespace
+
+void putBlock(BitWriter& bw, const std::vector<rle::RunLevel>& pairs) {
+  for (const auto& p : pairs) {
+    if (isCommon(p)) {
+      bw.putBit(0);
+      bw.put(p.run, 2);
+      bw.put(static_cast<std::uint32_t>(std::abs(p.level) - 1), 2);
+      bw.putBit(p.level < 0 ? 1 : 0);
+    } else {
+      bw.put(0b11, 2);
+      bw.putUe(p.run);
+      bw.putUe(static_cast<std::uint32_t>(std::abs(p.level) - 1));
+      bw.putBit(p.level < 0 ? 1 : 0);
+    }
+  }
+  bw.put(0b10, 2);  // end of block
+}
+
+std::vector<rle::RunLevel> getBlock(BitReader& br) {
+  std::vector<rle::RunLevel> pairs;
+  while (true) {
+    if (br.getBit() == 0) {
+      // common pair
+      const std::uint32_t run = br.get(2);
+      const std::uint32_t mag = br.get(2) + 1;
+      const bool neg = br.getBit() != 0;
+      pairs.push_back(rle::RunLevel{static_cast<std::uint8_t>(run),
+                                    static_cast<std::int16_t>(neg ? -static_cast<int>(mag)
+                                                                  : static_cast<int>(mag))});
+      continue;
+    }
+    if (br.getBit() == 0) return pairs;  // "10": end of block
+    // "11": escape
+    const std::uint32_t run = br.getUe();
+    const std::uint32_t mag = br.getUe() + 1;
+    const bool neg = br.getBit() != 0;
+    if (run > 63 || mag > 32767) throw BitstreamError("vlc: escape symbol out of range");
+    pairs.push_back(rle::RunLevel{static_cast<std::uint8_t>(run),
+                                  static_cast<std::int16_t>(neg ? -static_cast<int>(mag)
+                                                                : static_cast<int>(mag))});
+  }
+}
+
+int pairBits(const rle::RunLevel& pair) {
+  if (isCommon(pair)) return 6;
+  return 2 + ueBits(pair.run) + ueBits(static_cast<std::uint32_t>(std::abs(pair.level) - 1)) + 1;
+}
+
+}  // namespace eclipse::media::vlc

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "eclipse/sim/simulator.hpp"
+
+namespace eclipse::mem {
+
+/// A 'putspace' synchronization message between two shells (Figure 7).
+///
+/// When a task commits space with PutSpace, its shell decrements the local
+/// space field and sends this message to the shell holding the other access
+/// point of the stream, which increments its space field on reception.
+struct SyncMessage {
+  std::uint32_t src_shell = 0;
+  std::uint32_t dst_shell = 0;
+  std::uint32_t dst_row = 0;    // stream-table row at the destination shell
+  std::uint32_t bytes = 0;      // amount of space released
+};
+
+/// Dedicated low-latency network carrying putspace messages between shells.
+///
+/// Messages between a given (src, dst) pair are delivered in order; the
+/// delivery latency models the token-ring / point-to-point sync wiring of
+/// the hardware. Delivery invokes the destination shell's handler.
+class MessageNetwork {
+ public:
+  using Handler = std::function<void(const SyncMessage&)>;
+
+  MessageNetwork(sim::Simulator& sim, sim::Cycle latency)
+      : sim_(sim), latency_(latency) {}
+
+  /// Registers the message handler for a shell id.
+  void attach(std::uint32_t shell_id, Handler handler) {
+    handlers_[shell_id] = std::move(handler);
+  }
+
+  /// Sends a message; delivery happens `latency` cycles later.
+  void send(const SyncMessage& msg) {
+    auto it = handlers_.find(msg.dst_shell);
+    if (it == handlers_.end()) {
+      throw std::runtime_error("MessageNetwork: no handler attached for shell " +
+                               std::to_string(msg.dst_shell));
+    }
+    ++messages_sent_;
+    bytes_signalled_ += msg.bytes;
+    Handler& handler = it->second;
+    sim_.schedule(latency_, [&handler, msg] { handler(msg); });
+  }
+
+  [[nodiscard]] sim::Cycle latency() const { return latency_; }
+  [[nodiscard]] std::uint64_t messagesSent() const { return messages_sent_; }
+  [[nodiscard]] std::uint64_t bytesSignalled() const { return bytes_signalled_; }
+
+  void resetStats() {
+    messages_sent_ = 0;
+    bytes_signalled_ = 0;
+  }
+
+ private:
+  sim::Simulator& sim_;
+  sim::Cycle latency_;
+  std::map<std::uint32_t, Handler> handlers_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_signalled_ = 0;
+};
+
+}  // namespace eclipse::mem

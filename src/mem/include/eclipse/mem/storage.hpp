@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "eclipse/sim/types.hpp"
+
+namespace eclipse::mem {
+
+/// Plain bounds-checked byte storage backing a simulated memory.
+///
+/// Storage carries no timing; timing comes from the bus / memory front-ends
+/// that mediate access to it. Functional code (configuration, golden-model
+/// checks) may peek/poke directly.
+class Storage {
+ public:
+  explicit Storage(std::size_t size_bytes) : bytes_(size_bytes, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return bytes_.size(); }
+
+  void read(sim::Addr addr, std::span<std::uint8_t> out) const {
+    checkRange(addr, out.size());
+    std::copy_n(bytes_.begin() + static_cast<std::ptrdiff_t>(addr), out.size(), out.begin());
+  }
+
+  void write(sim::Addr addr, std::span<const std::uint8_t> in) {
+    checkRange(addr, in.size());
+    std::copy_n(in.begin(), in.size(), bytes_.begin() + static_cast<std::ptrdiff_t>(addr));
+  }
+
+  [[nodiscard]] std::uint8_t peek(sim::Addr addr) const {
+    checkRange(addr, 1);
+    return bytes_[addr];
+  }
+
+  void poke(sim::Addr addr, std::uint8_t value) {
+    checkRange(addr, 1);
+    bytes_[addr] = value;
+  }
+
+  void fill(std::uint8_t value) { std::fill(bytes_.begin(), bytes_.end(), value); }
+
+  /// Raw view for zero-copy functional access (tests, trace dumps).
+  [[nodiscard]] std::span<const std::uint8_t> view() const { return bytes_; }
+  [[nodiscard]] std::span<std::uint8_t> view() { return bytes_; }
+
+ private:
+  void checkRange(sim::Addr addr, std::size_t n) const {
+    if (addr + n > bytes_.size() || addr + n < addr) {
+      throw std::out_of_range("Storage: access [" + std::to_string(addr) + ", " +
+                              std::to_string(addr + n) + ") outside size " +
+                              std::to_string(bytes_.size()));
+    }
+  }
+
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace eclipse::mem

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "eclipse/sim/types.hpp"
+
+namespace eclipse::shell {
+
+/// Parameters of the shell template (Section 3.1: "the architecture of the
+/// shell itself is designed as a parameterized template"). Shell instances
+/// with coprocessor-specific settings are derived from this.
+struct ShellParams {
+  std::uint32_t id = 0;       ///< unique shell id on the message network
+  std::string name = "shell";
+
+  // Coprocessor-side interface.
+  std::uint32_t port_width_bytes = 16;  ///< data width of the read/write interface
+
+  // Stream caches (Section 5.2).
+  std::uint32_t cache_line_bytes = 64;
+  std::uint32_t cache_lines_per_port = 2;
+  bool prefetch = true;  ///< prefetch next line on miss / GetSpace
+
+  // Primitive handshake latencies (master-slave handshake, Section 3.2).
+  sim::Cycle sync_latency = 2;     ///< GetSpace / PutSpace
+  sim::Cycle gettask_latency = 2;  ///< GetTask
+  sim::Cycle io_latency = 1;       ///< Read / Write call overhead
+
+  // Scheduler (Section 5.3). `best_guess` enables readiness prediction
+  // from denied GetSpace requests; disabling it yields a naive round-robin
+  // that keeps re-selecting blocked tasks (ablation for ref [13]).
+  bool best_guess = true;
+
+  // Table capacities.
+  std::uint32_t max_tasks = 8;
+  std::uint32_t max_streams = 16;
+
+  // Profiler sampling period in cycles; 0 disables sampling (Section 5.4).
+  sim::Cycle profiler_period = 0;
+};
+
+/// Result of the GetTask primitive: the selected task and the parameter
+/// word for the function that task should perform (e.g. one bit selecting
+/// forward or inverse DCT).
+struct GetTaskResult {
+  sim::TaskId task = sim::kNoTask;
+  std::uint32_t task_info = 0;
+};
+
+}  // namespace eclipse::shell

@@ -1,0 +1,169 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "eclipse/mem/message_network.hpp"
+#include "eclipse/mem/pi_bus.hpp"
+#include "eclipse/mem/sram.hpp"
+#include "eclipse/shell/params.hpp"
+#include "eclipse/shell/stream_cache.hpp"
+#include "eclipse/shell/tables.hpp"
+#include "eclipse/sim/coro.hpp"
+#include "eclipse/sim/sim_event.hpp"
+#include "eclipse/sim/simulator.hpp"
+
+namespace eclipse::shell {
+
+/// The coprocessor shell — the paper's central contribution (Sections 3–5).
+///
+/// One shell instance fronts one coprocessor and implements the five-
+/// primitive task-level interface (GetTask / Read / Write / GetSpace /
+/// PutSpace) plus all generic infrastructure behind it:
+///  * multi-tasking: weighted round-robin task scheduling with cycle
+///    budgets and 'best guess' readiness (Section 5.3),
+///  * stream synchronization: local `space` accounting with putspace
+///    messages to the remote access point's shell (Section 5.1, Figure 7),
+///  * data transport: cyclic FIFO addressing into the shared SRAM through
+///    per-port stream caches with sync-driven explicit coherency and
+///    prefetching (Section 5.2),
+///  * performance measurement: per-stream and per-task counters plus a
+///    sampling process, all CPU-readable over the PI-bus (Section 5.4).
+///
+/// All primitives are called by the coprocessor (the coprocessor has the
+/// initiative); they are coroutines whose completion time models the
+/// master-slave handshake and any memory traffic incurred.
+class Shell {
+ public:
+  Shell(sim::Simulator& sim, const ShellParams& params, mem::SharedSram& sram,
+        mem::MessageNetwork& network);
+
+  Shell(const Shell&) = delete;
+  Shell& operator=(const Shell&) = delete;
+
+  // ------------------------------------------------------------------
+  // Task-level interface (Section 3.2)
+  // ------------------------------------------------------------------
+
+  /// GetTask: returns the next task to execute and its parameter word.
+  /// Suspends (coprocessor idles) while no configured task is runnable.
+  sim::Task<GetTaskResult> getTask();
+
+  /// GetSpace: inquires whether `n_bytes` of data (input port) or room
+  /// (output port) are available ahead of the access point. Purely local.
+  sim::Task<bool> getSpace(sim::TaskId task, sim::PortId port, std::uint32_t n_bytes);
+
+  /// PutSpace: commits `n_bytes` — advances the access point, flushes any
+  /// dirty cache lines in the committed window, then signals the remote
+  /// access point's shell.
+  sim::Task<void> putSpace(sim::TaskId task, sim::PortId port, std::uint32_t n_bytes);
+
+  /// Read: copies from the stream at [offset, offset+out.size()) within
+  /// the granted window into `out`. Input ports only.
+  sim::Task<void> read(sim::TaskId task, sim::PortId port, std::uint64_t offset,
+                       std::span<std::uint8_t> out);
+
+  /// Write: copies `in` into the stream window at `offset`. Output ports
+  /// only.
+  sim::Task<void> write(sim::TaskId task, sim::PortId port, std::uint64_t offset,
+                        std::span<const std::uint8_t> in);
+
+  /// Convenience for blocking-coprocessor designs (Section 4.2 alternative:
+  /// "let the coprocessor wait for the space to arrive"): suspends until a
+  /// GetSpace of `n_bytes` succeeds.
+  sim::Task<void> waitSpace(sim::TaskId task, sim::PortId port, std::uint32_t n_bytes);
+
+  // ------------------------------------------------------------------
+  // Configuration (CPU side)
+  // ------------------------------------------------------------------
+
+  void configureTask(sim::TaskId task, const TaskConfig& cfg);
+  std::uint32_t configureStream(const StreamConfig& cfg);
+  void setTaskEnabled(sim::TaskId task, bool enabled);
+
+  /// Maps the stream and task tables as 32-bit registers on the PI-bus at
+  /// `base`. The window size is mmioWindowBytes().
+  void mapMmio(mem::PiBus& bus, sim::Addr base);
+  [[nodiscard]] sim::Addr mmioWindowBytes() const;
+
+  /// Direct register access (also used by the PI-bus mapping).
+  [[nodiscard]] std::uint32_t mmioRead(sim::Addr offset) const;
+  void mmioWrite(sim::Addr offset, std::uint32_t value);
+
+  // ------------------------------------------------------------------
+  // Measurement / introspection
+  // ------------------------------------------------------------------
+
+  [[nodiscard]] const ShellParams& params() const { return params_; }
+  [[nodiscard]] const std::string& name() const { return params_.name; }
+  [[nodiscard]] std::uint32_t id() const { return params_.id; }
+  [[nodiscard]] StreamTable& streams() { return streams_; }
+  [[nodiscard]] const StreamTable& streams() const { return streams_; }
+  [[nodiscard]] TaskTable& tasks() { return tasks_; }
+  [[nodiscard]] const TaskTable& tasks() const { return tasks_; }
+
+  [[nodiscard]] sim::Cycle idleCycles() const { return idle_cycles_; }
+  [[nodiscard]] std::uint64_t taskSwitches() const { return task_switches_; }
+  [[nodiscard]] std::uint64_t syncMessagesReceived() const { return sync_messages_rx_; }
+
+  /// Coprocessor busy fraction over `elapsed` cycles (busy = not waiting
+  /// inside GetTask).
+  [[nodiscard]] double utilization(sim::Cycle elapsed) const;
+
+  /// Starts the sampling process (requires params.profiler_period > 0).
+  void startProfiler();
+  void stopProfiler() { profiling_ = false; }
+
+ private:
+  struct Port {
+    std::unique_ptr<StreamCache> cache;
+  };
+
+  void onSyncMessage(const mem::SyncMessage& msg);
+
+  /// True when the task cannot run because a previously denied GetSpace is
+  /// still unsatisfied; self-clears once space arrives (best guess).
+  [[nodiscard]] bool blockedNow(TaskRow& t);
+
+  /// Splits the cyclic window [pos_from, pos_from+len) of `row` into at
+  /// most two linear SRAM segments and invokes fn(addr, seg_len, seg_off).
+  template <typename Fn>
+  void forEachSegment(const StreamRow& row, std::uint64_t pos_from, std::uint64_t len, Fn&& fn) const {
+    std::uint64_t done = 0;
+    while (done < len) {
+      const std::uint64_t p = pos_from + done;
+      const std::uint64_t off = p % row.size;
+      const std::uint64_t seg = std::min<std::uint64_t>(len - done, row.size - off);
+      fn(row.base + off, seg, done);
+      done += seg;
+    }
+  }
+
+  sim::Task<void> profilerProcess();
+
+  sim::Simulator& sim_;
+  ShellParams params_;
+  mem::SharedSram& sram_;
+  mem::MessageNetwork& network_;
+  StreamTable streams_;
+  TaskTable tasks_;
+  std::vector<Port> ports_;  // parallel to stream rows
+
+  // Scheduler state.
+  sim::TaskId current_task_ = sim::kNoTask;
+  std::uint32_t rr_index_ = 0;
+  sim::Cycle last_gettask_return_ = 0;
+  sim::SimEvent sched_event_;
+  sim::SimEvent space_event_;
+  sim::Cycle idle_cycles_ = 0;
+  std::optional<sim::Cycle> idle_since_;
+  std::uint64_t task_switches_ = 0;
+  std::uint64_t sync_messages_rx_ = 0;
+  bool profiling_ = false;
+};
+
+}  // namespace eclipse::shell

@@ -1,0 +1,157 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "eclipse/sim/stats.hpp"
+#include "eclipse/sim/types.hpp"
+
+namespace eclipse::shell {
+
+/// Configuration of one access point written by the CPU (Section 5.1).
+struct StreamConfig {
+  sim::TaskId task = 0;
+  sim::PortId port = 0;
+  bool is_producer = false;       ///< output port (writes data) vs input port
+  sim::Addr buffer_base = 0;      ///< stream FIFO base address in on-chip SRAM
+  std::uint32_t buffer_bytes = 0; ///< FIFO size
+  std::uint32_t remote_shell = 0; ///< shell holding the other access point
+  std::uint32_t remote_row = 0;   ///< stream-table row at that shell
+  std::uint32_t initial_space = 0;///< producer: buffer size; consumer: 0
+};
+
+/// One stream-table row: the local state of one access point onto a stream
+/// FIFO, including the (maybe pessimistic) `space` field of Figure 7 and
+/// the per-stream measurement counters of Section 5.4.
+struct StreamRow {
+  bool valid = false;
+  sim::TaskId task = 0;
+  sim::PortId port = 0;
+  bool is_producer = false;
+  sim::Addr base = 0;
+  std::uint32_t size = 0;
+  std::uint64_t pos = 0;       ///< absolute stream position of the access point
+  std::uint32_t space = 0;     ///< known available data (consumer) or room (producer)
+  std::uint32_t granted = 0;   ///< high-water mark of the granted access window
+  std::uint32_t remote_shell = 0;
+  std::uint32_t remote_row = 0;
+
+  // Measurement fields (memory-mapped, CPU-readable).
+  std::uint64_t bytes_transferred = 0;
+  std::uint64_t getspace_calls = 0;
+  std::uint64_t getspace_denied = 0;
+  std::uint64_t putspace_calls = 0;
+  std::uint64_t read_calls = 0;
+  std::uint64_t write_calls = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_flushes = 0;
+  std::uint64_t cache_invalidations = 0;
+  std::uint64_t prefetches = 0;
+  sim::Accumulator access_latency;  ///< cycles per Read/Write call (Section 5.4)
+  sim::TimeSeries fill_series;      ///< sampled `space` (profiler)
+};
+
+/// Configuration of one task slot written by the CPU (Section 5.3).
+struct TaskConfig {
+  bool enabled = true;
+  std::uint32_t budget_cycles = 2000;  ///< weighted round-robin budget
+  std::uint32_t task_info = 0;         ///< parameter word returned by GetTask
+};
+
+/// One task-table row: configuration, scheduler state and measurements.
+struct TaskRow {
+  bool valid = false;
+  bool enabled = false;
+  std::uint32_t budget_cycles = 0;
+  std::uint32_t task_info = 0;
+
+  // Scheduler state ('best guess', Section 5.3): a task whose GetSpace was
+  // denied is not rescheduled until the offending row has enough space.
+  bool blocked = false;
+  std::int32_t blocked_row = -1;
+  std::uint32_t blocked_need = 0;
+  sim::Cycle budget_left = 0;
+
+  // Measurement fields.
+  sim::Cycle busy_cycles = 0;
+  sim::Cycle blocked_cycles = 0;
+  std::uint64_t gettask_count = 0;
+  std::uint64_t schedule_count = 0;  ///< times selected (incl. continuations)
+  std::uint64_t switch_count = 0;    ///< times selected when another task ran before
+  sim::Cycle last_selected_at = 0;
+  sim::Accumulator step_cycles;  ///< processing-step durations (Section 5.3)
+  sim::TimeSeries stall_series;  ///< sampled blocked state (profiler)
+};
+
+/// Fixed-capacity stream table with (task, port) lookup.
+class StreamTable {
+ public:
+  explicit StreamTable(std::uint32_t capacity) : rows_(capacity) {}
+
+  /// Installs a configuration in the first free row; returns the row index.
+  std::uint32_t configure(const StreamConfig& cfg) {
+    for (std::uint32_t i = 0; i < rows_.size(); ++i) {
+      if (!rows_[i].valid) {
+        StreamRow& r = rows_[i];
+        r = StreamRow{};
+        r.valid = true;
+        r.task = cfg.task;
+        r.port = cfg.port;
+        r.is_producer = cfg.is_producer;
+        r.base = cfg.buffer_base;
+        r.size = cfg.buffer_bytes;
+        r.space = cfg.initial_space;
+        r.remote_shell = cfg.remote_shell;
+        r.remote_row = cfg.remote_row;
+        return i;
+      }
+    }
+    throw std::runtime_error("StreamTable: no free row");
+  }
+
+  /// Finds the row for (task, port); throws if absent.
+  [[nodiscard]] std::uint32_t lookup(sim::TaskId task, sim::PortId port) const {
+    for (std::uint32_t i = 0; i < rows_.size(); ++i) {
+      const StreamRow& r = rows_[i];
+      if (r.valid && r.task == task && r.port == port) return i;
+    }
+    throw std::out_of_range("StreamTable: no row for task " + std::to_string(task) + " port " +
+                            std::to_string(port));
+  }
+
+  [[nodiscard]] StreamRow& row(std::uint32_t i) { return rows_.at(i); }
+  [[nodiscard]] const StreamRow& row(std::uint32_t i) const { return rows_.at(i); }
+  [[nodiscard]] std::uint32_t capacity() const { return static_cast<std::uint32_t>(rows_.size()); }
+
+ private:
+  std::vector<StreamRow> rows_;
+};
+
+/// Fixed-capacity task table.
+class TaskTable {
+ public:
+  explicit TaskTable(std::uint32_t capacity) : rows_(capacity) {}
+
+  void configure(sim::TaskId task, const TaskConfig& cfg) {
+    TaskRow& r = rows_.at(static_cast<std::size_t>(task));
+    r = TaskRow{};
+    r.valid = true;
+    r.enabled = cfg.enabled;
+    r.budget_cycles = cfg.budget_cycles;
+    r.task_info = cfg.task_info;
+  }
+
+  [[nodiscard]] TaskRow& row(sim::TaskId task) { return rows_.at(static_cast<std::size_t>(task)); }
+  [[nodiscard]] const TaskRow& row(sim::TaskId task) const {
+    return rows_.at(static_cast<std::size_t>(task));
+  }
+  [[nodiscard]] std::uint32_t capacity() const { return static_cast<std::uint32_t>(rows_.size()); }
+
+ private:
+  std::vector<TaskRow> rows_;
+};
+
+}  // namespace eclipse::shell

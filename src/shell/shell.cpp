@@ -1,0 +1,478 @@
+#include "eclipse/shell/shell.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eclipse::shell {
+
+namespace {
+
+/// Register map strides (32-bit words).
+constexpr sim::Addr kStreamRowWords = 32;
+constexpr sim::Addr kTaskRowWords = 16;
+
+std::uint32_t lo32(std::uint64_t v) { return static_cast<std::uint32_t>(v); }
+std::uint32_t hi32(std::uint64_t v) { return static_cast<std::uint32_t>(v >> 32); }
+
+}  // namespace
+
+Shell::Shell(sim::Simulator& sim, const ShellParams& params, mem::SharedSram& sram,
+             mem::MessageNetwork& network)
+    : sim_(sim),
+      params_(params),
+      sram_(sram),
+      network_(network),
+      streams_(params.max_streams),
+      tasks_(params.max_tasks),
+      ports_(params.max_streams),
+      sched_event_(sim),
+      space_event_(sim) {
+  network_.attach(params_.id, [this](const mem::SyncMessage& msg) { onSyncMessage(msg); });
+}
+
+// ---------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------
+
+void Shell::configureTask(sim::TaskId task, const TaskConfig& cfg) {
+  tasks_.configure(task, cfg);
+  sched_event_.notifyAll();
+}
+
+std::uint32_t Shell::configureStream(const StreamConfig& cfg) {
+  if (cfg.buffer_bytes == 0 || cfg.buffer_bytes % params_.cache_line_bytes != 0 ||
+      cfg.buffer_base % params_.cache_line_bytes != 0) {
+    throw std::invalid_argument(
+        "Shell: stream buffers must be non-empty and cache-line aligned (base and size)");
+  }
+  const std::uint32_t row = streams_.configure(cfg);
+  ports_[row].cache = std::make_unique<StreamCache>(
+      sim_, sram_, params_.cache_line_bytes, params_.cache_lines_per_port,
+      static_cast<int>(params_.id));
+  return row;
+}
+
+void Shell::setTaskEnabled(sim::TaskId task, bool enabled) {
+  tasks_.row(task).enabled = enabled;
+  if (enabled) sched_event_.notifyAll();
+}
+
+// ---------------------------------------------------------------------
+// Scheduler (Section 5.3)
+// ---------------------------------------------------------------------
+
+bool Shell::blockedNow(TaskRow& t) {
+  if (!t.blocked) return false;
+  if (t.blocked_row >= 0) {
+    const StreamRow& row = streams_.row(static_cast<std::uint32_t>(t.blocked_row));
+    if (row.space >= t.blocked_need) {
+      t.blocked = false;
+      t.blocked_row = -1;
+      return false;
+    }
+  }
+  // Naive-scheduler ablation: without best guess the scheduler considers
+  // every enabled task runnable, paying a wasted processing-step attempt
+  // for tasks that are in fact still blocked.
+  return params_.best_guess;
+}
+
+sim::Task<GetTaskResult> Shell::getTask() {
+  co_await sim_.delay(params_.gettask_latency);
+
+  // Charge the elapsed processing step to the task that just yielded.
+  if (current_task_ != sim::kNoTask) {
+    TaskRow& t = tasks_.row(current_task_);
+    const sim::Cycle elapsed = sim_.now() - last_gettask_return_;
+    t.busy_cycles += elapsed;
+    t.budget_left -= std::min(t.budget_left, elapsed);
+    ++t.gettask_count;
+    t.step_cycles.add(static_cast<double>(elapsed));
+  }
+
+  while (true) {
+    sim::TaskId chosen = sim::kNoTask;
+
+    // Budget rule: the running task keeps the coprocessor while its budget
+    // lasts and it is not blocked.
+    if (current_task_ != sim::kNoTask) {
+      TaskRow& cur = tasks_.row(current_task_);
+      if (cur.valid && cur.enabled && cur.budget_left > 0 && !blockedNow(cur)) {
+        chosen = current_task_;
+      }
+    }
+
+    if (chosen == sim::kNoTask) {
+      // Weighted round-robin over the task table.
+      for (std::uint32_t i = 0; i < tasks_.capacity(); ++i) {
+        const std::uint32_t idx = (rr_index_ + i) % tasks_.capacity();
+        TaskRow& t = tasks_.row(static_cast<sim::TaskId>(idx));
+        if (t.valid && t.enabled && !blockedNow(t)) {
+          chosen = static_cast<sim::TaskId>(idx);
+          rr_index_ = (idx + 1) % tasks_.capacity();
+          t.budget_left = t.budget_cycles;
+          break;
+        }
+      }
+    }
+
+    if (chosen != sim::kNoTask) {
+      TaskRow& t = tasks_.row(chosen);
+      ++t.schedule_count;
+      if (chosen != current_task_) {
+        ++t.switch_count;
+        ++task_switches_;
+      }
+      t.last_selected_at = sim_.now();
+      current_task_ = chosen;
+      last_gettask_return_ = sim_.now();
+      co_return GetTaskResult{chosen, t.task_info};
+    }
+
+    // Nothing runnable: the coprocessor idles until synchronization
+    // messages (or reconfiguration) make a task ready.
+    idle_since_ = sim_.now();
+    co_await sched_event_.wait();
+    idle_cycles_ += sim_.now() - *idle_since_;
+    idle_since_.reset();
+  }
+}
+
+// ---------------------------------------------------------------------
+// Synchronization (Section 5.1)
+// ---------------------------------------------------------------------
+
+sim::Task<bool> Shell::getSpace(sim::TaskId task, sim::PortId port, std::uint32_t n_bytes) {
+  co_await sim_.delay(params_.sync_latency);
+  const std::uint32_t idx = streams_.lookup(task, port);
+  StreamRow& row = streams_.row(idx);
+  ++row.getspace_calls;
+
+  if (n_bytes > row.size) {
+    throw std::invalid_argument("Shell::getSpace: request larger than the stream buffer");
+  }
+  if (n_bytes <= row.space) {
+    if (n_bytes > row.granted) {
+      // Window extension: data in the cache overlapping the newly granted
+      // region may be stale (observation 2) — invalidate it.
+      const std::uint64_t from = row.pos + row.granted;
+      const std::uint64_t len = n_bytes - row.granted;
+      forEachSegment(row, from, len, [&](sim::Addr addr, std::uint64_t seg, std::uint64_t) {
+        ports_[idx].cache->invalidateRange(row, addr, seg);
+      });
+      row.granted = n_bytes;
+      // Prefetch the first line of the fresh window for input ports.
+      if (params_.prefetch && !row.is_producer) {
+        const std::uint64_t first_pos = from;
+        const sim::Addr addr = row.base + first_pos % row.size;
+        const sim::Addr line = addr / params_.cache_line_bytes * params_.cache_line_bytes;
+        ports_[idx].cache->startPrefetch(row, line);
+      }
+    }
+    co_return true;
+  }
+  ++row.getspace_denied;
+  TaskRow& t = tasks_.row(task);
+  t.blocked = true;
+  t.blocked_row = static_cast<std::int32_t>(idx);
+  t.blocked_need = n_bytes;
+  co_return false;
+}
+
+sim::Task<void> Shell::putSpace(sim::TaskId task, sim::PortId port, std::uint32_t n_bytes) {
+  co_await sim_.delay(params_.sync_latency);
+  const std::uint32_t idx = streams_.lookup(task, port);
+  StreamRow& row = streams_.row(idx);
+  ++row.putspace_calls;
+  if (n_bytes > row.granted) {
+    throw std::logic_error("Shell::putSpace: commit exceeds the granted window");
+  }
+
+  if (row.is_producer) {
+    // Observation 3: flush dirty data in the committed region before the
+    // putspace message makes it visible to the consumer.
+    std::uint64_t done = 0;
+    while (done < n_bytes) {
+      const std::uint64_t off = (row.pos + done) % row.size;
+      const std::uint64_t seg = std::min<std::uint64_t>(n_bytes - done, row.size - off);
+      co_await ports_[idx].cache->flushRange(row, row.base + off, seg);
+      done += seg;
+    }
+  }
+
+  row.space -= n_bytes;
+  row.granted -= n_bytes;
+  row.pos += n_bytes;
+
+  network_.send(mem::SyncMessage{params_.id, row.remote_shell, row.remote_row, n_bytes});
+}
+
+void Shell::onSyncMessage(const mem::SyncMessage& msg) {
+  StreamRow& row = streams_.row(msg.dst_row);
+  if (!row.valid) {
+    throw std::logic_error("Shell::onSyncMessage: message for an unconfigured stream row");
+  }
+  row.space += msg.bytes;
+  ++sync_messages_rx_;
+  // Best-guess readiness may have changed; wake an idle coprocessor and
+  // any blocking-style waiters.
+  sched_event_.notifyAll();
+  space_event_.notifyAll();
+}
+
+sim::Task<void> Shell::waitSpace(sim::TaskId task, sim::PortId port, std::uint32_t n_bytes) {
+  while (true) {
+    const bool ok = co_await getSpace(task, port, n_bytes);
+    if (ok) co_return;
+    co_await space_event_.wait();
+  }
+}
+
+// ---------------------------------------------------------------------
+// Data transport (Section 5.2)
+// ---------------------------------------------------------------------
+
+sim::Task<void> Shell::read(sim::TaskId task, sim::PortId port, std::uint64_t offset,
+                            std::span<std::uint8_t> out) {
+  const std::uint32_t idx = streams_.lookup(task, port);
+  StreamRow& row = streams_.row(idx);
+  if (row.is_producer) throw std::logic_error("Shell::read: read on an output port");
+  if (offset + out.size() > row.granted) {
+    throw std::logic_error("Shell::read: access outside the granted window");
+  }
+  // Port handshake plus data transfer over the coprocessor interface.
+  const sim::Cycle xfer =
+      params_.io_latency + (out.size() + params_.port_width_bytes - 1) / params_.port_width_bytes;
+  co_await sim_.delay(xfer);
+
+  ++row.read_calls;
+  row.bytes_transferred += out.size();
+
+  // Prefetch hint: the cyclically next line after this read, if still
+  // inside the granted window.
+  std::optional<sim::Addr> hint;
+  if (params_.prefetch) {
+    const std::uint64_t end_pos = row.pos + offset + out.size();
+    const std::uint64_t next_line_pos =
+        (end_pos + params_.cache_line_bytes - 1) / params_.cache_line_bytes *
+        params_.cache_line_bytes;
+    if (next_line_pos < row.pos + row.granted) {
+      hint = row.base + next_line_pos % row.size;
+    }
+  }
+
+  const sim::Cycle t0 = sim_.now() - xfer;  // include the port handshake
+  std::uint64_t done = 0;
+  const std::uint64_t start = row.pos + offset;
+  while (done < out.size()) {
+    const std::uint64_t off = (start + done) % row.size;
+    const std::uint64_t seg = std::min<std::uint64_t>(out.size() - done, row.size - off);
+    const bool last = done + seg >= out.size();
+    co_await ports_[idx].cache->read(row, row.base + off,
+                                     out.subspan(static_cast<std::size_t>(done),
+                                                 static_cast<std::size_t>(seg)),
+                                     last ? hint : std::nullopt);
+    done += seg;
+  }
+  row.access_latency.add(static_cast<double>(sim_.now() - t0));
+}
+
+sim::Task<void> Shell::write(sim::TaskId task, sim::PortId port, std::uint64_t offset,
+                             std::span<const std::uint8_t> in) {
+  const std::uint32_t idx = streams_.lookup(task, port);
+  StreamRow& row = streams_.row(idx);
+  if (!row.is_producer) throw std::logic_error("Shell::write: write on an input port");
+  if (offset + in.size() > row.granted) {
+    throw std::logic_error("Shell::write: access outside the granted window");
+  }
+  const sim::Cycle xfer =
+      params_.io_latency + (in.size() + params_.port_width_bytes - 1) / params_.port_width_bytes;
+  co_await sim_.delay(xfer);
+
+  ++row.write_calls;
+  row.bytes_transferred += in.size();
+
+  const sim::Cycle t0 = sim_.now() - xfer;
+  std::uint64_t done = 0;
+  const std::uint64_t start = row.pos + offset;
+  while (done < in.size()) {
+    const std::uint64_t off = (start + done) % row.size;
+    const std::uint64_t seg = std::min<std::uint64_t>(in.size() - done, row.size - off);
+    co_await ports_[idx].cache->write(row, row.base + off,
+                                      in.subspan(static_cast<std::size_t>(done),
+                                                 static_cast<std::size_t>(seg)));
+    done += seg;
+  }
+  row.access_latency.add(static_cast<double>(sim_.now() - t0));
+}
+
+// ---------------------------------------------------------------------
+// Measurement
+// ---------------------------------------------------------------------
+
+double Shell::utilization(sim::Cycle elapsed) const {
+  if (elapsed == 0) return 0.0;
+  sim::Cycle idle = idle_cycles_;
+  if (idle_since_.has_value() && sim_.now() > *idle_since_) {
+    idle += sim_.now() - *idle_since_;  // still parked in GetTask
+  }
+  const double busy = static_cast<double>(elapsed - std::min(elapsed, idle));
+  return busy / static_cast<double>(elapsed);
+}
+
+void Shell::startProfiler() {
+  if (params_.profiler_period == 0) {
+    throw std::logic_error("Shell::startProfiler: profiler_period is 0");
+  }
+  if (profiling_) return;
+  profiling_ = true;
+  sim_.spawn(profilerProcess(), params_.name + ".profiler");
+}
+
+sim::Task<void> Shell::profilerProcess() {
+  while (profiling_) {
+    for (std::uint32_t i = 0; i < streams_.capacity(); ++i) {
+      StreamRow& row = streams_.row(i);
+      if (row.valid) row.fill_series.sample(sim_.now(), static_cast<double>(row.space));
+    }
+    for (std::uint32_t i = 0; i < tasks_.capacity(); ++i) {
+      TaskRow& t = tasks_.row(static_cast<sim::TaskId>(i));
+      if (t.valid) t.stall_series.sample(sim_.now(), blockedNow(t) ? 1.0 : 0.0);
+    }
+    co_await sim_.delay(params_.profiler_period);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Memory-mapped tables (PI-bus)
+// ---------------------------------------------------------------------
+
+sim::Addr Shell::mmioWindowBytes() const {
+  return (static_cast<sim::Addr>(params_.max_streams) * kStreamRowWords +
+          static_cast<sim::Addr>(params_.max_tasks) * kTaskRowWords) *
+         4;
+}
+
+void Shell::mapMmio(mem::PiBus& bus, sim::Addr base) {
+  bus.attach(
+      params_.name, base, mmioWindowBytes(),
+      [this](sim::Addr off) { return mmioRead(off); },
+      [this](sim::Addr off, std::uint32_t v) { mmioWrite(off, v); });
+}
+
+std::uint32_t Shell::mmioRead(sim::Addr offset) const {
+  const sim::Addr word = offset / 4;
+  const sim::Addr stream_words = static_cast<sim::Addr>(params_.max_streams) * kStreamRowWords;
+  if (word < stream_words) {
+    const auto rix = static_cast<std::uint32_t>(word / kStreamRowWords);
+    const auto f = static_cast<std::uint32_t>(word % kStreamRowWords);
+    const StreamRow& r = streams_.row(rix);
+    switch (f) {
+      case 0: return r.valid ? 1 : 0;
+      case 1: return static_cast<std::uint32_t>(r.task);
+      case 2: return static_cast<std::uint32_t>(r.port);
+      case 3: return r.is_producer ? 1 : 0;
+      case 4: return static_cast<std::uint32_t>(r.base);
+      case 5: return r.size;
+      case 6: return r.space;
+      case 7: return r.remote_shell;
+      case 8: return r.remote_row;
+      case 9: return lo32(r.pos);
+      case 10: return hi32(r.pos);
+      case 11: return r.granted;
+      case 12: return lo32(r.bytes_transferred);
+      case 13: return hi32(r.bytes_transferred);
+      case 14: return lo32(r.getspace_calls);
+      case 15: return lo32(r.getspace_denied);
+      case 16: return lo32(r.putspace_calls);
+      case 17: return lo32(r.read_calls);
+      case 18: return lo32(r.write_calls);
+      case 19: return lo32(r.cache_hits);
+      case 20: return lo32(r.cache_misses);
+      case 21: return lo32(r.cache_flushes);
+      case 22: return lo32(r.cache_invalidations);
+      case 23: return lo32(r.prefetches);
+      case 24: return lo32(r.access_latency.count());
+      case 25: return static_cast<std::uint32_t>(r.access_latency.mean());
+      case 26: return static_cast<std::uint32_t>(r.access_latency.max());
+      default: return 0;
+    }
+  }
+  const sim::Addr tword = word - stream_words;
+  const auto tix = static_cast<sim::TaskId>(tword / kTaskRowWords);
+  const auto f = static_cast<std::uint32_t>(tword % kTaskRowWords);
+  if (static_cast<std::uint32_t>(tix) >= tasks_.capacity()) {
+    throw std::out_of_range("Shell::mmioRead: offset beyond tables");
+  }
+  const TaskRow& t = tasks_.row(tix);
+  switch (f) {
+    case 0: return t.valid ? 1 : 0;
+    case 1: return t.enabled ? 1 : 0;
+    case 2: return t.budget_cycles;
+    case 3: return t.task_info;
+    case 4: return lo32(t.busy_cycles);
+    case 5: return hi32(t.busy_cycles);
+    case 6: return t.blocked ? 1 : 0;
+    case 7: return lo32(t.gettask_count);
+    case 8: return lo32(t.schedule_count);
+    case 9: return lo32(t.switch_count);
+    case 10: return lo32(t.blocked_cycles);
+    case 11: return lo32(t.step_cycles.count());
+    case 12: return static_cast<std::uint32_t>(t.step_cycles.mean());
+    case 13: return static_cast<std::uint32_t>(t.step_cycles.max());
+    default: return 0;
+  }
+}
+
+void Shell::mmioWrite(sim::Addr offset, std::uint32_t value) {
+  const sim::Addr word = offset / 4;
+  const sim::Addr stream_words = static_cast<sim::Addr>(params_.max_streams) * kStreamRowWords;
+  if (word < stream_words) {
+    const auto rix = static_cast<std::uint32_t>(word / kStreamRowWords);
+    const auto f = static_cast<std::uint32_t>(word % kStreamRowWords);
+    StreamRow& r = streams_.row(rix);
+    switch (f) {
+      case 0: {
+        const bool was_valid = r.valid;
+        r.valid = value != 0;
+        if (r.valid && !was_valid) {
+          ports_[rix].cache = std::make_unique<StreamCache>(
+              sim_, sram_, params_.cache_line_bytes, params_.cache_lines_per_port,
+              static_cast<int>(params_.id));
+        }
+        break;
+      }
+      case 1: r.task = static_cast<sim::TaskId>(value); break;
+      case 2: r.port = static_cast<sim::PortId>(value); break;
+      case 3: r.is_producer = value != 0; break;
+      case 4: r.base = value; break;
+      case 5: r.size = value; break;
+      case 6: r.space = value; break;
+      case 7: r.remote_shell = value; break;
+      case 8: r.remote_row = value; break;
+      default:
+        throw std::invalid_argument("Shell::mmioWrite: read-only stream field");
+    }
+    return;
+  }
+  const sim::Addr tword = word - stream_words;
+  const auto tix = static_cast<sim::TaskId>(tword / kTaskRowWords);
+  const auto f = static_cast<std::uint32_t>(tword % kTaskRowWords);
+  if (static_cast<std::uint32_t>(tix) >= tasks_.capacity()) {
+    throw std::out_of_range("Shell::mmioWrite: offset beyond tables");
+  }
+  TaskRow& t = tasks_.row(tix);
+  switch (f) {
+    case 0: t.valid = value != 0; break;
+    case 1:
+      t.enabled = value != 0;
+      if (t.enabled) sched_event_.notifyAll();
+      break;
+    case 2: t.budget_cycles = value; break;
+    case 3: t.task_info = value; break;
+    default:
+      throw std::invalid_argument("Shell::mmioWrite: read-only task field");
+  }
+}
+
+}  // namespace eclipse::shell

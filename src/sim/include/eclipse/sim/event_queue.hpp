@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "eclipse/sim/types.hpp"
+
+namespace eclipse::sim {
+
+/// Time-ordered queue of simulation callbacks.
+///
+/// Events at the same cycle execute in insertion order (FIFO), which keeps
+/// the simulation deterministic regardless of heap internals.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  void push(Cycle at, Callback cb) {
+    heap_.push(Entry{at, seq_++, std::move(cb)});
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+
+  /// Drops every pending callback (used during simulator teardown so no
+  /// scheduled resume outlives its coroutine frame).
+  void clear() { heap_ = {}; }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Cycle of the earliest pending event. Undefined when empty.
+  [[nodiscard]] Cycle nextCycle() const { return heap_.top().at; }
+
+  /// Removes and returns the earliest pending callback.
+  Callback pop(Cycle* at = nullptr) {
+    // priority_queue::top() is const; the callback must be moved out, which
+    // is safe because we pop immediately afterwards.
+    Entry& top = const_cast<Entry&>(heap_.top());
+    Callback cb = std::move(top.cb);
+    if (at != nullptr) *at = top.at;
+    heap_.pop();
+    return cb;
+  }
+
+ private:
+  struct Entry {
+    Cycle at;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace eclipse::sim

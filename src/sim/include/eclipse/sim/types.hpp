@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+
+/// Basic scalar types shared by all Eclipse simulation modules.
+namespace eclipse::sim {
+
+/// Simulated clock cycle count. All timing in the simulator is expressed in
+/// cycles of the subsystem clock (the paper's instance targets 150 MHz for
+/// the coprocessors; the value of a cycle in wall-clock terms is irrelevant
+/// to the model).
+using Cycle = std::uint64_t;
+
+/// Byte address into one of the simulated memories.
+using Addr = std::uint64_t;
+
+/// Identifier of a task slot in a shell's task table (paper: task_id).
+using TaskId = std::int32_t;
+
+/// Identifier of a task port (paper: port_id). Port ids are local to a task.
+using PortId = std::int32_t;
+
+/// Sentinel returned by GetTask when no task is runnable right now.
+inline constexpr TaskId kNoTask = -1;
+
+}  // namespace eclipse::sim

@@ -1,0 +1,83 @@
+#include "eclipse/sim/simulator.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace eclipse::sim {
+
+namespace detail {
+
+void notifyRootDone(Simulator& sim, std::exception_ptr exception) {
+  if (sim.live_ > 0) --sim.live_;
+  if (exception && !sim.pending_error_) {
+    sim.pending_error_ = exception;
+    sim.stop();
+  }
+}
+
+}  // namespace detail
+
+Simulator::~Simulator() { destroyProcesses(); }
+
+void Simulator::destroyProcesses() {
+  // Destroy remaining coroutine frames. Frames suspended at a co_await are
+  // safe to destroy; their local objects are unwound. Pending events may
+  // capture handles into these frames, so the queue goes first.
+  queue_.clear();
+  for (auto& root : roots_) {
+    if (root.handle) {
+      root.handle.destroy();
+      root.handle = nullptr;
+    }
+  }
+  roots_.clear();
+  live_ = 0;
+}
+
+void Simulator::spawn(Task<void> task, std::string name) {
+  // Reclaim finished frames so long runs with many short-lived processes
+  // (e.g. cache prefetches) do not accumulate unbounded memory.
+  if (roots_.size() >= 1024) {
+    std::erase_if(roots_, [](RootProcess& r) {
+      if (r.handle && r.handle.done()) {
+        r.handle.destroy();
+        return true;
+      }
+      return false;
+    });
+  }
+  auto handle = task.release();
+  handle.promise().root_sim = this;
+  roots_.push_back(RootProcess{std::move(name), handle});
+  ++live_;
+  schedule(0, [handle] { handle.resume(); });
+}
+
+Cycle Simulator::run(Cycle until) {
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.nextCycle() > until) {
+      now_ = until;
+      return now_;
+    }
+    Cycle at = 0;
+    auto cb = queue_.pop(&at);
+    now_ = at;
+    ++events_;
+    cb();
+    if (pending_error_) {
+      auto err = std::exchange(pending_error_, nullptr);
+      std::rethrow_exception(err);
+    }
+  }
+  return now_;
+}
+
+void Simulator::trace(int level, std::string_view msg) const {
+  if (level <= verbosity_) {
+    std::fprintf(stderr, "[%12llu] %.*s\n", static_cast<unsigned long long>(now_),
+                 static_cast<int>(msg.size()), msg.data());
+  }
+}
+
+}  // namespace eclipse::sim

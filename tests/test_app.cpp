@@ -1,0 +1,258 @@
+// Tests for the application layer: instance building, resource allocation,
+// setup-file loading, KPN decoder, trace rendering and run determinism.
+
+#include <gtest/gtest.h>
+
+#include "eclipse/app/kpn_media.hpp"
+#include "eclipse/eclipse.hpp"
+
+namespace {
+
+using namespace eclipse;
+
+media::VideoGenParams tinyVideo() {
+  media::VideoGenParams vp;
+  vp.width = 48;
+  vp.height = 32;
+  vp.frames = 7;
+  vp.seed = 5;
+  return vp;
+}
+
+media::CodecParams tinyCodec() {
+  media::CodecParams cp;
+  cp.width = 48;
+  cp.height = 32;
+  cp.gop = media::GopStructure{6, 3};
+  return cp;
+}
+
+std::vector<std::uint8_t> tinyStream(media::Encoder& enc) {
+  return enc.encode(media::generateVideo(tinyVideo()));
+}
+
+// ----------------------------------------------------------- instance
+
+TEST(Instance, SramAllocatorAlignsAndExhausts) {
+  app::InstanceParams ip;
+  ip.sram.size_bytes = 1024;
+  app::EclipseInstance inst(ip);
+  const auto a = inst.allocSram(100);  // rounded to 128
+  const auto b = inst.allocSram(64);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 128u);
+  EXPECT_EQ(b % 64, 0u);
+  (void)inst.allocSram(832);
+  EXPECT_THROW((void)inst.allocSram(64), std::runtime_error);
+}
+
+TEST(Instance, TaskAllocatorExhaustsPerShell) {
+  app::InstanceParams ip;
+  ip.max_tasks = 2;
+  app::EclipseInstance inst(ip);
+  EXPECT_EQ(inst.allocTask(inst.dctShell()), 0);
+  EXPECT_EQ(inst.allocTask(inst.dctShell()), 1);
+  EXPECT_THROW((void)inst.allocTask(inst.dctShell()), std::runtime_error);
+  EXPECT_EQ(inst.allocTask(inst.mcShell()), 0);  // independent tables
+}
+
+TEST(Instance, ConnectStreamLinksRemoteRows) {
+  app::EclipseInstance inst;
+  const auto h = inst.connectStream({&inst.vldShell(), 0, 0}, {&inst.rlsqShell(), 0, 0}, 256);
+  const auto& prow = inst.vldShell().streams().row(h.producer_row);
+  const auto& crow = inst.rlsqShell().streams().row(h.consumer_row);
+  EXPECT_EQ(prow.remote_shell, inst.rlsqShell().id());
+  EXPECT_EQ(prow.remote_row, h.consumer_row);
+  EXPECT_EQ(crow.remote_shell, inst.vldShell().id());
+  EXPECT_EQ(crow.remote_row, h.producer_row);
+  EXPECT_TRUE(prow.is_producer);
+  EXPECT_FALSE(crow.is_producer);
+  EXPECT_EQ(prow.space, 256u);
+  EXPECT_EQ(crow.space, 0u);
+}
+
+TEST(Instance, FromConfigAppliesOverrides) {
+  const auto cfg = sim::Config::fromString(
+      "[sram]\nsize_bytes = 65536\nbus_width_bytes = 8\n"
+      "[shell]\nprefetch = false\ncache_line_bytes = 32\n"
+      "[dct]\npipelined = true\n");
+  const auto ip = app::InstanceParams::fromConfig(cfg);
+  EXPECT_EQ(ip.sram.size_bytes, 65536u);
+  EXPECT_EQ(ip.sram.bus_width_bytes, 8u);
+  EXPECT_FALSE(ip.prefetch);
+  EXPECT_EQ(ip.cache_line_bytes, 32u);
+  EXPECT_TRUE(ip.dct.pipelined);
+  // Untouched fields keep defaults.
+  EXPECT_EQ(ip.dram.access_latency, app::InstanceParams{}.dram.access_latency);
+}
+
+// ---------------------------------------------------------- KPN level
+
+TEST(KpnDecoder, BitExactAgainstGolden) {
+  media::Encoder enc(tinyCodec());
+  const auto bits = tinyStream(enc);
+  app::KpnDecoder dec(bits);
+  const auto out = dec.run();
+  ASSERT_EQ(out.size(), enc.reconstructed().size());
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], enc.reconstructed()[i]);
+}
+
+TEST(KpnDecoder, EdgeStatisticsAccumulate) {
+  media::Encoder enc(tinyCodec());
+  const auto bits = tinyStream(enc);
+  app::KpnDecoder dec(bits);
+  (void)dec.run();
+  EXPECT_GT(dec.graph().edge(dec.coefEdge()).totalProduced(), 0u);
+  EXPECT_EQ(dec.graph().edge(dec.pixEdge()).totalProduced(),
+            dec.graph().edge(dec.pixEdge()).totalConsumed());
+}
+
+TEST(KpnDecoder, SmallFifosStillComplete) {
+  media::Encoder enc(tinyCodec());
+  const auto bits = tinyStream(enc);
+  app::KpnDecoder dec(bits, 2048);  // just above the largest packet
+  const auto out = dec.run();
+  EXPECT_EQ(out.size(), 7u);
+  EXPECT_LE(dec.graph().edge(dec.coefEdge()).maxFill(), 2048u);
+}
+
+// ------------------------------------------------------------- traces
+
+TEST(Trace, RenderSeriesShowsNameAndScale) {
+  sim::TimeSeries s("demo series");
+  for (sim::Cycle c = 0; c < 100; ++c) s.sample(c, static_cast<double>(c % 10));
+  const auto txt = app::renderSeries(s);
+  EXPECT_NE(txt.find("demo series"), std::string::npos);
+  EXPECT_NE(txt.find('#'), std::string::npos);
+}
+
+TEST(Trace, CsvHasHeaderAndRows) {
+  sim::TimeSeries a("a"), b("b");
+  a.sample(10, 1.5);
+  b.sample(20, 2.5);
+  const auto csv = app::toCsv({&a, &b});
+  EXPECT_NE(csv.find("cycle,a,b"), std::string::npos);
+  EXPECT_NE(csv.find("10,1.5,"), std::string::npos);
+  EXPECT_NE(csv.find("20,,2.5"), std::string::npos);
+}
+
+TEST(Trace, DifferentiateComputesRates) {
+  sim::TimeSeries cum("c");
+  cum.sample(0, 0);
+  cum.sample(10, 50);   // rate 5
+  cum.sample(20, 50);   // rate 0
+  const auto rate = app::differentiate(cum, "rate");
+  ASSERT_EQ(rate.size(), 2u);
+  EXPECT_DOUBLE_EQ(rate.points()[0].second, 5.0);
+  EXPECT_DOUBLE_EQ(rate.points()[1].second, 0.0);
+}
+
+TEST(Trace, ActivityStripsQuantizeCorrectly) {
+  sim::TimeSeries busy("busy"), idle("idle"), half("half");
+  for (sim::Cycle c = 0; c < 100; ++c) {
+    busy.sample(c, 1.0);
+    idle.sample(c, 0.0);
+    half.sample(c, c % 2 == 0 ? 1.0 : 0.0);
+  }
+  const auto txt = app::renderActivityStrips({&busy, &idle, &half}, 20);
+  // One '#' lane, one blank lane, one '.'/':' lane.
+  EXPECT_NE(txt.find("busy |####################|"), std::string::npos);
+  EXPECT_NE(txt.find("idle |                    |"), std::string::npos);
+  EXPECT_NE(txt.find("half |"), std::string::npos);
+  EXPECT_EQ(txt.find("half |####"), std::string::npos);
+}
+
+TEST(Trace, EmptySeriesRendersSafely) {
+  sim::TimeSeries s("empty");
+  EXPECT_NO_THROW((void)app::renderSeries(s));
+  EXPECT_NO_THROW((void)app::renderStack({&s, nullptr}));
+}
+
+// ----------------------------------------------------- timed decoding
+
+TEST(Apps, ProfilerCollectsSeries) {
+  media::Encoder enc(tinyCodec());
+  const auto bits = tinyStream(enc);
+  app::InstanceParams ip;
+  ip.profiler_period = 200;
+  app::EclipseInstance inst(ip);
+  app::DecodeApp dec(inst, bits);
+  inst.run();
+  ASSERT_TRUE(dec.done());
+  const auto& row = dec.coefStream().consumer_shell->streams().row(dec.coefStream().consumer_row);
+  EXPECT_GT(row.fill_series.size(), 10u);
+  EXPECT_GT(row.fill_series.maxValue(), 0.0);
+}
+
+TEST(Apps, ProcessingStepGranularityMatchesThePaper) {
+  // Section 5.3: "The target granularity for processing steps within the
+  // Eclipse architecture is in the range of 10-1000 clock cycles."
+  media::Encoder enc(tinyCodec());
+  const auto bits = tinyStream(enc);
+  app::EclipseInstance inst;
+  app::DecodeApp dec(inst, bits);
+  inst.run();
+  ASSERT_TRUE(dec.done());
+  for (shell::Shell* sh :
+       {&inst.vldShell(), &inst.rlsqShell(), &inst.dctShell(), &inst.mcShell()}) {
+    const auto& t = sh->tasks().row(0);
+    ASSERT_GT(t.step_cycles.count(), 0u) << sh->name();
+    EXPECT_GE(t.step_cycles.mean(), 10.0) << sh->name();
+    EXPECT_LE(t.step_cycles.mean(), 2000.0) << sh->name();
+  }
+}
+
+TEST(Apps, RunIsCycleDeterministic) {
+  media::Encoder enc(tinyCodec());
+  const auto bits = tinyStream(enc);
+  auto runOnce = [&] {
+    app::EclipseInstance inst;
+    app::DecodeApp dec(inst, bits);
+    return inst.run();
+  };
+  const auto a = runOnce();
+  EXPECT_EQ(a, runOnce());
+  EXPECT_EQ(a, runOnce());
+}
+
+TEST(Apps, ThreeSimultaneousDecodes) {
+  media::Encoder enc(tinyCodec());
+  const auto bits = tinyStream(enc);
+  app::InstanceParams ip;
+  ip.sram.size_bytes = 96 * 1024;
+  app::EclipseInstance inst(ip);
+  std::vector<std::unique_ptr<app::DecodeApp>> apps;
+  for (int i = 0; i < 3; ++i) apps.push_back(std::make_unique<app::DecodeApp>(inst, bits));
+  inst.run(2'000'000'000);
+  for (auto& a : apps) {
+    ASSERT_TRUE(a->done());
+    const auto frames = a->frames();
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      ASSERT_EQ(frames[i], enc.reconstructed()[i]);
+    }
+  }
+}
+
+TEST(Apps, BlockedStreamsShowDenialsUnderTinyBuffers) {
+  media::Encoder enc(tinyCodec());
+  const auto bits = tinyStream(enc);
+  app::DecodeAppConfig cfg;
+  cfg.coef_buffer = 1280;   // just above the worst-case coef frame
+  cfg.blocks_buffer = 832;  // just above the blocks frame
+  cfg.res_buffer = 832;
+  cfg.pix_buffer = 448;
+  app::EclipseInstance inst;
+  app::DecodeApp dec(inst, bits);
+  app::EclipseInstance inst2;
+  app::DecodeApp dec2(inst2, bits, cfg);
+  inst.run();
+  inst2.run();
+  ASSERT_TRUE(dec.done());
+  ASSERT_TRUE(dec2.done());
+  auto denials = [](app::DecodeApp& d) {
+    return d.coefStream().producer_shell->streams().row(d.coefStream().producer_row).getspace_denied;
+  };
+  EXPECT_GT(denials(dec2), denials(dec));
+}
+
+}  // namespace

@@ -1,0 +1,110 @@
+// Tests for the audio substrate (software decoding on the media processor,
+// Section 6) and its Eclipse application.
+
+#include <gtest/gtest.h>
+
+#include "eclipse/app/audio_app.hpp"
+#include "eclipse/eclipse.hpp"
+
+namespace {
+
+using namespace eclipse;
+using namespace eclipse::media;
+
+TEST(Audio, RoundTripQuality) {
+  const auto pcm = audio::generateTone(48000, 7);
+  const auto coded = audio::encode(pcm);
+  const auto out = audio::decode(coded);
+  ASSERT_EQ(out.size(), pcm.size());
+  EXPECT_GT(audio::snrDb(pcm, out), 25.0);
+  // 4-bit ADPCM: about 4.1 bits/sample incl. block headers.
+  EXPECT_LT(coded.size(), pcm.size());
+}
+
+TEST(Audio, SilenceCodesCleanly) {
+  std::vector<std::int16_t> silence(2048, 0);
+  const auto out = audio::decode(audio::encode(silence));
+  for (const auto s : out) EXPECT_NEAR(s, 0, 8);
+}
+
+TEST(Audio, BlocksAreIndependentlyDecodable) {
+  const auto pcm = audio::generateTone(1024, 9);
+  audio::AudioParams p;
+  p.block_samples = 256;
+  const auto coded = audio::encode(pcm, p);
+  // Decode only the third block via the block API.
+  const std::size_t bb = audio::blockBytes(p.block_samples);
+  std::vector<std::int16_t> block;
+  audio::decodeBlock(std::span<const std::uint8_t>(coded).subspan(16 + 2 * bb, bb),
+                     p.block_samples, block);
+  const auto full = audio::decode(coded);
+  for (std::size_t i = 0; i < p.block_samples; ++i) {
+    EXPECT_EQ(block[i], full[512 + i]);
+  }
+}
+
+TEST(Audio, MalformedStreamsRejected) {
+  EXPECT_THROW((void)audio::decode(std::vector<std::uint8_t>{1, 2, 3}), std::runtime_error);
+  auto coded = audio::encode(audio::generateTone(512, 1));
+  coded.resize(coded.size() / 2);
+  EXPECT_THROW((void)audio::decode(coded), std::runtime_error);
+  EXPECT_THROW((void)audio::encode(std::vector<std::int16_t>(16), audio::AudioParams{48000, 3}),
+               std::invalid_argument);
+}
+
+TEST(Audio, ToneGeneratorDeterministic) {
+  EXPECT_EQ(audio::generateTone(1000, 3), audio::generateTone(1000, 3));
+  EXPECT_NE(audio::generateTone(1000, 3), audio::generateTone(1000, 4));
+}
+
+// ------------------------------------------------------------ Eclipse app
+
+TEST(AudioApp, SoftwareDecodeMatchesGolden) {
+  const auto pcm = audio::generateTone(8192, 21);
+  const auto coded = audio::encode(pcm);
+  const auto golden = audio::decode(coded);
+
+  app::EclipseInstance inst;
+  app::AudioDecodeApp app(inst, coded);
+  inst.run(2'000'000'000ULL);
+  ASSERT_TRUE(app.done());
+  EXPECT_EQ(app.pcm(), golden);
+}
+
+TEST(AudioApp, RunsAlongsideVideoDecodeOnTheCpu) {
+  // The Figure-8 mix: hardware coprocessors decode video while the DSP-CPU
+  // decodes audio, all on one instance.
+  media::VideoGenParams vp;
+  vp.width = 64;
+  vp.height = 48;
+  vp.frames = 6;
+  media::CodecParams cp;
+  cp.width = vp.width;
+  cp.height = vp.height;
+  cp.gop = media::GopStructure{6, 3};
+  media::Encoder enc(cp);
+  const auto vbits = enc.encode(media::generateVideo(vp));
+
+  const auto pcm = audio::generateTone(16384, 33);
+  const auto abits = audio::encode(pcm);
+
+  app::InstanceParams ip;
+  ip.sram.size_bytes = 64 * 1024;
+  app::EclipseInstance inst(ip);
+  app::DecodeApp video(inst, vbits);
+  app::AudioDecodeApp audio_app(inst, abits);
+  const auto cycles = inst.run(4'000'000'000ULL);
+  (void)cycles;
+
+  ASSERT_TRUE(video.done());
+  ASSERT_TRUE(audio_app.done());
+  const auto vframes = video.frames();
+  for (std::size_t i = 0; i < vframes.size(); ++i) {
+    EXPECT_EQ(vframes[i], enc.reconstructed()[i]);
+  }
+  EXPECT_EQ(audio_app.pcm(), audio::decode(abits));
+  // The CPU really multi-tasked its two audio tasks.
+  EXPECT_GT(inst.cpuShell().taskSwitches(), 10u);
+}
+
+}  // namespace

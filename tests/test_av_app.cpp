@@ -1,0 +1,123 @@
+// Tests for the transport mux substrate and the full A/V playback
+// application (software demux + audio decode on the CPU, hardware video).
+
+#include <gtest/gtest.h>
+
+#include "eclipse/app/av_app.hpp"
+#include "eclipse/eclipse.hpp"
+#include "eclipse/media/audio.hpp"
+#include "eclipse/media/mux.hpp"
+#include "eclipse/sim/prng.hpp"
+
+namespace {
+
+using namespace eclipse;
+using namespace eclipse::media;
+
+TEST(Mux, RoundTripsStreams) {
+  sim::Prng rng(5);
+  std::vector<std::vector<std::uint8_t>> streams(3);
+  streams[0].resize(5000);
+  streams[1].resize(1200);
+  streams[2].resize(333);
+  for (auto& s : streams) {
+    for (auto& b : s) b = static_cast<std::uint8_t>(rng.below(256));
+  }
+  const auto ts = mux::interleave(streams);
+  EXPECT_EQ(ts.size() % mux::kPacketBytes, 0u);
+  const auto back = mux::split(ts);
+  ASSERT_EQ(back.size(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(back[static_cast<std::size_t>(i)], streams[static_cast<std::size_t>(i)]);
+}
+
+TEST(Mux, InterleavingIsActuallyInterleaved) {
+  std::vector<std::vector<std::uint8_t>> streams(2);
+  streams[0].assign(4000, 1);
+  streams[1].assign(4000, 2);
+  const auto ts = mux::interleave(streams);
+  // Count transitions between stream ids: round-robin => many.
+  int transitions = 0;
+  int last = -1;
+  for (std::size_t at = 0; at < ts.size(); at += mux::kPacketBytes) {
+    const int id = ts[at];
+    if (last >= 0 && id != last) ++transitions;
+    last = id;
+  }
+  EXPECT_GT(transitions, 10);
+}
+
+TEST(Mux, MalformedInputRejected) {
+  EXPECT_THROW((void)mux::split(std::vector<std::uint8_t>(100)), std::runtime_error);
+  std::vector<std::uint8_t> bad(mux::kPacketBytes, 0);
+  bad[0] = 99;  // stream id out of range
+  EXPECT_THROW((void)mux::parsePacket(bad), std::runtime_error);
+  EXPECT_THROW((void)mux::interleave({}), std::invalid_argument);
+}
+
+TEST(AvPlayback, EndToEndAvDecode) {
+  // Video ES.
+  media::VideoGenParams vp;
+  vp.width = 64;
+  vp.height = 48;
+  vp.frames = 6;
+  media::CodecParams cp;
+  cp.width = vp.width;
+  cp.height = vp.height;
+  cp.gop = media::GopStructure{6, 3};
+  media::Encoder enc(cp);
+  const auto vbits = enc.encode(media::generateVideo(vp));
+  // Audio ES.
+  const auto pcm = audio::generateTone(12288, 55);
+  const auto abits = audio::encode(pcm);
+  // Multiplex.
+  const auto ts = mux::interleave({vbits, abits});
+
+  app::InstanceParams ip;
+  ip.sram.size_bytes = 64 * 1024;
+  app::EclipseInstance inst(ip);
+  app::AvPlaybackApp av(inst, ts);
+  const auto cycles = inst.run(8'000'000'000ULL);
+  (void)cycles;
+
+  ASSERT_TRUE(av.done());
+  EXPECT_EQ(av.packetsDemuxed(), ts.size() / mux::kPacketBytes);
+  const auto frames = av.frames();
+  ASSERT_EQ(frames.size(), 6u);
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(frames[i], enc.reconstructed()[i]);
+  }
+  EXPECT_EQ(av.pcm(), audio::decode(abits));
+  // Three software tasks shared the CPU: demux, audio feeder, audio decoder.
+  int cpu_tasks = 0;
+  for (std::uint32_t t = 0; t < inst.cpuShell().tasks().capacity(); ++t) {
+    if (inst.cpuShell().tasks().row(static_cast<sim::TaskId>(t)).valid) ++cpu_tasks;
+  }
+  EXPECT_EQ(cpu_tasks, 3);
+}
+
+TEST(AvPlayback, VideoWaitsForDemuxToEnableIt) {
+  media::VideoGenParams vp;
+  vp.width = 48;
+  vp.height = 32;
+  vp.frames = 4;
+  media::CodecParams cp;
+  cp.width = vp.width;
+  cp.height = vp.height;
+  media::Encoder enc(cp);
+  const auto vbits = enc.encode(media::generateVideo(vp));
+  const auto abits = audio::encode(audio::generateTone(4096, 2));
+  const auto ts = mux::interleave({vbits, abits});
+
+  app::InstanceParams ip;
+  ip.sram.size_bytes = 64 * 1024;
+  app::EclipseInstance inst(ip);
+  app::AvPlaybackApp av(inst, ts);
+  inst.start();
+  inst.run(2'000);  // long before the demux can finish staging
+  // VLD must still be disabled (no video packets decoded yet).
+  EXPECT_FALSE(inst.vldShell().tasks().row(av.video().vldTask()).enabled);
+  inst.run(8'000'000'000ULL);
+  ASSERT_TRUE(av.done());
+}
+
+}  // namespace

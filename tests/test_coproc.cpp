@@ -1,0 +1,142 @@
+// Tests for the coprocessor layer: packet framing over streams, worst-case
+// frame bounds, coprocessor stage behaviour against the functional stages,
+// and end-of-stream task retirement.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "eclipse/coproc/limits.hpp"
+#include "eclipse/coproc/packet_io.hpp"
+#include "eclipse/media/codec.hpp"
+#include "eclipse/sim/prng.hpp"
+#include "shell_fixture.hpp"
+
+namespace {
+
+using namespace eclipse;
+using namespace eclipse::coproc;
+using eclipse::test::TwoShellFixture;
+using shell::Shell;
+using sim::Task;
+
+class PacketIo : public TwoShellFixture {};
+
+Task<void> writeThenRead(Shell& prod, Shell& cons, const std::vector<std::uint8_t>& pkt) {
+  co_await packet_io::write(prod, 0, 0, pkt, /*wait=*/true);
+  std::vector<std::uint8_t> got;
+  co_await packet_io::blockingRead(cons, 0, 0, got);
+  EXPECT_EQ(got, pkt);
+}
+
+TEST_F(PacketIo, FramedRoundTrip) {
+  connect(256);
+  std::vector<std::uint8_t> pkt{static_cast<std::uint8_t>(media::PacketTag::Mb), 1, 2, 3, 4, 5};
+  run(writeThenRead(*prod, *cons, pkt));
+}
+
+Task<void> tryReadOnEmpty(Shell& cons, packet_io::ReadStatus& st) {
+  std::vector<std::uint8_t> got;
+  st = co_await packet_io::tryRead(cons, 0, 0, got);
+}
+
+TEST_F(PacketIo, TryReadReportsBlockedWithoutCommitting) {
+  connect(256);
+  auto st = packet_io::ReadStatus::Ok;
+  run(tryReadOnEmpty(*cons, st));
+  EXPECT_EQ(st, packet_io::ReadStatus::Blocked);
+  EXPECT_EQ(cons->streams().row(cons_row).putspace_calls, 0u);
+}
+
+Task<void> peekDoesNotConsume(Shell& prod, Shell& cons) {
+  const std::vector<std::uint8_t> pkt{static_cast<std::uint8_t>(media::PacketTag::Pic), 7, 7};
+  co_await packet_io::write(prod, 0, 0, pkt, true);
+
+  std::vector<std::uint8_t> a, b;
+  const auto r1 = co_await packet_io::tryPeek(cons, 0, 0, a);
+  EXPECT_EQ(r1.status, packet_io::ReadStatus::Ok);
+  // A second peek sees the same packet: nothing was committed.
+  const auto r2 = co_await packet_io::tryPeek(cons, 0, 0, b);
+  EXPECT_EQ(r2.status, packet_io::ReadStatus::Ok);
+  EXPECT_EQ(a, b);
+  co_await cons.putSpace(0, 0, r2.frame_bytes);
+  // Now the stream is empty again.
+  std::vector<std::uint8_t> c;
+  const auto r3 = co_await packet_io::tryPeek(cons, 0, 0, c);
+  EXPECT_EQ(r3.status, packet_io::ReadStatus::Blocked);
+}
+
+TEST_F(PacketIo, PeekIsRepeatableUntilCommit) {
+  connect(256);
+  run(peekDoesNotConsume(*prod, *cons));
+}
+
+Task<void> partialPacketBlocks(Shell& prod, Shell& cons) {
+  // Write only the length word of a large frame: the reader must see the
+  // length, fail the second GetSpace, and leave the length uncommitted —
+  // the Section 4.2 conditional-input abort.
+  const std::uint32_t fake_len = 100;
+  std::uint8_t hdr[4];
+  std::memcpy(hdr, &fake_len, sizeof fake_len);
+  EXPECT_TRUE(co_await prod.getSpace(0, 0, 4));
+  co_await prod.write(0, 0, 0, hdr);
+  co_await prod.putSpace(0, 0, 4);
+
+  std::vector<std::uint8_t> got;
+  const auto r1 = co_await packet_io::tryRead(cons, 0, 0, got);
+  EXPECT_EQ(r1, packet_io::ReadStatus::Blocked);
+
+  // Producer completes the packet; the reader restarts from the beginning.
+  std::vector<std::uint8_t> body(fake_len, 0xCD);
+  co_await prod.waitSpace(0, 0, static_cast<std::uint32_t>(body.size()));
+  co_await prod.write(0, 0, 0, body);
+  co_await prod.putSpace(0, 0, static_cast<std::uint32_t>(body.size()));
+
+  const auto r2 = co_await packet_io::tryRead(cons, 0, 0, got);
+  EXPECT_EQ(r2, packet_io::ReadStatus::Ok);
+  EXPECT_EQ(got, body);
+}
+
+TEST_F(PacketIo, ConditionalInputAbortAndRestart) {
+  connect(256);
+  run(partialPacketBlocks(*prod, *cons));
+}
+
+// ------------------------------------------------------- frame bounds
+
+TEST(Limits, CoefsBoundCoversWorstCase) {
+  // Worst-case macroblock: every block coded with 64 escape pairs.
+  media::MbCoefs worst;
+  worst.cbp = 0x3F;
+  worst.intra = 1;
+  for (auto& b : worst.blocks) {
+    for (int i = 0; i < 64; ++i) b.push_back(media::rle::RunLevel{0, 2047});
+  }
+  media::ByteWriter w;
+  media::put(w, worst);
+  EXPECT_LE(packet_io::frameBytes(static_cast<std::uint32_t>(w.size() + 1)), kMaxCoefsFrame);
+}
+
+TEST(Limits, BlocksAndPixelBoundsCoverSerialisedSizes) {
+  media::MbBlocks blocks;
+  media::ByteWriter wb;
+  media::put(wb, blocks);
+  EXPECT_LE(packet_io::frameBytes(static_cast<std::uint32_t>(wb.size() + 1)), kMaxBlocksFrame);
+
+  media::MbPixels px;
+  media::ByteWriter wp;
+  media::put(wp, px);
+  EXPECT_LE(packet_io::frameBytes(static_cast<std::uint32_t>(wp.size() + 1)), kMaxPixelsFrame);
+
+  media::MbHeader h;
+  media::ByteWriter wh;
+  media::put(wh, h);
+  EXPECT_LE(packet_io::frameBytes(static_cast<std::uint32_t>(wh.size() + 1)), kMaxHeaderFrame);
+
+  media::SeqHeader sh;
+  media::ByteWriter ws;
+  media::put(ws, sh);
+  EXPECT_LE(packet_io::frameBytes(static_cast<std::uint32_t>(ws.size() + 1)), kMaxCtlFrame);
+}
+
+}  // namespace

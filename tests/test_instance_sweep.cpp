@@ -1,0 +1,113 @@
+// Template-parameter property sweep (Section 2.3: "architecture templates
+// provide a set of parameterized rules for the composition of a
+// (sub)system"): functional correctness of the full decode application
+// must be invariant across the architectural parameter space — timing
+// changes, contents never do.
+
+#include <gtest/gtest.h>
+
+#include "eclipse/eclipse.hpp"
+
+namespace {
+
+using namespace eclipse;
+
+struct SweepPoint {
+  const char* name;
+  app::InstanceParams ip;
+};
+
+std::vector<SweepPoint> sweepPoints() {
+  std::vector<SweepPoint> pts;
+  {
+    SweepPoint p{"default", {}};
+    pts.push_back(p);
+  }
+  {
+    SweepPoint p{"tiny_caches", {}};
+    p.ip.cache_line_bytes = 16;
+    p.ip.cache_lines_per_port = 1;
+    p.ip.prefetch = false;
+    pts.push_back(p);
+  }
+  {
+    SweepPoint p{"big_caches", {}};
+    p.ip.cache_line_bytes = 128;
+    p.ip.cache_lines_per_port = 8;
+    pts.push_back(p);
+  }
+  {
+    SweepPoint p{"narrow_everything", {}};
+    p.ip.sram.bus_width_bytes = 2;
+    p.ip.dram.bus_width_bytes = 2;
+    p.ip.port_width_bytes = 4;
+    pts.push_back(p);
+  }
+  {
+    SweepPoint p{"slow_sync", {}};
+    p.ip.sync_latency = 12;
+    p.ip.gettask_latency = 9;
+    p.ip.message_latency = 20;
+    pts.push_back(p);
+  }
+  {
+    SweepPoint p{"min_latency_handshakes", {}};
+    p.ip.sync_latency = 1;
+    p.ip.gettask_latency = 1;
+    p.ip.io_latency = 1;
+    p.ip.message_latency = 1;
+    pts.push_back(p);
+  }
+  {
+    SweepPoint p{"naive_scheduler", {}};
+    p.ip.best_guess = false;
+    pts.push_back(p);
+  }
+  {
+    SweepPoint p{"slow_dram_pipelined_dct", {}};
+    p.ip.dram.access_latency = 150;
+    p.ip.dct.pipelined = true;
+    pts.push_back(p);
+  }
+  {
+    SweepPoint p{"line32_single", {}};
+    p.ip.cache_line_bytes = 32;
+    p.ip.cache_lines_per_port = 1;
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+class InstanceSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(InstanceSweep, DecodeBitExactAcrossParameterSpace) {
+  media::VideoGenParams vp;
+  vp.width = 48;
+  vp.height = 32;
+  vp.frames = 6;
+  vp.seed = 77;
+  const auto frames = media::generateVideo(vp);
+  media::CodecParams cp;
+  cp.width = vp.width;
+  cp.height = vp.height;
+  cp.gop = media::GopStructure{6, 3};
+  media::Encoder enc(cp);
+  const auto bits = enc.encode(frames);
+
+  const auto pt = sweepPoints()[GetParam()];
+  app::EclipseInstance inst(pt.ip);
+  app::DecodeApp dec(inst, bits);
+  const auto end = inst.run(8'000'000'000ULL);
+  ASSERT_TRUE(dec.done()) << pt.name << " incomplete at " << end;
+  const auto out = dec.frames();
+  ASSERT_EQ(out.size(), frames.size()) << pt.name;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], enc.reconstructed()[i]) << pt.name << " frame " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Points, InstanceSweep,
+                         ::testing::Range<std::size_t>(0, sweepPoints().size()),
+                         [](const auto& info) { return sweepPoints()[info.param].name; });
+
+}  // namespace

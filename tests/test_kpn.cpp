@@ -1,0 +1,234 @@
+// Unit tests for the functional Kahn Process Network runtime: FIFO
+// semantics, graph construction, determinism and deadlock detection.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <thread>
+
+#include "eclipse/kpn/fifo.hpp"
+#include "eclipse/kpn/graph.hpp"
+
+namespace {
+
+using namespace eclipse::kpn;
+
+// ------------------------------------------------------------------ fifo
+
+TEST(ByteFifo, BasicRoundTrip) {
+  ByteFifo f(64);
+  std::uint8_t in[5] = {1, 2, 3, 4, 5};
+  f.write(in);
+  std::uint8_t out[5] = {};
+  EXPECT_TRUE(f.readAll(out));
+  EXPECT_EQ(0, std::memcmp(in, out, 5));
+  EXPECT_EQ(f.totalProduced(), 5u);
+  EXPECT_EQ(f.totalConsumed(), 5u);
+}
+
+TEST(ByteFifo, WrapsAroundCapacity) {
+  ByteFifo f(8);
+  std::uint8_t buf[6];
+  for (int round = 0; round < 10; ++round) {
+    for (auto& b : buf) b = static_cast<std::uint8_t>(round);
+    f.write(buf);
+    std::uint8_t out[6];
+    ASSERT_TRUE(f.readAll(out));
+    for (auto b : out) ASSERT_EQ(b, round);
+  }
+}
+
+TEST(ByteFifo, EofAfterClose) {
+  ByteFifo f(16);
+  std::uint8_t in[3] = {9, 9, 9};
+  f.write(in);
+  f.close();
+  std::uint8_t out[3];
+  EXPECT_TRUE(f.readAll(out));   // drains remaining data
+  EXPECT_FALSE(f.readAll(out));  // then EOF
+  EXPECT_EQ(f.readSome(out), 0u);
+}
+
+TEST(ByteFifo, WriteAfterCloseThrows) {
+  ByteFifo f(16);
+  f.close();
+  std::uint8_t b[1] = {0};
+  EXPECT_THROW(f.write(b), std::logic_error);
+}
+
+TEST(ByteFifo, BlockingProducerConsumer) {
+  ByteFifo f(4);  // smaller than the transfer: forces blocking both ways
+  std::vector<std::uint8_t> data(1000);
+  std::iota(data.begin(), data.end(), 0);
+  std::thread producer([&] {
+    f.write(data);
+    f.close();
+  });
+  std::vector<std::uint8_t> got(1000);
+  EXPECT_TRUE(f.readAll(got));
+  producer.join();
+  EXPECT_EQ(data, got);
+  EXPECT_LE(f.maxFill(), 4u);
+}
+
+TEST(ByteFifo, TimeoutDetectsDeadlock) {
+  ByteFifo f(4);
+  f.setTimeout(std::chrono::milliseconds(50));
+  std::uint8_t out[1];
+  EXPECT_THROW((void)f.readAll(out), DeadlockError);
+}
+
+TEST(ByteFifo, ZeroCapacityRejected) { EXPECT_THROW(ByteFifo f(0), std::invalid_argument); }
+
+// ----------------------------------------------------------------- graph
+
+TEST(Graph, SimplePipelineRuns) {
+  Graph g;
+  const int src = g.addTask("src", [](TaskContext& ctx) {
+    for (std::uint32_t i = 0; i < 100; ++i) ctx.write(0, i);
+  });
+  const int dbl = g.addTask("dbl", [](TaskContext& ctx) {
+    std::uint32_t v = 0;
+    while (ctx.read(0, v)) ctx.write(0, v * 2);
+  });
+  std::vector<std::uint32_t> got;
+  const int snk = g.addTask("snk", [&](TaskContext& ctx) {
+    std::uint32_t v = 0;
+    while (ctx.read(0, v)) got.push_back(v);
+  });
+  g.connect(src, 0, dbl, 0, 64);
+  g.connect(dbl, 0, snk, 0, 64);
+  g.run();
+  ASSERT_EQ(got.size(), 100u);
+  for (std::uint32_t i = 0; i < 100; ++i) EXPECT_EQ(got[i], 2 * i);
+}
+
+TEST(Graph, ForkAndJoin) {
+  Graph g;
+  const int src = g.addTask("src", [](TaskContext& ctx) {
+    for (std::uint32_t i = 0; i < 50; ++i) {
+      ctx.write(0, i);
+      ctx.write(1, i * 10);
+    }
+  });
+  const int pass_a = g.addTask("a", [](TaskContext& ctx) {
+    std::uint32_t v;
+    while (ctx.read(0, v)) ctx.write(0, v + 1);
+  });
+  const int pass_b = g.addTask("b", [](TaskContext& ctx) {
+    std::uint32_t v;
+    while (ctx.read(0, v)) ctx.write(0, v + 2);
+  });
+  std::uint64_t sum = 0;
+  const int join = g.addTask("join", [&](TaskContext& ctx) {
+    std::uint32_t x, y;
+    while (ctx.read(0, x) && ctx.read(1, y)) sum += x + y;
+  });
+  g.connect(src, 0, pass_a, 0, 64);
+  g.connect(src, 1, pass_b, 0, 64);
+  g.connect(pass_a, 0, join, 0, 64);
+  g.connect(pass_b, 0, join, 1, 64);
+  g.run();
+  // sum of (i+1) + (10i+2) for i in 0..49
+  std::uint64_t expect = 0;
+  for (std::uint32_t i = 0; i < 50; ++i) expect += (i + 1) + (10 * i + 2);
+  EXPECT_EQ(sum, expect);
+}
+
+TEST(Graph, RejectsDoubleConnections) {
+  Graph g;
+  const int a = g.addTask("a", [](TaskContext&) {});
+  const int b = g.addTask("b", [](TaskContext&) {});
+  const int c = g.addTask("c", [](TaskContext&) {});
+  g.connect(a, 0, b, 0, 16);
+  EXPECT_THROW(g.connect(a, 0, c, 0, 16), std::logic_error);  // output reused
+  EXPECT_THROW(g.connect(c, 0, b, 0, 16), std::logic_error);  // input reused
+  EXPECT_THROW(g.connect(9, 0, b, 1, 16), std::out_of_range);
+}
+
+TEST(Graph, TaskExceptionPropagates) {
+  Graph g;
+  const int src = g.addTask("src", [](TaskContext& ctx) {
+    for (std::uint32_t i = 0; i < 10; ++i) ctx.write(0, i);
+  });
+  const int bad = g.addTask("bad", [](TaskContext& ctx) {
+    std::uint32_t v;
+    (void)ctx.read(0, v);
+    throw std::runtime_error("task failure");
+  });
+  g.connect(src, 0, bad, 0, 1024);
+  EXPECT_THROW(g.run(), std::runtime_error);
+}
+
+TEST(Graph, UnknownPortThrowsInsideTask) {
+  Graph g;
+  g.addTask("lonely", [](TaskContext& ctx) { (void)ctx.in(0); });
+  EXPECT_THROW(g.run(), std::out_of_range);
+}
+
+TEST(Graph, DeadlockSurfacesAsError) {
+  Graph g;
+  // A cycle with no initial tokens: classic Kahn deadlock.
+  const int a = g.addTask("a", [](TaskContext& ctx) {
+    std::uint32_t v;
+    while (ctx.read(0, v)) ctx.write(0, v);
+  });
+  const int b = g.addTask("b", [](TaskContext& ctx) {
+    std::uint32_t v;
+    while (ctx.read(0, v)) ctx.write(0, v);
+  });
+  g.connect(a, 0, b, 0, 16);
+  g.connect(b, 0, a, 0, 16);
+  g.setTimeout(std::chrono::milliseconds(50));
+  EXPECT_THROW(g.run(), DeadlockError);
+}
+
+TEST(Graph, DescribeListsStructure) {
+  Graph g;
+  const int a = g.addTask("alpha", [](TaskContext&) {});
+  const int b = g.addTask("beta", [](TaskContext&) {});
+  g.connect(a, 0, b, 0, 128);
+  const auto d = g.describe();
+  EXPECT_NE(d.find("alpha"), std::string::npos);
+  EXPECT_NE(d.find("beta"), std::string::npos);
+  EXPECT_NE(d.find("128"), std::string::npos);
+}
+
+// Kahn determinism: the observable stream contents are independent of
+// scheduling. Run the same randomized-delay network several times and
+// check identical results.
+TEST(Graph, DeterministicUnderSchedulingNoise) {
+  auto runOnce = [](int run) {
+    Graph g;
+    const int src = g.addTask("src", [run](TaskContext& ctx) {
+      for (std::uint32_t i = 0; i < 200; ++i) {
+        if ((i * 7 + static_cast<std::uint32_t>(run)) % 13 == 0) {
+          std::this_thread::yield();
+        }
+        ctx.write(0, i * 3 + 1);
+      }
+    });
+    const int mid = g.addTask("mid", [](TaskContext& ctx) {
+      std::uint32_t v;
+      while (ctx.read(0, v)) {
+        if (v % 5 == 0) std::this_thread::yield();
+        ctx.write(0, v ^ 0x5a5a);
+      }
+    });
+    std::vector<std::uint32_t> out;
+    const int snk = g.addTask("snk", [&](TaskContext& ctx) {
+      std::uint32_t v;
+      while (ctx.read(0, v)) out.push_back(v);
+    });
+    g.connect(src, 0, mid, 0, 32);
+    g.connect(mid, 0, snk, 0, 32);
+    g.run();
+    return out;
+  };
+  const auto first = runOnce(0);
+  for (int r = 1; r < 4; ++r) EXPECT_EQ(first, runOnce(r));
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+// Integration test: the full Eclipse decode pipeline (Figure 2/8 mapping)
+// must reproduce the golden functional decoder bit-exactly, and the encode
+// pipeline must produce a stream the golden decoder accepts.
+
+#include <gtest/gtest.h>
+
+#include "eclipse/eclipse.hpp"
+
+namespace {
+
+using namespace eclipse;
+
+media::VideoGenParams smallVideo() {
+  media::VideoGenParams vp;
+  vp.width = 64;
+  vp.height = 48;
+  vp.frames = 7;
+  vp.seed = 42;
+  return vp;
+}
+
+media::CodecParams smallCodec() {
+  media::CodecParams cp;
+  cp.width = 64;
+  cp.height = 48;
+  cp.qscale = 6;
+  cp.gop = media::GopStructure{6, 3};
+  return cp;
+}
+
+TEST(Pipeline, DecodeMatchesGoldenDecoder) {
+  const auto frames = media::generateVideo(smallVideo());
+  media::Encoder enc(smallCodec());
+  const auto bits = enc.encode(frames);
+
+  app::EclipseInstance inst;
+  app::DecodeApp dec(inst, bits);
+  const sim::Cycle end = inst.run(500'000'000);
+
+  ASSERT_TRUE(dec.done()) << "decode did not complete by cycle " << end;
+  const auto out = dec.frames();
+  ASSERT_EQ(out.size(), frames.size());
+  const auto& golden = enc.reconstructed();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], golden[i]) << "frame " << i << " differs from golden reconstruction";
+  }
+}
+
+TEST(Pipeline, DualDecodeSharesCoprocessors) {
+  const auto frames = media::generateVideo(smallVideo());
+  media::Encoder enc(smallCodec());
+  const auto bits = enc.encode(frames);
+
+  app::InstanceParams ip;
+  ip.sram.size_bytes = 64 * 1024;
+  app::EclipseInstance inst(ip);
+  app::DecodeApp a(inst, bits);
+  app::DecodeApp b(inst, bits);
+  inst.run(1'000'000'000);
+
+  ASSERT_TRUE(a.done());
+  ASSERT_TRUE(b.done());
+  const auto& golden = enc.reconstructed();
+  const auto fa = a.frames();
+  const auto fb = b.frames();
+  ASSERT_EQ(fa.size(), golden.size());
+  ASSERT_EQ(fb.size(), golden.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_EQ(fa[i], golden[i]);
+    EXPECT_EQ(fb[i], golden[i]);
+  }
+  // Both applications time-shared the same coprocessors.
+  EXPECT_GT(inst.vldShell().taskSwitches(), 0u);
+}
+
+TEST(Pipeline, EncodeProducesDecodableStream) {
+  const auto frames = media::generateVideo(smallVideo());
+
+  app::InstanceParams ip;
+  ip.sram.size_bytes = 64 * 1024;
+  app::EclipseInstance inst(ip);
+  app::EncodeApp enc_app(inst, frames, smallCodec());
+  const sim::Cycle end = inst.run(2'000'000'000);
+
+  ASSERT_TRUE(enc_app.done()) << "encode did not complete by cycle " << end;
+  media::Decoder dec;
+  const auto out = dec.decode(enc_app.bitstream());
+  ASSERT_EQ(out.size(), frames.size());
+  const double psnr = media::averagePsnr(frames, out);
+  EXPECT_GT(psnr, 28.0) << "Eclipse-encoded stream quality too low";
+}
+
+}  // namespace
+
+namespace {
+
+// Geometry sweep: the pipeline must handle any whole-macroblock frame size
+// down to a single macroblock, with and without B pictures.
+struct GeometryCase {
+  int width;
+  int height;
+  media::GopStructure gop;
+};
+
+class GeometrySweep : public ::testing::TestWithParam<GeometryCase> {};
+
+TEST_P(GeometrySweep, EclipseDecodeBitExact) {
+  const auto g = GetParam();
+  media::VideoGenParams vp;
+  vp.width = g.width;
+  vp.height = g.height;
+  vp.frames = 5;
+  vp.seed = static_cast<std::uint64_t>(g.width * 131 + g.height);
+  const auto frames = media::generateVideo(vp);
+  media::CodecParams cp;
+  cp.width = g.width;
+  cp.height = g.height;
+  cp.gop = g.gop;
+  media::Encoder enc(cp);
+  const auto bits = enc.encode(frames);
+
+  app::EclipseInstance inst;
+  app::DecodeApp dec(inst, bits);
+  const auto end = inst.run(4'000'000'000ULL);
+  ASSERT_TRUE(dec.done()) << "incomplete at " << end;
+  const auto out = dec.frames();
+  ASSERT_EQ(out.size(), frames.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], enc.reconstructed()[i]) << "frame " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, GeometrySweep,
+    ::testing::Values(GeometryCase{16, 16, {5, 1}},     // a single macroblock
+                      GeometryCase{16, 16, {3, 3}},     // single MB with B pictures
+                      GeometryCase{160, 16, {3, 3}},    // one MB row
+                      GeometryCase{16, 160, {3, 3}},    // one MB column
+                      GeometryCase{48, 80, {5, 1}},     // tall, P-only
+                      GeometryCase{128, 96, {4, 2}}),   // IBPB
+    [](const auto& info) {
+      return std::to_string(info.param.width) + "x" + std::to_string(info.param.height) + "_n" +
+             std::to_string(info.param.gop.n) + "m" + std::to_string(info.param.gop.m);
+    });
+
+}  // namespace

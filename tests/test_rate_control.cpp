@@ -1,0 +1,140 @@
+// Tests for per-picture quantiser adaptation (rate control) and its
+// interaction with every decode path.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eclipse/app/kpn_media.hpp"
+#include "eclipse/eclipse.hpp"
+
+namespace {
+
+using namespace eclipse;
+
+media::VideoGenParams vid() {
+  media::VideoGenParams vp;
+  vp.width = 64;
+  vp.height = 48;
+  vp.frames = 18;
+  vp.seed = 41;
+  vp.detail = 6;
+  return vp;
+}
+
+media::CodecParams rcCodec(std::uint32_t target) {
+  media::CodecParams cp;
+  cp.width = 64;
+  cp.height = 48;
+  cp.qscale = 4;  // deliberately far from the steady-state value
+  cp.gop = media::GopStructure{6, 3};
+  cp.target_bits_per_picture = target;
+  return cp;
+}
+
+TEST(RateControl, SteersPictureSizesTowardTarget) {
+  const auto frames = media::generateVideo(vid());
+  const std::uint32_t target = 4000;
+  media::Encoder enc(rcCodec(target));
+  (void)enc.encode(frames);
+  const auto& stats = enc.pictureStats();
+  ASSERT_GE(stats.size(), 12u);
+
+  // The second half of the sequence must track the target much better
+  // than the (mis-tuned) start.
+  double early_err = 0, late_err = 0;
+  const std::size_t half = stats.size() / 2;
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    const double err = std::abs(static_cast<double>(stats[i].bits) - target) / target;
+    (i < half ? early_err : late_err) += err;
+  }
+  early_err /= static_cast<double>(half);
+  late_err /= static_cast<double>(stats.size() - half);
+  EXPECT_LT(late_err, early_err);
+  EXPECT_LT(late_err, 0.5) << "late pictures should be within 50% of target on average";
+}
+
+TEST(RateControl, HigherTargetGivesHigherQuality) {
+  const auto frames = media::generateVideo(vid());
+  auto psnrAt = [&](std::uint32_t target) {
+    media::Encoder enc(rcCodec(target));
+    (void)enc.encode(frames);
+    return media::averagePsnr(frames, enc.reconstructed());
+  };
+  EXPECT_GT(psnrAt(12000), psnrAt(1500) + 2.0);
+}
+
+TEST(RateControl, DisabledMeansConstantQscale) {
+  const auto frames = media::generateVideo(vid());
+  auto cp = rcCodec(0);
+  media::Encoder enc(cp);
+  const auto bits = enc.encode(frames);
+  media::BitReader br(bits);
+  const auto sh = media::stages::parseSeqHeader(br);
+  const int mbs = (sh.width / 16) * (sh.height / 16);
+  for (int p = 0; p < sh.frame_count; ++p) {
+    const auto ph = media::stages::parsePicHeader(br);
+    EXPECT_EQ(ph.qscale, cp.qscale);
+    for (int m = 0; m < mbs; ++m) {
+      (void)media::stages::parseMb(br, ph.type, 0, 0, ph.qscale);
+    }
+  }
+}
+
+TEST(RateControl, VaryingQscaleDecodesBitExactEverywhere) {
+  const auto frames = media::generateVideo(vid());
+  media::Encoder enc(rcCodec(3000));
+  const auto bits = enc.encode(frames);
+
+  // Picture qscales must actually vary for this test to mean anything.
+  media::Decoder golden;
+  const auto golden_frames = golden.decode(bits);
+  bool varied = false;
+  {
+    media::BitReader br(bits);
+    const auto sh = media::stages::parseSeqHeader(br);
+    const int mbs = (sh.width / 16) * (sh.height / 16);
+    std::uint8_t first_q = 0;
+    for (int p = 0; p < sh.frame_count; ++p) {
+      const auto ph = media::stages::parsePicHeader(br);
+      if (p == 0) first_q = ph.qscale;
+      varied = varied || ph.qscale != first_q;
+      for (int m = 0; m < mbs; ++m) (void)media::stages::parseMb(br, ph.type, 0, 0, ph.qscale);
+    }
+  }
+  ASSERT_TRUE(varied) << "rate control did not change qscale; test is vacuous";
+
+  // Golden decode equals encoder reconstruction.
+  for (std::size_t i = 0; i < golden_frames.size(); ++i) {
+    ASSERT_EQ(golden_frames[i], enc.reconstructed()[i]);
+  }
+  // KPN decode.
+  app::KpnDecoder kpn(bits);
+  const auto kpn_frames = kpn.run();
+  for (std::size_t i = 0; i < kpn_frames.size(); ++i) {
+    ASSERT_EQ(kpn_frames[i], enc.reconstructed()[i]);
+  }
+  // Cycle-level Eclipse decode.
+  app::EclipseInstance inst;
+  app::DecodeApp dec(inst, bits);
+  inst.run(4'000'000'000ULL);
+  ASSERT_TRUE(dec.done());
+  const auto eframes = dec.frames();
+  for (std::size_t i = 0; i < eframes.size(); ++i) {
+    ASSERT_EQ(eframes[i], enc.reconstructed()[i]);
+  }
+}
+
+TEST(RateControl, BadQscaleInCoefsRejected) {
+  media::MbCoefs coefs;
+  coefs.cbp = 1;
+  coefs.qscale = 0;  // malformed
+  coefs.blocks[0] = {media::rle::RunLevel{0, 5}};
+  media::MbBlocks out;
+  media::SeqHeader sh;
+  sh.width = 16;
+  sh.height = 16;
+  EXPECT_THROW(media::stages::rlsqDecode(coefs, false, sh, out), media::BitstreamError);
+}
+
+}  // namespace

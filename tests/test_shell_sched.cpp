@@ -1,0 +1,165 @@
+// Tests for the shell task scheduler (Section 5.3): weighted round-robin
+// with budgets, 'best guess' readiness from denied GetSpace requests, and
+// idle/wake behaviour.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "shell_fixture.hpp"
+
+namespace {
+
+using namespace eclipse;
+using eclipse::test::TwoShellFixture;
+using shell::Shell;
+using shell::TaskConfig;
+using sim::Task;
+using sim::TaskId;
+
+class ShellSched : public TwoShellFixture {};
+
+Task<void> collectSchedule(Shell& sh, sim::Simulator& sim, int steps, sim::Cycle step_cost,
+                           std::vector<TaskId>& order) {
+  for (int i = 0; i < steps; ++i) {
+    const auto r = co_await sh.getTask();
+    order.push_back(r.task);
+    co_await sim.delay(step_cost);
+  }
+}
+
+TEST_F(ShellSched, RoundRobinAcrossEqualTasks) {
+  connect(256);
+  // Three always-ready tasks (no streams consulted: never blocked).
+  for (TaskId t : {1, 2, 3}) prod->configureTask(t, TaskConfig{true, 100, 0});
+  prod->setTaskEnabled(0, false);
+  std::vector<TaskId> order;
+  // Budget 100, step cost 100: each GetTask exhausts the budget => rotate.
+  run(collectSchedule(*prod, *sim, 9, 100, order));
+  ASSERT_EQ(order.size(), 9u);
+  for (std::size_t i = 3; i < order.size(); ++i) {
+    EXPECT_NE(order[i], order[i - 1]) << "budget-expired task was not rotated";
+    EXPECT_EQ(order[i], order[i - 3]) << "rotation is not round-robin";
+  }
+}
+
+TEST_F(ShellSched, BudgetKeepsTaskRunning) {
+  connect(256);
+  for (TaskId t : {1, 2}) prod->configureTask(t, TaskConfig{true, 1000, 0});
+  prod->setTaskEnabled(0, false);
+  std::vector<TaskId> order;
+  // Step cost 100 with budget 1000: ~10 consecutive steps per task.
+  run(collectSchedule(*prod, *sim, 20, 100, order));
+  int switches = 0;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (order[i] != order[i - 1]) ++switches;
+  }
+  EXPECT_LE(switches, 3);  // roughly one switch per 10 steps
+}
+
+TEST_F(ShellSched, TaskInfoWordDeliveredByGetTask) {
+  connect(256);
+  prod->configureTask(1, TaskConfig{true, 100, 0xDEAD});
+  prod->setTaskEnabled(0, false);
+  bool checked = false;
+  run([](Shell& sh, bool& done) -> Task<void> {
+    const auto r = co_await sh.getTask();
+    EXPECT_EQ(r.task, 1);
+    EXPECT_EQ(r.task_info, 0xDEADu);
+    done = true;
+  }(*prod, checked));
+  EXPECT_TRUE(checked);
+}
+
+Task<void> blockedTaskSkipped(Shell& cons, std::vector<TaskId>& order, sim::Simulator& sim) {
+  // Task 0's GetSpace fails (empty stream): best guess marks it blocked.
+  const auto first = co_await cons.getTask();
+  EXPECT_EQ(first.task, 0);
+  EXPECT_FALSE(co_await cons.getSpace(0, 0, 16));
+  // From now on only task 1 may be scheduled.
+  for (int i = 0; i < 6; ++i) {
+    const auto r = co_await cons.getTask();
+    order.push_back(r.task);
+    co_await sim.delay(50);
+  }
+}
+
+TEST_F(ShellSched, DeniedTaskNotRescheduledUntilSpaceArrives) {
+  connect(256);
+  cons->configureTask(1, TaskConfig{true, 100, 0});
+  std::vector<TaskId> order;
+  run(blockedTaskSkipped(*cons, order, *sim));
+  for (const auto t : order) EXPECT_EQ(t, 1);
+}
+
+Task<void> producerSide(Shell& prod, sim::Simulator& sim) {
+  co_await sim.delay(500);
+  std::uint8_t data[32] = {};
+  EXPECT_TRUE(co_await prod.getSpace(0, 0, 32));
+  co_await prod.write(0, 0, 0, data);
+  co_await prod.putSpace(0, 0, 32);
+}
+
+Task<void> consumerSide(Shell& cons, sim::Simulator& sim, sim::Cycle& woke_at) {
+  const auto r0 = co_await cons.getTask();
+  EXPECT_EQ(r0.task, 0);
+  EXPECT_FALSE(co_await cons.getSpace(0, 0, 32));
+  // Only task 0 exists and it is blocked: GetTask must park the
+  // coprocessor until the putspace message arrives.
+  const auto r1 = co_await cons.getTask();
+  EXPECT_EQ(r1.task, 0);
+  woke_at = sim.now();
+  EXPECT_TRUE(co_await cons.getSpace(0, 0, 32));
+}
+
+TEST_F(ShellSched, GetTaskParksUntilPutspaceMessage) {
+  connect(256);
+  sim::Cycle woke_at = 0;
+  sim->spawn(producerSide(*prod, *sim), "p");
+  sim->spawn(consumerSide(*cons, *sim, woke_at), "c");
+  sim->run(1'000'000);
+  ASSERT_EQ(sim->liveProcesses(), 0u);
+  EXPECT_GE(woke_at, 500u);
+  EXPECT_GT(cons->idleCycles(), 400u);
+}
+
+TEST_F(ShellSched, UtilizationReflectsIdleTime) {
+  connect(256);
+  sim::Cycle woke_at = 0;
+  sim->spawn(producerSide(*prod, *sim), "p");
+  sim->spawn(consumerSide(*cons, *sim, woke_at), "c");
+  const auto end = sim->run(1'000'000);
+  EXPECT_LT(cons->utilization(end), 0.5);
+}
+
+TEST_F(ShellSched, DisabledTasksAreNeverScheduled) {
+  connect(256);
+  prod->configureTask(1, TaskConfig{true, 100, 0});
+  prod->setTaskEnabled(0, false);
+  std::vector<TaskId> order;
+  run(collectSchedule(*prod, *sim, 8, 10, order));
+  for (const auto t : order) EXPECT_NE(t, 0);
+}
+
+TEST_F(ShellSched, SwitchCountsAreTracked) {
+  connect(256);
+  for (TaskId t : {1, 2}) prod->configureTask(t, TaskConfig{true, 50, 0});
+  prod->setTaskEnabled(0, false);
+  std::vector<TaskId> order;
+  run(collectSchedule(*prod, *sim, 10, 60, order));
+  EXPECT_GT(prod->taskSwitches(), 4u);
+  EXPECT_EQ(prod->tasks().row(1).schedule_count + prod->tasks().row(2).schedule_count, 10u);
+}
+
+TEST_F(ShellSched, BusyCyclesChargedToRunningTask) {
+  connect(256);
+  prod->configureTask(1, TaskConfig{true, 1000, 0});
+  prod->setTaskEnabled(0, false);
+  std::vector<TaskId> order;
+  run(collectSchedule(*prod, *sim, 5, 200, order));
+  // 5 steps of 200 cycles; the last step's cycles are charged at the next
+  // GetTask, so at least 4 steps are visible.
+  EXPECT_GE(prod->tasks().row(1).busy_cycles, 800u);
+}
+
+}  // namespace

@@ -1,0 +1,92 @@
+// Negative-path shell coverage and a long-stream soak of the full system.
+
+#include <gtest/gtest.h>
+
+#include "shell_fixture.hpp"
+#include "eclipse/eclipse.hpp"
+
+namespace {
+
+using namespace eclipse;
+using eclipse::test::TwoShellFixture;
+using shell::Shell;
+using sim::Task;
+
+class ShellNegative : public TwoShellFixture {};
+
+Task<void> unknownPortRejected(Shell& prod) {
+  EXPECT_THROW((void)co_await prod.getSpace(0, 7, 16), std::out_of_range);
+  EXPECT_THROW((void)co_await prod.getSpace(3, 0, 16), std::out_of_range);
+  std::uint8_t buf[4] = {};
+  EXPECT_THROW(co_await prod.write(0, 7, 0, buf), std::out_of_range);
+  EXPECT_THROW(co_await prod.putSpace(5, 5, 4), std::out_of_range);
+}
+
+TEST_F(ShellNegative, UnknownTaskOrPortThrows) {
+  connect(256);
+  run(unknownPortRejected(*prod));
+}
+
+Task<void> sharedAccessPoint(Shell& cons) {
+  // The paper makes the coprocessor responsible for serializing requests
+  // from its task ports: an access point is single-threaded state. Two
+  // unserialized consumers both get the same 32-byte grant (GetSpace is a
+  // query, not a reservation), so the second commit exceeds the remaining
+  // window — which the shell must detect rather than corrupt the stream.
+  co_await cons.waitSpace(0, 0, 32);              // the packet arrived
+  EXPECT_TRUE(co_await cons.getSpace(0, 0, 32));  // same grant, not doubled
+  std::uint8_t buf[32];
+  co_await cons.read(0, 0, 0, buf);
+  co_await cons.putSpace(0, 0, 32);
+  EXPECT_THROW(co_await cons.putSpace(0, 0, 32), std::logic_error);
+}
+
+Task<void> oneBurst(Shell& prod) {
+  std::uint8_t buf[32] = {};
+  co_await prod.waitSpace(0, 0, 32);
+  co_await prod.write(0, 0, 0, buf);
+  co_await prod.putSpace(0, 0, 32);
+}
+
+TEST_F(ShellNegative, UnserializedAccessPointUseIsDetected) {
+  connect(256);
+  sim->spawn(oneBurst(*prod), "p");
+  run(sharedAccessPoint(*cons));
+}
+
+TEST(Soak, LongStreamDecodeStaysBitExact) {
+  // Several GOPs (36 frames) through the timed pipeline: exercises frame
+  // store rotation across many reference generations, scheduler budgets
+  // over a long horizon, and 64-bit stream position arithmetic.
+  media::VideoGenParams vp;
+  vp.width = 64;
+  vp.height = 48;
+  vp.frames = 36;
+  vp.seed = 99;
+  vp.scene_cut_period = 13;  // scene changes misaligned with the GOP
+  const auto frames = media::generateVideo(vp);
+  media::CodecParams cp;
+  cp.width = vp.width;
+  cp.height = vp.height;
+  cp.gop = media::GopStructure{9, 3};
+  media::Encoder enc(cp);
+  const auto bits = enc.encode(frames);
+
+  app::EclipseInstance inst;
+  app::DecodeApp dec(inst, bits);
+  const auto end = inst.run(8'000'000'000ULL);
+  ASSERT_TRUE(dec.done()) << end;
+  const auto out = dec.frames();
+  ASSERT_EQ(out.size(), 36u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], enc.reconstructed()[i]) << "frame " << i;
+  }
+  // Scene cuts must have forced intra macroblocks inside P/B pictures.
+  std::uint32_t inter_pic_intra = 0;
+  for (const auto& ps : enc.pictureStats()) {
+    if (ps.type != media::FrameType::I) inter_pic_intra += ps.intra_mbs;
+  }
+  EXPECT_GT(inter_pic_intra, 0u);
+}
+
+}  // namespace

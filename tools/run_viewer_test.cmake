@@ -1,0 +1,15 @@
+execute_process(COMMAND ${SIM_DRIVER} --width 64 --height 48 --frames 4
+                        --csv ${WORK_DIR}/viewer_test
+                RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "sim_driver failed: ${rc1}")
+endif()
+execute_process(COMMAND ${VIEWER} ${WORK_DIR}/viewer_test_buffer_fill.csv --width 60
+                OUTPUT_VARIABLE out RESULT_VARIABLE rc2)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "trace_viewer failed: ${rc2}")
+endif()
+string(FIND "${out}" "rlsq_in_fill" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "viewer output missing series name:\n${out}")
+endif()
