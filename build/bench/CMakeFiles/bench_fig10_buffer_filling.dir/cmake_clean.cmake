@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_buffer_filling.dir/bench_fig10_buffer_filling.cpp.o"
+  "CMakeFiles/bench_fig10_buffer_filling.dir/bench_fig10_buffer_filling.cpp.o.d"
+  "bench_fig10_buffer_filling"
+  "bench_fig10_buffer_filling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_buffer_filling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_decoder_network.dir/bench_fig2_decoder_network.cpp.o"
+  "CMakeFiles/bench_fig2_decoder_network.dir/bench_fig2_decoder_network.cpp.o.d"
+  "bench_fig2_decoder_network"
+  "bench_fig2_decoder_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_decoder_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

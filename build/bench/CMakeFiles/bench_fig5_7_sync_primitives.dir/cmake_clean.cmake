@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_7_sync_primitives.dir/bench_fig5_7_sync_primitives.cpp.o"
+  "CMakeFiles/bench_fig5_7_sync_primitives.dir/bench_fig5_7_sync_primitives.cpp.o.d"
+  "bench_fig5_7_sync_primitives"
+  "bench_fig5_7_sync_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_7_sync_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_perf_views.dir/bench_fig9_perf_views.cpp.o"
+  "CMakeFiles/bench_fig9_perf_views.dir/bench_fig9_perf_views.cpp.o.d"
+  "bench_fig9_perf_views"
+  "bench_fig9_perf_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_perf_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec22_sync_granularity.dir/bench_sec22_sync_granularity.cpp.o"
+  "CMakeFiles/bench_sec22_sync_granularity.dir/bench_sec22_sync_granularity.cpp.o.d"
+  "bench_sec22_sync_granularity"
+  "bench_sec22_sync_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec22_sync_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

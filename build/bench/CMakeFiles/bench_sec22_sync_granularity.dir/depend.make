@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec22_sync_granularity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec42_task_switching.dir/bench_sec42_task_switching.cpp.o"
+  "CMakeFiles/bench_sec42_task_switching.dir/bench_sec42_task_switching.cpp.o.d"
+  "bench_sec42_task_switching"
+  "bench_sec42_task_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec42_task_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec42_task_switching.
+# This may be replaced when dependencies are built.

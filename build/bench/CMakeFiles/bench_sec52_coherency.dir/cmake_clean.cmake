@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec52_coherency.dir/bench_sec52_coherency.cpp.o"
+  "CMakeFiles/bench_sec52_coherency.dir/bench_sec52_coherency.cpp.o.d"
+  "bench_sec52_coherency"
+  "bench_sec52_coherency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec52_coherency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec53_scheduler.dir/bench_sec53_scheduler.cpp.o"
+  "CMakeFiles/bench_sec53_scheduler.dir/bench_sec53_scheduler.cpp.o.d"
+  "bench_sec53_scheduler"
+  "bench_sec53_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec53_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

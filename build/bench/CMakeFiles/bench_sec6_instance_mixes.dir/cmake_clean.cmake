@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec6_instance_mixes.dir/bench_sec6_instance_mixes.cpp.o"
+  "CMakeFiles/bench_sec6_instance_mixes.dir/bench_sec6_instance_mixes.cpp.o.d"
+  "bench_sec6_instance_mixes"
+  "bench_sec6_instance_mixes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6_instance_mixes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

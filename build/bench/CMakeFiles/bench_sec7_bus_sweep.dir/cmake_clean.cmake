@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec7_bus_sweep.dir/bench_sec7_bus_sweep.cpp.o"
+  "CMakeFiles/bench_sec7_bus_sweep.dir/bench_sec7_bus_sweep.cpp.o.d"
+  "bench_sec7_bus_sweep"
+  "bench_sec7_bus_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_bus_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

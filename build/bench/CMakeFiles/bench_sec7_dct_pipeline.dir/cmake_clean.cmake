@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec7_dct_pipeline.dir/bench_sec7_dct_pipeline.cpp.o"
+  "CMakeFiles/bench_sec7_dct_pipeline.dir/bench_sec7_dct_pipeline.cpp.o.d"
+  "bench_sec7_dct_pipeline"
+  "bench_sec7_dct_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_dct_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec7_dct_pipeline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/av_playback.dir/av_playback.cpp.o"
+  "CMakeFiles/av_playback.dir/av_playback.cpp.o.d"
+  "av_playback"
+  "av_playback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/av_playback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for av_playback.
+# This may be replaced when dependencies are built.

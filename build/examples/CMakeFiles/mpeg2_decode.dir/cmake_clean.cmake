@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpeg2_decode.dir/mpeg2_decode.cpp.o"
+  "CMakeFiles/mpeg2_decode.dir/mpeg2_decode.cpp.o.d"
+  "mpeg2_decode"
+  "mpeg2_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpeg2_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mpeg2_decode.
+# This may be replaced when dependencies are built.

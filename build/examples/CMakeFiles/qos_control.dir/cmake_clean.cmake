@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_control.dir/qos_control.cpp.o"
+  "CMakeFiles/qos_control.dir/qos_control.cpp.o.d"
+  "qos_control"
+  "qos_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

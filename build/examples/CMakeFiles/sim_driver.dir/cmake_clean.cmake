@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_driver.dir/sim_driver.cpp.o"
+  "CMakeFiles/sim_driver.dir/sim_driver.cpp.o.d"
+  "sim_driver"
+  "sim_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeshift_transcode.dir/timeshift_transcode.cpp.o"
+  "CMakeFiles/timeshift_transcode.dir/timeshift_transcode.cpp.o.d"
+  "timeshift_transcode"
+  "timeshift_transcode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeshift_transcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

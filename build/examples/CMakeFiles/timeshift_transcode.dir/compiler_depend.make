@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for timeshift_transcode.
+# This may be replaced when dependencies are built.

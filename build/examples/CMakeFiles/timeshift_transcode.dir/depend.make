@@ -1,0 +1,2 @@
+# Empty dependencies file for timeshift_transcode.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mpeg2_decode "/root/repo/build/examples/mpeg2_decode")
+set_tests_properties(example_mpeg2_decode PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_timeshift_transcode "/root/repo/build/examples/timeshift_transcode")
+set_tests_properties(example_timeshift_transcode PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_qos_control "/root/repo/build/examples/qos_control")
+set_tests_properties(example_qos_control PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sim_driver "/root/repo/build/examples/sim_driver" "--width" "64" "--height" "48" "--frames" "4")
+set_tests_properties(example_sim_driver PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_av_playback "/root/repo/build/examples/av_playback")
+set_tests_properties(example_av_playback PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sim_driver_setup "/root/repo/build/examples/sim_driver" "--setup" "/root/repo/examples/setups/pipelined_dct.cfg" "--width" "64" "--height" "48" "--frames" "4")
+set_tests_properties(example_sim_driver_setup PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")

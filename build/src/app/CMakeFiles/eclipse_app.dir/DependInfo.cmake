@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/audio_app.cpp" "src/app/CMakeFiles/eclipse_app.dir/audio_app.cpp.o" "gcc" "src/app/CMakeFiles/eclipse_app.dir/audio_app.cpp.o.d"
+  "/root/repo/src/app/av_app.cpp" "src/app/CMakeFiles/eclipse_app.dir/av_app.cpp.o" "gcc" "src/app/CMakeFiles/eclipse_app.dir/av_app.cpp.o.d"
+  "/root/repo/src/app/decode_app.cpp" "src/app/CMakeFiles/eclipse_app.dir/decode_app.cpp.o" "gcc" "src/app/CMakeFiles/eclipse_app.dir/decode_app.cpp.o.d"
+  "/root/repo/src/app/encode_app.cpp" "src/app/CMakeFiles/eclipse_app.dir/encode_app.cpp.o" "gcc" "src/app/CMakeFiles/eclipse_app.dir/encode_app.cpp.o.d"
+  "/root/repo/src/app/instance.cpp" "src/app/CMakeFiles/eclipse_app.dir/instance.cpp.o" "gcc" "src/app/CMakeFiles/eclipse_app.dir/instance.cpp.o.d"
+  "/root/repo/src/app/kpn_media.cpp" "src/app/CMakeFiles/eclipse_app.dir/kpn_media.cpp.o" "gcc" "src/app/CMakeFiles/eclipse_app.dir/kpn_media.cpp.o.d"
+  "/root/repo/src/app/trace.cpp" "src/app/CMakeFiles/eclipse_app.dir/trace.cpp.o" "gcc" "src/app/CMakeFiles/eclipse_app.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coproc/CMakeFiles/eclipse_coproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/kpn/CMakeFiles/eclipse_kpn.dir/DependInfo.cmake"
+  "/root/repo/build/src/shell/CMakeFiles/eclipse_shell.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/eclipse_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eclipse_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

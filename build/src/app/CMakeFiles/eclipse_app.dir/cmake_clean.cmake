@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclipse_app.dir/audio_app.cpp.o"
+  "CMakeFiles/eclipse_app.dir/audio_app.cpp.o.d"
+  "CMakeFiles/eclipse_app.dir/av_app.cpp.o"
+  "CMakeFiles/eclipse_app.dir/av_app.cpp.o.d"
+  "CMakeFiles/eclipse_app.dir/decode_app.cpp.o"
+  "CMakeFiles/eclipse_app.dir/decode_app.cpp.o.d"
+  "CMakeFiles/eclipse_app.dir/encode_app.cpp.o"
+  "CMakeFiles/eclipse_app.dir/encode_app.cpp.o.d"
+  "CMakeFiles/eclipse_app.dir/instance.cpp.o"
+  "CMakeFiles/eclipse_app.dir/instance.cpp.o.d"
+  "CMakeFiles/eclipse_app.dir/kpn_media.cpp.o"
+  "CMakeFiles/eclipse_app.dir/kpn_media.cpp.o.d"
+  "CMakeFiles/eclipse_app.dir/trace.cpp.o"
+  "CMakeFiles/eclipse_app.dir/trace.cpp.o.d"
+  "libeclipse_app.a"
+  "libeclipse_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclipse_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

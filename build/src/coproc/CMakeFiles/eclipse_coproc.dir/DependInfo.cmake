@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coproc/dct_coproc.cpp" "src/coproc/CMakeFiles/eclipse_coproc.dir/dct_coproc.cpp.o" "gcc" "src/coproc/CMakeFiles/eclipse_coproc.dir/dct_coproc.cpp.o.d"
+  "/root/repo/src/coproc/fork.cpp" "src/coproc/CMakeFiles/eclipse_coproc.dir/fork.cpp.o" "gcc" "src/coproc/CMakeFiles/eclipse_coproc.dir/fork.cpp.o.d"
+  "/root/repo/src/coproc/mc.cpp" "src/coproc/CMakeFiles/eclipse_coproc.dir/mc.cpp.o" "gcc" "src/coproc/CMakeFiles/eclipse_coproc.dir/mc.cpp.o.d"
+  "/root/repo/src/coproc/packet_io.cpp" "src/coproc/CMakeFiles/eclipse_coproc.dir/packet_io.cpp.o" "gcc" "src/coproc/CMakeFiles/eclipse_coproc.dir/packet_io.cpp.o.d"
+  "/root/repo/src/coproc/rlsq.cpp" "src/coproc/CMakeFiles/eclipse_coproc.dir/rlsq.cpp.o" "gcc" "src/coproc/CMakeFiles/eclipse_coproc.dir/rlsq.cpp.o.d"
+  "/root/repo/src/coproc/sinks.cpp" "src/coproc/CMakeFiles/eclipse_coproc.dir/sinks.cpp.o" "gcc" "src/coproc/CMakeFiles/eclipse_coproc.dir/sinks.cpp.o.d"
+  "/root/repo/src/coproc/soft_tasks.cpp" "src/coproc/CMakeFiles/eclipse_coproc.dir/soft_tasks.cpp.o" "gcc" "src/coproc/CMakeFiles/eclipse_coproc.dir/soft_tasks.cpp.o.d"
+  "/root/repo/src/coproc/vld.cpp" "src/coproc/CMakeFiles/eclipse_coproc.dir/vld.cpp.o" "gcc" "src/coproc/CMakeFiles/eclipse_coproc.dir/vld.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/shell/CMakeFiles/eclipse_shell.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/eclipse_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eclipse_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclipse_coproc.dir/dct_coproc.cpp.o"
+  "CMakeFiles/eclipse_coproc.dir/dct_coproc.cpp.o.d"
+  "CMakeFiles/eclipse_coproc.dir/fork.cpp.o"
+  "CMakeFiles/eclipse_coproc.dir/fork.cpp.o.d"
+  "CMakeFiles/eclipse_coproc.dir/mc.cpp.o"
+  "CMakeFiles/eclipse_coproc.dir/mc.cpp.o.d"
+  "CMakeFiles/eclipse_coproc.dir/packet_io.cpp.o"
+  "CMakeFiles/eclipse_coproc.dir/packet_io.cpp.o.d"
+  "CMakeFiles/eclipse_coproc.dir/rlsq.cpp.o"
+  "CMakeFiles/eclipse_coproc.dir/rlsq.cpp.o.d"
+  "CMakeFiles/eclipse_coproc.dir/sinks.cpp.o"
+  "CMakeFiles/eclipse_coproc.dir/sinks.cpp.o.d"
+  "CMakeFiles/eclipse_coproc.dir/soft_tasks.cpp.o"
+  "CMakeFiles/eclipse_coproc.dir/soft_tasks.cpp.o.d"
+  "CMakeFiles/eclipse_coproc.dir/vld.cpp.o"
+  "CMakeFiles/eclipse_coproc.dir/vld.cpp.o.d"
+  "libeclipse_coproc.a"
+  "libeclipse_coproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclipse_coproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

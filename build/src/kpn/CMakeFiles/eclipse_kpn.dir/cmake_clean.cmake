@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclipse_kpn.dir/graph.cpp.o"
+  "CMakeFiles/eclipse_kpn.dir/graph.cpp.o.d"
+  "libeclipse_kpn.a"
+  "libeclipse_kpn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclipse_kpn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for eclipse_kpn.
+# This may be replaced when dependencies are built.

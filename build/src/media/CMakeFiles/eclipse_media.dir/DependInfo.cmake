@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/audio.cpp" "src/media/CMakeFiles/eclipse_media.dir/audio.cpp.o" "gcc" "src/media/CMakeFiles/eclipse_media.dir/audio.cpp.o.d"
+  "/root/repo/src/media/codec.cpp" "src/media/CMakeFiles/eclipse_media.dir/codec.cpp.o" "gcc" "src/media/CMakeFiles/eclipse_media.dir/codec.cpp.o.d"
+  "/root/repo/src/media/dct.cpp" "src/media/CMakeFiles/eclipse_media.dir/dct.cpp.o" "gcc" "src/media/CMakeFiles/eclipse_media.dir/dct.cpp.o.d"
+  "/root/repo/src/media/metrics.cpp" "src/media/CMakeFiles/eclipse_media.dir/metrics.cpp.o" "gcc" "src/media/CMakeFiles/eclipse_media.dir/metrics.cpp.o.d"
+  "/root/repo/src/media/motion.cpp" "src/media/CMakeFiles/eclipse_media.dir/motion.cpp.o" "gcc" "src/media/CMakeFiles/eclipse_media.dir/motion.cpp.o.d"
+  "/root/repo/src/media/mux.cpp" "src/media/CMakeFiles/eclipse_media.dir/mux.cpp.o" "gcc" "src/media/CMakeFiles/eclipse_media.dir/mux.cpp.o.d"
+  "/root/repo/src/media/packets.cpp" "src/media/CMakeFiles/eclipse_media.dir/packets.cpp.o" "gcc" "src/media/CMakeFiles/eclipse_media.dir/packets.cpp.o.d"
+  "/root/repo/src/media/quant.cpp" "src/media/CMakeFiles/eclipse_media.dir/quant.cpp.o" "gcc" "src/media/CMakeFiles/eclipse_media.dir/quant.cpp.o.d"
+  "/root/repo/src/media/rle.cpp" "src/media/CMakeFiles/eclipse_media.dir/rle.cpp.o" "gcc" "src/media/CMakeFiles/eclipse_media.dir/rle.cpp.o.d"
+  "/root/repo/src/media/scan.cpp" "src/media/CMakeFiles/eclipse_media.dir/scan.cpp.o" "gcc" "src/media/CMakeFiles/eclipse_media.dir/scan.cpp.o.d"
+  "/root/repo/src/media/video_gen.cpp" "src/media/CMakeFiles/eclipse_media.dir/video_gen.cpp.o" "gcc" "src/media/CMakeFiles/eclipse_media.dir/video_gen.cpp.o.d"
+  "/root/repo/src/media/vlc.cpp" "src/media/CMakeFiles/eclipse_media.dir/vlc.cpp.o" "gcc" "src/media/CMakeFiles/eclipse_media.dir/vlc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/eclipse_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

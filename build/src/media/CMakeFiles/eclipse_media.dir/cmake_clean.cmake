@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclipse_media.dir/audio.cpp.o"
+  "CMakeFiles/eclipse_media.dir/audio.cpp.o.d"
+  "CMakeFiles/eclipse_media.dir/codec.cpp.o"
+  "CMakeFiles/eclipse_media.dir/codec.cpp.o.d"
+  "CMakeFiles/eclipse_media.dir/dct.cpp.o"
+  "CMakeFiles/eclipse_media.dir/dct.cpp.o.d"
+  "CMakeFiles/eclipse_media.dir/metrics.cpp.o"
+  "CMakeFiles/eclipse_media.dir/metrics.cpp.o.d"
+  "CMakeFiles/eclipse_media.dir/motion.cpp.o"
+  "CMakeFiles/eclipse_media.dir/motion.cpp.o.d"
+  "CMakeFiles/eclipse_media.dir/mux.cpp.o"
+  "CMakeFiles/eclipse_media.dir/mux.cpp.o.d"
+  "CMakeFiles/eclipse_media.dir/packets.cpp.o"
+  "CMakeFiles/eclipse_media.dir/packets.cpp.o.d"
+  "CMakeFiles/eclipse_media.dir/quant.cpp.o"
+  "CMakeFiles/eclipse_media.dir/quant.cpp.o.d"
+  "CMakeFiles/eclipse_media.dir/rle.cpp.o"
+  "CMakeFiles/eclipse_media.dir/rle.cpp.o.d"
+  "CMakeFiles/eclipse_media.dir/scan.cpp.o"
+  "CMakeFiles/eclipse_media.dir/scan.cpp.o.d"
+  "CMakeFiles/eclipse_media.dir/video_gen.cpp.o"
+  "CMakeFiles/eclipse_media.dir/video_gen.cpp.o.d"
+  "CMakeFiles/eclipse_media.dir/vlc.cpp.o"
+  "CMakeFiles/eclipse_media.dir/vlc.cpp.o.d"
+  "libeclipse_media.a"
+  "libeclipse_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclipse_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shell/shell.cpp" "src/shell/CMakeFiles/eclipse_shell.dir/shell.cpp.o" "gcc" "src/shell/CMakeFiles/eclipse_shell.dir/shell.cpp.o.d"
+  "/root/repo/src/shell/stream_cache.cpp" "src/shell/CMakeFiles/eclipse_shell.dir/stream_cache.cpp.o" "gcc" "src/shell/CMakeFiles/eclipse_shell.dir/stream_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/eclipse_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclipse_shell.dir/shell.cpp.o"
+  "CMakeFiles/eclipse_shell.dir/shell.cpp.o.d"
+  "CMakeFiles/eclipse_shell.dir/stream_cache.cpp.o"
+  "CMakeFiles/eclipse_shell.dir/stream_cache.cpp.o.d"
+  "libeclipse_shell.a"
+  "libeclipse_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclipse_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclipse_sim.dir/config.cpp.o"
+  "CMakeFiles/eclipse_sim.dir/config.cpp.o.d"
+  "CMakeFiles/eclipse_sim.dir/simulator.cpp.o"
+  "CMakeFiles/eclipse_sim.dir/simulator.cpp.o.d"
+  "libeclipse_sim.a"
+  "libeclipse_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclipse_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_audio.dir/test_audio.cpp.o"
+  "CMakeFiles/test_audio.dir/test_audio.cpp.o.d"
+  "test_audio"
+  "test_audio.pdb"
+  "test_audio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_audio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_coproc.cpp" "tests/CMakeFiles/test_coproc.dir/test_coproc.cpp.o" "gcc" "tests/CMakeFiles/test_coproc.dir/test_coproc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/app/CMakeFiles/eclipse_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/coproc/CMakeFiles/eclipse_coproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/shell/CMakeFiles/eclipse_shell.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/eclipse_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/kpn/CMakeFiles/eclipse_kpn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eclipse_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coproc.dir/test_coproc.cpp.o"
+  "CMakeFiles/test_coproc.dir/test_coproc.cpp.o.d"
+  "test_coproc"
+  "test_coproc.pdb"
+  "test_coproc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

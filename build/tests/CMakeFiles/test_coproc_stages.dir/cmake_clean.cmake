@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coproc_stages.dir/test_coproc_stages.cpp.o"
+  "CMakeFiles/test_coproc_stages.dir/test_coproc_stages.cpp.o.d"
+  "test_coproc_stages"
+  "test_coproc_stages.pdb"
+  "test_coproc_stages[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coproc_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

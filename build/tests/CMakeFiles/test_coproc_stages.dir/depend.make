@@ -1,0 +1,2 @@
+# Empty dependencies file for test_coproc_stages.
+# This may be replaced when dependencies are built.

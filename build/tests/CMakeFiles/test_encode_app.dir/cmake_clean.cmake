@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_encode_app.dir/test_encode_app.cpp.o"
+  "CMakeFiles/test_encode_app.dir/test_encode_app.cpp.o.d"
+  "test_encode_app"
+  "test_encode_app.pdb"
+  "test_encode_app[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_encode_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

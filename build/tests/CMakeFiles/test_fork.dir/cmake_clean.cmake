@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fork.dir/test_fork.cpp.o"
+  "CMakeFiles/test_fork.dir/test_fork.cpp.o.d"
+  "test_fork"
+  "test_fork.pdb"
+  "test_fork[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_instance_sweep.dir/test_instance_sweep.cpp.o"
+  "CMakeFiles/test_instance_sweep.dir/test_instance_sweep.cpp.o.d"
+  "test_instance_sweep"
+  "test_instance_sweep.pdb"
+  "test_instance_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_instance_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

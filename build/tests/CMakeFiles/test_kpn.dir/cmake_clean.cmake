@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kpn.dir/test_kpn.cpp.o"
+  "CMakeFiles/test_kpn.dir/test_kpn.cpp.o.d"
+  "test_kpn"
+  "test_kpn.pdb"
+  "test_kpn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kpn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

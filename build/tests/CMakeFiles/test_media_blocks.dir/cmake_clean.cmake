@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_media_blocks.dir/test_media_blocks.cpp.o"
+  "CMakeFiles/test_media_blocks.dir/test_media_blocks.cpp.o.d"
+  "test_media_blocks"
+  "test_media_blocks.pdb"
+  "test_media_blocks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_media_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

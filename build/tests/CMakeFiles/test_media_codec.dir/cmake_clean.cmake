@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_media_codec.dir/test_media_codec.cpp.o"
+  "CMakeFiles/test_media_codec.dir/test_media_codec.cpp.o.d"
+  "test_media_codec"
+  "test_media_codec.pdb"
+  "test_media_codec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_media_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

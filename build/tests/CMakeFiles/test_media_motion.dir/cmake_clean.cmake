@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_media_motion.dir/test_media_motion.cpp.o"
+  "CMakeFiles/test_media_motion.dir/test_media_motion.cpp.o.d"
+  "test_media_motion"
+  "test_media_motion.pdb"
+  "test_media_motion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_media_motion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mixed_apps.dir/test_mixed_apps.cpp.o"
+  "CMakeFiles/test_mixed_apps.dir/test_mixed_apps.cpp.o.d"
+  "test_mixed_apps"
+  "test_mixed_apps.pdb"
+  "test_mixed_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mixed_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

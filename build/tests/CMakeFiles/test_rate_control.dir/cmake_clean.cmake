@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rate_control.dir/test_rate_control.cpp.o"
+  "CMakeFiles/test_rate_control.dir/test_rate_control.cpp.o.d"
+  "test_rate_control"
+  "test_rate_control.pdb"
+  "test_rate_control[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rate_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

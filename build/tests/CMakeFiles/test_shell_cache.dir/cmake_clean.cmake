@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shell_cache.dir/test_shell_cache.cpp.o"
+  "CMakeFiles/test_shell_cache.dir/test_shell_cache.cpp.o.d"
+  "test_shell_cache"
+  "test_shell_cache.pdb"
+  "test_shell_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shell_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

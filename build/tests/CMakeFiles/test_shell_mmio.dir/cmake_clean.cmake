@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shell_mmio.dir/test_shell_mmio.cpp.o"
+  "CMakeFiles/test_shell_mmio.dir/test_shell_mmio.cpp.o.d"
+  "test_shell_mmio"
+  "test_shell_mmio.pdb"
+  "test_shell_mmio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shell_mmio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shell_sync.dir/test_shell_sync.cpp.o"
+  "CMakeFiles/test_shell_sync.dir/test_shell_sync.cpp.o.d"
+  "test_shell_sync"
+  "test_shell_sync.pdb"
+  "test_shell_sync[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shell_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_kpn[1]_include.cmake")
+include("/root/repo/build/tests/test_media_blocks[1]_include.cmake")
+include("/root/repo/build/tests/test_media_motion[1]_include.cmake")
+include("/root/repo/build/tests/test_media_codec[1]_include.cmake")
+include("/root/repo/build/tests/test_shell_sync[1]_include.cmake")
+include("/root/repo/build/tests/test_shell_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_shell_sched[1]_include.cmake")
+include("/root/repo/build/tests/test_shell_mmio[1]_include.cmake")
+include("/root/repo/build/tests/test_coproc[1]_include.cmake")
+include("/root/repo/build/tests/test_app[1]_include.cmake")
+include("/root/repo/build/tests/test_fork[1]_include.cmake")
+include("/root/repo/build/tests/test_coproc_stages[1]_include.cmake")
+include("/root/repo/build/tests/test_encode_app[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_mixed_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_instance_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_rate_control[1]_include.cmake")
+include("/root/repo/build/tests/test_audio[1]_include.cmake")
+include("/root/repo/build/tests/test_av_app[1]_include.cmake")
+include("/root/repo/build/tests/test_soak[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_viewer.dir/trace_viewer.cpp.o"
+  "CMakeFiles/trace_viewer.dir/trace_viewer.cpp.o.d"
+  "trace_viewer"
+  "trace_viewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_viewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_trace_viewer "/usr/bin/cmake" "-DSIM_DRIVER=/root/repo/build/examples/sim_driver" "-DVIEWER=/root/repo/build/tools/trace_viewer" "-DWORK_DIR=/root/repo/build/tools" "-P" "/root/repo/tools/run_viewer_test.cmake")
+set_tests_properties(tool_trace_viewer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
