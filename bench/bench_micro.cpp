@@ -94,6 +94,109 @@ void BM_SimulatorEventDispatch(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorEventDispatch);
 
+// --------------------------------------------------------------- kernel
+// Wall-clock throughput of the event kernel itself (the bottleneck of all
+// E1-E12 experiments). The same scenarios run under tools/bench_json,
+// which emits BENCH_kernel.json for tracking across PRs.
+
+sim::Task<void> storm(sim::Simulator& sim, sim::Cycle stride, int hops) {
+  for (int i = 0; i < hops; ++i) co_await sim.delay(stride);
+}
+
+// Pure-delay storm: every event is a coroutine resume from DelayAwaiter —
+// the allocation-free fast path. Mixed strides exercise both the wheel
+// (short) and, at the widest strides times many processes, bucket reuse.
+void BM_KernelPureDelayStorm(benchmark::State& state) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int p = 0; p < 64; ++p) {
+      sim.spawn(storm(sim, static_cast<sim::Cycle>(p % 13) + 1, 5000), "storm");
+    }
+    sim.run();
+    events += sim.eventsDispatched();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_KernelPureDelayStorm);
+
+// Long-delay storm: strides beyond the wheel span force the overflow heap
+// and window-jump path; guards against regressions in the slow path.
+void BM_KernelLongDelayStorm(benchmark::State& state) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int p = 0; p < 64; ++p) {
+      sim.spawn(storm(sim, static_cast<sim::Cycle>(4096 + 977 * p), 500), "far");
+    }
+    sim.run();
+    events += sim.eventsDispatched();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_KernelLongDelayStorm);
+
+sim::Task<void> fanoutWaiter(sim::SimEvent& ev, int rounds, std::uint64_t& wakes) {
+  for (int i = 0; i < rounds; ++i) {
+    co_await ev.wait();
+    ++wakes;
+  }
+}
+
+sim::Task<void> fanoutNotifier(sim::Simulator& sim, sim::SimEvent& ev, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    co_await sim.delay(1);
+    ev.notifyAll();
+  }
+}
+
+sim::Task<void> semWorker(sim::Simulator& sim, sim::Semaphore& sem, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    co_await sem.acquire();
+    sim::SemaphoreGuard guard(sem);
+    co_await sim.delay(2);
+  }
+}
+
+// Mixed-fanout resume pattern: one notifier waking 32 waiters each cycle
+// plus 16 workers contending on a 4-slot semaphore — the wake shapes of
+// shells (sched/space events) and buses (grant semaphores).
+void BM_KernelMixedFanout(benchmark::State& state) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::SimEvent ev(sim);
+    sim::Semaphore sem(sim, 4);
+    std::uint64_t wakes = 0;
+    for (int p = 0; p < 32; ++p) sim.spawn(fanoutWaiter(ev, 500, wakes), "waiter");
+    sim.spawn(fanoutNotifier(sim, ev, 500), "notifier");
+    for (int p = 0; p < 16; ++p) sim.spawn(semWorker(sim, sem, 500), "sem");
+    sim.run();
+    benchmark::DoNotOptimize(wakes);
+    events += sim.eventsDispatched();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_KernelMixedFanout);
+
+// Reference timed decode, reported as simulated cycles per wall second —
+// the end-to-end number every E-bench inherits.
+void BM_KernelTimedDecode(benchmark::State& state) {
+  const auto w = eclipse::bench::makeWorkload(96, 80, 5);
+  std::uint64_t cycles_total = 0;
+  for (auto _ : state) {
+    app::EclipseInstance inst;
+    app::DecodeApp dec(inst, w.bitstream);
+    const auto cycles = inst.run();
+    benchmark::DoNotOptimize(cycles);
+    if (!dec.done()) state.SkipWithError("decode incomplete");
+    cycles_total += cycles;
+  }
+  state.counters["sim_cycles_per_sec"] =
+      benchmark::Counter(static_cast<double>(cycles_total), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_KernelTimedDecode)->Unit(benchmark::kMillisecond);
+
 void BM_EclipseDecodeQcif(benchmark::State& state) {
   const auto w = eclipse::bench::makeWorkload(96, 80, 5);
   for (auto _ : state) {

@@ -1,0 +1,137 @@
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace eclipse::sim {
+
+/// Allocation-free simulation event.
+///
+/// The kernel dispatches two kinds of work: resuming a suspended coroutine
+/// (the dominant case — Delay, SimEvent, Semaphore all wake processes this
+/// way) and invoking a callback (message delivery, test hooks). A
+/// `std::function` would heap-allocate for almost every capture list, so
+/// Event instead stores one of:
+///   * a bare `std::coroutine_handle<>` — one pointer, no allocation,
+///   * a small trivially-copyable callable, inline in the event itself,
+///   * a heap-allocated holder, only for large or non-trivial callables.
+///
+/// Events are move-only and single-shot: invoke with `operator()`.
+class Event {
+ public:
+  /// Callables at most this large (and trivially copyable/destructible)
+  /// are stored inline. Sized so Event fills one cache line.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  Event() noexcept : tag_(Tag::kEmpty) {}
+
+  /// Coroutine fast path: resuming `h` is the event.
+  Event(std::coroutine_handle<> h) noexcept : tag_(Tag::kCoroutine) {
+    payload_.coro = h.address();
+  }
+
+  /// Generic callable. Small trivially-copyable callables (the common
+  /// lambda capturing a pointer or a few scalars) are stored inline;
+  /// anything else falls back to a single heap allocation.
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, Event> &&
+             !std::is_convertible_v<F, std::coroutine_handle<>> &&
+             std::is_invocable_r_v<void, std::decay_t<F>&>)
+  Event(F&& fn) {  // NOLINT(bugprone-forwarding-reference-overload)
+    using Fn = std::decay_t<F>;
+    if constexpr (fitsInline<Fn>()) {
+      ::new (static_cast<void*>(payload_.inline_storage)) Fn(std::forward<F>(fn));
+      invoke_ = [](Payload& p) { (*std::launder(reinterpret_cast<Fn*>(p.inline_storage)))(); };
+      tag_ = Tag::kInline;
+    } else {
+      payload_.heap = new HeapHolder<Fn>(std::forward<F>(fn));
+      tag_ = Tag::kHeap;
+    }
+  }
+
+  Event(Event&& other) noexcept
+      : payload_(other.payload_), invoke_(other.invoke_), tag_(other.tag_) {
+    other.tag_ = Tag::kEmpty;
+  }
+
+  Event& operator=(Event&& other) noexcept {
+    if (this != &other) {
+      reset();
+      payload_ = other.payload_;
+      invoke_ = other.invoke_;
+      tag_ = other.tag_;
+      other.tag_ = Tag::kEmpty;
+    }
+    return *this;
+  }
+
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  ~Event() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return tag_ != Tag::kEmpty; }
+
+  /// True when invoking resumes a coroutine (no indirect call needed).
+  [[nodiscard]] bool isCoroutine() const noexcept { return tag_ == Tag::kCoroutine; }
+
+  void operator()() {
+    switch (tag_) {
+      case Tag::kCoroutine:
+        std::coroutine_handle<>::from_address(payload_.coro).resume();
+        break;
+      case Tag::kInline:
+        invoke_(payload_);
+        break;
+      case Tag::kHeap:
+        payload_.heap->invoke();
+        break;
+      case Tag::kEmpty:
+        break;
+    }
+  }
+
+ private:
+  enum class Tag : unsigned char { kEmpty, kCoroutine, kInline, kHeap };
+
+  struct HeapHolderBase {
+    virtual void invoke() = 0;
+    virtual ~HeapHolderBase() = default;
+  };
+  template <typename Fn>
+  struct HeapHolder final : HeapHolderBase {
+    explicit HeapHolder(Fn f) : fn(std::move(f)) {}
+    void invoke() override { fn(); }
+    Fn fn;
+  };
+
+  union Payload {
+    void* coro;
+    HeapHolderBase* heap;
+    alignas(std::max_align_t) unsigned char inline_storage[kInlineBytes];
+  };
+
+  template <typename Fn>
+  static constexpr bool fitsInline() {
+    // Inline events are relocated with a raw copy when a bucket's vector
+    // grows and dropped without running destructors on clear(), so the
+    // inline path is restricted to trivially copyable/destructible types.
+    return sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(Payload) &&
+           std::is_trivially_copyable_v<Fn> && std::is_trivially_destructible_v<Fn>;
+  }
+
+  void reset() noexcept {
+    if (tag_ == Tag::kHeap) delete payload_.heap;
+    tag_ = Tag::kEmpty;
+  }
+
+  Payload payload_;
+  void (*invoke_)(Payload&) = nullptr;  // set for Tag::kInline only
+  Tag tag_;
+};
+
+}  // namespace eclipse::sim

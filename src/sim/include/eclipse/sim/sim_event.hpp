@@ -30,7 +30,7 @@ class SimEvent {
 
   void notifyAll() {
     for (auto h : waiters_) {
-      sim_->schedule(0, [h] { h.resume(); });
+      sim_->scheduleResume(0, h);
     }
     waiters_.clear();
   }
@@ -39,7 +39,7 @@ class SimEvent {
     if (waiters_.empty()) return;
     auto h = waiters_.front();
     waiters_.pop_front();
-    sim_->schedule(0, [h] { h.resume(); });
+    sim_->scheduleResume(0, h);
   }
 
   [[nodiscard]] std::size_t waiterCount() const { return waiters_.size(); }
@@ -79,7 +79,7 @@ class Semaphore {
     if (!waiters_.empty()) {
       auto h = waiters_.front();
       waiters_.pop_front();
-      sim_->schedule(0, [h] { h.resume(); });
+      sim_->scheduleResume(0, h);
     } else {
       ++count_;
     }

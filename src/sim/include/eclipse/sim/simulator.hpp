@@ -3,13 +3,13 @@
 #include <coroutine>
 #include <cstdint>
 #include <exception>
-#include <functional>
 #include <limits>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "eclipse/sim/coro.hpp"
+#include "eclipse/sim/event.hpp"
 #include "eclipse/sim/event_queue.hpp"
 #include "eclipse/sim/types.hpp"
 
@@ -34,14 +34,21 @@ class Simulator {
   /// Current simulated cycle.
   [[nodiscard]] Cycle now() const { return now_; }
 
-  /// Schedules a callback `delay` cycles from now.
-  void schedule(Cycle delay, EventQueue::Callback cb) {
-    queue_.push(now_ + delay, std::move(cb));
+  /// Schedules an event `delay` cycles from now. Accepts anything an Event
+  /// can hold: a coroutine handle (allocation-free fast path) or a callable
+  /// (stored inline when small and trivially copyable).
+  void schedule(Cycle delay, Event ev) { queue_.push(now_ + delay, std::move(ev)); }
+
+  /// Schedules an event at an absolute cycle (must be >= now()).
+  void scheduleAt(Cycle at, Event ev) {
+    queue_.push(at < now_ ? now_ : at, std::move(ev));
   }
 
-  /// Schedules a callback at an absolute cycle (must be >= now()).
-  void scheduleAt(Cycle at, EventQueue::Callback cb) {
-    queue_.push(at < now_ ? now_ : at, std::move(cb));
+  /// Fast path: schedules the resumption of a suspended coroutine `delay`
+  /// cycles from now. No type erasure, no allocation — the handle is the
+  /// event.
+  void scheduleResume(Cycle delay, std::coroutine_handle<> h) {
+    queue_.push(now_ + delay, Event(h));
   }
 
   /// Awaitable that suspends the calling coroutine for `n` cycles.
@@ -50,9 +57,7 @@ class Simulator {
     Simulator& sim;
     Cycle n;
     bool await_ready() const noexcept { return n == 0; }
-    void await_suspend(std::coroutine_handle<> h) {
-      sim.schedule(n, [h] { h.resume(); });
-    }
+    void await_suspend(std::coroutine_handle<> h) { sim.scheduleResume(n, h); }
     void await_resume() const noexcept {}
   };
   [[nodiscard]] DelayAwaiter delay(Cycle n) { return DelayAwaiter{*this, n}; }

@@ -50,7 +50,7 @@ void Simulator::spawn(Task<void> task, std::string name) {
   handle.promise().root_sim = this;
   roots_.push_back(RootProcess{std::move(name), handle});
   ++live_;
-  schedule(0, [handle] { handle.resume(); });
+  scheduleResume(0, handle);
 }
 
 Cycle Simulator::run(Cycle until) {
@@ -61,10 +61,10 @@ Cycle Simulator::run(Cycle until) {
       return now_;
     }
     Cycle at = 0;
-    auto cb = queue_.pop(&at);
+    Event ev = queue_.pop(&at);
     now_ = at;
     ++events_;
-    cb();
+    ev();
     if (pending_error_) {
       auto err = std::exchange(pending_error_, nullptr);
       std::rethrow_exception(err);

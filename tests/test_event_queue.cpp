@@ -1,0 +1,224 @@
+// Tests for the timing-wheel event kernel: the allocation-free Event type,
+// same-cycle FIFO order across the bucket/overflow-heap boundary, wheel
+// wrap-around at large cycle deltas, teardown with pending events, and a
+// determinism regression against the seed (binary-heap) kernel.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "eclipse/app/decode_app.hpp"
+#include "eclipse/app/instance.hpp"
+#include "eclipse/media/codec.hpp"
+#include "eclipse/media/video_gen.hpp"
+#include "eclipse/sim/event.hpp"
+#include "eclipse/sim/event_queue.hpp"
+#include "eclipse/sim/sim_event.hpp"
+#include "eclipse/sim/simulator.hpp"
+
+namespace {
+
+using namespace eclipse;
+using namespace eclipse::sim;
+
+constexpr Cycle kSpan = EventQueue::kWheelSpan;
+
+// ----------------------------------------------------------------- event
+
+TEST(Event, InlineCallableRunsWithoutAllocation) {
+  int hits = 0;
+  int* p = &hits;
+  Event ev([p] { ++*p; });  // small + trivially copyable: stored inline
+  Event moved = std::move(ev);
+  moved();
+  EXPECT_EQ(hits, 1);
+  EXPECT_FALSE(static_cast<bool>(ev));  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(Event, LargeOrNonTrivialCallableFallsBackToHeap) {
+  auto token = std::make_shared<int>(7);
+  int got = 0;
+  {
+    Event ev([token, &got] { got = *token; });  // shared_ptr: non-trivial copy
+    EXPECT_EQ(token.use_count(), 2);
+    ev();
+  }
+  EXPECT_EQ(got, 7);
+  EXPECT_EQ(token.use_count(), 1);  // holder destroyed with the event
+}
+
+TEST(Event, DroppingHeapEventReleasesWithoutInvoking) {
+  auto token = std::make_shared<int>(1);
+  bool ran = false;
+  {
+    Event ev([token, &ran] { ran = true; });
+    EXPECT_EQ(token.use_count(), 2);
+  }  // destroyed, never invoked
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+// ----------------------------------------------------- wheel fundamentals
+
+TEST(EventQueueWheel, PopsAcrossWheelAndOverflowInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(kSpan * 3, [&] { order.push_back(3); });  // overflow heap
+  q.push(1, [&] { order.push_back(1); });          // wheel
+  q.push(kSpan + 5, [&] { order.push_back(2); });  // overflow heap
+  q.push(0, [&] { order.push_back(0); });          // wheel, current cycle
+  Cycle prev = 0;
+  while (!q.empty()) {
+    Cycle at = 0;
+    auto ev = q.pop(&at);
+    EXPECT_GE(at, prev);
+    prev = at;
+    ev();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueueWheel, SameCycleFifoAcrossBucketHeapBoundary) {
+  EventQueue q;
+  std::vector<int> order;
+  const Cycle x = kSpan + 4;  // beyond the horizon while base is 0
+  q.push(x, [&] { order.push_back(0); });  // lands in the overflow heap
+  q.push(x, [&] { order.push_back(1); });  // FIFO within the heap too
+  q.push(10, [&] { order.push_back(-1); });
+  // Draining cycle 10 advances the window; x now fits and both heap
+  // entries must migrate into their bucket *before* any later push.
+  q.pop()();
+  q.push(x, [&] { order.push_back(2); });  // direct wheel push, same cycle
+  q.push(x, [&] { order.push_back(3); });
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(order, (std::vector<int>{-1, 0, 1, 2, 3}));
+}
+
+TEST(EventQueueWheel, WrapAroundAtLargeCycleDeltas) {
+  EventQueue q;
+  std::vector<Cycle> popped;
+  // Cycles crossing many wheel spans; several alias to the same bucket
+  // index mod kSpan, so ordering must come from the window logic alone.
+  std::vector<Cycle> cycles;
+  for (int k = 12; k >= 0; --k) cycles.push_back(static_cast<Cycle>(k) * (kSpan - 1));
+  for (Cycle c : cycles) {
+    q.push(c, [&popped, c] { popped.push_back(c); });
+  }
+  while (!q.empty()) {
+    Cycle at = 0;
+    q.pop(&at)();
+    ASSERT_EQ(at, popped.back());
+  }
+  EXPECT_EQ(popped.size(), cycles.size());
+  for (std::size_t i = 1; i < popped.size(); ++i) EXPECT_LT(popped[i - 1], popped[i]);
+}
+
+TEST(EventQueueWheel, WindowJumpOverEmptySpans) {
+  EventQueue q;
+  Cycle seen = 0;
+  q.push(1'000'000'000, [&] { seen = 1; });  // far beyond any wheel span
+  Cycle at = 0;
+  q.pop(&at)();
+  EXPECT_EQ(at, 1'000'000'000u);
+  EXPECT_EQ(seen, 1u);
+  EXPECT_TRUE(q.empty());
+  // The queue stays usable after the jump; earlier pushes clamp forward.
+  q.push(5, [&] { seen = 2; });
+  q.pop(&at)();
+  EXPECT_EQ(seen, 2u);
+}
+
+TEST(EventQueueWheel, PushDuringDrainOfSameCycleKeepsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(7, [&] {
+    order.push_back(0);
+    q.push(7, [&] { order.push_back(2); });  // same cycle, while draining it
+  });
+  q.push(7, [&] { order.push_back(1); });
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueueWheel, ClearDropsPendingHeapEventsWithoutInvoking) {
+  EventQueue q;
+  auto token = std::make_shared<int>(0);
+  bool ran = false;
+  q.push(3, [token, &ran] { ran = true; });       // heap-held callable
+  q.push(kSpan * 2, [token, &ran] { ran = true; });  // pending in overflow
+  EXPECT_EQ(token.use_count(), 3);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+// ------------------------------------------------------------- teardown
+
+Task<void> sleeper(Simulator& sim, Cycle n) { co_await sim.delay(n); }
+
+TEST(SimulatorTeardown, DestroyProcessesWithPendingInlineEvents) {
+  Simulator sim;
+  // Coroutine resumes pending in the wheel and in the overflow heap.
+  sim.spawn(sleeper(sim, 3), "near");
+  sim.spawn(sleeper(sim, kSpan * 5), "far");
+  sim.run(1);  // start both; they are now suspended in delay()
+  EXPECT_EQ(sim.liveProcesses(), 2u);
+  EXPECT_FALSE(sim.quiescent());
+  sim.destroyProcesses();  // must drop events before frames, no crash
+  EXPECT_EQ(sim.liveProcesses(), 0u);
+  EXPECT_TRUE(sim.quiescent());
+  // The simulator stays usable after teardown.
+  Cycle done = 0;
+  sim.spawn(sleeper(sim, 2), "again");
+  sim.schedule(4, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done, sim.now());
+  EXPECT_EQ(sim.liveProcesses(), 0u);
+}
+
+// ---------------------------------------------------------- determinism
+
+// Regression pin against the seed kernel (std::function + binary heap):
+// the queue swap must not change simulation results. These constants were
+// captured from the seed build for the standard fixed-seed workload
+// (96x80, 5 frames, qscale 14, GOP {9,3}, seed 3) and may only change
+// when the *timing model* changes — never from kernel data structures.
+TEST(Determinism, TimedDecodeMatchesSeedKernel) {
+  media::VideoGenParams vp;
+  vp.width = 96;
+  vp.height = 80;
+  vp.frames = 5;
+  vp.seed = 3;
+  vp.detail = 8;
+  vp.noise_level = 0.0;
+  vp.motion_speed = 4;
+  const auto frames = media::generateVideo(vp);
+  media::CodecParams cp;
+  cp.width = vp.width;
+  cp.height = vp.height;
+  cp.qscale = 14;
+  cp.gop = {9, 3};
+  media::Encoder enc(cp);
+  const auto bitstream = enc.encode(frames);
+
+  app::EclipseInstance inst;
+  app::DecodeApp dec(inst, bitstream);
+  const Cycle cycles = inst.run();
+  ASSERT_TRUE(dec.done());
+  EXPECT_EQ(cycles, 144885u);
+  EXPECT_EQ(inst.simulator().eventsDispatched(), 48109u);
+  EXPECT_EQ(dec.macroblocksDecoded(), 150u);
+
+  // And identical across runs in the same process (no hidden state).
+  app::EclipseInstance inst2;
+  app::DecodeApp dec2(inst2, bitstream);
+  const Cycle cycles2 = inst2.run();
+  ASSERT_TRUE(dec2.done());
+  EXPECT_EQ(cycles2, cycles);
+  EXPECT_EQ(inst2.simulator().eventsDispatched(), inst.simulator().eventsDispatched());
+}
+
+}  // namespace
