@@ -30,12 +30,15 @@ struct AudioDecodeApp::FeederState {
   std::size_t pos = 16;  // past the stream header
   std::uint32_t samples_fed = 0;
   bool eos_sent = false;
+  std::vector<std::uint8_t> pkt;  // reusable coded-block packet buffer
 };
 
 struct AudioDecodeApp::DecoderState {
   std::uint32_t block_samples = 0;
   sim::Cycle cycles_per_sample = 6;
   bool done = false;
+  std::vector<std::int16_t> samples;  // reusable decode buffer
+  std::vector<std::uint8_t> out;      // reusable PCM packet buffer
 };
 
 AudioDecodeApp::AudioDecodeApp(EclipseInstance& inst, std::vector<std::uint8_t> coded_stream,
@@ -99,14 +102,14 @@ AudioDecodeApp::AudioDecodeApp(EclipseInstance& inst, std::vector<std::uint8_t> 
         if (st.pos + bb > st.stream_bytes) {
           throw std::runtime_error("AudioDecodeApp: truncated audio stream");
         }
-        std::vector<std::uint8_t> pkt(1 + bb);
-        pkt[0] = static_cast<std::uint8_t>(media::PacketTag::Mb);
+        st.pkt.resize(1 + bb);
+        st.pkt[0] = static_cast<std::uint8_t>(media::PacketTag::Mb);
         co_await inst_.dram().read(st.dram_addr + st.pos,
-                                   std::span<std::uint8_t>(pkt).subspan(1),
+                                   std::span<std::uint8_t>(st.pkt).subspan(1),
                                    static_cast<int>(sh.id()));
         st.pos += bb;
         st.samples_fed += st.block_samples;
-        co_await coproc::packet_io::write(sh, task, 0, pkt, /*wait=*/false);
+        co_await coproc::packet_io::write(sh, task, 0, st.pkt, /*wait=*/false);
       });
 
   // Decoder: one block per processing step.
@@ -116,26 +119,27 @@ AudioDecodeApp::AudioDecodeApp(EclipseInstance& inst, std::vector<std::uint8_t> 
         auto& sh = inst_.cpuShell();
         auto& st = *decoder_;
         if (!co_await sh.getSpace(task, 1, withCtl(pcm_frame))) co_return;
-        std::vector<std::uint8_t> pkt;
-        if (co_await coproc::packet_io::tryRead(sh, task, 0, pkt) ==
-            coproc::packet_io::ReadStatus::Blocked) {
-          co_return;
-        }
-        if (static_cast<media::PacketTag>(pkt.at(0)) == media::PacketTag::Eos) {
-          co_await coproc::packet_io::write(sh, task, 1, pkt, /*wait=*/false);
+        const coproc::packet_io::Packet p =
+            co_await coproc::packet_io::tryReadView(sh, task, 0);
+        if (p.status == coproc::packet_io::ReadStatus::Blocked) co_return;
+        if (coproc::packet_io::tagOf(p.bytes) == media::PacketTag::Eos) {
+          co_await coproc::packet_io::write(sh, task, 1, media::packTag(media::PacketTag::Eos),
+                                            /*wait=*/false);
           st.done = true;
           inst_.cpu().finish(task);
           co_return;
         }
-        std::vector<std::int16_t> samples;
-        media::audio::decodeBlock(std::span<const std::uint8_t>(pkt).subspan(1),
-                                  st.block_samples, samples);
-        co_await inst_.simulator().delay(static_cast<sim::Cycle>(samples.size()) *
+        // Decode straight out of the committed view (fully consumed before
+        // the delay suspension below). decodeBlock appends, so reset first.
+        st.samples.clear();
+        media::audio::decodeBlock(coproc::packet_io::payloadOf(p.bytes), st.block_samples,
+                                  st.samples);
+        co_await inst_.simulator().delay(static_cast<sim::Cycle>(st.samples.size()) *
                                          st.cycles_per_sample);
-        std::vector<std::uint8_t> out(1 + samples.size() * 2);
-        out[0] = static_cast<std::uint8_t>(media::PacketTag::Mb);
-        std::memcpy(out.data() + 1, samples.data(), samples.size() * 2);
-        co_await coproc::packet_io::write(sh, task, 1, out, /*wait=*/false);
+        st.out.resize(1 + st.samples.size() * 2);
+        st.out[0] = static_cast<std::uint8_t>(media::PacketTag::Mb);
+        std::memcpy(st.out.data() + 1, st.samples.data(), st.samples.size() * 2);
+        co_await coproc::packet_io::write(sh, task, 1, st.out, /*wait=*/false);
       });
 
   const shell::TaskConfig tc{true, cfg.budget_cycles, 0};

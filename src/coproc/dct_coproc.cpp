@@ -7,14 +7,14 @@ namespace eclipse::coproc {
 
 sim::Task<void> DctCoproc::step(sim::TaskId task, std::uint32_t task_info) {
   if (!co_await shell_.getSpace(task, kOut, withCtl(kMaxBlocksFrame))) co_return;
-  std::vector<std::uint8_t> pkt;
-  if (co_await packet_io::tryRead(shell_, task, kIn, pkt) == packet_io::ReadStatus::Blocked) {
-    co_return;
-  }
-  const auto tag = packet_io::tagOf(pkt);
+  const packet_io::Packet p = co_await packet_io::tryReadView(shell_, task, kIn);
+  if (p.status == packet_io::ReadStatus::Blocked) co_return;
+  const auto tag = packet_io::tagOf(p.bytes);
   if (tag == media::PacketTag::Mb) {
     media::MbBlocks in, out;
-    media::ByteReader r(packet_io::payloadOf(pkt));
+    // Parsed straight out of the committed view — fully consumed before
+    // the delay suspension below.
+    media::ByteReader r(packet_io::payloadOf(p.bytes));
     media::get(r, in);
     int nb;
     if ((task_info & kDctInfoForward) != 0) {
@@ -29,12 +29,15 @@ sim::Task<void> DctCoproc::step(sim::TaskId task, std::uint32_t task_info) {
     }
     blocks_ += static_cast<std::uint64_t>(nb);
     co_await sim_.delay(static_cast<sim::Cycle>(nb) * params_.blockCycles());
-    co_await packet_io::write(shell_, task, kOut, media::packPacket(media::PacketTag::Mb, out),
+    co_await packet_io::write(shell_, task, kOut,
+                              media::packPacketInto(writer_, media::PacketTag::Mb, out),
                               /*wait=*/false);
     co_return;
   }
-  // Control packets pass through unchanged.
-  co_await packet_io::write(shell_, task, kOut, pkt, /*wait=*/false);
+  // Control packets pass through unchanged; staged in the reusable buffer
+  // because the view does not survive write()'s suspension points.
+  ctl_.assign(p.bytes.begin(), p.bytes.end());
+  co_await packet_io::write(shell_, task, kOut, ctl_, /*wait=*/false);
   if (tag == media::PacketTag::Eos) finishTask(task);
 }
 

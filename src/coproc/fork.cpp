@@ -12,15 +12,16 @@ sim::Task<void> ForkCoproc::step(sim::TaskId task, std::uint32_t /*task_info*/) 
   for (int out = 1; out <= fanout_; ++out) {
     if (!co_await shell_.getSpace(task, out, max_frame_)) co_return;
   }
-  std::vector<std::uint8_t> pkt;
-  if (co_await packet_io::tryRead(shell_, task, kIn, pkt) == packet_io::ReadStatus::Blocked) {
-    co_return;
-  }
+  const packet_io::Packet p = co_await packet_io::tryReadView(shell_, task, kIn);
+  if (p.status == packet_io::ReadStatus::Blocked) co_return;
+  // The committed view dies at the first write's suspension point, and the
+  // packet is forwarded fanout times — stage it in the reusable buffer.
+  pkt_.assign(p.bytes.begin(), p.bytes.end());
   for (int out = 1; out <= fanout_; ++out) {
-    co_await packet_io::write(shell_, task, out, pkt, /*wait=*/false);
+    co_await packet_io::write(shell_, task, out, pkt_, /*wait=*/false);
   }
   ++packets_;
-  if (packet_io::tagOf(pkt) == media::PacketTag::Eos) finishTask(task);
+  if (packet_io::tagOf(pkt_) == media::PacketTag::Eos) finishTask(task);
 }
 
 }  // namespace eclipse::coproc

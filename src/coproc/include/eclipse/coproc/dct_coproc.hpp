@@ -1,10 +1,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <vector>
 
 #include "eclipse/coproc/coprocessor.hpp"
 #include "eclipse/media/codec.hpp"
+#include "eclipse/media/packets.hpp"
 
 namespace eclipse::coproc {
 
@@ -44,6 +45,8 @@ class DctCoproc final : public Coprocessor {
  private:
   DctParams params_;
   std::uint64_t blocks_ = 0;
+  media::ByteWriter writer_;        // reusable Mb serialisation buffer
+  std::vector<std::uint8_t> ctl_;  // staged control-packet passthrough
 };
 
 }  // namespace eclipse::coproc

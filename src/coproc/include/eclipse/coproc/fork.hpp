@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "eclipse/coproc/coprocessor.hpp"
 
@@ -36,6 +37,7 @@ class ForkCoproc final : public Coprocessor {
   int fanout_;
   std::uint32_t max_frame_;
   std::uint64_t packets_ = 0;
+  std::vector<std::uint8_t> pkt_;  // staged packet (view dies at first co_await)
 };
 
 }  // namespace eclipse::coproc

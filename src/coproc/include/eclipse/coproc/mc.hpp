@@ -141,6 +141,12 @@ class McCoproc final : public Coprocessor {
   std::vector<PicEvent> pic_events_;
   std::uint64_t predictions_ = 0;
   std::uint64_t searches_ = 0;
+
+  // Reusable scratch (steps are serial per coprocessor): fetched reference
+  // regions and the outgoing-packet serialisation buffer.
+  media::ByteWriter writer_;
+  std::vector<std::uint8_t> region_, rcb_, rcr_;  // predictTimed fetches
+  std::vector<std::uint8_t> win_f_, win_b_;       // decideMode search windows
 };
 
 }  // namespace eclipse::coproc

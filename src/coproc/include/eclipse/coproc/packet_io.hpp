@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "eclipse/media/packets.hpp"
@@ -19,6 +20,13 @@ namespace eclipse::coproc {
 /// conditional-input pattern of Section 4.2. Nothing is committed until
 /// the whole packet is readable, so an aborted step simply re-reads the
 /// length word on its next attempt.
+///
+/// Since the zero-copy transport refactor packets are delivered as
+/// WindowViews into the stream FIFO instead of freshly allocated vectors:
+/// tryReadView / tryPeekView return a Packet whose `bytes` span the tag +
+/// payload directly in SRAM (gathered into the port's reusable scratch
+/// buffer only when the packet wraps the cyclic buffer). The old
+/// vector-based entry points remain as thin adapters.
 namespace packet_io {
 
 inline constexpr std::uint32_t kFrameHeaderBytes = 4;
@@ -29,13 +37,41 @@ enum class ReadStatus {
   Blocked,  ///< insufficient data; nothing committed — abort the step
 };
 
+/// One received packet: a zero-copy view plus contiguous access bytes.
+///
+/// Lifetime: after tryReadView the stream bytes are *committed* — `bytes`
+/// (when it points into SRAM) is only safe to use until the caller's next
+/// suspension point. After tryPeekView nothing is committed and `bytes`
+/// stays valid until the caller PutSpaces `frame_bytes` on the port.
+struct Packet {
+  ReadStatus status = ReadStatus::Blocked;
+  shell::WindowView view;                ///< tag + payload view into the FIFO
+  std::uint32_t frame_bytes = 0;         ///< header + length: bytes to PutSpace
+  std::span<const std::uint8_t> bytes;   ///< contiguous tag + payload
+};
+
+/// Attempts to read one whole packet from (task, port). On Ok the packet
+/// bytes are committed and exposed zero-copy in the returned Packet.
+sim::Task<Packet> tryReadView(shell::Shell& sh, sim::TaskId task, sim::PortId port);
+
+/// Reads one whole packet *without committing it*. Used by coprocessors
+/// with several input streams that must all be readable before any of them
+/// may be consumed (Section 4.2's restartable step): peek every input,
+/// compute, then PutSpace the returned frame_bytes on each port.
+sim::Task<Packet> tryPeekView(shell::Shell& sh, sim::TaskId task, sim::PortId port);
+
+/// Blocking read: waits for space instead of aborting (used by coprocessor
+/// designs that park rather than switch, and by the sinks).
+sim::Task<Packet> blockingReadView(shell::Shell& sh, sim::TaskId task, sim::PortId port);
+
+// --- vector-based adapters (compatibility for out-of-tree callers) ------
+
 /// Attempts to read one whole packet from (task, port). On Ok the packet
 /// (tag byte + payload) is in `out` and its bytes are committed.
 sim::Task<ReadStatus> tryRead(shell::Shell& sh, sim::TaskId task, sim::PortId port,
                               std::vector<std::uint8_t>& out);
 
-/// Blocking read: waits for space instead of aborting (used by coprocessor
-/// designs that park rather than switch, and by the sinks).
+/// Blocking read: waits for space instead of aborting.
 sim::Task<void> blockingRead(shell::Shell& sh, sim::TaskId task, sim::PortId port,
                              std::vector<std::uint8_t>& out);
 
@@ -47,12 +83,11 @@ struct PeekResult {
   std::uint32_t frame_bytes = 0;
 };
 
-/// Reads one whole packet *without committing it*. Used by coprocessors
-/// with several input streams that must all be readable before any of them
-/// may be consumed (Section 4.2's restartable step): peek every input,
-/// compute, then PutSpace the returned frame_bytes on each port.
+/// Reads one whole packet *without committing it* into a vector.
 sim::Task<PeekResult> tryPeek(shell::Shell& sh, sim::TaskId task, sim::PortId port,
                               std::vector<std::uint8_t>& out);
+
+// ------------------------------------------------------------------------
 
 /// Attempts to reserve room for a `bytes`-byte packet (frame header
 /// included) on an output port. Returns false when the step should abort.
@@ -61,7 +96,8 @@ sim::Task<bool> tryReserve(shell::Shell& sh, sim::TaskId task, sim::PortId port,
 
 /// Writes and commits one framed packet (tag + payload). Requires room for
 /// kFrameHeaderBytes + data.size() to have been granted (tryReserve) or
-/// waits for it (`wait` = true).
+/// waits for it (`wait` = true). The header and payload are scattered into
+/// acquireWrite views of the FIFO.
 sim::Task<void> write(shell::Shell& sh, sim::TaskId task, sim::PortId port,
                       std::span<const std::uint8_t> data, bool wait);
 
@@ -70,15 +106,17 @@ sim::Task<void> write(shell::Shell& sh, sim::TaskId task, sim::PortId port,
   return kFrameHeaderBytes + payload_bytes;
 }
 
-/// Tag of a packet previously read by tryRead/blockingRead.
-[[nodiscard]] inline media::PacketTag tagOf(const std::vector<std::uint8_t>& packet) {
-  return static_cast<media::PacketTag>(packet.at(0));
+/// Tag of a packet previously read (works on views and vectors alike).
+[[nodiscard]] inline media::PacketTag tagOf(std::span<const std::uint8_t> packet) {
+  if (packet.empty()) throw std::out_of_range("packet_io::tagOf: empty packet");
+  return static_cast<media::PacketTag>(packet[0]);
 }
 
 /// Payload view (bytes after the tag).
 [[nodiscard]] inline std::span<const std::uint8_t> payloadOf(
-    const std::vector<std::uint8_t>& packet) {
-  return std::span<const std::uint8_t>(packet).subspan(1);
+    std::span<const std::uint8_t> packet) {
+  if (packet.empty()) throw std::out_of_range("packet_io::payloadOf: empty packet");
+  return packet.subspan(1);
 }
 
 }  // namespace packet_io

@@ -56,6 +56,7 @@ class RlsqCoproc final : public Coprocessor {
 
   RlsqParams params_;
   std::map<sim::TaskId, TaskState> states_;
+  media::ByteWriter writer_;  // reusable serialisation buffer (steps are serial)
   std::uint64_t pairs_ = 0;
   std::uint64_t blocks_ = 0;
 };

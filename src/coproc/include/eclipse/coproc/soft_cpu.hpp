@@ -2,7 +2,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <vector>
 
 #include "eclipse/coproc/coprocessor.hpp"
 
@@ -26,9 +26,14 @@ class SoftCpu final : public Coprocessor {
 
   SoftCpu(sim::Simulator& sim, shell::Shell& sh) : Coprocessor(sim, sh, "dsp-cpu") {}
 
-  /// Binds a software step handler to a task slot.
+  /// Binds a software step handler to a task slot. Task ids are small and
+  /// dense (they index the shell's task table), so dispatch is a flat
+  /// vector lookup instead of a tree search.
   void registerTask(sim::TaskId task, StepHandler handler) {
-    handlers_[task] = std::move(handler);
+    if (handlers_.size() <= static_cast<std::size_t>(task)) {
+      handlers_.resize(static_cast<std::size_t>(task) + 1);
+    }
+    handlers_[static_cast<std::size_t>(task)] = std::move(handler);
   }
 
   /// Software tasks call this when their stream ends.
@@ -36,13 +41,15 @@ class SoftCpu final : public Coprocessor {
 
  protected:
   sim::Task<void> step(sim::TaskId task, std::uint32_t task_info) override {
-    auto it = handlers_.find(task);
-    if (it == handlers_.end()) throw std::logic_error("SoftCpu: unregistered task scheduled");
-    co_await it->second(task, task_info);
+    if (static_cast<std::size_t>(task) >= handlers_.size() ||
+        !handlers_[static_cast<std::size_t>(task)]) {
+      throw std::logic_error("SoftCpu: unregistered task scheduled");
+    }
+    co_await handlers_[static_cast<std::size_t>(task)](task, task_info);
   }
 
  private:
-  std::map<sim::TaskId, StepHandler> handlers_;
+  std::vector<StepHandler> handlers_;  // indexed by task id
 };
 
 }  // namespace eclipse::coproc

@@ -39,6 +39,7 @@ class EncoderSource {
   int mb_count_ = 0;
   int refs_emitted_ = 0;
   int tokens_received_ = 0;
+  media::ByteWriter writer_;  // reusable packet serialisation buffer
 };
 
 /// Software variable-length encoder (runs on the DSP-CPU, Section 6).
@@ -68,6 +69,7 @@ class VleTask {
   media::BitWriter bw_;
   media::SeqHeader seq_{};
   std::vector<std::uint8_t> pending_;
+  media::ByteWriter writer_;  // reusable chunk-packet buffer
   bool eos_seen_ = false;
   std::uint64_t bits_ = 0;
 };

@@ -57,8 +57,7 @@ class VldCoproc final : public Coprocessor {
 
   struct TaskState {
     VldTaskConfig cfg;
-    std::vector<std::uint8_t> bitstream;  // functional copy; fetches are timed
-    std::unique_ptr<media::BitReader> reader;
+    std::unique_ptr<media::BitReader> reader;  // decodes in place from storage
     std::uint64_t fetched_bytes = 0;
     Phase phase = Phase::SeqHeader;
     media::SeqHeader seq{};
@@ -75,6 +74,7 @@ class VldCoproc final : public Coprocessor {
   mem::OffChipMemory& dram_;
   VldParams params_;
   std::map<sim::TaskId, TaskState> states_;
+  media::ByteWriter writer_;  // reusable serialisation buffer (steps are serial)
   std::uint64_t symbols_ = 0;
 };
 

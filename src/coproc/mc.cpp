@@ -145,11 +145,10 @@ sim::Task<void> McCoproc::predictTimed(TaskState& st, const media::MbHeader& h,
     const int cy = 2 * py + mv.y;
     const int x0 = cx >> 1, fx = cx & 1;
     const int y0 = cy >> 1, fy = cy & 1;
-    std::vector<std::uint8_t> region;
-    co_await fetchRegion(st, slot, 0, x0, y0, 17, 17, region);
+    co_await fetchRegion(st, slot, 0, x0, y0, 17, 17, region_);
     for (int y = 0; y < media::kMbSize; ++y) {
       for (int x = 0; x < media::kMbSize; ++x) {
-        out.y[static_cast<std::size_t>(y * media::kMbSize + x)] = bilinear(region, 17, x, y, fx, fy);
+        out.y[static_cast<std::size_t>(y * media::kMbSize + x)] = bilinear(region_, 17, x, y, fx, fy);
       }
     }
     // Chroma: the luma vector halved (truncation toward zero, MPEG-2).
@@ -159,13 +158,12 @@ sim::Task<void> McCoproc::predictTimed(TaskState& st, const media::MbHeader& h,
     const int ccx = 2 * pcx + cvx, ccy = 2 * pcy + cvy;
     const int cx0 = ccx >> 1, cfx = ccx & 1;
     const int cy0 = ccy >> 1, cfy = ccy & 1;
-    std::vector<std::uint8_t> rcb, rcr;
-    co_await fetchRegion(st, slot, 1, cx0, cy0, 9, 9, rcb);
-    co_await fetchRegion(st, slot, 2, cx0, cy0, 9, 9, rcr);
+    co_await fetchRegion(st, slot, 1, cx0, cy0, 9, 9, rcb_);
+    co_await fetchRegion(st, slot, 2, cx0, cy0, 9, 9, rcr_);
     for (int y = 0; y < 8; ++y) {
       for (int x = 0; x < 8; ++x) {
-        out.cb[static_cast<std::size_t>(y * 8 + x)] = bilinear(rcb, 9, x, y, cfx, cfy);
-        out.cr[static_cast<std::size_t>(y * 8 + x)] = bilinear(rcr, 9, x, y, cfx, cfy);
+        out.cb[static_cast<std::size_t>(y * 8 + x)] = bilinear(rcb_, 9, x, y, cfx, cfy);
+        out.cr[static_cast<std::size_t>(y * 8 + x)] = bilinear(rcr_, 9, x, y, cfx, cfy);
       }
     }
   };
@@ -274,16 +272,14 @@ sim::Task<void> McCoproc::decideMode(TaskState& st, const media::MbPixels& cur,
 
   const std::int32_t fwd_slot =
       st.pic.type == media::FrameType::B ? st.refs.prev : st.refs.last;
-  std::vector<std::uint8_t> win_f;
-  co_await fetchRegion(st, fwd_slot, 0, wx0, wy0, S, S, win_f);
-  const Best best_f = searchWindow(win_f);
+  co_await fetchRegion(st, fwd_slot, 0, wx0, wy0, S, S, win_f_);
+  const Best best_f = searchWindow(win_f_);
 
   Best best_b;
   std::uint32_t sad_bidi = std::numeric_limits<std::uint32_t>::max();
-  std::vector<std::uint8_t> win_b;
   if (st.pic.type == media::FrameType::B) {
-    co_await fetchRegion(st, st.refs.last, 0, wx0, wy0, S, S, win_b);
-    best_b = searchWindow(win_b);
+    co_await fetchRegion(st, st.refs.last, 0, wx0, wy0, S, S, win_b_);
+    best_b = searchWindow(win_b_);
     // Bidirectional: average of the two best predictions.
     std::uint32_t sad = 0;
     for (int y = 0; y < media::kMbSize; ++y) {
@@ -292,8 +288,8 @@ sim::Task<void> McCoproc::decideMode(TaskState& st, const media::MbPixels& cur,
       for (int x = 0; x < media::kMbSize; ++x) {
         const int hfx = 2 * x + best_f.mv.x + 2 * (R + 1);
         const int hbx = 2 * x + best_b.mv.x + 2 * (R + 1);
-        const int pf = bilinear(win_f, S, hfx >> 1, hfy >> 1, hfx & 1, hfy & 1);
-        const int pb = bilinear(win_b, S, hbx >> 1, hby >> 1, hbx & 1, hby & 1);
+        const int pf = bilinear(win_f_, S, hfx >> 1, hfy >> 1, hfx & 1, hfy & 1);
+        const int pb = bilinear(win_b_, S, hbx >> 1, hby >> 1, hbx & 1, hby & 1);
         const int p = (pf + pb + 1) / 2;
         sad += static_cast<std::uint32_t>(
             std::abs(static_cast<int>(cur.y[static_cast<std::size_t>(y * media::kMbSize + x)]) - p));
@@ -357,40 +353,41 @@ sim::Task<void> McCoproc::step(sim::TaskId task, std::uint32_t /*task_info*/) {
 
 sim::Task<void> McCoproc::stepDecodeRecon(sim::TaskId task, TaskState& st) {
   if (!co_await shell_.getSpace(task, kOutPix, withCtl(kMaxPixelsFrame))) co_return;
-  std::vector<std::uint8_t> hdr_pkt, res_pkt;
-  const auto hdr = co_await packet_io::tryPeek(shell_, task, kInHdr, hdr_pkt);
+  // Peeked views stay valid until the PutSpace at the end of the step, so
+  // pass-through writes can stream straight out of the input FIFO.
+  const packet_io::Packet hdr = co_await packet_io::tryPeekView(shell_, task, kInHdr);
   if (hdr.status == packet_io::ReadStatus::Blocked) co_return;
-  const auto res = co_await packet_io::tryPeek(shell_, task, kInRes, res_pkt);
+  const packet_io::Packet res = co_await packet_io::tryPeekView(shell_, task, kInRes);
   if (res.status == packet_io::ReadStatus::Blocked) co_return;
-  if (packet_io::tagOf(hdr_pkt) != packet_io::tagOf(res_pkt)) {
+  if (packet_io::tagOf(hdr.bytes) != packet_io::tagOf(res.bytes)) {
     throw std::runtime_error("McCoproc: header/residual streams out of step");
   }
 
-  switch (packet_io::tagOf(hdr_pkt)) {
+  switch (packet_io::tagOf(hdr.bytes)) {
     case media::PacketTag::Seq: {
-      media::ByteReader r(packet_io::payloadOf(hdr_pkt));
+      media::ByteReader r(packet_io::payloadOf(hdr.bytes));
       media::get(r, st.seq);
       st.have_seq = true;
       st.mb_count = (st.seq.width / media::kMbSize) * (st.seq.height / media::kMbSize);
-      co_await packet_io::write(shell_, task, kOutPix, hdr_pkt, /*wait=*/false);
+      co_await packet_io::write(shell_, task, kOutPix, hdr.bytes, /*wait=*/false);
       break;
     }
     case media::PacketTag::Pic: {
       media::PicHeader ph;
-      media::ByteReader r(packet_io::payloadOf(hdr_pkt));
+      media::ByteReader r(packet_io::payloadOf(hdr.bytes));
       media::get(r, ph);
       onPicHeader(st, ph);
       pic_events_.push_back(PicEvent{task, ph, sim_.now()});
-      co_await packet_io::write(shell_, task, kOutPix, hdr_pkt, /*wait=*/false);
+      co_await packet_io::write(shell_, task, kOutPix, hdr.bytes, /*wait=*/false);
       break;
     }
     case media::PacketTag::Mb: {
       media::MbHeader h;
       media::MbBlocks residual;
       {
-        media::ByteReader rh(packet_io::payloadOf(hdr_pkt));
+        media::ByteReader rh(packet_io::payloadOf(hdr.bytes));
         media::get(rh, h);
-        media::ByteReader rr(packet_io::payloadOf(res_pkt));
+        media::ByteReader rr(packet_io::payloadOf(res.bytes));
         media::get(rr, residual);
       }
       media::MbPixels pred, recon;
@@ -402,12 +399,13 @@ sim::Task<void> McCoproc::stepDecodeRecon(sim::TaskId task, TaskState& st) {
         co_await writeReconMb(st, st.write_slot, h.mb_x, h.mb_y, recon);
       }
       co_await packet_io::write(shell_, task, kOutPix,
-                                media::packPacket(media::PacketTag::Mb, recon), /*wait=*/false);
+                                media::packPacketInto(writer_, media::PacketTag::Mb, recon),
+                                /*wait=*/false);
       ++st.mb_index;
       break;
     }
     case media::PacketTag::Eos: {
-      co_await packet_io::write(shell_, task, kOutPix, hdr_pkt, /*wait=*/false);
+      co_await packet_io::write(shell_, task, kOutPix, hdr.bytes, /*wait=*/false);
       finishTask(task);
       break;
     }
@@ -422,37 +420,36 @@ sim::Task<void> McCoproc::stepMotionEst(sim::TaskId task, TaskState& st) {
   if (!co_await shell_.getSpace(task, kOutHdrVle, withCtl(kMaxHeaderFrame))) co_return;
   if (!co_await shell_.getSpace(task, kOutHdrRec, withCtl(kMaxHeaderFrame))) co_return;
 
-  std::vector<std::uint8_t> pkt;
-  const auto in = co_await packet_io::tryPeek(shell_, task, kInCur, pkt);
+  const packet_io::Packet in = co_await packet_io::tryPeekView(shell_, task, kInCur);
   if (in.status == packet_io::ReadStatus::Blocked) co_return;
 
-  switch (packet_io::tagOf(pkt)) {
+  switch (packet_io::tagOf(in.bytes)) {
     case media::PacketTag::Seq: {
-      media::ByteReader r(packet_io::payloadOf(pkt));
+      media::ByteReader r(packet_io::payloadOf(in.bytes));
       media::get(r, st.seq);
       st.have_seq = true;
       st.mb_count = (st.seq.width / media::kMbSize) * (st.seq.height / media::kMbSize);
-      co_await packet_io::write(shell_, task, kOutRes, pkt, /*wait=*/false);
-      co_await packet_io::write(shell_, task, kOutHdrVle, pkt, /*wait=*/false);
-      co_await packet_io::write(shell_, task, kOutHdrRec, pkt, /*wait=*/false);
+      co_await packet_io::write(shell_, task, kOutRes, in.bytes, /*wait=*/false);
+      co_await packet_io::write(shell_, task, kOutHdrVle, in.bytes, /*wait=*/false);
+      co_await packet_io::write(shell_, task, kOutHdrRec, in.bytes, /*wait=*/false);
       break;
     }
     case media::PacketTag::Pic: {
       media::PicHeader ph;
-      media::ByteReader r(packet_io::payloadOf(pkt));
+      media::ByteReader r(packet_io::payloadOf(in.bytes));
       media::get(r, ph);
       onPicHeader(st, ph);
-      co_await packet_io::write(shell_, task, kOutRes, pkt, /*wait=*/false);
-      co_await packet_io::write(shell_, task, kOutHdrVle, pkt, /*wait=*/false);
+      co_await packet_io::write(shell_, task, kOutRes, in.bytes, /*wait=*/false);
+      co_await packet_io::write(shell_, task, kOutHdrVle, in.bytes, /*wait=*/false);
       if (ph.type != media::FrameType::B) {
         // Only reference pictures travel down the reconstruction loop.
-        co_await packet_io::write(shell_, task, kOutHdrRec, pkt, /*wait=*/false);
+        co_await packet_io::write(shell_, task, kOutHdrRec, in.bytes, /*wait=*/false);
       }
       break;
     }
     case media::PacketTag::Mb: {
       media::MbPixels cur;
-      media::ByteReader r(packet_io::payloadOf(pkt));
+      media::ByteReader r(packet_io::payloadOf(in.bytes));
       media::get(r, cur);
       const int mb_x = st.mb_index % (st.seq.width / media::kMbSize);
       const int mb_y = st.mb_index / (st.seq.width / media::kMbSize);
@@ -472,9 +469,11 @@ sim::Task<void> McCoproc::stepMotionEst(sim::TaskId task, TaskState& st) {
                           params_.cycles_per_block_add);
 
       co_await packet_io::write(shell_, task, kOutRes,
-                                media::packPacket(media::PacketTag::Mb, residual),
+                                media::packPacketInto(writer_, media::PacketTag::Mb, residual),
                                 /*wait=*/false);
-      const auto hdr_pkt = media::packPacket(media::PacketTag::Mb, h);
+      // The header re-pack reuses the writer only after the residual write
+      // completed; the span then stays valid for both header writes.
+      const auto hdr_pkt = media::packPacketInto(writer_, media::PacketTag::Mb, h);
       co_await packet_io::write(shell_, task, kOutHdrVle, hdr_pkt, /*wait=*/false);
       if (st.pic.type != media::FrameType::B) {
         co_await packet_io::write(shell_, task, kOutHdrRec, hdr_pkt, /*wait=*/false);
@@ -483,9 +482,9 @@ sim::Task<void> McCoproc::stepMotionEst(sim::TaskId task, TaskState& st) {
       break;
     }
     case media::PacketTag::Eos: {
-      co_await packet_io::write(shell_, task, kOutRes, pkt, /*wait=*/false);
-      co_await packet_io::write(shell_, task, kOutHdrVle, pkt, /*wait=*/false);
-      co_await packet_io::write(shell_, task, kOutHdrRec, pkt, /*wait=*/false);
+      co_await packet_io::write(shell_, task, kOutRes, in.bytes, /*wait=*/false);
+      co_await packet_io::write(shell_, task, kOutHdrVle, in.bytes, /*wait=*/false);
+      co_await packet_io::write(shell_, task, kOutHdrRec, in.bytes, /*wait=*/false);
       finishTask(task);
       break;
     }
@@ -496,18 +495,17 @@ sim::Task<void> McCoproc::stepMotionEst(sim::TaskId task, TaskState& st) {
 
 sim::Task<void> McCoproc::stepEncodeRecon(sim::TaskId task, TaskState& st) {
   if (!co_await shell_.getSpace(task, kOutToken, withCtl(kMaxCtlFrame))) co_return;
-  std::vector<std::uint8_t> hdr_pkt, res_pkt;
-  const auto hdr = co_await packet_io::tryPeek(shell_, task, kInHdr, hdr_pkt);
+  const packet_io::Packet hdr = co_await packet_io::tryPeekView(shell_, task, kInHdr);
   if (hdr.status == packet_io::ReadStatus::Blocked) co_return;
-  const auto res = co_await packet_io::tryPeek(shell_, task, kInRes, res_pkt);
+  const packet_io::Packet res = co_await packet_io::tryPeekView(shell_, task, kInRes);
   if (res.status == packet_io::ReadStatus::Blocked) co_return;
-  if (packet_io::tagOf(hdr_pkt) != packet_io::tagOf(res_pkt)) {
+  if (packet_io::tagOf(hdr.bytes) != packet_io::tagOf(res.bytes)) {
     throw std::runtime_error("McCoproc: encode-recon streams out of step");
   }
 
-  switch (packet_io::tagOf(hdr_pkt)) {
+  switch (packet_io::tagOf(hdr.bytes)) {
     case media::PacketTag::Seq: {
-      media::ByteReader r(packet_io::payloadOf(hdr_pkt));
+      media::ByteReader r(packet_io::payloadOf(hdr.bytes));
       media::get(r, st.seq);
       st.have_seq = true;
       st.mb_count = (st.seq.width / media::kMbSize) * (st.seq.height / media::kMbSize);
@@ -515,7 +513,7 @@ sim::Task<void> McCoproc::stepEncodeRecon(sim::TaskId task, TaskState& st) {
     }
     case media::PacketTag::Pic: {
       media::PicHeader ph;
-      media::ByteReader r(packet_io::payloadOf(hdr_pkt));
+      media::ByteReader r(packet_io::payloadOf(hdr.bytes));
       media::get(r, ph);
       onPicHeader(st, ph);
       break;
@@ -524,9 +522,9 @@ sim::Task<void> McCoproc::stepEncodeRecon(sim::TaskId task, TaskState& st) {
       media::MbHeader h;
       media::MbBlocks residual;
       {
-        media::ByteReader rh(packet_io::payloadOf(hdr_pkt));
+        media::ByteReader rh(packet_io::payloadOf(hdr.bytes));
         media::get(rh, h);
-        media::ByteReader rr(packet_io::payloadOf(res_pkt));
+        media::ByteReader rr(packet_io::payloadOf(res.bytes));
         media::get(rr, residual);
       }
       media::MbPixels pred, recon;
@@ -538,13 +536,13 @@ sim::Task<void> McCoproc::stepEncodeRecon(sim::TaskId task, TaskState& st) {
       if (++st.mb_index >= st.mb_count) {
         // Frame-done token: unblocks the source for dependent pictures.
         co_await packet_io::write(shell_, task, kOutToken,
-                                  media::packPacket(media::PacketTag::Pic, st.pic),
+                                  media::packPacketInto(writer_, media::PacketTag::Pic, st.pic),
                                   /*wait=*/false);
       }
       break;
     }
     case media::PacketTag::Eos: {
-      co_await packet_io::write(shell_, task, kOutToken, hdr_pkt, /*wait=*/false);
+      co_await packet_io::write(shell_, task, kOutToken, hdr.bytes, /*wait=*/false);
       finishTask(task);
       break;
     }

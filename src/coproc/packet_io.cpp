@@ -13,48 +13,82 @@ std::uint32_t decodeLen(const std::uint8_t* p) {
   return v;
 }
 
+/// Reads the 4-byte length word at the access point. The header may wrap
+/// the cyclic buffer, so it is always gathered into a local array.
+sim::Task<std::uint32_t> readLen(shell::Shell& sh, sim::TaskId task, sim::PortId port) {
+  shell::WindowView v = co_await sh.acquireRead(task, port, 0, kFrameHeaderBytes);
+  std::uint8_t hdr[kFrameHeaderBytes];
+  v.copyTo(hdr);
+  const std::uint32_t len = decodeLen(hdr);
+  if (len == 0) throw std::runtime_error("packet_io: zero-length packet frame");
+  co_return len;
+}
+
 }  // namespace
+
+sim::Task<Packet> tryReadView(shell::Shell& sh, sim::TaskId task, sim::PortId port) {
+  if (!co_await sh.getSpace(task, port, kFrameHeaderBytes)) co_return Packet{};
+  const std::uint32_t len = co_await readLen(sh, task, port);
+  if (!co_await sh.getSpace(task, port, kFrameHeaderBytes + len)) {
+    co_return Packet{};  // abort; the length word stays uncommitted
+  }
+  Packet p;
+  p.view = co_await sh.acquireRead(task, port, kFrameHeaderBytes, len);
+  p.frame_bytes = kFrameHeaderBytes + len;
+  p.bytes = p.view.gather(sh.portScratch(task, port));
+  // Commit before returning: the producer cannot observe the released
+  // space until its sync message lands (sync_latency > 0 cycles away), so
+  // p.bytes stays intact until the caller's next suspension point.
+  co_await sh.putSpace(task, port, p.frame_bytes);
+  p.status = ReadStatus::Ok;
+  co_return p;
+}
+
+sim::Task<Packet> tryPeekView(shell::Shell& sh, sim::TaskId task, sim::PortId port) {
+  if (!co_await sh.getSpace(task, port, kFrameHeaderBytes)) co_return Packet{};
+  const std::uint32_t len = co_await readLen(sh, task, port);
+  if (!co_await sh.getSpace(task, port, kFrameHeaderBytes + len)) co_return Packet{};
+  Packet p;
+  p.view = co_await sh.acquireRead(task, port, kFrameHeaderBytes, len);
+  p.frame_bytes = kFrameHeaderBytes + len;
+  p.bytes = p.view.gather(sh.portScratch(task, port));
+  p.status = ReadStatus::Ok;
+  co_return p;
+}
+
+sim::Task<Packet> blockingReadView(shell::Shell& sh, sim::TaskId task, sim::PortId port) {
+  co_await sh.waitSpace(task, port, kFrameHeaderBytes);
+  const std::uint32_t len = co_await readLen(sh, task, port);
+  co_await sh.waitSpace(task, port, kFrameHeaderBytes + len);
+  Packet p;
+  p.view = co_await sh.acquireRead(task, port, kFrameHeaderBytes, len);
+  p.frame_bytes = kFrameHeaderBytes + len;
+  p.bytes = p.view.gather(sh.portScratch(task, port));
+  co_await sh.putSpace(task, port, p.frame_bytes);
+  p.status = ReadStatus::Ok;
+  co_return p;
+}
 
 sim::Task<ReadStatus> tryRead(shell::Shell& sh, sim::TaskId task, sim::PortId port,
                               std::vector<std::uint8_t>& out) {
-  if (!co_await sh.getSpace(task, port, kFrameHeaderBytes)) co_return ReadStatus::Blocked;
-  std::uint8_t hdr[kFrameHeaderBytes];
-  co_await sh.read(task, port, 0, hdr);
-  const std::uint32_t len = decodeLen(hdr);
-  if (len == 0) throw std::runtime_error("packet_io: zero-length packet frame");
-  if (!co_await sh.getSpace(task, port, kFrameHeaderBytes + len)) {
-    co_return ReadStatus::Blocked;  // abort; the length word stays uncommitted
-  }
-  out.resize(len);
-  co_await sh.read(task, port, kFrameHeaderBytes, out);
-  co_await sh.putSpace(task, port, kFrameHeaderBytes + len);
+  Packet p = co_await tryReadView(sh, task, port);
+  if (p.status != ReadStatus::Ok) co_return ReadStatus::Blocked;
+  out.assign(p.bytes.begin(), p.bytes.end());
   co_return ReadStatus::Ok;
 }
 
 sim::Task<PeekResult> tryPeek(shell::Shell& sh, sim::TaskId task, sim::PortId port,
                               std::vector<std::uint8_t>& out) {
-  if (!co_await sh.getSpace(task, port, kFrameHeaderBytes)) co_return PeekResult{};
-  std::uint8_t hdr[kFrameHeaderBytes];
-  co_await sh.read(task, port, 0, hdr);
-  const std::uint32_t len = decodeLen(hdr);
-  if (len == 0) throw std::runtime_error("packet_io: zero-length packet frame");
-  if (!co_await sh.getSpace(task, port, kFrameHeaderBytes + len)) co_return PeekResult{};
-  out.resize(len);
-  co_await sh.read(task, port, kFrameHeaderBytes, out);
-  co_return PeekResult{ReadStatus::Ok, kFrameHeaderBytes + len};
+  Packet p = co_await tryPeekView(sh, task, port);
+  if (p.status != ReadStatus::Ok) co_return PeekResult{};
+  out.assign(p.bytes.begin(), p.bytes.end());
+  co_return PeekResult{ReadStatus::Ok, p.frame_bytes};
 }
 
 sim::Task<void> blockingRead(shell::Shell& sh, sim::TaskId task, sim::PortId port,
                              std::vector<std::uint8_t>& out) {
-  co_await sh.waitSpace(task, port, kFrameHeaderBytes);
-  std::uint8_t hdr[kFrameHeaderBytes];
-  co_await sh.read(task, port, 0, hdr);
-  const std::uint32_t len = decodeLen(hdr);
-  if (len == 0) throw std::runtime_error("packet_io: zero-length packet frame");
-  co_await sh.waitSpace(task, port, kFrameHeaderBytes + len);
-  out.resize(len);
-  co_await sh.read(task, port, kFrameHeaderBytes, out);
-  co_await sh.putSpace(task, port, kFrameHeaderBytes + len);
+  Packet p = co_await blockingReadView(sh, task, port);
+  out.assign(p.bytes.begin(), p.bytes.end());
 }
 
 sim::Task<bool> tryReserve(shell::Shell& sh, sim::TaskId task, sim::PortId port,
@@ -71,8 +105,16 @@ sim::Task<void> write(shell::Shell& sh, sim::TaskId task, sim::PortId port,
   }
   std::uint8_t hdr[kFrameHeaderBytes];
   std::memcpy(hdr, &len, sizeof len);
-  co_await sh.write(task, port, 0, hdr);
-  co_await sh.write(task, port, kFrameHeaderBytes, data);
+  // Two separate acquires — the same two transfer charges as the classic
+  // header write + payload write.
+  {
+    shell::WindowView v = co_await sh.acquireWrite(task, port, 0, kFrameHeaderBytes);
+    v.copyFrom(hdr);
+  }
+  {
+    shell::WindowView v = co_await sh.acquireWrite(task, port, kFrameHeaderBytes, data.size());
+    v.copyFrom(data);
+  }
   co_await sh.putSpace(task, port, total);
 }
 

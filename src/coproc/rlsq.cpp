@@ -34,27 +34,32 @@ sim::Task<void> RlsqCoproc::step(sim::TaskId task, std::uint32_t task_info) {
 
 sim::Task<void> RlsqCoproc::stepDecode(sim::TaskId task, TaskState& st) {
   if (!co_await shell_.getSpace(task, kOut, withCtl(kMaxBlocksFrame))) co_return;
-  std::vector<std::uint8_t> pkt;
-  if (co_await packet_io::tryRead(shell_, task, kIn, pkt) == packet_io::ReadStatus::Blocked) {
-    co_return;
-  }
-  switch (packet_io::tagOf(pkt)) {
+  const packet_io::Packet p = co_await packet_io::tryReadView(shell_, task, kIn);
+  if (p.status == packet_io::ReadStatus::Blocked) co_return;
+  // The committed view is parsed before the first suspension point; the
+  // pass-through packets are re-serialised from the parsed state (the
+  // byte-level codec is deterministic, so the re-pack is bit-identical).
+  switch (packet_io::tagOf(p.bytes)) {
     case media::PacketTag::Seq: {
-      media::ByteReader r(packet_io::payloadOf(pkt));
+      media::ByteReader r(packet_io::payloadOf(p.bytes));
       media::get(r, st.seq);
       st.have_seq = true;
-      co_await packet_io::write(shell_, task, kOut, pkt, /*wait=*/false);
+      co_await packet_io::write(shell_, task, kOut,
+                                media::packPacketInto(writer_, media::PacketTag::Seq, st.seq),
+                                /*wait=*/false);
       break;
     }
     case media::PacketTag::Pic: {
-      media::ByteReader r(packet_io::payloadOf(pkt));
+      media::ByteReader r(packet_io::payloadOf(p.bytes));
       media::get(r, st.pic);
-      co_await packet_io::write(shell_, task, kOut, pkt, /*wait=*/false);
+      co_await packet_io::write(shell_, task, kOut,
+                                media::packPacketInto(writer_, media::PacketTag::Pic, st.pic),
+                                /*wait=*/false);
       break;
     }
     case media::PacketTag::Mb: {
       media::MbCoefs coefs;
-      media::ByteReader r(packet_io::payloadOf(pkt));
+      media::ByteReader r(packet_io::payloadOf(p.bytes));
       media::get(r, coefs);
       media::MbBlocks out;
       media::stages::rlsqDecode(coefs, coefs.intra != 0, st.seq, out);
@@ -66,11 +71,13 @@ sim::Task<void> RlsqCoproc::stepDecode(sim::TaskId task, TaskState& st) {
       co_await sim_.delay(np * params_.cycles_per_pair +
                           static_cast<sim::Cycle>(nb) * params_.cycles_per_block);
       co_await packet_io::write(shell_, task, kOut,
-                                media::packPacket(media::PacketTag::Mb, out), /*wait=*/false);
+                                media::packPacketInto(writer_, media::PacketTag::Mb, out),
+                                /*wait=*/false);
       break;
     }
     case media::PacketTag::Eos: {
-      co_await packet_io::write(shell_, task, kOut, pkt, /*wait=*/false);
+      co_await packet_io::write(shell_, task, kOut, media::packTag(media::PacketTag::Eos),
+                                /*wait=*/false);
       finishTask(task);
       break;
     }
@@ -83,33 +90,35 @@ sim::Task<void> RlsqCoproc::stepEncode(sim::TaskId task, TaskState& st) {
   // prediction sources), so the recon stream sees a data-dependent subset.
   if (!co_await shell_.getSpace(task, kOut, withCtl(kMaxCoefsFrame))) co_return;
   if (!co_await shell_.getSpace(task, kOutRecon, withCtl(kMaxCoefsFrame))) co_return;
-  std::vector<std::uint8_t> pkt;
-  if (co_await packet_io::tryRead(shell_, task, kIn, pkt) == packet_io::ReadStatus::Blocked) {
-    co_return;
-  }
-  switch (packet_io::tagOf(pkt)) {
+  const packet_io::Packet p = co_await packet_io::tryReadView(shell_, task, kIn);
+  if (p.status == packet_io::ReadStatus::Blocked) co_return;
+  switch (packet_io::tagOf(p.bytes)) {
     case media::PacketTag::Seq: {
-      media::ByteReader r(packet_io::payloadOf(pkt));
+      media::ByteReader r(packet_io::payloadOf(p.bytes));
       media::get(r, st.seq);
       st.pic.qscale = st.seq.qscale;
       st.have_seq = true;
-      co_await packet_io::write(shell_, task, kOut, pkt, /*wait=*/false);
-      co_await packet_io::write(shell_, task, kOutRecon, pkt, /*wait=*/false);
+      // One re-pack feeds both writes; the writer is untouched in between,
+      // so the span stays valid across the suspensions.
+      const auto out_pkt = media::packPacketInto(writer_, media::PacketTag::Seq, st.seq);
+      co_await packet_io::write(shell_, task, kOut, out_pkt, /*wait=*/false);
+      co_await packet_io::write(shell_, task, kOutRecon, out_pkt, /*wait=*/false);
       break;
     }
     case media::PacketTag::Pic: {
-      media::ByteReader r(packet_io::payloadOf(pkt));
+      media::ByteReader r(packet_io::payloadOf(p.bytes));
       media::get(r, st.pic);
       st.pic_is_ref = st.pic.type != media::FrameType::B;
-      co_await packet_io::write(shell_, task, kOut, pkt, /*wait=*/false);
+      const auto out_pkt = media::packPacketInto(writer_, media::PacketTag::Pic, st.pic);
+      co_await packet_io::write(shell_, task, kOut, out_pkt, /*wait=*/false);
       if (st.pic_is_ref) {
-        co_await packet_io::write(shell_, task, kOutRecon, pkt, /*wait=*/false);
+        co_await packet_io::write(shell_, task, kOutRecon, out_pkt, /*wait=*/false);
       }
       break;
     }
     case media::PacketTag::Mb: {
       media::MbBlocks in;
-      media::ByteReader r(packet_io::payloadOf(pkt));
+      media::ByteReader r(packet_io::payloadOf(p.bytes));
       media::get(r, in);
       media::MbCoefs out;
       media::stages::rlsqEncode(in, in.intra != 0, st.seq, st.pic.qscale, out);
@@ -119,7 +128,7 @@ sim::Task<void> RlsqCoproc::stepEncode(sim::TaskId task, TaskState& st) {
       co_await sim_.delay(np * params_.cycles_per_pair +
                           static_cast<sim::Cycle>(media::kBlocksPerMacroblock) *
                               params_.cycles_per_block);
-      const auto out_pkt = media::packPacket(media::PacketTag::Mb, out);
+      const auto out_pkt = media::packPacketInto(writer_, media::PacketTag::Mb, out);
       co_await packet_io::write(shell_, task, kOut, out_pkt, /*wait=*/false);
       if (st.pic_is_ref) {
         co_await packet_io::write(shell_, task, kOutRecon, out_pkt, /*wait=*/false);
@@ -127,8 +136,10 @@ sim::Task<void> RlsqCoproc::stepEncode(sim::TaskId task, TaskState& st) {
       break;
     }
     case media::PacketTag::Eos: {
-      co_await packet_io::write(shell_, task, kOut, pkt, /*wait=*/false);
-      co_await packet_io::write(shell_, task, kOutRecon, pkt, /*wait=*/false);
+      co_await packet_io::write(shell_, task, kOut, media::packTag(media::PacketTag::Eos),
+                                /*wait=*/false);
+      co_await packet_io::write(shell_, task, kOutRecon, media::packTag(media::PacketTag::Eos),
+                                /*wait=*/false);
       finishTask(task);
       break;
     }

@@ -14,10 +14,11 @@ std::vector<media::Frame> FrameSink::framesInDisplayOrder() const {
 }
 
 sim::Task<void> FrameSink::step(sim::TaskId task, std::uint32_t /*task_info*/) {
-  std::vector<std::uint8_t> pkt;
-  if (co_await packet_io::tryRead(shell_, task, kIn, pkt) == packet_io::ReadStatus::Blocked) {
-    co_return;
-  }
+  // Zero-copy consumption: the packet view is parsed in place before the
+  // step's next suspension point, so no owning copy is needed.
+  const packet_io::Packet p = co_await packet_io::tryReadView(shell_, task, kIn);
+  if (p.status == packet_io::ReadStatus::Blocked) co_return;
+  const auto pkt = p.bytes;
   switch (packet_io::tagOf(pkt)) {
     case media::PacketTag::Seq: {
       media::ByteReader r(packet_io::payloadOf(pkt));
@@ -53,10 +54,9 @@ sim::Task<void> FrameSink::step(sim::TaskId task, std::uint32_t /*task_info*/) {
 }
 
 sim::Task<void> ByteSink::step(sim::TaskId task, std::uint32_t /*task_info*/) {
-  std::vector<std::uint8_t> pkt;
-  if (co_await packet_io::tryRead(shell_, task, kIn, pkt) == packet_io::ReadStatus::Blocked) {
-    co_return;
-  }
+  const packet_io::Packet p = co_await packet_io::tryReadView(shell_, task, kIn);
+  if (p.status == packet_io::ReadStatus::Blocked) co_return;
+  const auto pkt = p.bytes;
   switch (packet_io::tagOf(pkt)) {
     case media::PacketTag::Mb: {
       const auto payload = packet_io::payloadOf(pkt);

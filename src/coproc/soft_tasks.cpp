@@ -22,7 +22,8 @@ sim::Task<void> EncoderSource::step(sim::TaskId task, std::uint32_t /*info*/) {
   switch (phase_) {
     case Phase::Seq: {
       if (!co_await sh.getSpace(task, kOut, withCtl(kMaxPixelsFrame))) co_return;
-      co_await packet_io::write(sh, task, kOut, media::packPacket(media::PacketTag::Seq, seq_),
+      co_await packet_io::write(sh, task, kOut,
+                                media::packPacketInto(writer_, media::PacketTag::Seq, seq_),
                                 /*wait=*/false);
       phase_ = Phase::PicStart;
       break;
@@ -33,12 +34,11 @@ sim::Task<void> EncoderSource::step(sim::TaskId task, std::uint32_t /*info*/) {
         // All previously emitted reference pictures must be reconstructed
         // before a dependent picture enters motion estimation.
         while (tokens_received_ < refs_emitted_) {
-          std::vector<std::uint8_t> tok;
-          if (co_await packet_io::tryRead(sh, task, kInToken, tok) ==
-              packet_io::ReadStatus::Blocked) {
+          const packet_io::Packet tok = co_await packet_io::tryReadView(sh, task, kInToken);
+          if (tok.status == packet_io::ReadStatus::Blocked) {
             co_return;  // abort; retry when the token arrives
           }
-          if (packet_io::tagOf(tok) != media::PacketTag::Pic) {
+          if (packet_io::tagOf(tok.bytes) != media::PacketTag::Pic) {
             throw std::runtime_error("EncoderSource: unexpected token packet");
           }
           ++tokens_received_;
@@ -49,7 +49,8 @@ sim::Task<void> EncoderSource::step(sim::TaskId task, std::uint32_t /*info*/) {
       ph.type = cp.type;
       ph.temporal_ref = static_cast<std::uint16_t>(cp.display_idx);
       ph.qscale = seq_.qscale;
-      co_await packet_io::write(sh, task, kOut, media::packPacket(media::PacketTag::Pic, ph),
+      co_await packet_io::write(sh, task, kOut,
+                                media::packPacketInto(writer_, media::PacketTag::Pic, ph),
                                 /*wait=*/false);
       mb_index_ = 0;
       phase_ = Phase::Mb;
@@ -62,7 +63,8 @@ sim::Task<void> EncoderSource::step(sim::TaskId task, std::uint32_t /*info*/) {
       const int mb_w = params_.width / media::kMbSize;
       media::MbPixels px;
       media::stages::extractMb(f, mb_index_ % mb_w, mb_index_ / mb_w, px);
-      co_await packet_io::write(sh, task, kOut, media::packPacket(media::PacketTag::Mb, px),
+      co_await packet_io::write(sh, task, kOut,
+                                media::packPacketInto(writer_, media::PacketTag::Mb, px),
                                 /*wait=*/false);
       if (++mb_index_ >= mb_count_) {
         if (cp.type != media::FrameType::B) ++refs_emitted_;
@@ -96,10 +98,10 @@ sim::Task<void> VleTask::step(sim::TaskId task, std::uint32_t /*info*/) {
   if (pending_.size() >= kChunkBytes || (eos_seen_ && !pending_.empty())) {
     if (!co_await sh.getSpace(task, kOut, out_reserve)) co_return;
     const std::size_t n = std::min(pending_.size(), kChunkBytes);
-    media::ByteWriter w;
-    w.u8(static_cast<std::uint8_t>(media::PacketTag::Mb));
-    w.bytes(std::span<const std::uint8_t>(pending_.data(), n));
-    co_await packet_io::write(sh, task, kOut, w.data(), /*wait=*/false);
+    writer_.clear();
+    writer_.u8(static_cast<std::uint8_t>(media::PacketTag::Mb));
+    writer_.bytes(std::span<const std::uint8_t>(pending_.data(), n));
+    co_await packet_io::write(sh, task, kOut, writer_.data(), /*wait=*/false);
     pending_.erase(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(n));
     co_return;
   }
@@ -111,18 +113,18 @@ sim::Task<void> VleTask::step(sim::TaskId task, std::uint32_t /*info*/) {
     co_return;
   }
 
-  std::vector<std::uint8_t> hdr_pkt, coef_pkt;
-  const auto hdr = co_await packet_io::tryPeek(sh, task, kInHdr, hdr_pkt);
+  // Peeked views: valid until the PutSpaces at the end of the step.
+  const packet_io::Packet hdr = co_await packet_io::tryPeekView(sh, task, kInHdr);
   if (hdr.status == packet_io::ReadStatus::Blocked) co_return;
-  const auto coef = co_await packet_io::tryPeek(sh, task, kInCoef, coef_pkt);
+  const packet_io::Packet coef = co_await packet_io::tryPeekView(sh, task, kInCoef);
   if (coef.status == packet_io::ReadStatus::Blocked) co_return;
-  if (packet_io::tagOf(hdr_pkt) != packet_io::tagOf(coef_pkt)) {
+  if (packet_io::tagOf(hdr.bytes) != packet_io::tagOf(coef.bytes)) {
     throw std::runtime_error("VleTask: header/coefficient streams out of step");
   }
 
-  switch (packet_io::tagOf(hdr_pkt)) {
+  switch (packet_io::tagOf(hdr.bytes)) {
     case media::PacketTag::Seq: {
-      media::ByteReader r(packet_io::payloadOf(hdr_pkt));
+      media::ByteReader r(packet_io::payloadOf(hdr.bytes));
       media::get(r, seq_);
       media::stages::writeSeqHeader(bw_, seq_);
       co_await cpu_.simulator().delay(8 * cycles_per_symbol_);
@@ -130,7 +132,7 @@ sim::Task<void> VleTask::step(sim::TaskId task, std::uint32_t /*info*/) {
     }
     case media::PacketTag::Pic: {
       media::PicHeader ph;
-      media::ByteReader r(packet_io::payloadOf(hdr_pkt));
+      media::ByteReader r(packet_io::payloadOf(hdr.bytes));
       media::get(r, ph);
       media::stages::writePicHeader(bw_, ph);
       co_await cpu_.simulator().delay(3 * cycles_per_symbol_);
@@ -140,9 +142,9 @@ sim::Task<void> VleTask::step(sim::TaskId task, std::uint32_t /*info*/) {
       media::MbHeader h;
       media::MbCoefs coefs;
       {
-        media::ByteReader rh(packet_io::payloadOf(hdr_pkt));
+        media::ByteReader rh(packet_io::payloadOf(hdr.bytes));
         media::get(rh, h);
-        media::ByteReader rc(packet_io::payloadOf(coef_pkt));
+        media::ByteReader rc(packet_io::payloadOf(coef.bytes));
         media::get(rc, coefs);
       }
       h.cbp = coefs.cbp;  // the coded block pattern is known after quantisation

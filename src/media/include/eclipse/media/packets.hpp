@@ -32,6 +32,9 @@ class ByteWriter {
   [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
   [[nodiscard]] const std::vector<std::uint8_t>& data() const { return buf_; }
 
+  /// Resets for reuse, keeping the allocation (hot-path serialisation).
+  void clear() { buf_.clear(); }
+
  private:
   void raw(const void* p, std::size_t n) {
     const auto* b = static_cast<const std::uint8_t*>(p);
@@ -159,6 +162,18 @@ template <typename T>
   w.u8(static_cast<std::uint8_t>(tag));
   put(w, payload);
   return w.take();
+}
+
+/// Serialises a tagged packet into a reusable writer (cleared first) and
+/// returns a view of the bytes — the allocation-free variant of packPacket
+/// for hot paths. The span is valid until the writer is next touched.
+template <typename T>
+[[nodiscard]] std::span<const std::uint8_t> packPacketInto(ByteWriter& w, PacketTag tag,
+                                                           const T& payload) {
+  w.clear();
+  w.u8(static_cast<std::uint8_t>(tag));
+  put(w, payload);
+  return w.data();
 }
 
 /// Serialises a bare tag (Eos).

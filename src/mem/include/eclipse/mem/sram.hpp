@@ -50,6 +50,20 @@ class SharedSram {
     storage_.write(addr, in);
   }
 
+  /// Timing-only accesses: occupy the bus and pay the access latency for a
+  /// `bytes`-sized burst without moving data. Cycle-identical to read/write
+  /// of the same size — used where the model splits function from timing
+  /// (the zero-copy transport path: data moves through window views while
+  /// the stream caches replay the original fill/flush traffic).
+  sim::Task<void> touchRead(std::size_t bytes, int client) {
+    co_await read_bus_.transfer(bytes, client);
+    co_await sim_.delay(params_.access_latency);
+  }
+  sim::Task<void> touchWrite(std::size_t bytes, int client) {
+    co_await write_bus_.transfer(bytes, client);
+    co_await sim_.delay(params_.access_latency);
+  }
+
   [[nodiscard]] Storage& storage() { return storage_; }
   [[nodiscard]] const Storage& storage() const { return storage_; }
   [[nodiscard]] Bus& readBus() { return read_bus_; }

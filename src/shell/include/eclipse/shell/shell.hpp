@@ -13,6 +13,7 @@
 #include "eclipse/shell/params.hpp"
 #include "eclipse/shell/stream_cache.hpp"
 #include "eclipse/shell/tables.hpp"
+#include "eclipse/shell/window_view.hpp"
 #include "eclipse/sim/coro.hpp"
 #include "eclipse/sim/sim_event.hpp"
 #include "eclipse/sim/simulator.hpp"
@@ -62,15 +63,38 @@ class Shell {
   /// access point's shell.
   sim::Task<void> putSpace(sim::TaskId task, sim::PortId port, std::uint32_t n_bytes);
 
+  /// Acquires a zero-copy read view of [offset, offset+n) within the
+  /// granted window of an input port. Charged exactly the cycle costs of a
+  /// read() of the same size (port handshake, cache hit/miss walk,
+  /// prefetch); the returned view points directly into the stream FIFO in
+  /// SRAM. view.commit() performs PutSpace(offset + n).
+  sim::Task<WindowView> acquireRead(sim::TaskId task, sim::PortId port, std::uint64_t offset,
+                                    std::size_t n);
+
+  /// Acquires a zero-copy write view of [offset, offset+n) within the
+  /// granted window of an output port; same cycle costs as a write() of
+  /// the same size. Bytes stored through the view land in the stream FIFO
+  /// immediately (write-through); the cache replays the dirty-line /
+  /// flush timing. view.commit() performs PutSpace(offset + n).
+  sim::Task<WindowView> acquireWrite(sim::TaskId task, sim::PortId port, std::uint64_t offset,
+                                     std::size_t n);
+
   /// Read: copies from the stream at [offset, offset+out.size()) within
-  /// the granted window into `out`. Input ports only.
+  /// the granted window into `out`. Input ports only. (Adapter over
+  /// acquireRead — same simulated timing.)
   sim::Task<void> read(sim::TaskId task, sim::PortId port, std::uint64_t offset,
                        std::span<std::uint8_t> out);
 
   /// Write: copies `in` into the stream window at `offset`. Output ports
-  /// only.
+  /// only. (Adapter over acquireWrite — same simulated timing.)
   sim::Task<void> write(sim::TaskId task, sim::PortId port, std::uint64_t offset,
                         std::span<const std::uint8_t> in);
+
+  /// Reusable per-port scratch buffer for gathering the rare fragmented
+  /// (buffer-wrapping) view into contiguous bytes (used by packet_io).
+  [[nodiscard]] std::vector<std::uint8_t>& portScratch(sim::TaskId task, sim::PortId port) {
+    return ports_[streams_.lookup(task, port)].scratch;
+  }
 
   /// Convenience for blocking-coprocessor designs (Section 4.2 alternative:
   /// "let the coprocessor wait for the space to arrive"): suspends until a
@@ -121,7 +145,12 @@ class Shell {
  private:
   struct Port {
     std::unique_ptr<StreamCache> cache;
+    std::vector<std::uint8_t> scratch;  // fragmented-view gather fallback
   };
+
+  /// Shared timing + view construction behind acquireRead/acquireWrite.
+  sim::Task<WindowView> acquire(sim::TaskId task, sim::PortId port, std::uint64_t offset,
+                                std::size_t n, bool writing);
 
   void onSyncMessage(const mem::SyncMessage& msg);
 

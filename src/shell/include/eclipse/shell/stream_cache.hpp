@@ -24,6 +24,14 @@ namespace eclipse::shell {
 /// Within the granted window the data is private (observation 1), so plain
 /// hits need no communication at all.
 ///
+/// Since the zero-copy transport refactor the cache is a pure *timing*
+/// model: the functional bytes live in the SRAM's Storage and move through
+/// WindowViews, while touchRead/touchWrite replay exactly the hit / miss /
+/// fill / flush traffic the copying cache performed — fills still read the
+/// SRAM (timed, into the flat backing), flushes and evictions charge the
+/// same write-bus burst without moving data (the SRAM already holds the
+/// current bytes; a data flush would overwrite them with a stale mirror).
+///
 /// Prefetching: a read may carry a line-aligned prefetch hint (computed by
 /// the shell, limited to the granted window). The prefetch fetches in the
 /// background; a later access to a pending line waits for its completion,
@@ -36,25 +44,26 @@ class StreamCache {
         sram_(sram),
         line_bytes_(line_bytes),
         client_(client_id),
-        event_(sim) {
-    lines_.resize(n_lines);
-    for (auto& l : lines_) l.data.resize(line_bytes_);
-  }
+        event_(sim),
+        lines_(n_lines),
+        backing_(static_cast<std::size_t>(line_bytes) * n_lines) {}
 
   StreamCache(const StreamCache&) = delete;
   StreamCache& operator=(const StreamCache&) = delete;
 
-  /// Timed read of out.size() bytes at SRAM address `addr` through the
-  /// cache. `prefetch_addr`, when set, is a line-aligned address to fetch
+  /// Timing of a read of `len` bytes at SRAM address `addr` through the
+  /// cache (per-line hit/miss walk; misses fill from SRAM over the read
+  /// bus). `prefetch_addr`, when set, is a line-aligned address to fetch
   /// in the background after servicing the read.
-  sim::Task<void> read(StreamRow& row, sim::Addr addr, std::span<std::uint8_t> out,
-                       std::optional<sim::Addr> prefetch_addr);
+  sim::Task<void> touchRead(StreamRow& row, sim::Addr addr, std::size_t len,
+                            std::optional<sim::Addr> prefetch_addr);
 
-  /// Timed write of in.size() bytes at SRAM address `addr`; write-back with
-  /// write-allocate (read-modify-write fetch for partial lines).
-  sim::Task<void> write(StreamRow& row, sim::Addr addr, std::span<const std::uint8_t> in);
+  /// Timing of a write of `len` bytes at SRAM address `addr`; write-back
+  /// with write-allocate (read-modify-write fetch for partial lines).
+  sim::Task<void> touchWrite(StreamRow& row, sim::Addr addr, std::size_t len);
 
-  /// Flushes dirty lines overlapping [addr, addr+len) to SRAM (timed).
+  /// Flushes dirty lines overlapping [addr, addr+len): charges the write
+  /// burst per line (timing-only; SRAM is current) and clears dirty bits.
   sim::Task<void> flushRange(StreamRow& row, sim::Addr addr, std::uint64_t len);
 
   /// Drops (clean) lines overlapping [addr, addr+len). Dirty lines in the
@@ -71,16 +80,23 @@ class StreamCache {
  private:
   enum class State : std::uint8_t { Invalid, Pending, Valid };
 
+  /// Line metadata; the data lives in the flat `backing_` allocation at
+  /// index * line_bytes_.
   struct Line {
     State state = State::Invalid;
     sim::Addr tag = 0;  // line-aligned SRAM address
     bool dirty = false;
     bool drop = false;  // invalidated while a fill was in flight
     std::uint64_t lru = 0;
-    std::vector<std::uint8_t> data;
   };
 
   [[nodiscard]] sim::Addr alignDown(sim::Addr a) const { return a / line_bytes_ * line_bytes_; }
+
+  /// The backing slice of one line.
+  [[nodiscard]] std::span<std::uint8_t> lineData(const Line* l) {
+    const auto idx = static_cast<std::size_t>(l - lines_.data());
+    return {backing_.data() + idx * line_bytes_, line_bytes_};
+  }
 
   /// Finds the line holding `line_addr` in any non-Invalid state.
   Line* find(sim::Addr line_addr);
@@ -103,6 +119,7 @@ class StreamCache {
   int client_;
   sim::SimEvent event_;
   std::vector<Line> lines_;
+  std::vector<std::uint8_t> backing_;  // all line data, contiguous
   std::uint64_t lru_clock_ = 0;
 };
 

@@ -232,27 +232,36 @@ sim::Task<void> Shell::waitSpace(sim::TaskId task, sim::PortId port, std::uint32
 // Data transport (Section 5.2)
 // ---------------------------------------------------------------------
 
-sim::Task<void> Shell::read(sim::TaskId task, sim::PortId port, std::uint64_t offset,
-                            std::span<std::uint8_t> out) {
+sim::Task<WindowView> Shell::acquire(sim::TaskId task, sim::PortId port, std::uint64_t offset,
+                                     std::size_t n, bool writing) {
   const std::uint32_t idx = streams_.lookup(task, port);
   StreamRow& row = streams_.row(idx);
-  if (row.is_producer) throw std::logic_error("Shell::read: read on an output port");
-  if (offset + out.size() > row.granted) {
-    throw std::logic_error("Shell::read: access outside the granted window");
+  if (writing) {
+    if (!row.is_producer) throw std::logic_error("Shell::write: write on an input port");
+  } else {
+    if (row.is_producer) throw std::logic_error("Shell::read: read on an output port");
+  }
+  if (offset + n > row.granted) {
+    throw std::logic_error(writing ? "Shell::write: access outside the granted window"
+                                   : "Shell::read: access outside the granted window");
   }
   // Port handshake plus data transfer over the coprocessor interface.
   const sim::Cycle xfer =
-      params_.io_latency + (out.size() + params_.port_width_bytes - 1) / params_.port_width_bytes;
+      params_.io_latency + (n + params_.port_width_bytes - 1) / params_.port_width_bytes;
   co_await sim_.delay(xfer);
 
-  ++row.read_calls;
-  row.bytes_transferred += out.size();
+  if (writing) {
+    ++row.write_calls;
+  } else {
+    ++row.read_calls;
+  }
+  row.bytes_transferred += n;
 
   // Prefetch hint: the cyclically next line after this read, if still
   // inside the granted window.
   std::optional<sim::Addr> hint;
-  if (params_.prefetch) {
-    const std::uint64_t end_pos = row.pos + offset + out.size();
+  if (!writing && params_.prefetch) {
+    const std::uint64_t end_pos = row.pos + offset + n;
     const std::uint64_t next_line_pos =
         (end_pos + params_.cache_line_bytes - 1) / params_.cache_line_bytes *
         params_.cache_line_bytes;
@@ -261,49 +270,69 @@ sim::Task<void> Shell::read(sim::TaskId task, sim::PortId port, std::uint64_t of
     }
   }
 
+  // Replay the cache traffic of the copying transport path: the same
+  // per-line hit / miss / fill / dirty-mark walk, without moving bytes.
   const sim::Cycle t0 = sim_.now() - xfer;  // include the port handshake
   std::uint64_t done = 0;
   const std::uint64_t start = row.pos + offset;
-  while (done < out.size()) {
+  while (done < n) {
     const std::uint64_t off = (start + done) % row.size;
-    const std::uint64_t seg = std::min<std::uint64_t>(out.size() - done, row.size - off);
-    const bool last = done + seg >= out.size();
-    co_await ports_[idx].cache->read(row, row.base + off,
-                                     out.subspan(static_cast<std::size_t>(done),
-                                                 static_cast<std::size_t>(seg)),
-                                     last ? hint : std::nullopt);
+    const std::uint64_t seg = std::min<std::uint64_t>(n - done, row.size - off);
+    if (writing) {
+      co_await ports_[idx].cache->touchWrite(row, row.base + off,
+                                             static_cast<std::size_t>(seg));
+    } else {
+      const bool last = done + seg >= n;
+      co_await ports_[idx].cache->touchRead(row, row.base + off, static_cast<std::size_t>(seg),
+                                            last ? hint : std::nullopt);
+    }
     done += seg;
   }
   row.access_latency.add(static_cast<double>(sim_.now() - t0));
+
+  // Build the scatter-gather view straight into the FIFO's SRAM bytes
+  // (≤ 2 segments: the window may wrap the cyclic buffer once, since the
+  // granted window never exceeds the buffer size).
+  WindowView v;
+  v.shell_ = this;
+  v.task_ = task;
+  v.port_ = port;
+  v.commit_bytes_ = static_cast<std::uint32_t>(offset + n);
+  const auto storage = sram_.storage().view();
+  forEachSegment(row, start, n, [&](sim::Addr addr, std::uint64_t seg, std::uint64_t) {
+    v.chunks_[v.n_chunks_++] =
+        WindowView::Chunk{storage.data() + addr, static_cast<std::size_t>(seg)};
+  });
+  co_return v;
+}
+
+sim::Task<WindowView> Shell::acquireRead(sim::TaskId task, sim::PortId port, std::uint64_t offset,
+                                         std::size_t n) {
+  co_return co_await acquire(task, port, offset, n, /*writing=*/false);
+}
+
+sim::Task<WindowView> Shell::acquireWrite(sim::TaskId task, sim::PortId port, std::uint64_t offset,
+                                          std::size_t n) {
+  co_return co_await acquire(task, port, offset, n, /*writing=*/true);
+}
+
+sim::Task<void> Shell::read(sim::TaskId task, sim::PortId port, std::uint64_t offset,
+                            std::span<std::uint8_t> out) {
+  WindowView v = co_await acquire(task, port, offset, out.size(), /*writing=*/false);
+  v.copyTo(out);
 }
 
 sim::Task<void> Shell::write(sim::TaskId task, sim::PortId port, std::uint64_t offset,
                              std::span<const std::uint8_t> in) {
-  const std::uint32_t idx = streams_.lookup(task, port);
-  StreamRow& row = streams_.row(idx);
-  if (!row.is_producer) throw std::logic_error("Shell::write: write on an input port");
-  if (offset + in.size() > row.granted) {
-    throw std::logic_error("Shell::write: access outside the granted window");
-  }
-  const sim::Cycle xfer =
-      params_.io_latency + (in.size() + params_.port_width_bytes - 1) / params_.port_width_bytes;
-  co_await sim_.delay(xfer);
+  WindowView v = co_await acquire(task, port, offset, in.size(), /*writing=*/true);
+  v.copyFrom(in);
+}
 
-  ++row.write_calls;
-  row.bytes_transferred += in.size();
-
-  const sim::Cycle t0 = sim_.now() - xfer;
-  std::uint64_t done = 0;
-  const std::uint64_t start = row.pos + offset;
-  while (done < in.size()) {
-    const std::uint64_t off = (start + done) % row.size;
-    const std::uint64_t seg = std::min<std::uint64_t>(in.size() - done, row.size - off);
-    co_await ports_[idx].cache->write(row, row.base + off,
-                                      in.subspan(static_cast<std::size_t>(done),
-                                                 static_cast<std::size_t>(seg)));
-    done += seg;
-  }
-  row.access_latency.add(static_cast<double>(sim_.now() - t0));
+sim::Task<void> WindowView::commit() {
+  if (shell_ == nullptr) throw std::logic_error("WindowView::commit: empty view");
+  Shell* sh = shell_;
+  shell_ = nullptr;
+  co_await sh->putSpace(task_, port_, commit_bytes_);
 }
 
 // ---------------------------------------------------------------------

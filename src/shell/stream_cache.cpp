@@ -23,8 +23,10 @@ sim::Task<StreamCache::Line*> StreamCache::victim(StreamRow& row) {
     }
     if (best != nullptr) {
       if (best->dirty) {
+        // Timing-only eviction flush: the SRAM already holds the current
+        // bytes (views write through), so only the bus burst is charged.
         ++row.cache_flushes;
-        co_await sram_.write(best->tag, best->data, client_);
+        co_await sram_.touchWrite(line_bytes_, client_);
         best->dirty = false;
       }
       best->state = State::Invalid;
@@ -56,12 +58,13 @@ sim::Task<StreamCache::Line*> StreamCache::acquire(StreamRow& row, sim::Addr lin
   l->lru = ++lru_clock_;
   if (whole_line_write) {
     // Write-allocate without fill: the whole line will be overwritten.
-    std::fill(l->data.begin(), l->data.end(), 0);
+    auto d = lineData(l);
+    std::fill(d.begin(), d.end(), 0);
     l->state = State::Valid;
     co_return l;
   }
   l->state = State::Pending;
-  co_await sram_.read(line_addr, l->data, client_);
+  co_await sram_.read(line_addr, lineData(l), client_);
   l->state = l->drop ? State::Invalid : State::Valid;
   event_.notifyAll();
   if (l->state == State::Invalid) {
@@ -71,32 +74,27 @@ sim::Task<StreamCache::Line*> StreamCache::acquire(StreamRow& row, sim::Addr lin
   co_return l;
 }
 
-sim::Task<void> StreamCache::read(StreamRow& row, sim::Addr addr, std::span<std::uint8_t> out,
-                                  std::optional<sim::Addr> prefetch_addr) {
+sim::Task<void> StreamCache::touchRead(StreamRow& row, sim::Addr addr, std::size_t len,
+                                       std::optional<sim::Addr> prefetch_addr) {
   std::size_t done = 0;
-  while (done < out.size()) {
+  while (done < len) {
     const sim::Addr line_addr = alignDown(addr + done);
     const std::size_t in_line = static_cast<std::size_t>(addr + done - line_addr);
-    const std::size_t n = std::min(out.size() - done, static_cast<std::size_t>(line_bytes_) - in_line);
-    Line* l = co_await acquire(row, line_addr, /*whole_line_write=*/false);
-    std::copy_n(l->data.begin() + static_cast<std::ptrdiff_t>(in_line), n,
-                out.begin() + static_cast<std::ptrdiff_t>(done));
+    const std::size_t n = std::min(len - done, static_cast<std::size_t>(line_bytes_) - in_line);
+    co_await acquire(row, line_addr, /*whole_line_write=*/false);
     done += n;
   }
   if (prefetch_addr.has_value()) startPrefetch(row, *prefetch_addr);
 }
 
-sim::Task<void> StreamCache::write(StreamRow& row, sim::Addr addr,
-                                   std::span<const std::uint8_t> in) {
+sim::Task<void> StreamCache::touchWrite(StreamRow& row, sim::Addr addr, std::size_t len) {
   std::size_t done = 0;
-  while (done < in.size()) {
+  while (done < len) {
     const sim::Addr line_addr = alignDown(addr + done);
     const std::size_t in_line = static_cast<std::size_t>(addr + done - line_addr);
-    const std::size_t n = std::min(in.size() - done, static_cast<std::size_t>(line_bytes_) - in_line);
+    const std::size_t n = std::min(len - done, static_cast<std::size_t>(line_bytes_) - in_line);
     const bool whole = in_line == 0 && n == line_bytes_;
     Line* l = co_await acquire(row, line_addr, whole);
-    std::copy_n(in.begin() + static_cast<std::ptrdiff_t>(done), n,
-                l->data.begin() + static_cast<std::ptrdiff_t>(in_line));
     l->dirty = true;
     done += n;
   }
@@ -109,7 +107,7 @@ sim::Task<void> StreamCache::flushRange(StreamRow& row, sim::Addr addr, std::uin
   for (auto& l : lines_) {
     if (l.state == State::Valid && l.dirty && l.tag >= first && l.tag <= last) {
       ++row.cache_flushes;
-      co_await sram_.write(l.tag, l.data, client_);
+      co_await sram_.touchWrite(line_bytes_, client_);
       l.dirty = false;
     }
   }
@@ -167,7 +165,7 @@ void StreamCache::startPrefetch(StreamRow& row, sim::Addr line_addr) {
 
 sim::Task<void> StreamCache::prefetchTask(StreamRow& row, Line* line) {
   (void)row;
-  co_await sram_.read(line->tag, line->data, client_);
+  co_await sram_.read(line->tag, lineData(line), client_);
   line->state = line->drop ? State::Invalid : State::Valid;
   event_.notifyAll();
 }
