@@ -53,10 +53,6 @@ AudioDecodeApp::AudioDecodeApp(EclipseInstance& inst, std::vector<std::uint8_t> 
   auto on_done = inst.registerApp();
   sink_ = &inst.createByteSink(std::move(on_done));
 
-  t_feeder_ = inst.allocTask(inst.cpuShell());
-  t_decoder_ = inst.allocTask(inst.cpuShell());
-  t_sink_ = inst.allocTask(sink_->shell());
-
   // The coded stream lives off-chip, like the video elementary streams.
   const sim::Addr addr = inst.allocDram(coded_stream.size());
   inst.dram().storage().write(addr, coded_stream);
@@ -70,82 +66,90 @@ AudioDecodeApp::AudioDecodeApp(EclipseInstance& inst, std::vector<std::uint8_t> 
   decoder_->block_samples = block_samples;
   decoder_->cycles_per_sample = cfg.cycles_per_sample;
 
-  using EP = EclipseInstance::Endpoint;
-  auto& cpu_sh = inst.cpuShell();
-  inst.connectStream(EP{&cpu_sh, t_feeder_, 0}, EP{&cpu_sh, t_decoder_, 0}, cfg.block_buffer);
-  inst.connectStream(EP{&cpu_sh, t_decoder_, 1}, EP{&sink_->shell(), t_sink_, 0},
-                     cfg.pcm_buffer);
-
   const std::uint32_t block_frame =
       frameBytes(1 + static_cast<std::uint32_t>(media::audio::blockBytes(block_samples)));
   const std::uint32_t pcm_frame = frameBytes(1 + block_samples * 2);
 
   // Feeder: one coded block per processing step, fetched from off-chip.
-  inst.cpu().registerTask(
-      t_feeder_,
-      [this, block_frame](sim::TaskId task, std::uint32_t) -> sim::Task<void> {
-        auto& sh = inst_.cpuShell();
-        auto& st = *feeder_;
-        if (st.eos_sent) {
-          inst_.cpu().finish(task);
-          co_return;
-        }
-        if (!co_await sh.getSpace(task, 0, withCtl(block_frame))) co_return;
-        if (st.samples_fed >= st.total_samples) {
-          co_await coproc::packet_io::write(sh, task, 0, media::packTag(media::PacketTag::Eos),
-                                            /*wait=*/false);
-          st.eos_sent = true;
-          inst_.cpu().finish(task);
-          co_return;
-        }
-        const std::size_t bb = media::audio::blockBytes(st.block_samples);
-        if (st.pos + bb > st.stream_bytes) {
-          throw std::runtime_error("AudioDecodeApp: truncated audio stream");
-        }
-        st.pkt.resize(1 + bb);
-        st.pkt[0] = static_cast<std::uint8_t>(media::PacketTag::Mb);
-        co_await inst_.dram().read(st.dram_addr + st.pos,
-                                   std::span<std::uint8_t>(st.pkt).subspan(1),
-                                   static_cast<int>(sh.id()));
-        st.pos += bb;
-        st.samples_fed += st.block_samples;
-        co_await coproc::packet_io::write(sh, task, 0, st.pkt, /*wait=*/false);
-      });
+  auto feeder_step = [this, block_frame](sim::TaskId task, std::uint32_t) -> sim::Task<void> {
+    auto& sh = inst_.cpuShell();
+    auto& st = *feeder_;
+    if (st.eos_sent) {
+      inst_.cpu().finish(task);
+      co_return;
+    }
+    if (!co_await sh.getSpace(task, 0, withCtl(block_frame))) co_return;
+    if (st.samples_fed >= st.total_samples) {
+      co_await coproc::packet_io::write(sh, task, 0, media::packTag(media::PacketTag::Eos),
+                                        /*wait=*/false);
+      st.eos_sent = true;
+      inst_.cpu().finish(task);
+      co_return;
+    }
+    const std::size_t bb = media::audio::blockBytes(st.block_samples);
+    if (st.pos + bb > st.stream_bytes) {
+      throw std::runtime_error("AudioDecodeApp: truncated audio stream");
+    }
+    st.pkt.resize(1 + bb);
+    st.pkt[0] = static_cast<std::uint8_t>(media::PacketTag::Mb);
+    co_await inst_.dram().read(st.dram_addr + st.pos,
+                               std::span<std::uint8_t>(st.pkt).subspan(1),
+                               static_cast<int>(sh.id()));
+    st.pos += bb;
+    st.samples_fed += st.block_samples;
+    co_await coproc::packet_io::write(sh, task, 0, st.pkt, /*wait=*/false);
+  };
 
   // Decoder: one block per processing step.
-  inst.cpu().registerTask(
-      t_decoder_,
-      [this, pcm_frame](sim::TaskId task, std::uint32_t) -> sim::Task<void> {
-        auto& sh = inst_.cpuShell();
-        auto& st = *decoder_;
-        if (!co_await sh.getSpace(task, 1, withCtl(pcm_frame))) co_return;
-        const coproc::packet_io::Packet p =
-            co_await coproc::packet_io::tryReadView(sh, task, 0);
-        if (p.status == coproc::packet_io::ReadStatus::Blocked) co_return;
-        if (coproc::packet_io::tagOf(p.bytes) == media::PacketTag::Eos) {
-          co_await coproc::packet_io::write(sh, task, 1, media::packTag(media::PacketTag::Eos),
-                                            /*wait=*/false);
-          st.done = true;
-          inst_.cpu().finish(task);
-          co_return;
-        }
-        // Decode straight out of the committed view (fully consumed before
-        // the delay suspension below). decodeBlock appends, so reset first.
-        st.samples.clear();
-        media::audio::decodeBlock(coproc::packet_io::payloadOf(p.bytes), st.block_samples,
-                                  st.samples);
-        co_await inst_.simulator().delay(static_cast<sim::Cycle>(st.samples.size()) *
-                                         st.cycles_per_sample);
-        st.out.resize(1 + st.samples.size() * 2);
-        st.out[0] = static_cast<std::uint8_t>(media::PacketTag::Mb);
-        std::memcpy(st.out.data() + 1, st.samples.data(), st.samples.size() * 2);
-        co_await coproc::packet_io::write(sh, task, 1, st.out, /*wait=*/false);
-      });
+  auto decoder_step = [this, pcm_frame](sim::TaskId task, std::uint32_t) -> sim::Task<void> {
+    auto& sh = inst_.cpuShell();
+    auto& st = *decoder_;
+    if (!co_await sh.getSpace(task, 1, withCtl(pcm_frame))) co_return;
+    const coproc::packet_io::Packet p = co_await coproc::packet_io::tryReadView(sh, task, 0);
+    if (p.status == coproc::packet_io::ReadStatus::Blocked) co_return;
+    if (coproc::packet_io::tagOf(p.bytes) == media::PacketTag::Eos) {
+      co_await coproc::packet_io::write(sh, task, 1, media::packTag(media::PacketTag::Eos),
+                                        /*wait=*/false);
+      st.done = true;
+      inst_.cpu().finish(task);
+      co_return;
+    }
+    // Decode straight out of the committed view (fully consumed before
+    // the delay suspension below). decodeBlock appends, so reset first.
+    st.samples.clear();
+    media::audio::decodeBlock(coproc::packet_io::payloadOf(p.bytes), st.block_samples,
+                              st.samples);
+    co_await inst_.simulator().delay(static_cast<sim::Cycle>(st.samples.size()) *
+                                     st.cycles_per_sample);
+    st.out.resize(1 + st.samples.size() * 2);
+    st.out[0] = static_cast<std::uint8_t>(media::PacketTag::Mb);
+    std::memcpy(st.out.data() + 1, st.samples.data(), st.samples.size() * 2);
+    co_await coproc::packet_io::write(sh, task, 1, st.out, /*wait=*/false);
+  };
 
-  const shell::TaskConfig tc{true, cfg.budget_cycles, 0};
-  cpu_sh.configureTask(t_feeder_, shell::TaskConfig{cfg.feeder_enabled, cfg.budget_cycles, 0});
-  cpu_sh.configureTask(t_decoder_, tc);
-  sink_->shell().configureTask(t_sink_, tc);
+  GraphSpec g("audio");
+  g.task({.name = "feeder",
+          .shell = "dsp-cpu",
+          .budget_cycles = cfg.budget_cycles,
+          .enabled = cfg.feeder_enabled,
+          .source = true,
+          .software = std::move(feeder_step)})
+      .task({.name = "decoder",
+             .shell = "dsp-cpu",
+             .budget_cycles = cfg.budget_cycles,
+             .software = std::move(decoder_step)})
+      .task({.name = "sink", .shell = sink_->shell().name(), .budget_cycles = cfg.budget_cycles, .software = {}});
+  g.stream("blocks", "feeder", 0, "decoder", 0, cfg.block_buffer)
+      .stream("pcm", "decoder", 1, "sink", coproc::ByteSink::kIn, cfg.pcm_buffer);
+
+  Configurator configurator(inst);
+  handle_ = configurator.apply(g);
+  handle_.adoptDram(addr, coded_stream.size());
+  handle_.addCleanup([this] {
+    if (!sink_->done()) inst_.deregisterApp();
+  });
+  t_feeder_ = handle_.taskId("feeder");
+  t_decoder_ = handle_.taskId("decoder");
 }
 
 bool AudioDecodeApp::done() const { return sink_->done(); }

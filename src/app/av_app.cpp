@@ -48,15 +48,15 @@ AvPlaybackApp::AvPlaybackApp(EclipseInstance& inst, std::vector<std::uint8_t> tr
   demux_->audio_stream_id = layout.audio_stream_id;
   inst.dram().storage().write(demux_->ts_addr, transport_stream);
 
-  t_demux_ = inst.allocTask(inst.cpuShell());
-  inst.cpu().registerTask(t_demux_, [this](sim::TaskId task, std::uint32_t) -> sim::Task<void> {
+  auto demux_step = [this](sim::TaskId task, std::uint32_t) -> sim::Task<void> {
     auto& st = *demux_;
     if (st.pos >= st.ts_bytes) {
       if (!st.started_pipelines) {
         // Run-time application control: the CPU enables the consumers'
-        // task-table entries once their streams are staged.
-        inst_.vldShell().setTaskEnabled(video_->vldTask(), true);
-        inst_.cpuShell().setTaskEnabled(audio_->feederTask(), true);
+        // task-table entries (over the PI-bus) once their streams are
+        // staged.
+        video_->handle().setTaskEnabled("vld", true);
+        audio_->handle().setTaskEnabled("feeder", true);
         st.started_pipelines = true;
       }
       inst_.cpu().finish(task);
@@ -78,8 +78,21 @@ AvPlaybackApp::AvPlaybackApp(EclipseInstance& inst, std::vector<std::uint8_t> tr
     } else if (parsed.stream_id == st.audio_stream_id) {
       st.audio_bytes += parsed.payload.size();
     }
-  });
-  inst.cpuShell().configureTask(t_demux_, shell::TaskConfig{true, 2000, 0});
+  };
+
+  GraphSpec g("av-demux");
+  g.task({.name = "demux", .shell = "dsp-cpu", .budget_cycles = 2000,
+          .software = std::move(demux_step)});
+  Configurator configurator(inst);
+  demux_handle_ = configurator.apply(g);
+  demux_handle_.adoptDram(demux_->ts_addr, transport_stream.size());
+  t_demux_ = demux_handle_.taskId("demux");
+}
+
+void AvPlaybackApp::teardown() {
+  demux_handle_.teardown();
+  video_->teardown();
+  audio_->teardown();
 }
 
 bool AvPlaybackApp::done() const { return video_->done() && audio_->done(); }

@@ -1,0 +1,246 @@
+#include "eclipse/app/configurator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eclipse::app {
+
+namespace {
+
+/// First stream-table row of `sh` whose valid bit reads back 0 over the
+/// PI-bus — the same first-free-row policy the direct configureStream path
+/// uses, so MMIO-configured graphs land in identical rows.
+std::uint32_t findFreeStreamRow(mem::PiBus& bus, const shell::Shell& sh) {
+  for (std::uint32_t row = 0; row < sh.params().max_streams; ++row) {
+    if (bus.read(mmio::streamReg(sh, row, mmio::kStreamValid)) == 0) return row;
+  }
+  throw std::runtime_error("Configurator: no free stream row on shell '" + sh.name() + "'");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// AppHandle
+// ---------------------------------------------------------------------
+
+void AppHandle::requireLive() const {
+  if (inst_ == nullptr) throw std::logic_error("AppHandle: empty handle");
+  if (torn_down_) throw std::logic_error("AppHandle '" + name_ + "': already torn down");
+}
+
+sim::TaskId AppHandle::taskId(std::string_view task_name) const {
+  for (const AppTask& t : tasks_) {
+    if (t.spec.name == task_name) return t.id;
+  }
+  throw std::out_of_range("AppHandle '" + name_ + "': no task named '" +
+                          std::string(task_name) + "'");
+}
+
+shell::Shell& AppHandle::taskShell(std::string_view task_name) const {
+  for (const AppTask& t : tasks_) {
+    if (t.spec.name == task_name) return *t.shell;
+  }
+  throw std::out_of_range("AppHandle '" + name_ + "': no task named '" +
+                          std::string(task_name) + "'");
+}
+
+const AppStream& AppHandle::stream(std::string_view stream_name) const {
+  for (const AppStream& s : streams_) {
+    if (s.spec.name == stream_name) return s;
+  }
+  throw std::out_of_range("AppHandle '" + name_ + "': no stream named '" +
+                          std::string(stream_name) + "'");
+}
+
+void AppHandle::setTaskEnabled(std::string_view task_name, bool enabled) {
+  requireLive();
+  for (const AppTask& t : tasks_) {
+    if (t.spec.name == task_name) {
+      inst_->piBus().write(mmio::taskReg(*t.shell, t.id, mmio::kTaskEnabled), enabled ? 1 : 0);
+      return;
+    }
+  }
+  throw std::out_of_range("AppHandle '" + name_ + "': no task named '" +
+                          std::string(task_name) + "'");
+}
+
+void AppHandle::pause() {
+  requireLive();
+  for (const AppTask& t : tasks_) {
+    inst_->piBus().write(mmio::taskReg(*t.shell, t.id, mmio::kTaskEnabled), 0);
+  }
+  paused_ = true;
+}
+
+void AppHandle::resume() {
+  requireLive();
+  for (const AppTask& t : tasks_) {
+    if (t.spec.enabled) {
+      inst_->piBus().write(mmio::taskReg(*t.shell, t.id, mmio::kTaskEnabled), 1);
+    }
+  }
+  paused_ = false;
+}
+
+bool AppHandle::quiesced() const {
+  if (inst_ == nullptr || torn_down_) return true;
+  for (const AppStream& s : streams_) {
+    const std::uint32_t producer_room =
+        inst_->piBus().read(mmio::streamReg(*s.producer_shell, s.producer_row, mmio::kStreamSpace));
+    const std::uint32_t consumer_data =
+        inst_->piBus().read(mmio::streamReg(*s.consumer_shell, s.consumer_row, mmio::kStreamSpace));
+    // Empty and settled: the producer sees the whole buffer free again and
+    // the consumer sees nothing to read (no putspace message in flight).
+    if (producer_room != s.spec.buffer_bytes || consumer_data != 0) return false;
+  }
+  return true;
+}
+
+bool AppHandle::drain(sim::Cycle max_cycles, sim::Cycle slice) {
+  requireLive();
+  if (slice == 0) throw std::invalid_argument("AppHandle::drain: zero slice");
+  // Stop injecting new data; the rest of the graph keeps running and
+  // consumes whatever is still buffered in the FIFOs.
+  for (const AppTask& t : tasks_) {
+    if (t.spec.source) {
+      inst_->piBus().write(mmio::taskReg(*t.shell, t.id, mmio::kTaskEnabled), 0);
+    }
+  }
+  const sim::Cycle deadline = inst_->simulator().now() + max_cycles;
+  while (!quiesced()) {
+    const sim::Cycle before = inst_->simulator().now();
+    if (before >= deadline) return false;
+    inst_->run(std::min(deadline, before + slice));
+    if (inst_->simulator().now() == before) {
+      // The event queue ran dry without advancing time: the state is
+      // final, so one last check decides.
+      return quiesced();
+    }
+  }
+  return true;
+}
+
+void AppHandle::teardown() {
+  if (inst_ == nullptr || torn_down_) return;
+  mem::PiBus& bus = inst_->piBus();
+  // Task rows first, so the schedulers stop selecting the tasks; clearing
+  // the valid bit resets the row for the next application.
+  for (const AppTask& t : tasks_) {
+    bus.write(mmio::taskReg(*t.shell, t.id, mmio::kTaskEnabled), 0);
+    bus.write(mmio::taskReg(*t.shell, t.id, mmio::kTaskValid), 0);
+    if (t.spec.software) {
+      if (coproc::SoftCpu* cpu = inst_->softCpuAt(*t.shell)) cpu->unregisterTask(t.id);
+    }
+    inst_->freeTask(*t.shell, t.id);
+  }
+  // Stream rows next; clearing valid resets position/space state and
+  // releases the port cache.
+  for (const AppStream& s : streams_) {
+    bus.write(mmio::streamReg(*s.producer_shell, s.producer_row, mmio::kStreamValid), 0);
+    bus.write(mmio::streamReg(*s.consumer_shell, s.consumer_row, mmio::kStreamValid), 0);
+    inst_->freeSram(s.buffer_base, s.spec.buffer_bytes);
+  }
+  for (const auto& [addr, bytes] : dram_regions_) inst_->freeDram(addr, bytes);
+  dram_regions_.clear();
+  for (const auto& fn : cleanups_) fn();
+  cleanups_.clear();
+  torn_down_ = true;
+}
+
+void AppHandle::adoptDram(sim::Addr addr, std::size_t bytes) {
+  requireLive();
+  dram_regions_.emplace_back(addr, bytes);
+}
+
+void AppHandle::addCleanup(std::function<void()> fn) {
+  requireLive();
+  cleanups_.push_back(std::move(fn));
+}
+
+// ---------------------------------------------------------------------
+// Configurator
+// ---------------------------------------------------------------------
+
+AppHandle Configurator::apply(const GraphSpec& spec,
+                              const std::function<void(AppHandle&)>& before_enable) {
+  spec.validate(inst_);
+
+  AppHandle handle;
+  handle.inst_ = &inst_;
+  handle.name_ = spec.name();
+  mem::PiBus& bus = inst_.piBus();
+
+  // Phase 1: allocate a task slot per task, in spec order (the legacy
+  // hand-wired applications allocated in the same order, which keeps slot
+  // ids — and therefore all downstream timing — identical).
+  for (const TaskSpec& t : spec.tasks()) {
+    shell::Shell& sh = inst_.shell(t.shell);
+    const sim::TaskId id = inst_.allocTask(sh);
+    if (t.software) inst_.softCpuAt(sh)->registerTask(id, t.software);
+    handle.tasks_.push_back(AppTask{t, &sh, id});
+  }
+
+  // Phase 2: allocate each stream's FIFO and program both stream-table
+  // rows over the PI-bus — fields first, valid bit last (the valid write
+  // instantiates the port cache), then patch the producer's remote row id
+  // once the consumer row is known. Streams are fully programmed before
+  // any task is enabled, so a freshly scheduled task can never look up a
+  // half-wired port.
+  for (const StreamSpec& s : spec.streams()) {
+    AppStream as;
+    as.spec = s;
+    as.producer_shell = &handle.taskShell(s.producer.task);
+    as.consumer_shell = &handle.taskShell(s.consumer.task);
+    as.buffer_base = inst_.allocSram(s.buffer_bytes);
+
+    const shell::Shell& psh = *as.producer_shell;
+    as.producer_row = findFreeStreamRow(bus, psh);
+    bus.write(mmio::streamReg(psh, as.producer_row, mmio::kStreamTask),
+              static_cast<std::uint32_t>(handle.taskId(s.producer.task)));
+    bus.write(mmio::streamReg(psh, as.producer_row, mmio::kStreamPort),
+              static_cast<std::uint32_t>(s.producer.port));
+    bus.write(mmio::streamReg(psh, as.producer_row, mmio::kStreamIsProducer), 1);
+    bus.write(mmio::streamReg(psh, as.producer_row, mmio::kStreamBase),
+              static_cast<std::uint32_t>(as.buffer_base));
+    bus.write(mmio::streamReg(psh, as.producer_row, mmio::kStreamSize), s.buffer_bytes);
+    bus.write(mmio::streamReg(psh, as.producer_row, mmio::kStreamSpace), s.buffer_bytes);
+    bus.write(mmio::streamReg(psh, as.producer_row, mmio::kStreamRemoteShell),
+              as.consumer_shell->id());
+    bus.write(mmio::streamReg(psh, as.producer_row, mmio::kStreamValid), 1);
+
+    const shell::Shell& csh = *as.consumer_shell;
+    as.consumer_row = findFreeStreamRow(bus, csh);
+    bus.write(mmio::streamReg(csh, as.consumer_row, mmio::kStreamTask),
+              static_cast<std::uint32_t>(handle.taskId(s.consumer.task)));
+    bus.write(mmio::streamReg(csh, as.consumer_row, mmio::kStreamPort),
+              static_cast<std::uint32_t>(s.consumer.port));
+    bus.write(mmio::streamReg(csh, as.consumer_row, mmio::kStreamIsProducer), 0);
+    bus.write(mmio::streamReg(csh, as.consumer_row, mmio::kStreamBase),
+              static_cast<std::uint32_t>(as.buffer_base));
+    bus.write(mmio::streamReg(csh, as.consumer_row, mmio::kStreamSize), s.buffer_bytes);
+    bus.write(mmio::streamReg(csh, as.consumer_row, mmio::kStreamSpace), 0);
+    bus.write(mmio::streamReg(csh, as.consumer_row, mmio::kStreamRemoteShell), psh.id());
+    bus.write(mmio::streamReg(csh, as.consumer_row, mmio::kStreamRemoteRow), as.producer_row);
+    bus.write(mmio::streamReg(csh, as.consumer_row, mmio::kStreamValid), 1);
+
+    bus.write(mmio::streamReg(psh, as.producer_row, mmio::kStreamRemoteRow), as.consumer_row);
+    handle.streams_.push_back(as);
+  }
+
+  // Coprocessor-specific parameter setup (needs task ids, must precede the
+  // first scheduling opportunity).
+  if (before_enable) before_enable(handle);
+
+  // Phase 3: make the task rows valid and enable them. The enable write is
+  // last — it wakes the shell scheduler on an already-consistent graph.
+  for (const AppTask& t : handle.tasks_) {
+    bus.write(mmio::taskReg(*t.shell, t.id, mmio::kTaskBudget), t.spec.budget_cycles);
+    bus.write(mmio::taskReg(*t.shell, t.id, mmio::kTaskInfo), t.spec.task_info);
+    bus.write(mmio::taskReg(*t.shell, t.id, mmio::kTaskValid), 1);
+    bus.write(mmio::taskReg(*t.shell, t.id, mmio::kTaskEnabled), t.spec.enabled ? 1 : 0);
+  }
+
+  return handle;
+}
+
+}  // namespace eclipse::app

@@ -5,6 +5,40 @@
 
 namespace eclipse::app {
 
+namespace {
+
+EclipseInstance::StreamHandle toStreamHandle(const AppStream& s) {
+  return EclipseInstance::StreamHandle{s.producer_shell, s.producer_row, s.consumer_shell,
+                                       s.consumer_row,   s.buffer_base,  s.spec.buffer_bytes};
+}
+
+}  // namespace
+
+GraphSpec DecodeApp::spec(const DecodeAppConfig& cfg, const std::string& sink_shell) {
+  GraphSpec g("decode");
+  g.task({.name = "vld",
+          .shell = "vld",
+          .budget_cycles = cfg.budget_cycles,
+          .enabled = cfg.vld_enabled,
+          .source = true, .software = {}})
+      .task({.name = "rlsq", .shell = "rlsq", .budget_cycles = cfg.budget_cycles, .software = {}})
+      .task({.name = "idct", .shell = "dct", .budget_cycles = cfg.budget_cycles, .software = {}})
+      .task({.name = "mc", .shell = "mc", .budget_cycles = cfg.budget_cycles, .software = {}})
+      .task({.name = "sink", .shell = sink_shell, .budget_cycles = cfg.budget_cycles, .software = {}});
+  // Stream FIFOs in on-chip SRAM (Figure 3).
+  g.stream("coef", "vld", coproc::VldCoproc::kOutCoef, "rlsq", coproc::RlsqCoproc::kIn,
+           cfg.coef_buffer)
+      .stream("hdr", "vld", coproc::VldCoproc::kOutHdr, "mc", coproc::McCoproc::kInHdr,
+              cfg.hdr_buffer)
+      .stream("blocks", "rlsq", coproc::RlsqCoproc::kOut, "idct", coproc::DctCoproc::kIn,
+              cfg.blocks_buffer)
+      .stream("res", "idct", coproc::DctCoproc::kOut, "mc", coproc::McCoproc::kInRes,
+              cfg.res_buffer)
+      .stream("pix", "mc", coproc::McCoproc::kOutPix, "sink", coproc::FrameSink::kIn,
+              cfg.pix_buffer);
+  return g;
+}
+
 DecodeApp::DecodeApp(EclipseInstance& inst, std::vector<std::uint8_t> bitstream,
                      const DecodeAppConfig& cfg)
     : inst_(inst) {
@@ -15,55 +49,42 @@ DecodeApp::DecodeApp(EclipseInstance& inst, std::vector<std::uint8_t> bitstream,
   auto on_done = inst.registerApp();
   sink_ = &inst.createFrameSink(std::move(on_done));
 
-  // Task slots on each coprocessor.
-  t_vld_ = inst.allocTask(inst.vldShell());
-  t_rlsq_ = inst.allocTask(inst.rlsqShell());
-  t_dct_ = inst.allocTask(inst.dctShell());
-  t_mc_ = inst.allocTask(inst.mcShell());
-  t_sink_ = inst.allocTask(sink_->shell());
-
   // Off-chip resources: the compressed stream and a 3-slot frame store.
   const sim::Addr bs_addr = inst.allocDram(bitstream.size());
   inst.dram().storage().write(bs_addr, bitstream);
-  const sim::Addr store = inst.allocDram(
-      static_cast<std::size_t>(coproc::McCoproc::frameSlotBytes(sh)) * 3);
+  const std::size_t store_bytes =
+      static_cast<std::size_t>(coproc::McCoproc::frameSlotBytes(sh)) * 3;
+  const sim::Addr store = inst.allocDram(store_bytes);
 
-  coproc::VldTaskConfig vc;
-  vc.bitstream_addr = bs_addr;
-  vc.bitstream_bytes = static_cast<std::uint32_t>(bitstream.size());
-  inst.vld().configureTask(t_vld_, vc);
+  Configurator configurator(inst);
+  handle_ = configurator.apply(
+      spec(cfg, sink_->shell().name()), [&](AppHandle& h) {
+        coproc::VldTaskConfig vc;
+        vc.bitstream_addr = bs_addr;
+        vc.bitstream_bytes = static_cast<std::uint32_t>(bitstream.size());
+        inst.vld().configureTask(h.taskId("vld"), vc);
 
-  coproc::McTaskConfig mcc;
-  mcc.kind = coproc::McTaskKind::DecodeRecon;
-  mcc.frame_store_base = store;
-  mcc.frame_store_slots = 3;
-  inst.mc().configureTask(t_mc_, mcc);
+        coproc::McTaskConfig mcc;
+        mcc.kind = coproc::McTaskKind::DecodeRecon;
+        mcc.frame_store_base = store;
+        mcc.frame_store_slots = 3;
+        inst.mc().configureTask(h.taskId("mc"), mcc);
+      });
+  handle_.adoptDram(bs_addr, bitstream.size());
+  handle_.adoptDram(store, store_bytes);
+  handle_.addCleanup([this] {
+    if (!sink_->done()) inst_.deregisterApp();
+  });
 
-  // Stream FIFOs in on-chip SRAM (Figure 3).
-  using EP = EclipseInstance::Endpoint;
-  s_coef_ = inst.connectStream(EP{&inst.vldShell(), t_vld_, coproc::VldCoproc::kOutCoef},
-                               EP{&inst.rlsqShell(), t_rlsq_, coproc::RlsqCoproc::kIn},
-                               cfg.coef_buffer);
-  s_hdr_ = inst.connectStream(EP{&inst.vldShell(), t_vld_, coproc::VldCoproc::kOutHdr},
-                              EP{&inst.mcShell(), t_mc_, coproc::McCoproc::kInHdr},
-                              cfg.hdr_buffer);
-  s_blocks_ = inst.connectStream(EP{&inst.rlsqShell(), t_rlsq_, coproc::RlsqCoproc::kOut},
-                                 EP{&inst.dctShell(), t_dct_, coproc::DctCoproc::kIn},
-                                 cfg.blocks_buffer);
-  s_res_ = inst.connectStream(EP{&inst.dctShell(), t_dct_, coproc::DctCoproc::kOut},
-                              EP{&inst.mcShell(), t_mc_, coproc::McCoproc::kInRes},
-                              cfg.res_buffer);
-  s_pix_ = inst.connectStream(EP{&inst.mcShell(), t_mc_, coproc::McCoproc::kOutPix},
-                              EP{&sink_->shell(), t_sink_, coproc::FrameSink::kIn},
-                              cfg.pix_buffer);
-
-  // Task-table entries: budgets and parameter words (Section 5.3).
-  const shell::TaskConfig tc{true, cfg.budget_cycles, 0};
-  inst.vldShell().configureTask(t_vld_, shell::TaskConfig{cfg.vld_enabled, cfg.budget_cycles, 0});
-  inst.rlsqShell().configureTask(t_rlsq_, tc);  // info 0 = decode direction
-  inst.dctShell().configureTask(t_dct_, tc);    // info 0 = inverse DCT
-  inst.mcShell().configureTask(t_mc_, tc);
-  sink_->shell().configureTask(t_sink_, tc);
+  t_vld_ = handle_.taskId("vld");
+  t_rlsq_ = handle_.taskId("rlsq");
+  t_dct_ = handle_.taskId("idct");
+  t_mc_ = handle_.taskId("mc");
+  s_coef_ = toStreamHandle(handle_.stream("coef"));
+  s_hdr_ = toStreamHandle(handle_.stream("hdr"));
+  s_blocks_ = toStreamHandle(handle_.stream("blocks"));
+  s_res_ = toStreamHandle(handle_.stream("res"));
+  s_pix_ = toStreamHandle(handle_.stream("pix"));
 }
 
 bool DecodeApp::done() const { return sink_->done(); }

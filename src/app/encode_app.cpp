@@ -2,6 +2,55 @@
 
 namespace eclipse::app {
 
+GraphSpec EncodeApp::spec(const EncodeAppConfig& cfg, const std::string& sink_shell,
+                          coproc::SoftCpu::StepHandler source_step,
+                          coproc::SoftCpu::StepHandler vle_step) {
+  GraphSpec g("encode");
+  const std::uint32_t b = cfg.budget_cycles;
+  g.task({.name = "src",
+          .shell = "dsp-cpu",
+          .budget_cycles = b,
+          .source = true,
+          .software = std::move(source_step)})
+      .task({.name = "vle", .shell = "dsp-cpu", .budget_cycles = b, .software = std::move(vle_step)})
+      .task({.name = "me", .shell = "mc", .budget_cycles = b, .software = {}})
+      .task({.name = "recon", .shell = "mc", .budget_cycles = b, .software = {}})
+      .task({.name = "fdct", .shell = "dct", .budget_cycles = b,
+             .task_info = coproc::kDctInfoForward, .software = {}})
+      .task({.name = "idct", .shell = "dct", .budget_cycles = b, .software = {}})
+      .task({.name = "qrle", .shell = "rlsq", .budget_cycles = b,
+             .task_info = coproc::kRlsqInfoEncode, .software = {}})
+      .task({.name = "deq", .shell = "rlsq", .budget_cycles = b, .software = {}})
+      .task({.name = "sink", .shell = sink_shell, .budget_cycles = b, .software = {}});
+
+  // Forward path.
+  g.stream("cur", "src", coproc::EncoderSource::kOut, "me", coproc::McCoproc::kInCur,
+           cfg.cur_buffer)
+      .stream("res", "me", coproc::McCoproc::kOutRes, "fdct", coproc::DctCoproc::kIn,
+              cfg.res_buffer)
+      .stream("hdr", "me", coproc::McCoproc::kOutHdrVle, "vle", coproc::VleTask::kInHdr,
+              cfg.hdr_buffer)
+      .stream("qin", "fdct", coproc::DctCoproc::kOut, "qrle", coproc::RlsqCoproc::kIn,
+              cfg.res_buffer)
+      .stream("coef", "qrle", coproc::RlsqCoproc::kOut, "vle", coproc::VleTask::kInCoef,
+              cfg.coef_buffer)
+      .stream("chunks", "vle", coproc::VleTask::kOut, "sink", coproc::ByteSink::kIn,
+              cfg.chunk_buffer);
+
+  // Embedded-decoder reconstruction loop.
+  g.stream("hdr-rec", "me", coproc::McCoproc::kOutHdrRec, "recon", coproc::McCoproc::kInHdr,
+           cfg.hdr_buffer)
+      .stream("coef-rec", "qrle", coproc::RlsqCoproc::kOutRecon, "deq", coproc::RlsqCoproc::kIn,
+              cfg.coef_buffer)
+      .stream("res-rec", "deq", coproc::RlsqCoproc::kOut, "idct", coproc::DctCoproc::kIn,
+              cfg.res_buffer)
+      .stream("pix-rec", "idct", coproc::DctCoproc::kOut, "recon", coproc::McCoproc::kInRes,
+              cfg.res_buffer)
+      .stream("tokens", "recon", coproc::McCoproc::kOutToken, "src",
+              coproc::EncoderSource::kInToken, cfg.token_buffer);
+  return g;
+}
+
 EncodeApp::EncodeApp(EclipseInstance& inst, std::vector<media::Frame> frames,
                      const media::CodecParams& params, const EncodeAppConfig& cfg)
     : inst_(inst) {
@@ -10,82 +59,43 @@ EncodeApp::EncodeApp(EclipseInstance& inst, std::vector<media::Frame> frames,
   auto on_done = inst.registerApp();
   sink_ = &inst.createByteSink(std::move(on_done));
 
-  // Task slots: two tasks on each of DCT, RLSQ and MC/ME, two on the CPU.
-  t_src_ = inst.allocTask(inst.cpuShell());
-  t_vle_ = inst.allocTask(inst.cpuShell());
-  t_me_ = inst.allocTask(inst.mcShell());
-  t_recon_ = inst.allocTask(inst.mcShell());
-  t_fdct_ = inst.allocTask(inst.dctShell());
-  t_idct_ = inst.allocTask(inst.dctShell());
-  t_qrle_ = inst.allocTask(inst.rlsqShell());
-  t_deq_ = inst.allocTask(inst.rlsqShell());
-  t_sink_ = inst.allocTask(sink_->shell());
-
   // Shared off-chip reconstruction frame store for ME and RECON.
-  const sim::Addr store = inst.allocDram(
-      static_cast<std::size_t>(coproc::McCoproc::frameSlotBytes(sh)) * 3);
-  coproc::McTaskConfig me_cfg;
-  me_cfg.kind = coproc::McTaskKind::MotionEst;
-  me_cfg.frame_store_base = store;
-  inst.mc().configureTask(t_me_, me_cfg);
-  coproc::McTaskConfig rec_cfg;
-  rec_cfg.kind = coproc::McTaskKind::EncodeRecon;
-  rec_cfg.frame_store_base = store;
-  inst.mc().configureTask(t_recon_, rec_cfg);
+  const std::size_t store_bytes =
+      static_cast<std::size_t>(coproc::McCoproc::frameSlotBytes(sh)) * 3;
+  const sim::Addr store = inst.allocDram(store_bytes);
 
   // Software tasks on the DSP-CPU.
   source_ = std::make_unique<coproc::EncoderSource>(inst.cpu(), std::move(frames), params);
   vle_ = std::make_unique<coproc::VleTask>(inst.cpu());
-  inst.cpu().registerTask(t_src_, [this](sim::TaskId t, std::uint32_t info) {
-    return source_->step(t, info);
+
+  Configurator configurator(inst);
+  handle_ = configurator.apply(
+      spec(
+          cfg, sink_->shell().name(),
+          [this](sim::TaskId t, std::uint32_t info) { return source_->step(t, info); },
+          [this](sim::TaskId t, std::uint32_t info) { return vle_->step(t, info); }),
+      [&](AppHandle& h) {
+        coproc::McTaskConfig me_cfg;
+        me_cfg.kind = coproc::McTaskKind::MotionEst;
+        me_cfg.frame_store_base = store;
+        inst.mc().configureTask(h.taskId("me"), me_cfg);
+
+        coproc::McTaskConfig rec_cfg;
+        rec_cfg.kind = coproc::McTaskKind::EncodeRecon;
+        rec_cfg.frame_store_base = store;
+        inst.mc().configureTask(h.taskId("recon"), rec_cfg);
+      });
+  handle_.adoptDram(store, store_bytes);
+  handle_.addCleanup([this] {
+    if (!sink_->done()) inst_.deregisterApp();
   });
-  inst.cpu().registerTask(t_vle_, [this](sim::TaskId t, std::uint32_t info) {
-    return vle_->step(t, info);
-  });
 
-  using EP = EclipseInstance::Endpoint;
-  auto& cpu_sh = inst.cpuShell();
-  auto& mc_sh = inst.mcShell();
-  auto& dct_sh = inst.dctShell();
-  auto& rlsq_sh = inst.rlsqShell();
-
-  // Forward path.
-  inst.connectStream(EP{&cpu_sh, t_src_, coproc::EncoderSource::kOut},
-                     EP{&mc_sh, t_me_, coproc::McCoproc::kInCur}, cfg.cur_buffer);
-  inst.connectStream(EP{&mc_sh, t_me_, coproc::McCoproc::kOutRes},
-                     EP{&dct_sh, t_fdct_, coproc::DctCoproc::kIn}, cfg.res_buffer);
-  inst.connectStream(EP{&mc_sh, t_me_, coproc::McCoproc::kOutHdrVle},
-                     EP{&cpu_sh, t_vle_, coproc::VleTask::kInHdr}, cfg.hdr_buffer);
-  inst.connectStream(EP{&dct_sh, t_fdct_, coproc::DctCoproc::kOut},
-                     EP{&rlsq_sh, t_qrle_, coproc::RlsqCoproc::kIn}, cfg.res_buffer);
-  inst.connectStream(EP{&rlsq_sh, t_qrle_, coproc::RlsqCoproc::kOut},
-                     EP{&cpu_sh, t_vle_, coproc::VleTask::kInCoef}, cfg.coef_buffer);
-  inst.connectStream(EP{&cpu_sh, t_vle_, coproc::VleTask::kOut},
-                     EP{&sink_->shell(), t_sink_, coproc::ByteSink::kIn}, cfg.chunk_buffer);
-
-  // Embedded-decoder reconstruction loop.
-  inst.connectStream(EP{&mc_sh, t_me_, coproc::McCoproc::kOutHdrRec},
-                     EP{&mc_sh, t_recon_, coproc::McCoproc::kInHdr}, cfg.hdr_buffer);
-  inst.connectStream(EP{&rlsq_sh, t_qrle_, coproc::RlsqCoproc::kOutRecon},
-                     EP{&rlsq_sh, t_deq_, coproc::RlsqCoproc::kIn}, cfg.coef_buffer);
-  inst.connectStream(EP{&rlsq_sh, t_deq_, coproc::RlsqCoproc::kOut},
-                     EP{&dct_sh, t_idct_, coproc::DctCoproc::kIn}, cfg.res_buffer);
-  inst.connectStream(EP{&dct_sh, t_idct_, coproc::DctCoproc::kOut},
-                     EP{&mc_sh, t_recon_, coproc::McCoproc::kInRes}, cfg.res_buffer);
-  inst.connectStream(EP{&mc_sh, t_recon_, coproc::McCoproc::kOutToken},
-                     EP{&cpu_sh, t_src_, coproc::EncoderSource::kInToken}, cfg.token_buffer);
-
-  // Task-table entries: direction bits select the shared hardware's mode.
-  const shell::TaskConfig tc{true, cfg.budget_cycles, 0};
-  cpu_sh.configureTask(t_src_, tc);
-  cpu_sh.configureTask(t_vle_, tc);
-  mc_sh.configureTask(t_me_, tc);
-  mc_sh.configureTask(t_recon_, tc);
-  dct_sh.configureTask(t_fdct_, shell::TaskConfig{true, cfg.budget_cycles, coproc::kDctInfoForward});
-  dct_sh.configureTask(t_idct_, tc);
-  rlsq_sh.configureTask(t_qrle_, shell::TaskConfig{true, cfg.budget_cycles, coproc::kRlsqInfoEncode});
-  rlsq_sh.configureTask(t_deq_, tc);
-  sink_->shell().configureTask(t_sink_, tc);
+  t_me_ = handle_.taskId("me");
+  t_recon_ = handle_.taskId("recon");
+  t_fdct_ = handle_.taskId("fdct");
+  t_idct_ = handle_.taskId("idct");
+  t_qrle_ = handle_.taskId("qrle");
+  t_deq_ = handle_.taskId("deq");
 }
 
 bool EncodeApp::done() const { return sink_->done(); }

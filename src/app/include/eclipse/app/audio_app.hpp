@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "eclipse/app/configurator.hpp"
 #include "eclipse/app/instance.hpp"
 #include "eclipse/media/audio.hpp"
 
@@ -42,6 +44,11 @@ class AudioDecodeApp {
   /// Decoded PCM samples (valid after completion).
   [[nodiscard]] std::vector<std::int16_t> pcm() const;
 
+  /// Runtime control (pause/resume/drain/teardown) for this application.
+  [[nodiscard]] AppHandle& handle() { return handle_; }
+  [[nodiscard]] const AppHandle& handle() const { return handle_; }
+  void teardown() { handle_.teardown(); }
+
   [[nodiscard]] sim::TaskId feederTask() const { return t_feeder_; }
   [[nodiscard]] sim::TaskId decoderTask() const { return t_decoder_; }
 
@@ -53,7 +60,8 @@ class AudioDecodeApp {
   coproc::ByteSink* sink_ = nullptr;
   std::shared_ptr<FeederState> feeder_;
   std::shared_ptr<DecoderState> decoder_;
-  sim::TaskId t_feeder_ = 0, t_decoder_ = 0, t_sink_ = 0;
+  AppHandle handle_;
+  sim::TaskId t_feeder_ = 0, t_decoder_ = 0;
   std::uint32_t total_samples_ = 0;
 };
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "eclipse/app/audio_app.hpp"
+#include "eclipse/app/configurator.hpp"
 #include "eclipse/app/decode_app.hpp"
 #include "eclipse/app/instance.hpp"
 
@@ -38,6 +39,11 @@ class AvPlaybackApp {
   [[nodiscard]] const DecodeApp& video() const { return *video_; }
   [[nodiscard]] const AudioDecodeApp& audio() const { return *audio_; }
 
+  /// Control handle for the demux task's one-task graph.
+  [[nodiscard]] AppHandle& demuxHandle() { return demux_handle_; }
+  /// Tears down the demux graph and both media applications.
+  void teardown();
+
   /// Transport packets the demux task processed (timing statistics).
   [[nodiscard]] std::uint64_t packetsDemuxed() const;
 
@@ -48,6 +54,7 @@ class AvPlaybackApp {
   std::unique_ptr<DecodeApp> video_;
   std::unique_ptr<AudioDecodeApp> audio_;
   std::shared_ptr<DemuxState> demux_;
+  AppHandle demux_handle_;
   sim::TaskId t_demux_ = 0;
 };
 

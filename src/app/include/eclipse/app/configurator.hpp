@@ -1,0 +1,190 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "eclipse/app/graph_spec.hpp"
+#include "eclipse/app/instance.hpp"
+
+namespace eclipse::app {
+
+/// PI-bus register map of a shell window (mirrors the layout in
+/// shell.cpp): max_streams stream rows of kStreamRowWords 32-bit words,
+/// then max_tasks task rows of kTaskRowWords words. Shared by the
+/// Configurator, the graph_dump tool and the reconfiguration tests.
+namespace mmio {
+
+inline constexpr std::uint32_t kStreamRowWords = 32;
+inline constexpr std::uint32_t kTaskRowWords = 16;
+
+/// Stream-row fields (word offsets). Fields past kRemoteRow are read-only
+/// position/measurement registers.
+enum StreamField : std::uint32_t {
+  kStreamValid = 0,
+  kStreamTask = 1,
+  kStreamPort = 2,
+  kStreamIsProducer = 3,
+  kStreamBase = 4,
+  kStreamSize = 5,
+  kStreamSpace = 6,
+  kStreamRemoteShell = 7,
+  kStreamRemoteRow = 8,
+  kStreamPosLo = 9,
+  kStreamPosHi = 10,
+  kStreamGranted = 11,
+  kStreamBytesLo = 12,
+  kStreamBytesHi = 13,
+};
+
+/// Task-row fields (word offsets). Fields past kTaskInfo are read-only.
+enum TaskField : std::uint32_t {
+  kTaskValid = 0,
+  kTaskEnabled = 1,
+  kTaskBudget = 2,
+  kTaskInfo = 3,
+  kTaskBusyLo = 4,
+  kTaskBusyHi = 5,
+  kTaskBlocked = 6,
+};
+
+/// PI-bus address of stream-row register `field` of row `row` of `sh`.
+inline sim::Addr streamReg(const shell::Shell& sh, std::uint32_t row, std::uint32_t field) {
+  return EclipseInstance::mmioBase(sh) +
+         (static_cast<sim::Addr>(row) * kStreamRowWords + field) * 4;
+}
+
+/// PI-bus address of task-row register `field` of slot `task` of `sh`.
+inline sim::Addr taskReg(const shell::Shell& sh, sim::TaskId task, std::uint32_t field) {
+  return EclipseInstance::mmioBase(sh) +
+         (static_cast<sim::Addr>(sh.params().max_streams) * kStreamRowWords +
+          static_cast<sim::Addr>(task) * kTaskRowWords + field) *
+             4;
+}
+
+}  // namespace mmio
+
+/// A task as placed onto the instance: its spec plus the shell and task
+/// slot the Configurator allocated for it.
+struct AppTask {
+  TaskSpec spec;
+  shell::Shell* shell = nullptr;
+  sim::TaskId id = 0;
+};
+
+/// A stream as placed onto the instance: its spec plus both programmed
+/// stream-table rows and the SRAM FIFO region.
+struct AppStream {
+  StreamSpec spec;
+  shell::Shell* producer_shell = nullptr;
+  std::uint32_t producer_row = 0;
+  shell::Shell* consumer_shell = nullptr;
+  std::uint32_t consumer_row = 0;
+  sim::Addr buffer_base = 0;
+};
+
+/// Runtime control handle for one configured application. All table state
+/// changes go through the PI-bus, the same path the configuring CPU uses.
+///
+/// Lifecycle: pause()/resume() toggle the scheduler-enable bits; drain()
+/// quiesces the graph (sources disabled, simulation sliced forward until
+/// every stream is empty by space accounting); teardown() — only safe on a
+/// quiesced or never-started graph — invalidates all rows and returns task
+/// slots, stream rows and SRAM regions to the instance for reuse.
+class AppHandle {
+ public:
+  AppHandle() = default;
+  AppHandle(const AppHandle&) = delete;
+  AppHandle& operator=(const AppHandle&) = delete;
+  AppHandle(AppHandle&&) = default;
+  AppHandle& operator=(AppHandle&&) = default;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool live() const { return inst_ != nullptr && !torn_down_; }
+  [[nodiscard]] bool paused() const { return paused_; }
+
+  [[nodiscard]] const std::vector<AppTask>& tasks() const { return tasks_; }
+  [[nodiscard]] const std::vector<AppStream>& streams() const { return streams_; }
+
+  /// Task slot allocated for the named task; throws std::out_of_range.
+  [[nodiscard]] sim::TaskId taskId(std::string_view task_name) const;
+  /// Shell the named task was placed on; throws std::out_of_range.
+  [[nodiscard]] shell::Shell& taskShell(std::string_view task_name) const;
+  /// Placement of the named stream; throws std::out_of_range.
+  [[nodiscard]] const AppStream& stream(std::string_view stream_name) const;
+
+  /// Toggles one task's scheduler-enable bit over the PI-bus.
+  void setTaskEnabled(std::string_view task_name, bool enabled);
+
+  /// Disables every task of the application (state preserved).
+  void pause();
+  /// Re-enables every task whose spec wants it enabled.
+  void resume();
+
+  /// True when every stream of the application is empty and settled by
+  /// space accounting: producer row sees a fully free buffer and consumer
+  /// row sees no readable data (read back over the PI-bus).
+  [[nodiscard]] bool quiesced() const;
+
+  /// Quiesces the application: disables source tasks, then advances the
+  /// simulation in `slice`-cycle increments until quiesced() holds or no
+  /// further progress is possible / `max_cycles` elapsed. Returns whether
+  /// the graph quiesced. Other applications on the instance keep running
+  /// during the drain.
+  bool drain(sim::Cycle max_cycles = 2'000'000, sim::Cycle slice = 5'000);
+
+  /// Frees everything the application holds: task rows and stream rows are
+  /// invalidated over the PI-bus (resetting them for reuse), software
+  /// handlers unbound, task slots / stream SRAM / adopted DRAM returned to
+  /// the instance allocators, and registered cleanups run. Idempotent.
+  /// Only safe when the graph is quiesced (or was never run).
+  void teardown();
+  [[nodiscard]] bool tornDown() const { return torn_down_; }
+
+  /// Registers an off-chip region (e.g. an input bitstream or a frame
+  /// store) to be freed on teardown.
+  void adoptDram(sim::Addr addr, std::size_t bytes);
+
+  /// Registers a callback run once at teardown (e.g. withdrawing a
+  /// registerApp() slot for an application torn down before completion).
+  void addCleanup(std::function<void()> fn);
+
+ private:
+  friend class Configurator;
+
+  void requireLive() const;
+
+  EclipseInstance* inst_ = nullptr;
+  std::string name_;
+  std::vector<AppTask> tasks_;
+  std::vector<AppStream> streams_;
+  std::vector<std::pair<sim::Addr, std::size_t>> dram_regions_;
+  std::vector<std::function<void()>> cleanups_;
+  bool torn_down_ = false;
+  bool paused_ = false;
+};
+
+/// Programs a validated GraphSpec onto a live instance through the PI-bus:
+/// allocates task slots and SRAM FIFOs, scans each shell's stream table
+/// for free rows via valid-bit reads, writes configuration fields then the
+/// valid bit (stream rows first, task enables last so no task can be
+/// scheduled against a half-programmed graph), and returns the AppHandle.
+class Configurator {
+ public:
+  explicit Configurator(EclipseInstance& inst) : inst_(inst) {}
+
+  /// Validates and applies `spec`. `before_enable`, when given, runs after
+  /// every slot/row/buffer is allocated and programmed but before any task
+  /// row is made valid+enabled — the place for coprocessor-specific
+  /// parameter setup (e.g. VLD bitstream address) that needs task ids.
+  AppHandle apply(const GraphSpec& spec,
+                  const std::function<void(AppHandle&)>& before_enable = {});
+
+ private:
+  EclipseInstance& inst_;
+};
+
+}  // namespace eclipse::app

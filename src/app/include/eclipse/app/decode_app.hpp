@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "eclipse/app/configurator.hpp"
 #include "eclipse/app/instance.hpp"
 #include "eclipse/media/types.hpp"
 
@@ -17,30 +18,43 @@ struct DecodeAppConfig {
   std::uint32_t res_buffer = 2048;     ///< DCT -> MC (residuals)
   std::uint32_t pix_buffer = 2048;     ///< MC -> output
   std::uint32_t budget_cycles = 2000;  ///< scheduler budget for every task
-
   /// When false, the VLD task starts disabled; a controller (e.g. a demux
   /// task that must stage the elementary stream first) enables it later
   /// through the task table. Run-time application control, Section 3.
   bool vld_enabled = true;
 };
 
-/// One MPEG decoding application configured onto an Eclipse instance — the
-/// Figure-2 process network mapped as in Figure 3/8:
+/// One MPEG decoding application on an Eclipse instance — the Figure-2
+/// process network mapped as in Figure 3/8:
 ///
 ///   bitstream (off-chip) -> VLD -> RLSQ -> DCT(inverse) -> MC -> sink
 ///                              \________________________--^
 ///                               (headers / motion vectors)
 ///
-/// Several DecodeApps can run on the same instance simultaneously; each
-/// adds one task to every coprocessor's task table (time-shared hardware).
+/// The graph is declared as a GraphSpec and programmed onto the instance
+/// by the Configurator over the PI-bus; this class is a thin adapter that
+/// owns the resulting AppHandle. Several DecodeApps can run on the same
+/// instance simultaneously; each adds one task to every coprocessor's task
+/// table (time-shared hardware).
 class DecodeApp {
  public:
   DecodeApp(EclipseInstance& inst, std::vector<std::uint8_t> bitstream,
             const DecodeAppConfig& cfg = {});
 
+  /// The GraphSpec the constructor applies (exposed for inspection,
+  /// validation tests and tooling). `sink_shell` is the name of the frame
+  /// sink's shell.
+  static GraphSpec spec(const DecodeAppConfig& cfg, const std::string& sink_shell);
+
   [[nodiscard]] bool done() const;
   [[nodiscard]] std::vector<media::Frame> frames() const;
   [[nodiscard]] std::uint64_t macroblocksDecoded() const;
+
+  /// Runtime control (pause/resume/drain/teardown) for this application.
+  [[nodiscard]] AppHandle& handle() { return handle_; }
+  [[nodiscard]] const AppHandle& handle() const { return handle_; }
+  /// Frees every resource the application holds (see AppHandle::teardown).
+  void teardown() { handle_.teardown(); }
 
   // Stream handles for measurement (Figures 9/10: buffer filling of the
   // RLSQ, DCT and MC input streams).
@@ -58,7 +72,8 @@ class DecodeApp {
  private:
   EclipseInstance& inst_;
   coproc::FrameSink* sink_ = nullptr;
-  sim::TaskId t_vld_ = 0, t_rlsq_ = 0, t_dct_ = 0, t_mc_ = 0, t_sink_ = 0;
+  AppHandle handle_;
+  sim::TaskId t_vld_ = 0, t_rlsq_ = 0, t_dct_ = 0, t_mc_ = 0;
   EclipseInstance::StreamHandle s_coef_{}, s_hdr_{}, s_blocks_{}, s_res_{}, s_pix_{};
 };
 

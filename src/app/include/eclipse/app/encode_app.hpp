@@ -2,8 +2,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "eclipse/app/configurator.hpp"
 #include "eclipse/app/instance.hpp"
 #include "eclipse/coproc/soft_tasks.hpp"
 #include "eclipse/media/codec.hpp"
@@ -29,14 +31,28 @@ struct EncodeAppConfig {
 ///   source(CPU) -> ME(MC) -> FDCT(DCT) -> QRLE(RLSQ) -> VLE(CPU) -> sink
 ///                                             \-> DEQ(RLSQ) -> IDCT(DCT) -> RECON(MC)
 ///   RECON -> source: frame-done tokens close the reconstruction loop.
+///
+/// Declared as a GraphSpec and programmed by the Configurator over the
+/// PI-bus; this class owns the resulting AppHandle.
 class EncodeApp {
  public:
   EncodeApp(EclipseInstance& inst, std::vector<media::Frame> frames,
             const media::CodecParams& params, const EncodeAppConfig& cfg = {});
 
+  /// The GraphSpec the constructor applies. `sink_shell` names the byte
+  /// sink's shell; the two handlers are the source and VLE software steps.
+  static GraphSpec spec(const EncodeAppConfig& cfg, const std::string& sink_shell,
+                        coproc::SoftCpu::StepHandler source_step,
+                        coproc::SoftCpu::StepHandler vle_step);
+
   [[nodiscard]] bool done() const;
   /// The produced elementary stream (valid after completion).
   [[nodiscard]] const std::vector<std::uint8_t>& bitstream() const;
+
+  /// Runtime control (pause/resume/drain/teardown) for this application.
+  [[nodiscard]] AppHandle& handle() { return handle_; }
+  [[nodiscard]] const AppHandle& handle() const { return handle_; }
+  void teardown() { handle_.teardown(); }
 
   [[nodiscard]] sim::TaskId meTask() const { return t_me_; }
   [[nodiscard]] sim::TaskId fdctTask() const { return t_fdct_; }
@@ -50,8 +66,9 @@ class EncodeApp {
   coproc::ByteSink* sink_ = nullptr;
   std::unique_ptr<coproc::EncoderSource> source_;
   std::unique_ptr<coproc::VleTask> vle_;
-  sim::TaskId t_src_ = 0, t_me_ = 0, t_fdct_ = 0, t_qrle_ = 0, t_vle_ = 0;
-  sim::TaskId t_deq_ = 0, t_idct_ = 0, t_recon_ = 0, t_sink_ = 0;
+  AppHandle handle_;
+  sim::TaskId t_me_ = 0, t_fdct_ = 0, t_qrle_ = 0;
+  sim::TaskId t_deq_ = 0, t_idct_ = 0, t_recon_ = 0;
 };
 
 }  // namespace eclipse::app

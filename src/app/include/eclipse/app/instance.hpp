@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "eclipse/coproc/dct_coproc.hpp"
@@ -58,11 +59,17 @@ struct InstanceParams {
 /// off-chip memory on the system bus, the inter-shell message network, and
 /// the PI-bus with every shell's tables mapped.
 ///
-/// Applications (DecodeApp, EncodeApp) are configured onto a running
-/// instance at run time, exactly like the CPU programming the stream and
-/// task tables of a real subsystem.
+/// Applications are configured onto a running instance at run time through
+/// the GraphSpec/Configurator control plane (see graph_spec.hpp), exactly
+/// like the CPU programming the stream and task tables of a real
+/// subsystem. Shells are addressed by *name* ("vld", "dct", "dsp-cpu",
+/// ...), never by construction position.
 class EclipseInstance {
  public:
+  /// Every shell's register window is mapped on the PI-bus at
+  /// id * kMmioStride (the window itself is far smaller).
+  static constexpr sim::Addr kMmioStride = 0x10000;
+
   explicit EclipseInstance(const InstanceParams& params = {});
 
   /// Tears down the simulation processes before the memory/bus models they
@@ -84,25 +91,57 @@ class EclipseInstance {
   [[nodiscard]] coproc::McCoproc& mc() { return *mc_; }
   [[nodiscard]] coproc::SoftCpu& cpu() { return *cpu_; }
 
-  [[nodiscard]] shell::Shell& vldShell() { return *shells_[0]; }
-  [[nodiscard]] shell::Shell& rlsqShell() { return *shells_[1]; }
-  [[nodiscard]] shell::Shell& dctShell() { return *shells_[2]; }
-  [[nodiscard]] shell::Shell& mcShell() { return *shells_[3]; }
-  [[nodiscard]] shell::Shell& cpuShell() { return *shells_[4]; }
+  /// Name-based shell lookup — the way applications (and the GraphSpec
+  /// configurator) address computation modules. Throws std::out_of_range
+  /// with the list of known names when `name` is absent.
+  [[nodiscard]] shell::Shell& shell(std::string_view name);
+  /// Like shell(), but returns nullptr instead of throwing.
+  [[nodiscard]] shell::Shell* findShell(std::string_view name);
+
+  // Convenience aliases for the five Figure-8 modules (thin wrappers over
+  // the named lookup; no positional indexing).
+  [[nodiscard]] shell::Shell& vldShell() { return shell("vld"); }
+  [[nodiscard]] shell::Shell& rlsqShell() { return shell("rlsq"); }
+  [[nodiscard]] shell::Shell& dctShell() { return shell("dct"); }
+  [[nodiscard]] shell::Shell& mcShell() { return shell("mc"); }
+  [[nodiscard]] shell::Shell& cpuShell() { return shell("dsp-cpu"); }
   [[nodiscard]] std::vector<std::unique_ptr<shell::Shell>>& shells() { return shells_; }
+
+  /// PI-bus base address of a shell's register window.
+  [[nodiscard]] static sim::Addr mmioBase(const shell::Shell& sh) {
+    return static_cast<sim::Addr>(sh.id()) * kMmioStride;
+  }
+
+  /// The software coprocessor fronted by `sh`, or nullptr when `sh` fronts
+  /// a hardware module (used by the configurator to bind software steps).
+  [[nodiscard]] coproc::SoftCpu* softCpuAt(const shell::Shell& sh);
 
   /// Creates a frame sink (display writer) with its own shell.
   coproc::FrameSink& createFrameSink(std::function<void()> on_done);
   /// Creates a byte sink (e.g. for an encoder's output bitstream).
   coproc::ByteSink& createByteSink(std::function<void()> on_done);
 
-  /// Allocates a stream buffer in on-chip SRAM (cache-line aligned).
+  /// Allocates a stream buffer in on-chip SRAM (cache-line aligned,
+  /// first-fit over the free list). Throws std::runtime_error on
+  /// exhaustion.
   sim::Addr allocSram(std::uint32_t bytes);
-  /// Allocates a region in off-chip memory.
-  sim::Addr allocDram(std::size_t bytes);
+  /// Returns an SRAM region to the free list (coalescing with neighbours)
+  /// so a torn-down application's buffers can be reused.
+  void freeSram(sim::Addr addr, std::uint32_t bytes);
+  /// Bytes currently allocatable in SRAM (largest-hole not guaranteed).
+  [[nodiscard]] std::size_t sramBytesFree() const;
 
-  /// Allocates the next free task slot on a shell.
+  /// Allocates a region in off-chip memory (first-fit free list).
+  sim::Addr allocDram(std::size_t bytes);
+  void freeDram(sim::Addr addr, std::size_t bytes);
+  [[nodiscard]] std::size_t dramBytesFree() const;
+
+  /// Allocates the lowest free task slot on a shell.
   sim::TaskId allocTask(shell::Shell& sh);
+  /// Releases a task slot for reuse by a later application.
+  void freeTask(shell::Shell& sh, sim::TaskId task);
+  /// Number of unallocated task slots on a shell (capacity check).
+  [[nodiscard]] std::uint32_t freeTaskSlots(const shell::Shell& sh) const;
 
   /// One end of a stream.
   struct Endpoint {
@@ -121,7 +160,9 @@ class EclipseInstance {
     std::uint32_t buffer_bytes = 0;
   };
 
-  /// Allocates a FIFO in SRAM and programs both shells' stream tables.
+  /// Allocates a FIFO in SRAM and programs both shells' stream tables
+  /// directly (legacy/testing path; applications go through the
+  /// Configurator, which programs the same tables over the PI-bus).
   StreamHandle connectStream(const Endpoint& producer, const Endpoint& consumer,
                              std::uint32_t buffer_bytes);
 
@@ -134,6 +175,10 @@ class EclipseInstance {
   /// registered application has completed.
   std::function<void()> registerApp();
 
+  /// Withdraws one registered-but-unfinished application (used when an
+  /// application is torn down before its sink fired completion).
+  void deregisterApp();
+
   /// Runs the simulation until all registered applications complete, the
   /// event queue drains, or `until` is reached.
   sim::Cycle run(sim::Cycle until = sim::Simulator::kForever);
@@ -141,6 +186,19 @@ class EclipseInstance {
   [[nodiscard]] int pendingApps() const { return pending_apps_; }
 
  private:
+  /// A free region of a linear memory (free lists kept sorted by address
+  /// and coalesced on free).
+  struct Region {
+    sim::Addr addr;
+    std::uint64_t bytes;
+  };
+
+  static sim::Addr allocRegion(std::vector<Region>& free_list, std::uint64_t bytes,
+                               const char* what);
+  static void freeRegion(std::vector<Region>& free_list, sim::Addr addr, std::uint64_t bytes,
+                         const char* what);
+  static std::size_t regionBytes(const std::vector<Region>& free_list);
+
   shell::Shell& makeShell(const std::string& name);
 
   InstanceParams params_;
@@ -158,9 +216,9 @@ class EclipseInstance {
   std::unique_ptr<coproc::McCoproc> mc_;
   std::unique_ptr<coproc::SoftCpu> cpu_;
 
-  sim::Addr sram_next_ = 0;
-  sim::Addr dram_next_ = 0;
-  std::vector<std::uint32_t> next_task_;  // per shell id
+  std::vector<Region> sram_free_;
+  std::vector<Region> dram_free_;
+  std::vector<std::vector<bool>> task_used_;  // per shell id, per slot
   std::uint32_t next_shell_id_ = 0;
   int pending_apps_ = 0;
   bool started_ = false;

@@ -1,5 +1,6 @@
 #include "eclipse/app/instance.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace eclipse::app {
@@ -41,6 +42,9 @@ EclipseInstance::EclipseInstance(const InstanceParams& params) : params_(params)
   dram_ = std::make_unique<mem::OffChipMemory>(sim_, params_.dram);
   network_ = std::make_unique<mem::MessageNetwork>(sim_, params_.message_latency);
 
+  sram_free_.push_back(Region{0, sram_->storage().size()});
+  dram_free_.push_back(Region{0, dram_->storage().size()});
+
   // The five computation modules of the Figure-8 instance, each behind its
   // own shell instance derived from the shell template.
   vld_ = std::make_unique<coproc::VldCoproc>(sim_, makeShell("vld"), *dram_, params_.vld);
@@ -66,10 +70,33 @@ shell::Shell& EclipseInstance::makeShell(const std::string& name) {
   sp.profiler_period = params_.profiler_period;
   sp.best_guess = params_.best_guess;
   auto sh = std::make_unique<shell::Shell>(sim_, sp, *sram_, *network_);
-  sh->mapMmio(pi_bus_, static_cast<sim::Addr>(sp.id) * 0x10000);
+  sh->mapMmio(pi_bus_, mmioBase(*sh));
   shells_.push_back(std::move(sh));
-  next_task_.push_back(0);
+  task_used_.emplace_back(sp.max_tasks, false);
   return *shells_.back();
+}
+
+shell::Shell* EclipseInstance::findShell(std::string_view name) {
+  for (auto& sh : shells_) {
+    if (sh->name() == name) return sh.get();
+  }
+  return nullptr;
+}
+
+shell::Shell& EclipseInstance::shell(std::string_view name) {
+  if (shell::Shell* sh = findShell(name)) return *sh;
+  std::string known;
+  for (auto& sh : shells_) {
+    if (!known.empty()) known += ", ";
+    known += sh->name();
+  }
+  throw std::out_of_range("EclipseInstance: no shell named '" + std::string(name) +
+                          "' (known: " + known + ")");
+}
+
+coproc::SoftCpu* EclipseInstance::softCpuAt(const shell::Shell& sh) {
+  if (cpu_ && &cpu_->shell() == &sh) return cpu_.get();
+  return nullptr;
 }
 
 coproc::FrameSink& EclipseInstance::createFrameSink(std::function<void()> on_done) {
@@ -96,34 +123,117 @@ coproc::ByteSink& EclipseInstance::createByteSink(std::function<void()> on_done)
   return ref;
 }
 
+// ---------------------------------------------------------------------
+// Memory and task-slot resource management
+// ---------------------------------------------------------------------
+
+sim::Addr EclipseInstance::allocRegion(std::vector<Region>& free_list, std::uint64_t bytes,
+                                       const char* what) {
+  // First fit over the address-sorted free list: on a fresh instance this
+  // degenerates to the classic bump allocator (identical addresses), while
+  // teardown returns holes that later applications reuse.
+  for (auto it = free_list.begin(); it != free_list.end(); ++it) {
+    if (it->bytes >= bytes) {
+      const sim::Addr addr = it->addr;
+      it->addr += bytes;
+      it->bytes -= bytes;
+      if (it->bytes == 0) free_list.erase(it);
+      return addr;
+    }
+  }
+  throw std::runtime_error(std::string("EclipseInstance: out of ") + what);
+}
+
+void EclipseInstance::freeRegion(std::vector<Region>& free_list, sim::Addr addr,
+                                 std::uint64_t bytes, const char* what) {
+  if (bytes == 0) return;
+  auto it = std::lower_bound(free_list.begin(), free_list.end(), addr,
+                             [](const Region& r, sim::Addr a) { return r.addr < a; });
+  // Overlap with a neighbouring free region means a double free or a
+  // mis-sized free — fail loudly instead of corrupting the allocator.
+  if (it != free_list.end() && addr + bytes > it->addr) {
+    throw std::logic_error(std::string("EclipseInstance: double free in ") + what);
+  }
+  if (it != free_list.begin()) {
+    auto prev = std::prev(it);
+    if (prev->addr + prev->bytes > addr) {
+      throw std::logic_error(std::string("EclipseInstance: double free in ") + what);
+    }
+  }
+  it = free_list.insert(it, Region{addr, bytes});
+  // Coalesce with the successor, then the predecessor.
+  if (auto next = std::next(it); next != free_list.end() && it->addr + it->bytes == next->addr) {
+    it->bytes += next->bytes;
+    free_list.erase(next);
+  }
+  if (it != free_list.begin()) {
+    auto prev = std::prev(it);
+    if (prev->addr + prev->bytes == it->addr) {
+      prev->bytes += it->bytes;
+      free_list.erase(it);
+    }
+  }
+}
+
+std::size_t EclipseInstance::regionBytes(const std::vector<Region>& free_list) {
+  std::size_t total = 0;
+  for (const Region& r : free_list) total += r.bytes;
+  return total;
+}
+
 sim::Addr EclipseInstance::allocSram(std::uint32_t bytes) {
   const std::uint32_t line = params_.cache_line_bytes;
   const std::uint32_t rounded = (bytes + line - 1) / line * line;
-  if (sram_next_ + rounded > sram_->storage().size()) {
-    throw std::runtime_error("EclipseInstance: out of on-chip SRAM (" +
-                             std::to_string(sram_->storage().size()) + " bytes)");
-  }
-  const sim::Addr addr = sram_next_;
-  sram_next_ += rounded;
-  return addr;
+  return allocRegion(sram_free_, rounded, "on-chip SRAM");
 }
+
+void EclipseInstance::freeSram(sim::Addr addr, std::uint32_t bytes) {
+  const std::uint32_t line = params_.cache_line_bytes;
+  const std::uint32_t rounded = (bytes + line - 1) / line * line;
+  freeRegion(sram_free_, addr, rounded, "on-chip SRAM");
+}
+
+std::size_t EclipseInstance::sramBytesFree() const { return regionBytes(sram_free_); }
 
 sim::Addr EclipseInstance::allocDram(std::size_t bytes) {
   const std::size_t rounded = (bytes + 63) / 64 * 64;
-  if (dram_next_ + rounded > dram_->storage().size()) {
-    throw std::runtime_error("EclipseInstance: out of off-chip memory");
-  }
-  const sim::Addr addr = dram_next_;
-  dram_next_ += rounded;
-  return addr;
+  return allocRegion(dram_free_, rounded, "off-chip memory");
 }
 
+void EclipseInstance::freeDram(sim::Addr addr, std::size_t bytes) {
+  const std::size_t rounded = (bytes + 63) / 64 * 64;
+  freeRegion(dram_free_, addr, rounded, "off-chip memory");
+}
+
+std::size_t EclipseInstance::dramBytesFree() const { return regionBytes(dram_free_); }
+
 sim::TaskId EclipseInstance::allocTask(shell::Shell& sh) {
-  const std::uint32_t id = sh.id();
-  if (next_task_.at(id) >= params_.max_tasks) {
-    throw std::runtime_error("EclipseInstance: task table of " + sh.name() + " is full");
+  std::vector<bool>& used = task_used_.at(sh.id());
+  for (std::size_t i = 0; i < used.size(); ++i) {
+    if (!used[i]) {
+      used[i] = true;
+      return static_cast<sim::TaskId>(i);
+    }
   }
-  return static_cast<sim::TaskId>(next_task_[id]++);
+  throw std::runtime_error("EclipseInstance: task table of " + sh.name() + " is full");
+}
+
+std::uint32_t EclipseInstance::freeTaskSlots(const shell::Shell& sh) const {
+  const std::vector<bool>& used = task_used_.at(sh.id());
+  std::uint32_t free = 0;
+  for (bool u : used) {
+    if (!u) ++free;
+  }
+  return free;
+}
+
+void EclipseInstance::freeTask(shell::Shell& sh, sim::TaskId task) {
+  std::vector<bool>& used = task_used_.at(sh.id());
+  const auto idx = static_cast<std::size_t>(task);
+  if (idx >= used.size() || !used[idx]) {
+    throw std::logic_error("EclipseInstance: freeing unallocated task slot on " + sh.name());
+  }
+  used[idx] = false;
 }
 
 EclipseInstance::StreamHandle EclipseInstance::connectStream(const Endpoint& producer,
@@ -177,6 +287,13 @@ std::function<void()> EclipseInstance::registerApp() {
   return [this] {
     if (--pending_apps_ <= 0) sim_.stop();
   };
+}
+
+void EclipseInstance::deregisterApp() {
+  if (pending_apps_ <= 0) {
+    throw std::logic_error("EclipseInstance: deregisterApp without a pending application");
+  }
+  --pending_apps_;
 }
 
 sim::Cycle EclipseInstance::run(sim::Cycle until) {

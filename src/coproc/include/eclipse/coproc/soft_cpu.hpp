@@ -36,6 +36,14 @@ class SoftCpu final : public Coprocessor {
     handlers_[static_cast<std::size_t>(task)] = std::move(handler);
   }
 
+  /// Unbinds a task slot's handler (application teardown) so the slot can
+  /// be reused by a later application's software task.
+  void unregisterTask(sim::TaskId task) {
+    if (static_cast<std::size_t>(task) < handlers_.size()) {
+      handlers_[static_cast<std::size_t>(task)] = nullptr;
+    }
+  }
+
   /// Software tasks call this when their stream ends.
   void finish(sim::TaskId task) { finishTask(task); }
 

@@ -106,6 +106,22 @@ std::string Graph::describe() const {
   return ss.str();
 }
 
+std::string Graph::toDot(const std::string& graph_name) const {
+  std::ostringstream ss;
+  ss << "digraph \"" << graph_name << "\" {\n"
+     << "  rankdir=LR;\n"
+     << "  node [shape=box];\n";
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    ss << "  t" << i << " [label=\"" << tasks_[i].name << "\"];\n";
+  }
+  for (const auto& e : edges_) {
+    ss << "  t" << e.producer << " -> t" << e.consumer << " [label=\"" << e.out_port << "->"
+       << e.in_port << " (" << e.fifo->capacity() << " B)\"];\n";
+  }
+  ss << "}\n";
+  return ss.str();
+}
+
 void Graph::setTimeout(std::chrono::milliseconds t) {
   for (auto& e : edges_) e.fifo->setTimeout(t);
 }

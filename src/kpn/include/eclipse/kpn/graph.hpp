@@ -87,6 +87,10 @@ class Graph {
   /// Figure-2 style network listings.
   [[nodiscard]] std::string describe() const;
 
+  /// Graphviz DOT rendering of the network (tasks as nodes, streams as
+  /// edges labelled with port ids and buffer capacity).
+  [[nodiscard]] std::string toDot(const std::string& graph_name = "kpn") const;
+
   /// Applies a blocking timeout to every edge (deadlock detection budget).
   void setTimeout(std::chrono::milliseconds t);
 

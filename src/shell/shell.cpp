@@ -80,14 +80,18 @@ bool Shell::blockedNow(TaskRow& t) {
 sim::Task<GetTaskResult> Shell::getTask() {
   co_await sim_.delay(params_.gettask_latency);
 
-  // Charge the elapsed processing step to the task that just yielded.
+  // Charge the elapsed processing step to the task that just yielded. A
+  // row torn down mid-step (valid cleared over MMIO) takes no charge: the
+  // slot may already belong to a later application.
   if (current_task_ != sim::kNoTask) {
     TaskRow& t = tasks_.row(current_task_);
-    const sim::Cycle elapsed = sim_.now() - last_gettask_return_;
-    t.busy_cycles += elapsed;
-    t.budget_left -= std::min(t.budget_left, elapsed);
-    ++t.gettask_count;
-    t.step_cycles.add(static_cast<double>(elapsed));
+    if (t.valid) {
+      const sim::Cycle elapsed = sim_.now() - last_gettask_return_;
+      t.busy_cycles += elapsed;
+      t.budget_left -= std::min(t.budget_left, elapsed);
+      ++t.gettask_count;
+      t.step_cycles.add(static_cast<double>(elapsed));
+    }
   }
 
   while (true) {
@@ -468,6 +472,12 @@ void Shell::mmioWrite(sim::Addr offset, std::uint32_t value) {
           ports_[rix].cache = std::make_unique<StreamCache>(
               sim_, sram_, params_.cache_line_bytes, params_.cache_lines_per_port,
               static_cast<int>(params_.id));
+        } else if (!r.valid && was_valid) {
+          // Teardown: clearing the valid bit resets the whole row (config,
+          // position, space accounting, counters) and releases the port
+          // cache, so the row can be reprogrammed for a later application.
+          r = StreamRow{};
+          ports_[rix].cache.reset();
         }
         break;
       }
@@ -492,7 +502,16 @@ void Shell::mmioWrite(sim::Addr offset, std::uint32_t value) {
   }
   TaskRow& t = tasks_.row(tix);
   switch (f) {
-    case 0: t.valid = value != 0; break;
+    case 0: {
+      const bool was_valid = t.valid;
+      t.valid = value != 0;
+      if (!t.valid && was_valid) {
+        // Teardown: the slot returns to its power-on state, ready for a
+        // later application's configuration.
+        t = TaskRow{};
+      }
+      break;
+    }
     case 1:
       t.enabled = value != 0;
       if (t.enabled) sched_event_.notifyAll();

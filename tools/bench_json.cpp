@@ -4,7 +4,7 @@
 // google-benchmark micro suite this runner is dependency-free, emits
 // machine-readable output, and has a --smoke mode cheap enough for CI.
 //
-// Usage: bench_json [--out FILE] [--repeats N] [--smoke]
+// Usage: bench_json [--out FILE] [--repeats N] [--smoke] [--transport | --reconfig]
 
 #include <chrono>
 #include <cstdint>
@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "eclipse/app/configurator.hpp"
+#include "eclipse/app/decode_app.hpp"
 #include "eclipse/eclipse.hpp"
 #include "eclipse/sim/sim_event.hpp"
 
@@ -172,6 +174,119 @@ void emitTransport(std::FILE* f, const TransportResult& r) {
   std::fprintf(f, "}\n");
 }
 
+/// Reconfiguration scenario: how fast the control plane can (re)wire the
+/// subsystem. One instance stays live while a decode-shaped graph (the four
+/// hardware tasks and their internal streams, scheduler-disabled, no sink
+/// shell so the shell set stays fixed) is configured and torn down over and
+/// over through the PI-bus. Wall time is the host cost of a mode change;
+/// the MMIO counts are the simulated cost a real CPU would pay in register
+/// traffic. SRAM free bytes must return to the starting value every cycle —
+/// a leak in the allocator free-list fails the run.
+struct ReconfigResult {
+  int cycles = 0;           // launch/teardown round trips measured
+  std::size_t tasks = 0;    // graph size, for context
+  std::size_t streams = 0;
+  double configure_s = 0;   // best wall time of one Configurator::apply
+  double teardown_s = 0;    // best wall time of one AppHandle::teardown
+  std::uint64_t mmio_writes_configure = 0;  // PI-bus writes per apply
+  std::uint64_t mmio_reads_configure = 0;   // PI-bus reads per apply (row scans)
+  std::uint64_t mmio_writes_teardown = 0;
+};
+
+app::GraphSpec reconfigSpec() {
+  const app::DecodeAppConfig cfg;
+  app::GraphSpec g("reconfig-probe");
+  g.task({.name = "vld",
+          .shell = "vld",
+          .budget_cycles = cfg.budget_cycles,
+          .enabled = false,
+          .source = true,
+          .software = {}})
+      .task({.name = "rlsq",
+             .shell = "rlsq",
+             .budget_cycles = cfg.budget_cycles,
+             .enabled = false,
+             .software = {}})
+      .task({.name = "idct",
+             .shell = "dct",
+             .budget_cycles = cfg.budget_cycles,
+             .enabled = false,
+             .software = {}})
+      .task({.name = "mc",
+             .shell = "mc",
+             .budget_cycles = cfg.budget_cycles,
+             .enabled = false,
+             .software = {}});
+  g.stream("coef", "vld", coproc::VldCoproc::kOutCoef, "rlsq", coproc::RlsqCoproc::kIn,
+           cfg.coef_buffer)
+      .stream("hdr", "vld", coproc::VldCoproc::kOutHdr, "mc", coproc::McCoproc::kInHdr,
+              cfg.hdr_buffer)
+      .stream("blocks", "rlsq", coproc::RlsqCoproc::kOut, "idct", coproc::DctCoproc::kIn,
+              cfg.blocks_buffer)
+      .stream("res", "idct", coproc::DctCoproc::kOut, "mc", coproc::McCoproc::kInRes,
+              cfg.res_buffer);
+  return g;
+}
+
+ReconfigResult runReconfig(bool smoke) {
+  const int cycles = smoke ? 20 : 200;
+  const app::GraphSpec spec = reconfigSpec();
+
+  app::EclipseInstance inst;
+  mem::PiBus& bus = inst.piBus();
+  const std::size_t sram_free_initial = inst.sramBytesFree();
+
+  ReconfigResult r;
+  r.cycles = cycles;
+  r.tasks = spec.tasks().size();
+  r.streams = spec.streams().size();
+  for (int i = 0; i < cycles; ++i) {
+    const std::uint64_t w0 = bus.writeCount();
+    const std::uint64_t rd0 = bus.readCount();
+    const auto t0 = std::chrono::steady_clock::now();
+    app::Configurator configurator(inst);
+    app::AppHandle h = configurator.apply(spec);
+    const double dt_cfg = seconds(t0);
+    const std::uint64_t w1 = bus.writeCount();
+    const std::uint64_t rd1 = bus.readCount();
+
+    const auto t1 = std::chrono::steady_clock::now();
+    h.teardown();
+    const double dt_td = seconds(t1);
+
+    if (i == 0 || dt_cfg < r.configure_s) r.configure_s = dt_cfg;
+    if (i == 0 || dt_td < r.teardown_s) r.teardown_s = dt_td;
+    r.mmio_writes_configure = w1 - w0;  // deterministic: identical every cycle
+    r.mmio_reads_configure = rd1 - rd0;
+    r.mmio_writes_teardown = bus.writeCount() - w1;
+
+    if (inst.sramBytesFree() != sram_free_initial) {
+      std::fprintf(stderr, "bench_json: SRAM leak after teardown cycle %d (%zu != %zu)\n", i,
+                   inst.sramBytesFree(), sram_free_initial);
+      std::exit(1);
+    }
+  }
+  return r;
+}
+
+void emitReconfig(std::FILE* f, const ReconfigResult& r) {
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"eclipse-bench-reconfig-v1\",\n");
+  std::fprintf(f, "  \"scenario\": \"decode_shaped_launch_teardown\",\n");
+  std::fprintf(f, "  \"graph_tasks\": %zu,\n", r.tasks);
+  std::fprintf(f, "  \"graph_streams\": %zu,\n", r.streams);
+  std::fprintf(f, "  \"cycles\": %d,\n", r.cycles);
+  std::fprintf(f, "  \"configure_wall_us\": %.3f,\n", r.configure_s * 1e6);
+  std::fprintf(f, "  \"teardown_wall_us\": %.3f,\n", r.teardown_s * 1e6);
+  std::fprintf(f, "  \"mmio_writes_per_configure\": %llu,\n",
+               static_cast<unsigned long long>(r.mmio_writes_configure));
+  std::fprintf(f, "  \"mmio_reads_per_configure\": %llu,\n",
+               static_cast<unsigned long long>(r.mmio_reads_configure));
+  std::fprintf(f, "  \"mmio_writes_per_teardown\": %llu\n",
+               static_cast<unsigned long long>(r.mmio_writes_teardown));
+  std::fprintf(f, "}\n");
+}
+
 void emit(std::FILE* f, const std::vector<Result>& results) {
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"schema\": \"eclipse-bench-kernel-v1\",\n");
@@ -200,6 +315,7 @@ int main(int argc, char** argv) {
   int repeats = 5;
   bool smoke = false;
   bool transport = false;
+  bool reconfig = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out = argv[++i];
@@ -209,15 +325,34 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--transport") == 0) {
       transport = true;
+    } else if (std::strcmp(argv[i], "--reconfig") == 0) {
+      reconfig = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--out FILE] [--repeats N] [--smoke] [--transport]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--out FILE] [--repeats N] [--smoke] [--transport | --reconfig]\n",
                    argv[0]);
       return 2;
     }
   }
   if (repeats < 1) repeats = 1;
-  if (out.empty()) out = transport ? "BENCH_transport.json" : "BENCH_kernel.json";
+  if (out.empty()) {
+    out = reconfig ? "BENCH_reconfig.json"
+                   : (transport ? "BENCH_transport.json" : "BENCH_kernel.json");
+  }
 
+  if (reconfig) {
+    const ReconfigResult r = runReconfig(smoke);
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot open %s for writing\n", out.c_str());
+      return 1;
+    }
+    emitReconfig(f, r);
+    std::fclose(f);
+    emitReconfig(stdout, r);
+    std::fprintf(stderr, "wrote %s\n", out.c_str());
+    return 0;
+  }
   if (transport) {
     const TransportResult r = runTransport(smoke, smoke ? 1 : repeats);
     std::FILE* f = std::fopen(out.c_str(), "w");

@@ -1,0 +1,222 @@
+// graph_dump: configures applications onto an Eclipse instance, then reads
+// every shell's stream and task table back over the PI-bus — the same
+// register path the configuring CPU uses — and renders what the *hardware*
+// thinks the graphs look like as Graphviz DOT and JSON. Because the dump is
+// reconstructed purely from MMIO reads, it is an end-to-end check of the
+// register map shared by the Configurator and the shells: a field that the
+// Configurator writes to the wrong word shows up here as a broken edge.
+//
+// Usage: graph_dump [--dot FILE] [--json FILE] [--run]
+//   --run  simulate to completion first, so the measurement registers
+//          (bytes transferred, busy cycles) carry real traffic.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "eclipse/app/audio_app.hpp"
+#include "eclipse/app/configurator.hpp"
+#include "eclipse/eclipse.hpp"
+
+using namespace eclipse;
+namespace mmio = eclipse::app::mmio;
+
+namespace {
+
+struct StreamRowDump {
+  std::uint32_t row = 0;
+  std::uint32_t task = 0, port = 0, is_producer = 0;
+  std::uint32_t base = 0, size = 0, space = 0;
+  std::uint32_t remote_shell = 0, remote_row = 0, granted = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct TaskRowDump {
+  std::uint32_t slot = 0;
+  std::uint32_t enabled = 0, budget = 0, info = 0;
+  std::uint64_t busy = 0;
+  std::uint32_t blocked = 0;
+};
+
+struct ShellDump {
+  std::string name;
+  std::uint32_t id = 0;
+  std::vector<StreamRowDump> streams;
+  std::vector<TaskRowDump> tasks;
+};
+
+/// Reads one shell's tables back through the PI-bus register window.
+ShellDump dumpShell(mem::PiBus& bus, const shell::Shell& sh) {
+  ShellDump d;
+  d.name = sh.name();
+  d.id = sh.id();
+  const auto sreg = [&](std::uint32_t row, std::uint32_t f) {
+    return bus.read(mmio::streamReg(sh, row, f));
+  };
+  const auto treg = [&](std::uint32_t slot, std::uint32_t f) {
+    return bus.read(mmio::taskReg(sh, static_cast<sim::TaskId>(slot), f));
+  };
+  for (std::uint32_t row = 0; row < sh.params().max_streams; ++row) {
+    if (sreg(row, mmio::kStreamValid) == 0) continue;
+    StreamRowDump r;
+    r.row = row;
+    r.task = sreg(row, mmio::kStreamTask);
+    r.port = sreg(row, mmio::kStreamPort);
+    r.is_producer = sreg(row, mmio::kStreamIsProducer);
+    r.base = sreg(row, mmio::kStreamBase);
+    r.size = sreg(row, mmio::kStreamSize);
+    r.space = sreg(row, mmio::kStreamSpace);
+    r.remote_shell = sreg(row, mmio::kStreamRemoteShell);
+    r.remote_row = sreg(row, mmio::kStreamRemoteRow);
+    r.granted = sreg(row, mmio::kStreamGranted);
+    r.bytes = sreg(row, mmio::kStreamBytesLo) |
+              (static_cast<std::uint64_t>(sreg(row, mmio::kStreamBytesHi)) << 32);
+    d.streams.push_back(r);
+  }
+  for (std::uint32_t slot = 0; slot < sh.params().max_tasks; ++slot) {
+    if (treg(slot, mmio::kTaskValid) == 0) continue;
+    TaskRowDump t;
+    t.slot = slot;
+    t.enabled = treg(slot, mmio::kTaskEnabled);
+    t.budget = treg(slot, mmio::kTaskBudget);
+    t.info = treg(slot, mmio::kTaskInfo);
+    t.busy = treg(slot, mmio::kTaskBusyLo) |
+             (static_cast<std::uint64_t>(treg(slot, mmio::kTaskBusyHi)) << 32);
+    t.blocked = treg(slot, mmio::kTaskBlocked);
+    d.tasks.push_back(t);
+  }
+  return d;
+}
+
+std::string nodeId(std::uint32_t shell_id, std::uint32_t task) {
+  return "s" + std::to_string(shell_id) + "_t" + std::to_string(task);
+}
+
+void emitDot(std::FILE* f, const std::vector<ShellDump>& shells) {
+  std::map<std::uint32_t, const ShellDump*> by_id;
+  for (const auto& s : shells) by_id[s.id] = &s;
+
+  std::fprintf(f, "digraph eclipse {\n  rankdir=LR;\n  node [shape=box];\n");
+  for (const auto& s : shells) {
+    if (s.tasks.empty()) continue;
+    std::fprintf(f, "  subgraph \"cluster_%s\" {\n    label=\"%s\";\n", s.name.c_str(),
+                 s.name.c_str());
+    for (const auto& t : s.tasks) {
+      std::fprintf(f, "    %s [label=\"t%u%s\"%s];\n", nodeId(s.id, t.slot).c_str(), t.slot,
+                   t.enabled != 0 ? "" : " (off)", t.enabled != 0 ? "" : " style=dashed");
+    }
+    std::fprintf(f, "  }\n");
+  }
+  // One edge per producer row: its remote link names the consumer row, and
+  // the consumer row's task field names the destination task slot.
+  for (const auto& s : shells) {
+    for (const auto& r : s.streams) {
+      if (r.is_producer == 0) continue;
+      const auto it = by_id.find(r.remote_shell);
+      if (it == by_id.end()) continue;
+      const ShellDump& cs = *it->second;
+      std::uint32_t ctask = 0;
+      for (const auto& cr : cs.streams) {
+        if (cr.row == r.remote_row) ctask = cr.task;
+      }
+      std::fprintf(f, "  %s -> %s [label=\"%u B\"];\n", nodeId(s.id, r.task).c_str(),
+                   nodeId(cs.id, ctask).c_str(), r.size);
+    }
+  }
+  std::fprintf(f, "}\n");
+}
+
+void emitJson(std::FILE* f, const std::vector<ShellDump>& shells) {
+  std::fprintf(f, "{\n  \"schema\": \"eclipse-graph-dump-v1\",\n  \"shells\": [\n");
+  for (std::size_t i = 0; i < shells.size(); ++i) {
+    const ShellDump& s = shells[i];
+    std::fprintf(f, "    {\"name\": \"%s\", \"id\": %u,\n      \"streams\": [", s.name.c_str(),
+                 s.id);
+    for (std::size_t j = 0; j < s.streams.size(); ++j) {
+      const StreamRowDump& r = s.streams[j];
+      std::fprintf(f,
+                   "%s\n        {\"row\": %u, \"task\": %u, \"port\": %u, "
+                   "\"is_producer\": %u, \"base\": %u, \"size\": %u, \"space\": %u, "
+                   "\"remote_shell\": %u, \"remote_row\": %u, \"granted\": %u, "
+                   "\"bytes_transferred\": %llu}",
+                   j == 0 ? "" : ",", r.row, r.task, r.port, r.is_producer, r.base, r.size,
+                   r.space, r.remote_shell, r.remote_row, r.granted,
+                   static_cast<unsigned long long>(r.bytes));
+    }
+    std::fprintf(f, "%s],\n      \"tasks\": [", s.streams.empty() ? "" : "\n      ");
+    for (std::size_t j = 0; j < s.tasks.size(); ++j) {
+      const TaskRowDump& t = s.tasks[j];
+      std::fprintf(f,
+                   "%s\n        {\"slot\": %u, \"enabled\": %u, \"budget\": %u, "
+                   "\"info\": %u, \"busy_cycles\": %llu, \"blocked_count\": %u}",
+                   j == 0 ? "" : ",", t.slot, t.enabled, t.budget, t.info,
+                   static_cast<unsigned long long>(t.busy), t.blocked);
+    }
+    std::fprintf(f, "%s]\n    }%s\n", s.tasks.empty() ? "" : "\n      ",
+                 i + 1 < shells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dot_path = "graph.dot";
+  std::string json_path = "graph.json";
+  bool run = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dot") == 0 && i + 1 < argc) {
+      dot_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--run") == 0) {
+      run = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--dot FILE] [--json FILE] [--run]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // Two concurrent applications — a hardware video decode and a software
+  // audio decode — so the dump shows multi-application tables.
+  const auto w = bench::makeWorkload(96, 80, 2);
+  app::EclipseInstance inst;
+  app::DecodeApp dec(inst, w.bitstream);
+  app::AudioDecodeApp aud(inst, media::audio::encode(media::audio::generateTone(2048, 7)));
+  if (run) {
+    inst.run();
+    if (!dec.done() || !aud.done()) {
+      std::fprintf(stderr, "graph_dump: applications did not complete\n");
+      return 1;
+    }
+  }
+
+  std::vector<ShellDump> shells;
+  std::size_t valid_tasks = 0, valid_streams = 0;
+  for (const auto& sh : inst.shells()) {
+    shells.push_back(dumpShell(inst.piBus(), *sh));
+    valid_tasks += shells.back().tasks.size();
+    valid_streams += shells.back().streams.size();
+  }
+  if (valid_tasks == 0 || valid_streams == 0) {
+    std::fprintf(stderr, "graph_dump: tables read back empty over the PI-bus\n");
+    return 1;
+  }
+
+  std::FILE* fd = std::fopen(dot_path.c_str(), "w");
+  std::FILE* fj = std::fopen(json_path.c_str(), "w");
+  if (fd == nullptr || fj == nullptr) {
+    std::fprintf(stderr, "graph_dump: cannot open output files\n");
+    return 1;
+  }
+  emitDot(fd, shells);
+  emitJson(fj, shells);
+  std::fclose(fd);
+  std::fclose(fj);
+  std::fprintf(stderr, "graph_dump: %zu tasks, %zu stream rows across %zu shells -> %s, %s\n",
+               valid_tasks, valid_streams, shells.size(), dot_path.c_str(), json_path.c_str());
+  return 0;
+}
