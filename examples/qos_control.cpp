@@ -16,18 +16,11 @@ using namespace eclipse;
 
 namespace {
 
-/// Offset of the task-table block inside a shell's MMIO window.
-sim::Addr taskBase(const shell::Shell& sh) {
-  return static_cast<sim::Addr>(sh.params().max_streams) * 32 * 4;
-}
-
 /// Enable/disable one application's tasks through the PI-bus, the way a
 /// resource manager would.
 void setAppEnabled(app::EclipseInstance& inst, const app::DecodeApp& dec, bool enabled) {
   auto poke = [&](shell::Shell& sh, sim::TaskId t) {
-    const sim::Addr base = static_cast<sim::Addr>(sh.id()) * 0x10000;
-    inst.piBus().write(base + taskBase(sh) + (static_cast<sim::Addr>(t) * 16 + 1) * 4,
-                       enabled ? 1 : 0);
+    inst.piBus().write(app::mmio::taskReg(sh, t, app::mmio::kTaskEnabled), enabled ? 1 : 0);
   };
   poke(inst.vldShell(), dec.vldTask());
   poke(inst.rlsqShell(), dec.rlsqTask());

@@ -1,6 +1,8 @@
 #include "eclipse/app/configurator.hpp"
 
 #include <algorithm>
+#include <map>
+#include <memory>
 #include <stdexcept>
 
 namespace eclipse::app {
@@ -82,6 +84,121 @@ void AppHandle::resume() {
   paused_ = false;
 }
 
+AppHealth AppHandle::health() const {
+  requireLive();
+  AppHealth h;
+  mem::PiBus& bus = inst_->piBus();
+  for (const AppTask& t : tasks_) {
+    if (bus.read(mmio::taskReg(*t.shell, t.id, mmio::kTaskFaulted)) == 0) continue;
+    TaskFault f;
+    f.task = t.spec.name;
+    f.shell = t.shell->name();
+    f.id = t.id;
+    f.cause = bus.read(mmio::taskReg(*t.shell, t.id, mmio::kTaskFaultCause));
+    f.cycle = static_cast<sim::Cycle>(
+                  bus.read(mmio::taskReg(*t.shell, t.id, mmio::kTaskFaultCycleLo))) |
+              (static_cast<sim::Cycle>(
+                   bus.read(mmio::taskReg(*t.shell, t.id, mmio::kTaskFaultCycleHi)))
+               << 32);
+    f.row = static_cast<std::int32_t>(
+        bus.read(mmio::taskReg(*t.shell, t.id, mmio::kTaskFaultRow)));
+    f.count = bus.read(mmio::taskReg(*t.shell, t.id, mmio::kTaskFaultCount));
+    h.faults.push_back(std::move(f));
+  }
+  for (const AppStream& s : streams_) {
+    auto check = [&](const shell::Shell& sh, std::uint32_t row, bool producer_side) {
+      if (bus.read(mmio::streamReg(sh, row, mmio::kStreamStalled)) == 0) return;
+      StreamStall st;
+      st.stream = s.spec.name;
+      st.producer_side = producer_side;
+      st.cycle = static_cast<sim::Cycle>(
+                     bus.read(mmio::streamReg(sh, row, mmio::kStreamStallCycleLo))) |
+                 (static_cast<sim::Cycle>(
+                      bus.read(mmio::streamReg(sh, row, mmio::kStreamStallCycleHi)))
+                  << 32);
+      h.stalls.push_back(std::move(st));
+    };
+    check(*s.producer_shell, s.producer_row, true);
+    check(*s.consumer_shell, s.consumer_row, false);
+  }
+  std::vector<const shell::Shell*> seen;
+  for (const AppTask& t : tasks_) {
+    if (std::find(seen.begin(), seen.end(), t.shell) != seen.end()) continue;
+    seen.push_back(t.shell);
+    h.late_sync_drops += bus.read(mmio::ctlReg(*t.shell, mmio::kCtlLateSyncDrops));
+  }
+  return h;
+}
+
+void AppHandle::onFault(std::function<void(const TaskFault&)> fn) {
+  requireLive();
+  // One shared copy of the callback; one observer per hosting shell. The
+  // lambdas must not capture `this`: the handle is movable and the
+  // observers outlive any particular address it lives at.
+  auto shared = std::make_shared<std::function<void(const TaskFault&)>>(std::move(fn));
+  std::vector<shell::Shell*> seen;
+  for (const AppTask& t : tasks_) {
+    if (std::find(seen.begin(), seen.end(), t.shell) != seen.end()) continue;
+    seen.push_back(t.shell);
+    shell::Shell* sh = t.shell;
+    std::map<sim::TaskId, std::string> names;
+    for (const AppTask& u : tasks_) {
+      if (u.shell == sh) names[u.id] = u.spec.name;
+    }
+    const int id = sh->addFaultObserver(
+        [names, shell_name = sh->name(), shared](sim::TaskId task, const shell::TaskRow& row) {
+          const auto it = names.find(task);
+          if (it == names.end()) return;  // another application's task on a shared shell
+          TaskFault f;
+          f.task = it->second;
+          f.shell = shell_name;
+          f.id = task;
+          f.cause = static_cast<std::uint32_t>(row.fault_cause);
+          f.cycle = row.fault_cycle;
+          f.row = row.fault_row;
+          f.count = row.fault_count;
+          (*shared)(f);
+        });
+    fault_observers_.emplace_back(sh, id);
+  }
+}
+
+void AppHandle::clearFault(std::string_view task_name, bool reenable) {
+  requireLive();
+  for (const AppTask& t : tasks_) {
+    if (t.spec.name != task_name) continue;
+    inst_->piBus().write(mmio::taskReg(*t.shell, t.id, mmio::kTaskFaulted), 0);
+    if (reenable) {
+      inst_->piBus().write(mmio::taskReg(*t.shell, t.id, mmio::kTaskEnabled), 1);
+    }
+    return;
+  }
+  throw std::out_of_range("AppHandle '" + name_ + "': no task named '" +
+                          std::string(task_name) + "'");
+}
+
+void AppHandle::repairStream(std::string_view stream_name) {
+  requireLive();
+  const AppStream& s = stream(stream_name);
+  mem::PiBus& bus = inst_->piBus();
+  auto pos64 = [&](const shell::Shell& sh, std::uint32_t row) {
+    return static_cast<std::uint64_t>(bus.read(mmio::streamReg(sh, row, mmio::kStreamPosLo))) |
+           (static_cast<std::uint64_t>(bus.read(mmio::streamReg(sh, row, mmio::kStreamPosHi)))
+            << 32);
+  };
+  // Committed positions are the ground truth; the space registers are the
+  // derived (and possibly corrupted/stale) view. in_flight counts bytes
+  // written but not yet released by the consumer.
+  const std::uint64_t in_flight =
+      pos64(*s.producer_shell, s.producer_row) - pos64(*s.consumer_shell, s.consumer_row);
+  bus.write(mmio::streamReg(*s.producer_shell, s.producer_row, mmio::kStreamSpace),
+            static_cast<std::uint32_t>(s.spec.buffer_bytes - in_flight));
+  bus.write(mmio::streamReg(*s.consumer_shell, s.consumer_row, mmio::kStreamSpace),
+            static_cast<std::uint32_t>(in_flight));
+  bus.write(mmio::streamReg(*s.producer_shell, s.producer_row, mmio::kStreamStalled), 0);
+  bus.write(mmio::streamReg(*s.consumer_shell, s.consumer_row, mmio::kStreamStalled), 0);
+}
+
 bool AppHandle::quiesced() const {
   if (inst_ == nullptr || torn_down_) return true;
   for (const AppStream& s : streams_) {
@@ -122,6 +239,8 @@ bool AppHandle::drain(sim::Cycle max_cycles, sim::Cycle slice) {
 
 void AppHandle::teardown() {
   if (inst_ == nullptr || torn_down_) return;
+  for (const auto& [sh, id] : fault_observers_) sh->removeFaultObserver(id);
+  fault_observers_.clear();
   mem::PiBus& bus = inst_->piBus();
   // Task rows first, so the schedulers stop selecting the tasks; clearing
   // the valid bit resets the row for the next application.

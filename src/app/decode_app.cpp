@@ -87,6 +87,29 @@ DecodeApp::DecodeApp(EclipseInstance& inst, std::vector<std::uint8_t> bitstream,
   s_pix_ = toStreamHandle(handle_.stream("pix"));
 }
 
+void DecodeApp::enableRecovery() {
+  handle_.onFault([this](const TaskFault& f) {
+    ++recoveries_;
+    if (f.task == "vld") {
+      // The source itself is unparseable: emit Eos downstream so the clip
+      // terminates cleanly with whatever was decoded.
+      inst_.vld().requestAbort(t_vld_);
+      handle_.clearFault("vld", /*reenable=*/true);
+      return;
+    }
+    // A downstream stage choked (typically on a corrupted packet it
+    // already consumed). Send Resync markers from the VLD, put the
+    // stateless stages into discard-until-marker mode, and re-enable the
+    // faulted task; the VLD parses forward to the next I-frame.
+    inst_.vld().requestResync(t_vld_);
+    inst_.rlsq().requestDiscard(t_rlsq_);
+    inst_.dct().requestDiscard(t_dct_);
+    handle_.clearFault(f.task, /*reenable=*/true);
+  });
+}
+
+std::uint64_t DecodeApp::framesDropped() const { return sink_->framesDropped(); }
+
 bool DecodeApp::done() const { return sink_->done(); }
 
 std::vector<media::Frame> DecodeApp::frames() const { return sink_->framesInDisplayOrder(); }

@@ -14,15 +14,18 @@ namespace eclipse::app {
 
 /// PI-bus register map of a shell window (mirrors the layout in
 /// shell.cpp): max_streams stream rows of kStreamRowWords 32-bit words,
-/// then max_tasks task rows of kTaskRowWords words. Shared by the
-/// Configurator, the graph_dump tool and the reconfiguration tests.
+/// then max_tasks task rows of kTaskRowWords words, then a kShellCtlWords
+/// control block. Shared by the Configurator, the graph_dump tool and the
+/// reconfiguration/fault tests.
 namespace mmio {
 
 inline constexpr std::uint32_t kStreamRowWords = 32;
-inline constexpr std::uint32_t kTaskRowWords = 16;
+inline constexpr std::uint32_t kTaskRowWords = 32;
+inline constexpr std::uint32_t kShellCtlWords = 8;
 
 /// Stream-row fields (word offsets). Fields past kRemoteRow are read-only
-/// position/measurement registers.
+/// position/measurement registers, except kStreamStalled (write 0 to clear
+/// a latched stall).
 enum StreamField : std::uint32_t {
   kStreamValid = 0,
   kStreamTask = 1,
@@ -38,9 +41,15 @@ enum StreamField : std::uint32_t {
   kStreamGranted = 11,
   kStreamBytesLo = 12,
   kStreamBytesHi = 13,
+  // Watchdog stall latch (DESIGN §9).
+  kStreamStalled = 27,
+  kStreamStallCycleLo = 28,
+  kStreamStallCycleHi = 29,
 };
 
-/// Task-row fields (word offsets). Fields past kTaskInfo are read-only.
+/// Task-row fields (word offsets). Fields past kTaskInfo are read-only,
+/// except kTaskFaulted (write 0 to clear the fault latch; the enable bit
+/// must be restored separately — recovery is a deliberate two-step).
 enum TaskField : std::uint32_t {
   kTaskValid = 0,
   kTaskEnabled = 1,
@@ -49,6 +58,22 @@ enum TaskField : std::uint32_t {
   kTaskBusyLo = 4,
   kTaskBusyHi = 5,
   kTaskBlocked = 6,
+  // Fault register block (DESIGN §9).
+  kTaskFaulted = 14,
+  kTaskFaultCause = 15,
+  kTaskFaultCycleLo = 16,
+  kTaskFaultCycleHi = 17,
+  kTaskFaultRow = 18,
+  kTaskFaultCount = 19,
+};
+
+/// Shell control block fields (word offsets past the task table).
+enum CtlField : std::uint32_t {
+  kCtlLateSyncDrops = 0,   ///< sticky drop counter; writable (reset)
+  kCtlWatchdogTimeout = 1, ///< write arms/disarms the watchdog (0 = off)
+  kCtlWatchdogPeriod = 2,  ///< scan period; write BEFORE the timeout
+  kCtlFaultsLatched = 3,   ///< read-only
+  kCtlStallsLatched = 4,   ///< read-only
 };
 
 /// PI-bus address of stream-row register `field` of row `row` of `sh`.
@@ -65,7 +90,41 @@ inline sim::Addr taskReg(const shell::Shell& sh, sim::TaskId task, std::uint32_t
              4;
 }
 
+/// PI-bus address of shell control register `field` of `sh`.
+inline sim::Addr ctlReg(const shell::Shell& sh, std::uint32_t field) {
+  return EclipseInstance::mmioBase(sh) +
+         (static_cast<sim::Addr>(sh.params().max_streams) * kStreamRowWords +
+          static_cast<sim::Addr>(sh.params().max_tasks) * kTaskRowWords + field) *
+             4;
+}
+
 }  // namespace mmio
+
+/// One latched task fault as read back over the PI-bus (health()).
+struct TaskFault {
+  std::string task;          ///< task name from the spec
+  std::string shell;         ///< hosting shell
+  sim::TaskId id = 0;        ///< task slot
+  std::uint32_t cause = 0;   ///< shell::FaultCause as raw register value
+  sim::Cycle cycle = 0;      ///< cycle the fault latched
+  std::int32_t row = -1;     ///< implicated stream row, -1 if none
+  std::uint32_t count = 0;   ///< total faults seen on this slot
+};
+
+/// One latched stream stall as read back over the PI-bus (health()).
+struct StreamStall {
+  std::string stream;        ///< stream name from the spec
+  bool producer_side = false;///< which row latched the stall
+  sim::Cycle cycle = 0;      ///< cycle the watchdog latched it
+};
+
+/// Snapshot of the application's fault/stall registers.
+struct AppHealth {
+  std::vector<TaskFault> faults;
+  std::vector<StreamStall> stalls;
+  std::uint64_t late_sync_drops = 0;  ///< summed over the app's shells
+  [[nodiscard]] bool healthy() const { return faults.empty() && stalls.empty(); }
+};
 
 /// A task as placed onto the instance: its spec plus the shell and task
 /// slot the Configurator allocated for it.
@@ -124,6 +183,29 @@ class AppHandle {
   /// Re-enables every task whose spec wants it enabled.
   void resume();
 
+  /// Reads the application's fault and stall registers back over the
+  /// PI-bus: latched task faults, watchdog stream stalls, and the shells'
+  /// sticky late-putspace drop counters.
+  [[nodiscard]] AppHealth health() const;
+
+  /// Registers a notification callback fired synchronously whenever a
+  /// fault latches on one of the application's tasks (exception
+  /// containment, watchdog hang, injected fault). The callback runs inside
+  /// the simulation, so it may drive recovery over the PI-bus directly.
+  void onFault(std::function<void(const TaskFault&)> fn);
+
+  /// Recovery step 1: clears the named task's fault latch over the PI-bus.
+  /// With `reenable`, also restores the scheduler-enable bit (step 2) so
+  /// the task resumes from its retained table state.
+  void clearFault(std::string_view task_name, bool reenable = true);
+
+  /// Re-derives the named stream's space registers from the committed
+  /// position counters (producer space = size - in_flight, consumer space
+  /// = in_flight) and clears any stall latch on either row. Only sound
+  /// while the graph is quiesced or stalled: in-flight putspace messages
+  /// would be double-counted otherwise.
+  void repairStream(std::string_view stream_name);
+
   /// True when every stream of the application is empty and settled by
   /// space accounting: producer row sees a fully free buffer and consumer
   /// row sees no readable data (read back over the PI-bus).
@@ -163,6 +245,7 @@ class AppHandle {
   std::vector<AppStream> streams_;
   std::vector<std::pair<sim::Addr, std::size_t>> dram_regions_;
   std::vector<std::function<void()>> cleanups_;
+  std::vector<std::pair<shell::Shell*, int>> fault_observers_;  ///< (shell, observer id)
   bool torn_down_ = false;
   bool paused_ = false;
 };

@@ -50,6 +50,20 @@ class DecodeApp {
   [[nodiscard]] std::vector<media::Frame> frames() const;
   [[nodiscard]] std::uint64_t macroblocksDecoded() const;
 
+  /// Installs the graceful-degradation policy (DESIGN §9): when a fault
+  /// latches on one of the application's tasks, drop the damaged picture,
+  /// flush in-flight stream data up to an in-band Resync marker, restart
+  /// the VLD at the next I-frame and keep decoding. A fault on the VLD
+  /// itself (unparseable source) aborts the stream cleanly instead, so the
+  /// clip still completes with whatever was decoded.
+  void enableRecovery();
+
+  /// Fault recoveries performed so far (enableRecovery() policy runs).
+  [[nodiscard]] std::uint64_t recoveries() const { return recoveries_; }
+
+  /// Frames the sink abandoned mid-assembly during recovery.
+  [[nodiscard]] std::uint64_t framesDropped() const;
+
   /// Runtime control (pause/resume/drain/teardown) for this application.
   [[nodiscard]] AppHandle& handle() { return handle_; }
   [[nodiscard]] const AppHandle& handle() const { return handle_; }
@@ -75,6 +89,7 @@ class DecodeApp {
   AppHandle handle_;
   sim::TaskId t_vld_ = 0, t_rlsq_ = 0, t_dct_ = 0, t_mc_ = 0;
   EclipseInstance::StreamHandle s_coef_{}, s_hdr_{}, s_blocks_{}, s_res_{}, s_pix_{};
+  std::uint64_t recoveries_ = 0;
 };
 
 }  // namespace eclipse::app

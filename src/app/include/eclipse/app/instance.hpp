@@ -18,9 +18,28 @@
 #include "eclipse/mem/sram.hpp"
 #include "eclipse/shell/shell.hpp"
 #include "eclipse/sim/config.hpp"
+#include "eclipse/sim/fault.hpp"
 #include "eclipse/sim/simulator.hpp"
 
 namespace eclipse::app {
+
+/// Why the instance stopped making progress (classifyQuiescence()).
+enum class Quiescence {
+  Running,     ///< at least one task is runnable — not quiescent at all
+  Done,        ///< every valid task is disabled or finished: clean drain
+  Starved,     ///< blocked chains all end at a disabled/faulted task
+  Deadlocked,  ///< a cycle of tasks each waiting on the next
+};
+
+[[nodiscard]] constexpr const char* quiescenceName(Quiescence q) {
+  switch (q) {
+    case Quiescence::Running: return "running";
+    case Quiescence::Done: return "done";
+    case Quiescence::Starved: return "starved";
+    case Quiescence::Deadlocked: return "deadlocked";
+  }
+  return "?";
+}
 
 /// Parameters of one Eclipse instance — the template parameters of
 /// Section 3 (memory size, bus width, caches, coprocessor timing, ...).
@@ -185,6 +204,30 @@ class EclipseInstance {
 
   [[nodiscard]] int pendingApps() const { return pending_apps_; }
 
+  // --- Fault injection and health (DESIGN §9) ---------------------------
+
+  /// Arms a fault plan: query-style faults (drop/delay putspace, task
+  /// hang, payload corruption) are installed into the instance's
+  /// FaultInjector and checked by the shells/network at the matching
+  /// touch points; state-mutating faults (SRAM/DRAM bit flips) are
+  /// scheduled as one-shot simulation events at their trigger cycle.
+  /// Callable repeatedly; each call replaces the previous plan.
+  void armFaults(const sim::FaultPlan& plan);
+
+  /// The instance's fault injector (trigger log lives here).
+  [[nodiscard]] sim::FaultInjector& faults() { return injector_; }
+
+  /// Arms every shell's progress watchdog over the PI-bus (control-block
+  /// writes, period first). `timeout` of 0 disarms.
+  void armWatchdogs(sim::Cycle timeout, sim::Cycle period = 256);
+
+  /// Classifies the current stop state by walking the blocked-on graph:
+  /// each blocked task points (via its blocked stream row's remote shell/
+  /// row) at the task it waits on. A cycle is a deadlock; a chain ending
+  /// at a disabled or faulted task is starvation; no enabled unfinished
+  /// task at all is a clean drain; anything runnable means still running.
+  [[nodiscard]] Quiescence classifyQuiescence();
+
  private:
   /// A free region of a linear memory (free lists kept sorted by address
   /// and coalesced on free).
@@ -222,6 +265,7 @@ class EclipseInstance {
   std::uint32_t next_shell_id_ = 0;
   int pending_apps_ = 0;
   bool started_ = false;
+  sim::FaultInjector injector_;
 };
 
 }  // namespace eclipse::app

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
+
+#include "eclipse/app/configurator.hpp"
 
 namespace eclipse::app {
 
@@ -299,6 +302,97 @@ void EclipseInstance::deregisterApp() {
 sim::Cycle EclipseInstance::run(sim::Cycle until) {
   start();
   return sim_.run(until);
+}
+
+// ---------------------------------------------------------------------
+// Fault injection and quiescence classification (DESIGN §9)
+// ---------------------------------------------------------------------
+
+void EclipseInstance::armFaults(const sim::FaultPlan& plan) {
+  injector_.clear();
+  for (const sim::FaultSpec& f : plan.faults) {
+    if (f.kind == sim::FaultKind::BitFlipSram || f.kind == sim::FaultKind::BitFlipDram) {
+      // State-mutating faults fire as one-shot events at their trigger
+      // cycle; the injector only keeps the trigger log for them.
+      sim_.scheduleAt(f.at_cycle, [this, f] {
+        auto storage = f.kind == sim::FaultKind::BitFlipSram ? sram_->storage().view()
+                                                             : dram_->storage().view();
+        if (f.addr < storage.size()) {
+          storage[f.addr] ^= static_cast<std::uint8_t>(1u << (f.bit % 8));
+        }
+        injector_.logTrigger(sim::FaultTrigger{f.kind, sim_.now(), f.shell, f.task,
+                                               static_cast<std::uint32_t>(f.addr)});
+      });
+    } else {
+      injector_.arm(f);
+    }
+  }
+  sim_.setFaultInjector(&injector_);
+}
+
+void EclipseInstance::armWatchdogs(sim::Cycle timeout, sim::Cycle period) {
+  // Programmed over the PI-bus like any other table state; the period must
+  // land before the timeout because the timeout write arms the scan.
+  for (auto& sh : shells_) {
+    pi_bus_.write(mmio::ctlReg(*sh, mmio::kCtlWatchdogPeriod),
+                  static_cast<std::uint32_t>(period));
+    pi_bus_.write(mmio::ctlReg(*sh, mmio::kCtlWatchdogTimeout),
+                  static_cast<std::uint32_t>(timeout));
+  }
+}
+
+Quiescence EclipseInstance::classifyQuiescence() {
+  auto findShellById = [&](std::uint32_t id) -> shell::Shell* {
+    for (auto& sh : shells_) {
+      if (sh->id() == id) return sh.get();
+    }
+    return nullptr;
+  };
+
+  bool any_enabled = false;
+  for (auto& sh : shells_) {
+    for (std::uint32_t i = 0; i < sh->tasks().capacity(); ++i) {
+      const shell::TaskRow& t = sh->tasks().row(static_cast<sim::TaskId>(i));
+      if (!t.valid || !t.enabled) continue;
+      any_enabled = true;
+      if (!t.blocked) return Quiescence::Running;
+    }
+  }
+  if (!any_enabled) return Quiescence::Done;
+
+  // Every enabled task is blocked. Walk each wait chain: blocked_row names
+  // the starving access point, whose remote row names the task being
+  // waited on. Revisiting a task on the chain is a deadlock cycle; a chain
+  // ending anywhere else (disabled task, faulted task, unconfigured row)
+  // is starvation — re-enabling the chain's end could restart the graph.
+  for (auto& sh0 : shells_) {
+    for (std::uint32_t i0 = 0; i0 < sh0->tasks().capacity(); ++i0) {
+      const shell::TaskRow& t0 = sh0->tasks().row(static_cast<sim::TaskId>(i0));
+      if (!t0.valid || !t0.enabled || !t0.blocked) continue;
+      std::vector<std::pair<std::uint32_t, sim::TaskId>> visited;
+      shell::Shell* sh = sh0.get();
+      auto task = static_cast<sim::TaskId>(i0);
+      while (true) {
+        const auto key = std::make_pair(sh->id(), task);
+        if (std::find(visited.begin(), visited.end(), key) != visited.end()) {
+          return Quiescence::Deadlocked;
+        }
+        visited.push_back(key);
+        const shell::TaskRow& t = sh->tasks().row(task);
+        if (!t.valid || !t.enabled || !t.blocked || t.blocked_row < 0) break;
+        const shell::StreamRow& row =
+            sh->streams().row(static_cast<std::uint32_t>(t.blocked_row));
+        if (!row.valid) break;
+        shell::Shell* remote = findShellById(row.remote_shell);
+        if (remote == nullptr) break;
+        const shell::StreamRow& rrow = remote->streams().row(row.remote_row);
+        if (!rrow.valid) break;
+        sh = remote;
+        task = rrow.task;
+      }
+    }
+  }
+  return Quiescence::Starved;
 }
 
 }  // namespace eclipse::app

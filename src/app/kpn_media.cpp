@@ -217,6 +217,8 @@ KpnDecoder::KpnDecoder(std::vector<std::uint8_t> bitstream, std::size_t fifo_byt
           ++mb_index;
           break;
         }
+        case PacketTag::Resync:
+          break;  // never emitted by the functional pipeline; tolerated
         case PacketTag::Eos: {
           for (auto& [idx, f] : by_display) result_.push_back(std::move(f));
           return;
@@ -379,6 +381,8 @@ KpnEncoder::KpnEncoder(std::vector<media::Frame> frames, const media::CodecParam
           ++mb_index;
           break;
         }
+        case PacketTag::Resync:
+          break;  // never emitted by the functional pipeline; tolerated
         case PacketTag::Eos: {
           kpnWrite(ctx.out(0), *pkt);
           kpnWrite(ctx.out(1), *pkt);
@@ -439,6 +443,8 @@ KpnEncoder::KpnEncoder(std::vector<media::Frame> frames, const media::CodecParam
           if (pic_is_ref) kpnWrite(ctx.out(1), out_pkt);
           break;
         }
+        case PacketTag::Resync:
+          break;  // never emitted by the functional pipeline; tolerated
         case PacketTag::Eos: {
           kpnWrite(ctx.out(0), *pkt);
           kpnWrite(ctx.out(1), *pkt);
@@ -581,6 +587,8 @@ KpnEncoder::KpnEncoder(std::vector<media::Frame> frames, const media::CodecParam
           media::stages::writeMb(bw, h, coefs);
           break;
         }
+        case PacketTag::Resync:
+          break;  // never emitted by the functional pipeline; tolerated
         case PacketTag::Eos: {
           result_ = bw.finish();
           return;

@@ -10,6 +10,17 @@ sim::Task<void> DctCoproc::step(sim::TaskId task, std::uint32_t task_info) {
   const packet_io::Packet p = co_await packet_io::tryReadView(shell_, task, kIn);
   if (p.status == packet_io::ReadStatus::Blocked) co_return;
   const auto tag = packet_io::tagOf(p.bytes);
+  // Discard mode (recovery): drop stale packets until the Resync marker
+  // arrives; the marker itself (and Eos) passes through via the control
+  // path below so downstream stages realign too.
+  if (auto d = discard_.find(task); d != discard_.end() && d->second) {
+    if (tag == media::PacketTag::Resync || tag == media::PacketTag::Eos) {
+      d->second = false;
+    } else {
+      ++discarded_;
+      co_return;
+    }
+  }
   if (tag == media::PacketTag::Mb) {
     media::MbBlocks in, out;
     // Parsed straight out of the committed view — fully consumed before

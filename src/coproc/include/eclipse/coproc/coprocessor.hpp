@@ -2,10 +2,13 @@
 
 #include <cstdint>
 #include <map>
+#include <stdexcept>
 #include <string>
 
+#include "eclipse/media/bitstream.hpp"
 #include "eclipse/shell/shell.hpp"
 #include "eclipse/sim/coro.hpp"
+#include "eclipse/sim/fault.hpp"
 #include "eclipse/sim/simulator.hpp"
 
 namespace eclipse::coproc {
@@ -52,17 +55,54 @@ class Coprocessor {
   sim::Simulator& sim_;
   shell::Shell& shell_;
 
+  /// Faults latched by this coprocessor's dispatch wrapper (containment
+  /// events, not counting faults latched directly by the shell watchdog).
+  [[nodiscard]] std::uint64_t faultsContained() const { return faults_contained_; }
+
  private:
   sim::Task<void> controlLoop() {
     while (true) {
       const auto r = co_await shell_.getTask();
       ++steps_;
-      co_await step(r.task, r.task_info);
+
+      // Fault hook: an injected hang wedges the coprocessor for N cycles
+      // in place of the processing step — no progress, no commits. The
+      // shell watchdog sees the overdue step and latches FaultCause::Hang.
+      if (sim::FaultInjector* inj = sim_.faults()) {
+        if (sim::Cycle hang = inj->taskHangCycles(shell_.id(), r.task, sim_.now())) {
+          inj->logTrigger({sim::FaultKind::TaskHang, sim_.now(), shell_.id(), r.task,
+                           static_cast<std::uint32_t>(hang)});
+          co_await sim_.delay(hang);
+          continue;
+        }
+      }
+
+      // Containment: an exception escaping a processing step no longer
+      // unwinds the simulator. It is latched into the task's fault
+      // register — cause, task id, shell name and cycle attached — the
+      // task is disabled, and the loop moves on to sibling tasks.
+      try {
+        co_await step(r.task, r.task_info);
+      } catch (const media::BitstreamError& e) {
+        containFault(r.task, shell::FaultCause::Bitstream, e.what());
+      } catch (const std::logic_error& e) {
+        containFault(r.task, shell::FaultCause::Protocol, e.what());
+      } catch (const std::exception& e) {
+        containFault(r.task, shell::FaultCause::TaskException, e.what());
+      }
     }
+  }
+
+  void containFault(sim::TaskId task, shell::FaultCause cause, const char* what) {
+    ++faults_contained_;
+    shell_.latchFault(task, cause, -1,
+                      name_ + " task " + std::to_string(task) + " @" +
+                          std::to_string(sim_.now()) + ": " + what);
   }
 
   std::string name_;
   std::uint64_t steps_ = 0;
+  std::uint64_t faults_contained_ = 0;
 };
 
 }  // namespace eclipse::coproc

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "eclipse/coproc/coprocessor.hpp"
@@ -39,11 +40,18 @@ class DctCoproc final : public Coprocessor {
   [[nodiscard]] std::uint64_t blocksTransformed() const { return blocks_; }
   [[nodiscard]] const DctParams& dctParams() const { return params_; }
 
+  /// Recovery (DESIGN §9): drop incoming Mb packets until the next Resync
+  /// marker (control packets still pass through unchanged).
+  void requestDiscard(sim::TaskId task) { discard_[task] = true; }
+  [[nodiscard]] std::uint64_t packetsDiscarded() const { return discarded_; }
+
  protected:
   sim::Task<void> step(sim::TaskId task, std::uint32_t task_info) override;
 
  private:
   DctParams params_;
+  std::map<sim::TaskId, bool> discard_;  ///< per-task discard-until-Resync
+  std::uint64_t discarded_ = 0;
   std::uint64_t blocks_ = 0;
   media::ByteWriter writer_;        // reusable Mb serialisation buffer
   std::vector<std::uint8_t> ctl_;  // staged control-packet passthrough

@@ -40,6 +40,14 @@ class RlsqCoproc final : public Coprocessor {
   [[nodiscard]] std::uint64_t pairsProcessed() const { return pairs_; }
   [[nodiscard]] std::uint64_t blocksProcessed() const { return blocks_; }
 
+  /// Recovery (DESIGN §9): drop incoming packets until a Resync marker (or
+  /// Eos) arrives. Issued by the CPU before re-enabling a faulted task so
+  /// stale in-flight data from before the fault never reaches downstream.
+  void requestDiscard(sim::TaskId task) { states_[task].discard = true; }
+
+  /// Packets dropped while in discard mode (all tasks).
+  [[nodiscard]] std::uint64_t packetsDiscarded() const { return discarded_; }
+
  protected:
   sim::Task<void> step(sim::TaskId task, std::uint32_t task_info) override;
 
@@ -49,6 +57,7 @@ class RlsqCoproc final : public Coprocessor {
     media::PicHeader pic{};
     bool have_seq = false;
     bool pic_is_ref = false;
+    bool discard = false;  ///< dropping packets until the next Resync/Eos
   };
 
   sim::Task<void> stepDecode(sim::TaskId task, TaskState& st);
@@ -59,6 +68,7 @@ class RlsqCoproc final : public Coprocessor {
   media::ByteWriter writer_;  // reusable serialisation buffer (steps are serial)
   std::uint64_t pairs_ = 0;
   std::uint64_t blocks_ = 0;
+  std::uint64_t discarded_ = 0;
 };
 
 }  // namespace eclipse::coproc

@@ -27,6 +27,10 @@ class FrameSink final : public Coprocessor {
   [[nodiscard]] const media::SeqHeader& seqHeader() const { return seq_; }
   [[nodiscard]] std::uint64_t macroblocksReceived() const { return mbs_; }
 
+  /// Frames abandoned mid-assembly when a Resync marker arrived (recovery
+  /// accounting: a clip that lost pictures still reports how many).
+  [[nodiscard]] std::uint64_t framesDropped() const { return frames_dropped_; }
+
  protected:
   sim::Task<void> step(sim::TaskId task, std::uint32_t task_info) override;
 
@@ -36,7 +40,9 @@ class FrameSink final : public Coprocessor {
   media::PicHeader pic_{};
   std::map<int, media::Frame> frames_;  // by temporal_ref
   int mb_index_ = 0;
+  bool pic_open_ = false;  ///< a picture header arrived, MBs still expected
   std::uint64_t mbs_ = 0;
+  std::uint64_t frames_dropped_ = 0;
   bool done_ = false;
 };
 

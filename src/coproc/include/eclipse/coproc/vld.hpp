@@ -49,6 +49,21 @@ class VldCoproc final : public Coprocessor {
   /// Total VLC symbols decoded (all tasks) — architecture-view statistic.
   [[nodiscard]] std::uint64_t symbolsDecoded() const { return symbols_; }
 
+  // --- recovery protocol (DESIGN §9) --------------------------------
+  // Both requests take effect at the task's next processing step; the CPU
+  // issues them (and re-enables the task) after a downstream or VLD fault.
+
+  /// Emit a Resync marker on both outputs, then parse-and-discard coded
+  /// pictures until the next I-frame (counted in picturesSkipped()).
+  void requestResync(sim::TaskId task);
+
+  /// Abort the clip: emit Eos on both outputs and finish the task (used
+  /// when the VLD itself faulted and the bit position is unreliable).
+  void requestAbort(sim::TaskId task);
+
+  /// Coded pictures skipped while hunting for an I-frame after resync.
+  [[nodiscard]] std::uint64_t picturesSkipped() const { return pics_skipped_; }
+
  protected:
   sim::Task<void> step(sim::TaskId task, std::uint32_t task_info) override;
 
@@ -65,6 +80,11 @@ class VldCoproc final : public Coprocessor {
     int pics_done = 0;
     int mb_index = 0;
     int mb_count = 0;
+
+    // Recovery state.
+    bool resync_pending = false;  ///< emit a Resync marker at the next step
+    bool abort_pending = false;   ///< emit Eos and finish at the next step
+    bool skipping = false;        ///< discarding coded data until an I-frame
   };
 
   /// Issues timed off-chip fetches until the task's fetch high-water covers
@@ -76,6 +96,7 @@ class VldCoproc final : public Coprocessor {
   std::map<sim::TaskId, TaskState> states_;
   media::ByteWriter writer_;  // reusable serialisation buffer (steps are serial)
   std::uint64_t symbols_ = 0;
+  std::uint64_t pics_skipped_ = 0;
 };
 
 }  // namespace eclipse::coproc

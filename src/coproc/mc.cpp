@@ -359,11 +359,31 @@ sim::Task<void> McCoproc::stepDecodeRecon(sim::TaskId task, TaskState& st) {
   if (hdr.status == packet_io::ReadStatus::Blocked) co_return;
   const packet_io::Packet res = co_await packet_io::tryPeekView(shell_, task, kInRes);
   if (res.status == packet_io::ReadStatus::Blocked) co_return;
-  if (packet_io::tagOf(hdr.bytes) != packet_io::tagOf(res.bytes)) {
+  // Resync realignment (recovery, DESIGN §9): after an upstream fault the
+  // two input streams can be out of step — one already carries the Resync
+  // marker while the other still holds stale pre-fault packets. Drain the
+  // lagging stream one packet per step until both markers pair up, then
+  // forward a single marker downstream and reset picture state.
+  const auto tag_hdr = packet_io::tagOf(hdr.bytes);
+  const auto tag_res = packet_io::tagOf(res.bytes);
+  if (tag_hdr == media::PacketTag::Resync || tag_res == media::PacketTag::Resync) {
+    if (tag_hdr == tag_res) {
+      st.mb_index = 0;
+      co_await packet_io::write(shell_, task, kOutPix, hdr.bytes, /*wait=*/false);
+      co_await shell_.putSpace(task, kInHdr, hdr.frame_bytes);
+      co_await shell_.putSpace(task, kInRes, res.frame_bytes);
+    } else if (tag_hdr == media::PacketTag::Resync) {
+      co_await shell_.putSpace(task, kInRes, res.frame_bytes);
+    } else {
+      co_await shell_.putSpace(task, kInHdr, hdr.frame_bytes);
+    }
+    co_return;
+  }
+  if (tag_hdr != tag_res) {
     throw std::runtime_error("McCoproc: header/residual streams out of step");
   }
 
-  switch (packet_io::tagOf(hdr.bytes)) {
+  switch (tag_hdr) {
     case media::PacketTag::Seq: {
       media::ByteReader r(packet_io::payloadOf(hdr.bytes));
       media::get(r, st.seq);
@@ -409,6 +429,8 @@ sim::Task<void> McCoproc::stepDecodeRecon(sim::TaskId task, TaskState& st) {
       finishTask(task);
       break;
     }
+    case media::PacketTag::Resync:
+      break;  // handled before the switch
   }
 
   co_await shell_.putSpace(task, kInHdr, hdr.frame_bytes);
@@ -481,6 +503,15 @@ sim::Task<void> McCoproc::stepMotionEst(sim::TaskId task, TaskState& st) {
       ++st.mb_index;
       break;
     }
+    case media::PacketTag::Resync: {
+      // Propagate the marker on every output so the whole encode pipeline
+      // realigns; picture state restarts at the next Pic header.
+      st.mb_index = 0;
+      co_await packet_io::write(shell_, task, kOutRes, in.bytes, /*wait=*/false);
+      co_await packet_io::write(shell_, task, kOutHdrVle, in.bytes, /*wait=*/false);
+      co_await packet_io::write(shell_, task, kOutHdrRec, in.bytes, /*wait=*/false);
+      break;
+    }
     case media::PacketTag::Eos: {
       co_await packet_io::write(shell_, task, kOutRes, in.bytes, /*wait=*/false);
       co_await packet_io::write(shell_, task, kOutHdrVle, in.bytes, /*wait=*/false);
@@ -499,11 +530,28 @@ sim::Task<void> McCoproc::stepEncodeRecon(sim::TaskId task, TaskState& st) {
   if (hdr.status == packet_io::ReadStatus::Blocked) co_return;
   const packet_io::Packet res = co_await packet_io::tryPeekView(shell_, task, kInRes);
   if (res.status == packet_io::ReadStatus::Blocked) co_return;
-  if (packet_io::tagOf(hdr.bytes) != packet_io::tagOf(res.bytes)) {
+  // Same Resync realignment as the decode reconstruction path: drain the
+  // lagging input until the markers pair, then consume both silently (the
+  // token output carries only Pic / Eos).
+  const auto tag_hdr = packet_io::tagOf(hdr.bytes);
+  const auto tag_res = packet_io::tagOf(res.bytes);
+  if (tag_hdr == media::PacketTag::Resync || tag_res == media::PacketTag::Resync) {
+    if (tag_hdr == tag_res) {
+      st.mb_index = 0;
+      co_await shell_.putSpace(task, kInHdr, hdr.frame_bytes);
+      co_await shell_.putSpace(task, kInRes, res.frame_bytes);
+    } else if (tag_hdr == media::PacketTag::Resync) {
+      co_await shell_.putSpace(task, kInRes, res.frame_bytes);
+    } else {
+      co_await shell_.putSpace(task, kInHdr, hdr.frame_bytes);
+    }
+    co_return;
+  }
+  if (tag_hdr != tag_res) {
     throw std::runtime_error("McCoproc: encode-recon streams out of step");
   }
 
-  switch (packet_io::tagOf(hdr.bytes)) {
+  switch (tag_hdr) {
     case media::PacketTag::Seq: {
       media::ByteReader r(packet_io::payloadOf(hdr.bytes));
       media::get(r, st.seq);
@@ -546,6 +594,8 @@ sim::Task<void> McCoproc::stepEncodeRecon(sim::TaskId task, TaskState& st) {
       finishTask(task);
       break;
     }
+    case media::PacketTag::Resync:
+      break;  // handled before the switch
   }
 
   co_await shell_.putSpace(task, kInHdr, hdr.frame_bytes);

@@ -36,6 +36,24 @@ sim::Task<void> RlsqCoproc::stepDecode(sim::TaskId task, TaskState& st) {
   if (!co_await shell_.getSpace(task, kOut, withCtl(kMaxBlocksFrame))) co_return;
   const packet_io::Packet p = co_await packet_io::tryReadView(shell_, task, kIn);
   if (p.status == packet_io::ReadStatus::Blocked) co_return;
+  // Discard mode (recovery): drop everything up to the Resync marker that
+  // the restarted VLD emits; Eos still terminates the task cleanly.
+  if (st.discard) {
+    const auto tag = packet_io::tagOf(p.bytes);
+    if (tag == media::PacketTag::Resync) {
+      st.discard = false;
+      co_await packet_io::write(shell_, task, kOut, media::packTag(media::PacketTag::Resync),
+                                /*wait=*/false);
+    } else if (tag == media::PacketTag::Eos) {
+      st.discard = false;
+      co_await packet_io::write(shell_, task, kOut, media::packTag(media::PacketTag::Eos),
+                                /*wait=*/false);
+      finishTask(task);
+    } else {
+      ++discarded_;
+    }
+    co_return;
+  }
   // The committed view is parsed before the first suspension point; the
   // pass-through packets are re-serialised from the parsed state (the
   // byte-level codec is deterministic, so the re-pack is bit-identical).
@@ -72,6 +90,12 @@ sim::Task<void> RlsqCoproc::stepDecode(sim::TaskId task, TaskState& st) {
                           static_cast<sim::Cycle>(nb) * params_.cycles_per_block);
       co_await packet_io::write(shell_, task, kOut,
                                 media::packPacketInto(writer_, media::PacketTag::Mb, out),
+                                /*wait=*/false);
+      break;
+    }
+    case media::PacketTag::Resync: {
+      // Pass the marker through so downstream stages resynchronise too.
+      co_await packet_io::write(shell_, task, kOut, media::packTag(media::PacketTag::Resync),
                                 /*wait=*/false);
       break;
     }
@@ -133,6 +157,12 @@ sim::Task<void> RlsqCoproc::stepEncode(sim::TaskId task, TaskState& st) {
       if (st.pic_is_ref) {
         co_await packet_io::write(shell_, task, kOutRecon, out_pkt, /*wait=*/false);
       }
+      break;
+    }
+    case media::PacketTag::Resync: {
+      const auto out_pkt = media::packTag(media::PacketTag::Resync);
+      co_await packet_io::write(shell_, task, kOut, out_pkt, /*wait=*/false);
+      co_await packet_io::write(shell_, task, kOutRecon, out_pkt, /*wait=*/false);
       break;
     }
     case media::PacketTag::Eos: {

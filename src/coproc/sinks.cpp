@@ -30,6 +30,7 @@ sim::Task<void> FrameSink::step(sim::TaskId task, std::uint32_t /*task_info*/) {
       media::get(r, pic_);
       frames_.emplace(pic_.temporal_ref, media::Frame(seq_.width, seq_.height));
       mb_index_ = 0;
+      pic_open_ = true;
       break;
     }
     case media::PacketTag::Mb: {
@@ -42,6 +43,20 @@ sim::Task<void> FrameSink::step(sim::TaskId task, std::uint32_t /*task_info*/) {
       media::stages::placeMb(it->second, mb_index_ % mb_w, mb_index_ / mb_w, px);
       ++mb_index_;
       ++mbs_;
+      const int mb_count = (seq_.width / media::kMbSize) * (seq_.height / media::kMbSize);
+      if (mb_index_ >= mb_count) pic_open_ = false;  // frame fully assembled
+      break;
+    }
+    case media::PacketTag::Resync: {
+      // Recovery: everything before the marker belongs to the abandoned
+      // picture. Drop the half-assembled frame (never display a frame with
+      // stale/corrupt regions) and count it.
+      if (pic_open_) {
+        frames_.erase(pic_.temporal_ref);
+        ++frames_dropped_;
+        pic_open_ = false;
+      }
+      mb_index_ = 0;
       break;
     }
     case media::PacketTag::Eos: {
@@ -63,6 +78,8 @@ sim::Task<void> ByteSink::step(sim::TaskId task, std::uint32_t /*task_info*/) {
       bytes_.insert(bytes_.end(), payload.begin(), payload.end());
       break;
     }
+    case media::PacketTag::Resync:
+      break;  // marker only delimits; the byte stream itself is unframed
     case media::PacketTag::Eos: {
       done_ = true;
       finishTask(task);

@@ -154,6 +154,8 @@ sim::Task<void> VleTask::step(sim::TaskId task, std::uint32_t /*info*/) {
       co_await cpu_.simulator().delay(symbols * cycles_per_symbol_);
       break;
     }
+    case media::PacketTag::Resync:
+      break;  // marker is meaningless inside an elementary bitstream
     case media::PacketTag::Eos: {
       // Byte-align and queue the final bytes for draining.
       auto tail = bw_.finish();

@@ -31,6 +31,18 @@ sim::Task<void> VldCoproc::ensureFetched(TaskState& st) {
   }
 }
 
+void VldCoproc::requestResync(sim::TaskId task) {
+  auto it = states_.find(task);
+  if (it == states_.end()) throw std::logic_error("VldCoproc::requestResync: unknown task");
+  it->second.resync_pending = true;
+}
+
+void VldCoproc::requestAbort(sim::TaskId task) {
+  auto it = states_.find(task);
+  if (it == states_.end()) throw std::logic_error("VldCoproc::requestAbort: unknown task");
+  it->second.abort_pending = true;
+}
+
 sim::Task<void> VldCoproc::step(sim::TaskId task, std::uint32_t /*task_info*/) {
   auto it = states_.find(task);
   if (it == states_.end()) throw std::logic_error("VldCoproc: unconfigured task scheduled");
@@ -42,6 +54,32 @@ sim::Task<void> VldCoproc::step(sim::TaskId task, std::uint32_t /*task_info*/) {
   // space arrives).
   if (!co_await shell_.getSpace(task, kOutCoef, withCtl(kMaxCoefsFrame))) co_return;
   if (!co_await shell_.getSpace(task, kOutHdr, withCtl(kMaxHeaderFrame))) co_return;
+
+  // Recovery requests (CPU-issued, DESIGN §9) take effect between syntax
+  // units, once output space for the markers is granted.
+  if (st.abort_pending) {
+    st.abort_pending = false;
+    st.resync_pending = false;
+    if (st.phase != Phase::Done) {
+      const auto pkt = media::packTag(media::PacketTag::Eos);
+      co_await packet_io::write(shell_, task, kOutCoef, pkt, /*wait=*/false);
+      co_await packet_io::write(shell_, task, kOutHdr, pkt, /*wait=*/false);
+      st.phase = Phase::Done;
+    }
+    finishTask(task);
+    co_return;
+  }
+  if (st.resync_pending) {
+    st.resync_pending = false;
+    if (st.phase == Phase::PicHeader || st.phase == Phase::Macroblock) {
+      // Tell every downstream stage to drop in-flight state, then discard
+      // the rest of the current picture and hunt for the next I-frame.
+      const auto pkt = media::packTag(media::PacketTag::Resync);
+      co_await packet_io::write(shell_, task, kOutCoef, pkt, /*wait=*/false);
+      co_await packet_io::write(shell_, task, kOutHdr, pkt, /*wait=*/false);
+      st.skipping = true;
+    }
+  }
 
   switch (st.phase) {
     case Phase::SeqHeader: {
@@ -61,6 +99,18 @@ sim::Task<void> VldCoproc::step(sim::TaskId task, std::uint32_t /*task_info*/) {
       co_await ensureFetched(st);
       co_await sim_.delay(3 * params_.cycles_per_symbol);
       symbols_ += 3;
+      if (st.skipping) {
+        if (st.pic.type == media::FrameType::I) {
+          st.skipping = false;  // realigned: decode this picture normally
+        } else {
+          // Still hunting for an I-frame: parse (to keep the bit position
+          // honest) but emit nothing — this coded picture is dropped.
+          ++pics_skipped_;
+          st.mb_index = 0;
+          st.phase = Phase::Macroblock;
+          break;
+        }
+      }
       const auto pkt = media::packPacketInto(writer_, media::PacketTag::Pic, st.pic);
       co_await packet_io::write(shell_, task, kOutCoef, pkt, /*wait=*/false);
       co_await packet_io::write(shell_, task, kOutHdr, pkt, /*wait=*/false);
@@ -76,12 +126,16 @@ sim::Task<void> VldCoproc::step(sim::TaskId task, std::uint32_t /*task_info*/) {
       co_await ensureFetched(st);
       co_await sim_.delay(static_cast<sim::Cycle>(parsed.symbols) * params_.cycles_per_symbol);
       symbols_ += static_cast<std::uint64_t>(parsed.symbols);
-      co_await packet_io::write(shell_, task, kOutCoef,
-                                media::packPacketInto(writer_, media::PacketTag::Mb, parsed.coefs),
-                                /*wait=*/false);
-      co_await packet_io::write(shell_, task, kOutHdr,
-                                media::packPacketInto(writer_, media::PacketTag::Mb, parsed.header),
-                                /*wait=*/false);
+      if (!st.skipping) {
+        co_await packet_io::write(
+            shell_, task, kOutCoef,
+            media::packPacketInto(writer_, media::PacketTag::Mb, parsed.coefs),
+            /*wait=*/false);
+        co_await packet_io::write(
+            shell_, task, kOutHdr,
+            media::packPacketInto(writer_, media::PacketTag::Mb, parsed.header),
+            /*wait=*/false);
+      }
       if (++st.mb_index >= st.mb_count) {
         st.phase = ++st.pics_done >= st.seq.frame_count ? Phase::EndOfStream : Phase::PicHeader;
       }

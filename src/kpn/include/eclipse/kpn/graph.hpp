@@ -77,6 +77,10 @@ class Graph {
   /// undersized buffer or a dependency cycle.
   void run();
 
+  /// Name of the task whose exception run() rethrew (fault attribution for
+  /// the functional model); empty when the last run completed cleanly.
+  [[nodiscard]] const std::string& failedTask() const { return failed_task_; }
+
   [[nodiscard]] std::size_t taskCount() const { return tasks_.size(); }
   [[nodiscard]] std::size_t edgeCount() const { return edges_.size(); }
   [[nodiscard]] const std::string& taskName(int id) const { return tasks_.at(id).name; }
@@ -111,6 +115,7 @@ class Graph {
 
   std::vector<TaskNode> tasks_;
   std::vector<Edge> edges_;
+  std::string failed_task_;
 };
 
 }  // namespace eclipse::kpn

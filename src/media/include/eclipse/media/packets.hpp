@@ -80,10 +80,12 @@ class ByteReader {
 
 /// Tags framing every packet on an inter-stage stream.
 enum class PacketTag : std::uint8_t {
-  Seq = 1,   // sequence header: once per stream
-  Pic = 2,   // picture header: once per coded picture
-  Mb = 3,    // one macroblock payload (layout depends on the stream kind)
-  Eos = 4,   // end of stream
+  Seq = 1,    // sequence header: once per stream
+  Pic = 2,    // picture header: once per coded picture
+  Mb = 3,     // one macroblock payload (layout depends on the stream kind)
+  Eos = 4,    // end of stream
+  Resync = 5, // in-band resync marker: discard stage state, realign at the
+              // next picture boundary (fault-recovery protocol, DESIGN §9)
 };
 
 /// Sequence-level parameters, carried in the elementary stream and in the

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "eclipse/sim/fault.hpp"
 #include "eclipse/sim/simulator.hpp"
 
 namespace eclipse::mem {
@@ -48,19 +49,39 @@ class MessageNetwork {
     }
     ++messages_sent_;
     bytes_signalled_ += msg.bytes;
+    sim::Cycle latency = latency_;
+    // Fault hooks: an armed injector may drop this putspace message (the
+    // destination shell's space field silently diverges — the canonical
+    // lost-synchronisation fault) or deliver it late. Null injector = the
+    // pristine path above, bit-identical to a build without faults.
+    if (sim::FaultInjector* inj = sim_.faults()) {
+      if (inj->shouldDropPutspace(msg.src_shell, sim_.now())) {
+        ++messages_dropped_;
+        inj->logTrigger({sim::FaultKind::DropPutspace, sim_.now(), msg.src_shell,
+                         0, msg.bytes});
+        return;
+      }
+      if (sim::Cycle extra = inj->putspaceDelay(msg.src_shell, sim_.now())) {
+        latency += extra;
+        inj->logTrigger({sim::FaultKind::DelayPutspace, sim_.now(), msg.src_shell,
+                         0, msg.bytes});
+      }
+    }
     // Captures a pointer plus the 16-byte message: small and trivially
     // copyable, so the delivery event is stored inline in the kernel —
     // no allocation per putspace message.
     Handler* handler = &it->second;
-    sim_.schedule(latency_, [handler, msg] { (*handler)(msg); });
+    sim_.schedule(latency, [handler, msg] { (*handler)(msg); });
   }
 
   [[nodiscard]] sim::Cycle latency() const { return latency_; }
   [[nodiscard]] std::uint64_t messagesSent() const { return messages_sent_; }
+  [[nodiscard]] std::uint64_t messagesDropped() const { return messages_dropped_; }
   [[nodiscard]] std::uint64_t bytesSignalled() const { return bytes_signalled_; }
 
   void resetStats() {
     messages_sent_ = 0;
+    messages_dropped_ = 0;
     bytes_signalled_ = 0;
   }
 
@@ -69,6 +90,7 @@ class MessageNetwork {
   sim::Cycle latency_;
   std::map<std::uint32_t, Handler> handlers_;
   std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_dropped_ = 0;
   std::uint64_t bytes_signalled_ = 0;
 };
 

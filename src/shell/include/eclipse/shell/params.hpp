@@ -38,6 +38,13 @@ struct ShellParams {
 
   // Profiler sampling period in cycles; 0 disables sampling (Section 5.4).
   sim::Cycle profiler_period = 0;
+
+  // Progress watchdog: latch a stall when a blocked task has had no space
+  // granted on its blocking row for `watchdog_timeout` cycles, scanning
+  // every `watchdog_period` cycles. timeout 0 disables the watchdog (the
+  // default — no events are scheduled and timing stays bit-identical).
+  sim::Cycle watchdog_period = 256;
+  sim::Cycle watchdog_timeout = 0;
 };
 
 /// Result of the GetTask primitive: the selected task and the parameter

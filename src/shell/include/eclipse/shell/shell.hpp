@@ -1,10 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "eclipse/mem/message_network.hpp"
@@ -109,6 +111,40 @@ class Shell {
   std::uint32_t configureStream(const StreamConfig& cfg);
   void setTaskEnabled(sim::TaskId task, bool enabled);
 
+  // ------------------------------------------------------------------
+  // Fault containment (tentpole of the robustness PR)
+  // ------------------------------------------------------------------
+
+  /// Latches a fault into the task's fault register: records cause, cycle,
+  /// stream row and diagnostic text, clears the enable bit (so the
+  /// scheduler skips the task while siblings keep running) and notifies
+  /// fault observers. The first fault wins; repeats only bump fault_count.
+  void latchFault(sim::TaskId task, FaultCause cause, std::int32_t row,
+                  const std::string& what);
+
+  /// Clears a latched fault (CPU recovery path); optionally re-enables.
+  void clearFault(sim::TaskId task, bool reenable);
+
+  /// Observer called on each latchFault (task id, latched row snapshot).
+  /// Returns an id usable with removeFaultObserver.
+  using FaultObserver = std::function<void(sim::TaskId, const TaskRow&)>;
+  int addFaultObserver(FaultObserver fn);
+  void removeFaultObserver(int id);
+
+  /// Arms the per-stream progress watchdog: a periodic scan latches a
+  /// stall (StreamRow.stalled + task FaultCause::Watchdog) when a blocked
+  /// task has waited `timeout` cycles with no space granted. timeout 0
+  /// stops the watchdog after the current period.
+  void startWatchdog(sim::Cycle timeout, sim::Cycle period = 0);
+  [[nodiscard]] sim::Cycle watchdogTimeout() const { return params_.watchdog_timeout; }
+
+  /// Sticky counter of putspace messages that arrived for an unconfigured
+  /// stream row (e.g. a message in flight across teardown) and were
+  /// dropped instead of tearing down the simulation.
+  [[nodiscard]] std::uint64_t lateSyncDrops() const { return late_sync_drops_; }
+  [[nodiscard]] std::uint64_t faultsLatched() const { return faults_latched_; }
+  [[nodiscard]] std::uint64_t stallsLatched() const { return stalls_latched_; }
+
   /// Maps the stream and task tables as 32-bit registers on the PI-bus at
   /// `base`. The window size is mmioWindowBytes().
   void mapMmio(mem::PiBus& bus, sim::Addr base);
@@ -173,6 +209,10 @@ class Shell {
   }
 
   sim::Task<void> profilerProcess();
+  sim::Task<void> watchdogProcess();
+
+  /// One watchdog scan: latches stalls for tasks blocked past the timeout.
+  void scanStalls();
 
   sim::Simulator& sim_;
   ShellParams params_;
@@ -193,6 +233,14 @@ class Shell {
   std::uint64_t task_switches_ = 0;
   std::uint64_t sync_messages_rx_ = 0;
   bool profiling_ = false;
+
+  // Fault containment state.
+  std::uint64_t late_sync_drops_ = 0;
+  std::uint64_t faults_latched_ = 0;
+  std::uint64_t stalls_latched_ = 0;
+  bool watchdog_running_ = false;
+  std::vector<std::pair<int, FaultObserver>> fault_observers_;
+  int next_observer_id_ = 0;
 };
 
 }  // namespace eclipse::shell

@@ -3,12 +3,39 @@
 #include <cstdint>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "eclipse/sim/stats.hpp"
 #include "eclipse/sim/types.hpp"
 
 namespace eclipse::shell {
+
+/// Cause codes latched in the per-task fault register (MMIO-readable).
+/// Mirrors a hardware error-cause CSR: the first fault wins, later ones
+/// only bump the count.
+enum class FaultCause : std::uint32_t {
+  None = 0,
+  TaskException = 1,  ///< generic C++ exception escaped the processing step
+  Bitstream = 2,      ///< media::BitstreamError — corrupted input data
+  Protocol = 3,       ///< std::logic_error — five-primitive protocol misuse
+  Watchdog = 4,       ///< progress watchdog expired (no space granted)
+  Injected = 5,       ///< fault injector asked for an explicit task fault
+  Hang = 6,           ///< injected task hang exceeded the watchdog
+};
+
+[[nodiscard]] constexpr const char* faultCauseName(FaultCause c) {
+  switch (c) {
+    case FaultCause::None: return "none";
+    case FaultCause::TaskException: return "task-exception";
+    case FaultCause::Bitstream: return "bitstream";
+    case FaultCause::Protocol: return "protocol";
+    case FaultCause::Watchdog: return "watchdog";
+    case FaultCause::Injected: return "injected";
+    case FaultCause::Hang: return "hang";
+  }
+  return "?";
+}
 
 /// Configuration of one access point written by the CPU (Section 5.1).
 struct StreamConfig {
@@ -52,6 +79,12 @@ struct StreamRow {
   std::uint64_t prefetches = 0;
   sim::Accumulator access_latency;  ///< cycles per Read/Write call (Section 5.4)
   sim::TimeSeries fill_series;      ///< sampled `space` (profiler)
+
+  // Stall register (latched by the progress watchdog, CPU-readable):
+  // the row's task waited on this access point with no space granted for
+  // longer than the configured timeout.
+  bool stalled = false;
+  sim::Cycle stall_cycle = 0;  ///< cycle the stall was latched
 };
 
 /// Configuration of one task slot written by the CPU (Section 5.3).
@@ -73,7 +106,18 @@ struct TaskRow {
   bool blocked = false;
   std::int32_t blocked_row = -1;
   std::uint32_t blocked_need = 0;
+  sim::Cycle blocked_since = 0;  ///< cycle the current block started
   sim::Cycle budget_left = 0;
+
+  // Fault register (Section 5.3 spirit: error cause latched per task slot,
+  // readable over the PI-bus). First fault wins; `fault_count` tracks
+  // repeats. Latching a fault clears `enabled` so siblings keep running.
+  bool faulted = false;
+  FaultCause fault_cause = FaultCause::None;
+  sim::Cycle fault_cycle = 0;
+  std::int32_t fault_row = -1;    ///< stream row involved, -1 if none
+  std::uint32_t fault_count = 0;
+  std::string fault_what;         ///< diagnostic text (not MMIO-visible)
 
   // Measurement fields.
   sim::Cycle busy_cycles = 0;

@@ -3,13 +3,18 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "eclipse/sim/fault.hpp"
+
 namespace eclipse::shell {
 
 namespace {
 
-/// Register map strides (32-bit words).
+/// Register map strides (32-bit words). A shell-control block of
+/// kShellCtlWords registers (watchdog config, sticky fault counters)
+/// follows the task table.
 constexpr sim::Addr kStreamRowWords = 32;
-constexpr sim::Addr kTaskRowWords = 16;
+constexpr sim::Addr kTaskRowWords = 32;
+constexpr sim::Addr kShellCtlWords = 8;
 
 std::uint32_t lo32(std::uint64_t v) { return static_cast<std::uint32_t>(v); }
 std::uint32_t hi32(std::uint64_t v) { return static_cast<std::uint32_t>(v >> 32); }
@@ -177,6 +182,7 @@ sim::Task<bool> Shell::getSpace(sim::TaskId task, sim::PortId port, std::uint32_
   }
   ++row.getspace_denied;
   TaskRow& t = tasks_.row(task);
+  if (!t.blocked) t.blocked_since = sim_.now();
   t.blocked = true;
   t.blocked_row = static_cast<std::int32_t>(idx);
   t.blocked_need = n_bytes;
@@ -204,6 +210,25 @@ sim::Task<void> Shell::putSpace(sim::TaskId task, sim::PortId port, std::uint32_
     }
   }
 
+  // Fault hook: corrupt the payload of the committed window in SRAM just
+  // before it becomes visible to the consumer. The packet framing (u32
+  // length + tag, first 5 bytes of the commit) is left intact so the
+  // corruption surfaces downstream as a *parse* error inside the packet —
+  // the recoverable case — rather than desynchronised framing.
+  if (sim::FaultInjector* inj = sim_.faults(); inj != nullptr && row.is_producer) {
+    if (auto mask = inj->corruptPayload(params_.id, task, port, sim_.now())) {
+      auto storage = sram_.storage().view();
+      forEachSegment(row, row.pos, n_bytes,
+                     [&](sim::Addr addr, std::uint64_t seg, std::uint64_t off0) {
+                       for (std::uint64_t k = 0; k < seg; ++k) {
+                         if (off0 + k >= 5) storage[addr + k] ^= *mask;
+                       }
+                     });
+      inj->logTrigger(
+          {sim::FaultKind::CorruptPayload, sim_.now(), params_.id, task, n_bytes});
+    }
+  }
+
   row.space -= n_bytes;
   row.granted -= n_bytes;
   row.pos += n_bytes;
@@ -214,7 +239,11 @@ sim::Task<void> Shell::putSpace(sim::TaskId task, sim::PortId port, std::uint32_
 void Shell::onSyncMessage(const mem::SyncMessage& msg) {
   StreamRow& row = streams_.row(msg.dst_row);
   if (!row.valid) {
-    throw std::logic_error("Shell::onSyncMessage: message for an unconfigured stream row");
+    // Late putspace for a row torn down (or never configured) while the
+    // message was in flight — a teardown race, not a programming error.
+    // Hardware drops it and bumps a sticky counter the CPU can inspect.
+    ++late_sync_drops_;
+    return;
   }
   row.space += msg.bytes;
   ++sync_messages_rx_;
@@ -340,6 +369,122 @@ sim::Task<void> WindowView::commit() {
 }
 
 // ---------------------------------------------------------------------
+// Fault containment
+// ---------------------------------------------------------------------
+
+void Shell::latchFault(sim::TaskId task, FaultCause cause, std::int32_t row,
+                       const std::string& what) {
+  TaskRow& t = tasks_.row(task);
+  if (!t.valid) return;
+  ++t.fault_count;
+  if (!t.faulted) {
+    // First fault wins: the register keeps the original cause so the CPU
+    // sees the root event, not a cascade symptom.
+    t.faulted = true;
+    t.fault_cause = cause;
+    t.fault_cycle = sim_.now();
+    t.fault_row = row;
+    t.fault_what = what;
+    ++faults_latched_;
+  }
+  // Containment: the scheduler skips the task from now on; sibling tasks
+  // on the same coprocessor keep running.
+  t.enabled = false;
+  sim_.trace(1, "[" + params_.name + "] fault latched: task " + std::to_string(task) + " " +
+                    faultCauseName(cause) + " @" + std::to_string(sim_.now()) + ": " + what);
+  if (!fault_observers_.empty()) {
+    // Copy: an observer may add/remove observers (e.g. teardown) mid-call.
+    auto observers = fault_observers_;
+    for (auto& [id, fn] : observers) fn(task, t);
+  }
+}
+
+void Shell::clearFault(sim::TaskId task, bool reenable) {
+  TaskRow& t = tasks_.row(task);
+  if (!t.valid) return;
+  t.faulted = false;
+  t.fault_cause = FaultCause::None;
+  t.fault_cycle = 0;
+  t.fault_row = -1;
+  t.fault_what.clear();
+  if (reenable) {
+    t.enabled = true;
+    sched_event_.notifyAll();
+  }
+}
+
+int Shell::addFaultObserver(FaultObserver fn) {
+  const int id = next_observer_id_++;
+  fault_observers_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void Shell::removeFaultObserver(int id) {
+  std::erase_if(fault_observers_, [id](const auto& p) { return p.first == id; });
+}
+
+void Shell::startWatchdog(sim::Cycle timeout, sim::Cycle period) {
+  params_.watchdog_timeout = timeout;
+  if (period > 0) params_.watchdog_period = period;
+  if (timeout == 0) {
+    watchdog_running_ = false;  // process exits at its next tick
+    return;
+  }
+  if (!watchdog_running_) {
+    watchdog_running_ = true;
+    sim_.spawn(watchdogProcess(), params_.name + ".watchdog");
+  }
+}
+
+sim::Task<void> Shell::watchdogProcess() {
+  while (watchdog_running_ && params_.watchdog_timeout > 0) {
+    co_await sim_.delay(params_.watchdog_period);
+    if (!watchdog_running_ || params_.watchdog_timeout == 0) break;
+    scanStalls();
+  }
+  watchdog_running_ = false;
+}
+
+void Shell::scanStalls() {
+  const sim::Cycle now = sim_.now();
+  const sim::Cycle timeout = params_.watchdog_timeout;
+
+  // Per-stream progress check: a task blocked on a GetSpace denial with no
+  // space granted for `timeout` cycles latches a stall into the stream row.
+  // Detection only — the stall register is CPU-readable; nothing is
+  // disabled, so a merely-slow peer never kills a healthy task.
+  for (std::uint32_t i = 0; i < tasks_.capacity(); ++i) {
+    TaskRow& t = tasks_.row(static_cast<sim::TaskId>(i));
+    if (!t.valid || !t.enabled || !t.blocked || t.blocked_row < 0) continue;
+    if (now - t.blocked_since < timeout) continue;
+    StreamRow& r = streams_.row(static_cast<std::uint32_t>(t.blocked_row));
+    if (!r.valid || r.stalled) continue;
+    if (r.space >= t.blocked_need) continue;  // space arrived, task not yet rescheduled
+    r.stalled = true;
+    r.stall_cycle = now;
+    ++stalls_latched_;
+    sim_.trace(1, "[" + params_.name + "] stall latched: task " + std::to_string(i) +
+                      " row " + std::to_string(t.blocked_row) + " needs " +
+                      std::to_string(t.blocked_need) + "B, has " + std::to_string(r.space) +
+                      "B since cycle " + std::to_string(t.blocked_since));
+  }
+
+  // Step-overrun check: the scheduled task has not come back to GetTask
+  // for `timeout` cycles — it is wedged inside a processing step (e.g. an
+  // injected hang), which blocks every sibling on this coprocessor. This
+  // one *is* a task fault: latch Hang so the scheduler moves on when the
+  // wedged coroutine finally yields.
+  if (current_task_ != sim::kNoTask && !idle_since_.has_value()) {
+    TaskRow& t = tasks_.row(current_task_);
+    if (t.valid && t.enabled && !t.faulted && now - last_gettask_return_ >= timeout) {
+      latchFault(current_task_, FaultCause::Hang, -1,
+                 "processing step exceeded watchdog timeout (" +
+                     std::to_string(now - last_gettask_return_) + " cycles)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
 // Measurement
 // ---------------------------------------------------------------------
 
@@ -382,7 +527,7 @@ sim::Task<void> Shell::profilerProcess() {
 
 sim::Addr Shell::mmioWindowBytes() const {
   return (static_cast<sim::Addr>(params_.max_streams) * kStreamRowWords +
-          static_cast<sim::Addr>(params_.max_tasks) * kTaskRowWords) *
+          static_cast<sim::Addr>(params_.max_tasks) * kTaskRowWords + kShellCtlWords) *
          4;
 }
 
@@ -428,15 +573,29 @@ std::uint32_t Shell::mmioRead(sim::Addr offset) const {
       case 24: return lo32(r.access_latency.count());
       case 25: return static_cast<std::uint32_t>(r.access_latency.mean());
       case 26: return static_cast<std::uint32_t>(r.access_latency.max());
+      case 27: return r.stalled ? 1 : 0;
+      case 28: return lo32(r.stall_cycle);
+      case 29: return hi32(r.stall_cycle);
       default: return 0;
     }
   }
   const sim::Addr tword = word - stream_words;
+  const sim::Addr task_words = static_cast<sim::Addr>(params_.max_tasks) * kTaskRowWords;
+  if (tword >= task_words) {
+    // Shell-control block: watchdog configuration and sticky counters.
+    const sim::Addr c = tword - task_words;
+    if (c >= kShellCtlWords) throw std::out_of_range("Shell::mmioRead: offset beyond tables");
+    switch (static_cast<std::uint32_t>(c)) {
+      case 0: return lo32(late_sync_drops_);
+      case 1: return lo32(params_.watchdog_timeout);
+      case 2: return lo32(params_.watchdog_period);
+      case 3: return lo32(faults_latched_);
+      case 4: return lo32(stalls_latched_);
+      default: return 0;
+    }
+  }
   const auto tix = static_cast<sim::TaskId>(tword / kTaskRowWords);
   const auto f = static_cast<std::uint32_t>(tword % kTaskRowWords);
-  if (static_cast<std::uint32_t>(tix) >= tasks_.capacity()) {
-    throw std::out_of_range("Shell::mmioRead: offset beyond tables");
-  }
   const TaskRow& t = tasks_.row(tix);
   switch (f) {
     case 0: return t.valid ? 1 : 0;
@@ -453,6 +612,12 @@ std::uint32_t Shell::mmioRead(sim::Addr offset) const {
     case 11: return lo32(t.step_cycles.count());
     case 12: return static_cast<std::uint32_t>(t.step_cycles.mean());
     case 13: return static_cast<std::uint32_t>(t.step_cycles.max());
+    case 14: return t.faulted ? 1 : 0;
+    case 15: return static_cast<std::uint32_t>(t.fault_cause);
+    case 16: return lo32(t.fault_cycle);
+    case 17: return hi32(t.fault_cycle);
+    case 18: return static_cast<std::uint32_t>(t.fault_row);
+    case 19: return t.fault_count;
     default: return 0;
   }
 }
@@ -486,20 +651,47 @@ void Shell::mmioWrite(sim::Addr offset, std::uint32_t value) {
       case 3: r.is_producer = value != 0; break;
       case 4: r.base = value; break;
       case 5: r.size = value; break;
-      case 6: r.space = value; break;
+      case 6: {
+        // Space repair (recovery path): raising the space field of a live
+        // row may make a best-guess-blocked task runnable, so wake the
+        // scheduler. Configuration writes (valid bit still clear — the
+        // Configurator programs valid last) must stay silent to keep the
+        // no-fault event trace bit-identical.
+        const bool wake = r.valid && value > r.space;
+        r.space = value;
+        if (wake) {
+          sched_event_.notifyAll();
+          space_event_.notifyAll();
+        }
+        break;
+      }
       case 7: r.remote_shell = value; break;
       case 8: r.remote_row = value; break;
+      case 27:
+        r.stalled = value != 0;
+        if (!r.stalled) r.stall_cycle = 0;
+        break;
       default:
         throw std::invalid_argument("Shell::mmioWrite: read-only stream field");
     }
     return;
   }
   const sim::Addr tword = word - stream_words;
+  const sim::Addr task_words = static_cast<sim::Addr>(params_.max_tasks) * kTaskRowWords;
+  if (tword >= task_words) {
+    const sim::Addr c = tword - task_words;
+    if (c >= kShellCtlWords) throw std::out_of_range("Shell::mmioWrite: offset beyond tables");
+    switch (static_cast<std::uint32_t>(c)) {
+      case 0: late_sync_drops_ = value; break;  // sticky counter reset
+      case 1: startWatchdog(value, params_.watchdog_period); break;
+      case 2: params_.watchdog_period = value; break;
+      default:
+        throw std::invalid_argument("Shell::mmioWrite: read-only control field");
+    }
+    return;
+  }
   const auto tix = static_cast<sim::TaskId>(tword / kTaskRowWords);
   const auto f = static_cast<std::uint32_t>(tword % kTaskRowWords);
-  if (static_cast<std::uint32_t>(tix) >= tasks_.capacity()) {
-    throw std::out_of_range("Shell::mmioWrite: offset beyond tables");
-  }
   TaskRow& t = tasks_.row(tix);
   switch (f) {
     case 0: {
@@ -518,6 +710,11 @@ void Shell::mmioWrite(sim::Addr offset, std::uint32_t value) {
       break;
     case 2: t.budget_cycles = value; break;
     case 3: t.task_info = value; break;
+    case 14:
+      // Writing 0 acknowledges and clears the fault register (the enable
+      // bit is restored separately via field 1 — two-step recovery).
+      if (value == 0) clearFault(tix, /*reenable=*/false);
+      break;
     default:
       throw std::invalid_argument("Shell::mmioWrite: read-only task field");
   }

@@ -15,6 +15,8 @@
 
 namespace eclipse::sim {
 
+class FaultInjector;
+
 /// Single-threaded, deterministic, event-driven cycle-level simulator.
 ///
 /// The kernel is purely event-driven: hardware blocks (shells, buses,
@@ -97,6 +99,13 @@ class Simulator {
   [[nodiscard]] int verbosity() const { return verbosity_; }
   void trace(int level, std::string_view msg) const;
 
+  /// Fault-injection hook. Null (the default) means no faults: models guard
+  /// every query with a branch-on-null, so the unarmed path costs nothing
+  /// and schedules nothing. The injector is owned by the caller (typically
+  /// an app::EclipseInstance) and must outlive the simulation.
+  void setFaultInjector(FaultInjector* inj) { faults_ = inj; }
+  [[nodiscard]] FaultInjector* faults() const { return faults_; }
+
  private:
   friend void detail::notifyRootDone(Simulator& sim, std::exception_ptr exception);
 
@@ -113,6 +122,7 @@ class Simulator {
   bool stop_requested_ = false;
   int verbosity_ = 0;
   std::exception_ptr pending_error_;
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace eclipse::sim

@@ -69,10 +69,15 @@ TEST(Fuzz, GoldenDecoderRejectsTruncations) {
   }
 }
 
-TEST(Fuzz, EclipseDecodeSurfacesCorruptionAsError) {
+TEST(Fuzz, EclipseDecodeContainsCorruption) {
+  // Task-level containment: a corrupted stream must never unwind the
+  // simulator. Either the decode completes (harmless corruption), or a
+  // fault latches on the failing task and the rest of the graph quiesces
+  // in a classifiable state. Constructor-time rejection (corrupted
+  // sequence header) is the only acceptable throw.
   const auto bits = validStream();
   sim::Prng rng(3);
-  int threw = 0, completed = 0;
+  int completed = 0, contained = 0, rejected = 0;
   for (int trial = 0; trial < 12; ++trial) {
     auto corrupted = bits;
     const std::size_t pos = 8 + rng.below(corrupted.size() - 8);
@@ -82,12 +87,79 @@ TEST(Fuzz, EclipseDecodeSurfacesCorruptionAsError) {
       app::DecodeApp dec(inst, corrupted);
       const auto end = inst.run(500'000'000);
       ASSERT_LT(end, 500'000'000u) << "corrupted stream hung the simulation";
-      if (dec.done()) ++completed;
-    } catch (const std::exception&) {
-      ++threw;  // VLD parse error propagated out of Simulator::run
+      if (dec.done()) {
+        ++completed;
+        continue;
+      }
+      const app::AppHealth health = dec.handle().health();
+      EXPECT_FALSE(health.faults.empty())
+          << "trial " << trial << ": decode stopped early with no latched fault";
+      const app::Quiescence q = inst.classifyQuiescence();
+      EXPECT_TRUE(q == app::Quiescence::Starved || q == app::Quiescence::Done)
+          << "trial " << trial << ": " << app::quiescenceName(q);
+      ++contained;
+    } catch (const media::BitstreamError&) {
+      ++rejected;
     }
   }
-  EXPECT_EQ(threw + completed, 12);
+  EXPECT_EQ(completed + contained + rejected, 12);
+  EXPECT_GT(contained, 0) << "no trial exercised the containment path";
+}
+
+TEST(Fuzz, SeededFaultInjectionSweep) {
+  // Seeded sweep over four fault classes: every (class, seed) run must
+  // terminate with a classified outcome — completed, fault latched, or a
+  // starved/deadlocked quiescence — never an unclassified hang.
+  const auto bits = validStream();
+  const sim::FaultKind kinds[] = {sim::FaultKind::DropPutspace, sim::FaultKind::CorruptPayload,
+                                  sim::FaultKind::TaskHang, sim::FaultKind::BitFlipSram};
+  for (const sim::FaultKind kind : kinds) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      sim::Prng rng(seed * 977 + static_cast<std::uint64_t>(kind));
+      app::EclipseInstance inst;
+      app::DecodeApp dec(inst, bits);
+
+      sim::FaultPlan plan;
+      plan.seed = seed;
+      sim::FaultSpec f;
+      f.kind = kind;
+      f.at_cycle = 2'000 + rng.below(60'000);
+      switch (kind) {
+        case sim::FaultKind::DropPutspace:
+          f.shell = static_cast<std::uint32_t>(rng.below(4));  // vld/rlsq/dct/mc
+          break;
+        case sim::FaultKind::CorruptPayload:
+          f.shell = inst.vldShell().id();
+          f.task = dec.vldTask();
+          f.port = coproc::VldCoproc::kOutCoef;
+          f.xor_mask = static_cast<std::uint8_t>(1 + rng.below(255));
+          break;
+        case sim::FaultKind::TaskHang:
+          f.shell = static_cast<std::uint32_t>(rng.below(4));
+          f.task = 0;
+          f.delay_cycles = 10'000 + rng.below(100'000);
+          break;
+        default:  // BitFlipSram
+          f.addr = rng.below(inst.sram().storage().size());
+          f.bit = static_cast<std::uint32_t>(rng.below(8));
+          break;
+      }
+      plan.faults.push_back(f);
+      inst.armFaults(plan);
+      inst.armWatchdogs(/*timeout=*/50'000);
+
+      const auto end = inst.run(5'000'000);
+      ASSERT_LE(end, 5'000'000u);
+
+      const app::AppHealth health = dec.handle().health();
+      const app::Quiescence q = inst.classifyQuiescence();
+      const bool classified = dec.done() || !health.faults.empty() || !health.stalls.empty() ||
+                              q == app::Quiescence::Starved || q == app::Quiescence::Deadlocked;
+      EXPECT_TRUE(classified) << sim::faultKindName(kind) << " seed " << seed
+                              << ": unclassified outcome, quiescence="
+                              << app::quiescenceName(q);
+    }
+  }
 }
 
 TEST(Fuzz, EmptyAndTinyInputsRejected) {

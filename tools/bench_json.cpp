@@ -4,7 +4,8 @@
 // google-benchmark micro suite this runner is dependency-free, emits
 // machine-readable output, and has a --smoke mode cheap enough for CI.
 //
-// Usage: bench_json [--out FILE] [--repeats N] [--smoke] [--transport | --reconfig]
+// Usage: bench_json [--out FILE] [--repeats N] [--smoke]
+//                   [--transport | --reconfig | --faults]
 
 #include <chrono>
 #include <cstdint>
@@ -287,6 +288,216 @@ void emitReconfig(std::FILE* f, const ReconfigResult& r) {
   std::fprintf(f, "}\n");
 }
 
+/// Fault scenario: the robustness machinery's cost and detection latency.
+/// Three guarantees are *checked*, not just reported: a null injector, an
+/// armed-but-empty injector and an armed watchdog must all leave the
+/// no-fault decode cycle count bit-identical. Then one run per fault class
+/// measures cycles from injection to fault/stall latch (detect latency)
+/// and — where a recovery policy exists — to clip completion.
+struct FaultClassResult {
+  std::string name;
+  std::uint64_t inject_cycle = 0;  ///< cycle the fault fired
+  std::uint64_t detect_cycle = 0;  ///< cycle the fault/stall register latched
+  std::uint64_t end_cycle = 0;     ///< cycle the run stopped
+  std::string outcome;             ///< recovered / starved / deadlocked / ...
+  std::uint64_t frames_dropped = 0;
+};
+
+struct FaultsResult {
+  std::uint64_t baseline_cycles = 0, baseline_events = 0;
+  std::uint64_t disarmed_cycles = 0, disarmed_events = 0;
+  std::uint64_t watchdog_cycles = 0, watchdog_events = 0;
+  double baseline_wall_s = 0, watchdog_wall_s = 0;
+  std::vector<FaultClassResult> classes;
+};
+
+FaultsResult runFaults(bool smoke) {
+  const auto w = eclipse::bench::makeWorkload(96, 80, smoke ? 2 : 5);
+  FaultsResult r;
+
+  // Baseline: no injector at all.
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    app::EclipseInstance inst;
+    app::DecodeApp dec(inst, w.bitstream);
+    r.baseline_cycles = inst.run();
+    r.baseline_wall_s = seconds(t0);
+    r.baseline_events = inst.simulator().eventsDispatched();
+    if (!dec.done()) std::fprintf(stderr, "warning: baseline decode incomplete\n");
+  }
+
+  // Armed injector, empty plan: the branch-on-null becomes a real query on
+  // every hook, but nothing may change in simulated time or event count.
+  {
+    app::EclipseInstance inst;
+    app::DecodeApp dec(inst, w.bitstream);
+    inst.armFaults(sim::FaultPlan{});
+    r.disarmed_cycles = inst.run();
+    r.disarmed_events = inst.simulator().eventsDispatched();
+  }
+  if (r.disarmed_cycles != r.baseline_cycles || r.disarmed_events != r.baseline_events) {
+    std::fprintf(stderr, "bench_json: empty fault plan perturbed the decode (%llu/%llu vs %llu/%llu)\n",
+                 static_cast<unsigned long long>(r.disarmed_cycles),
+                 static_cast<unsigned long long>(r.disarmed_events),
+                 static_cast<unsigned long long>(r.baseline_cycles),
+                 static_cast<unsigned long long>(r.baseline_events));
+    std::exit(1);
+  }
+
+  // Watchdog armed, generous timeout, no faults: the scan process adds
+  // events but must not move a single cycle of the decode itself.
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    app::EclipseInstance inst;
+    app::DecodeApp dec(inst, w.bitstream);
+    inst.armWatchdogs(/*timeout=*/1'000'000, /*period=*/256);
+    r.watchdog_cycles = inst.run();
+    r.watchdog_wall_s = seconds(t0);
+    r.watchdog_events = inst.simulator().eventsDispatched();
+    const app::AppHealth h = dec.handle().health();
+    if (!h.faults.empty() || !h.stalls.empty()) {
+      std::fprintf(stderr, "bench_json: watchdog false positive on a clean decode\n");
+      std::exit(1);
+    }
+  }
+  if (r.watchdog_cycles != r.baseline_cycles) {
+    std::fprintf(stderr, "bench_json: armed watchdog changed the decode end cycle (%llu vs %llu)\n",
+                 static_cast<unsigned long long>(r.watchdog_cycles),
+                 static_cast<unsigned long long>(r.baseline_cycles));
+    std::exit(1);
+  }
+
+  // Class 1: payload corruption with the decode recovery policy enabled —
+  // detect at the downstream parse error, recover to clip completion.
+  {
+    app::EclipseInstance inst;
+    app::DecodeApp dec(inst, w.bitstream);
+    std::uint64_t detect = 0;
+    dec.handle().onFault([&detect](const app::TaskFault& f) {
+      if (detect == 0) detect = f.cycle;
+    });
+    dec.enableRecovery();
+    sim::FaultPlan plan;
+    sim::FaultSpec f;
+    f.kind = sim::FaultKind::CorruptPayload;
+    f.shell = inst.vldShell().id();
+    f.task = dec.vldTask();
+    f.port = coproc::VldCoproc::kOutCoef;
+    // Corrupt every coefficient packet inside a bounded window: a single
+    // flipped packet can decode to harmless garbage, but a saturated window
+    // guarantees a parse fault, and the clean traffic afterwards lets the
+    // recovery policy finish the clip.
+    f.at_cycle = r.baseline_cycles / 4;
+    f.until_cycle = r.baseline_cycles / 2;
+    f.count = 0;
+    f.xor_mask = 0xff;
+    plan.faults.push_back(f);
+    inst.armFaults(plan);
+    const Cycle end = inst.run(r.baseline_cycles * 8);
+    FaultClassResult c;
+    c.name = "corrupt-payload";
+    c.inject_cycle = inst.faults().triggers().empty() ? 0 : inst.faults().triggers()[0].cycle;
+    c.detect_cycle = detect;
+    c.end_cycle = end;
+    c.outcome = dec.done() ? (detect != 0 ? "recovered" : "completed-harmless")
+                           : app::quiescenceName(inst.classifyQuiescence());
+    c.frames_dropped = dec.framesDropped();
+    r.classes.push_back(c);
+  }
+
+  // Class 2: injected task hang, detected by the watchdog's step-overrun
+  // check and latched as a Hang fault.
+  {
+    app::EclipseInstance inst;
+    app::DecodeApp dec(inst, w.bitstream);
+    sim::FaultPlan plan;
+    sim::FaultSpec f;
+    f.kind = sim::FaultKind::TaskHang;
+    f.shell = inst.rlsqShell().id();
+    f.task = dec.rlsqTask();
+    f.at_cycle = r.baseline_cycles / 4;
+    f.delay_cycles = r.baseline_cycles * 4;
+    plan.faults.push_back(f);
+    inst.armFaults(plan);
+    inst.armWatchdogs(/*timeout=*/20'000, /*period=*/256);
+    const Cycle end = inst.run(r.baseline_cycles * 2);
+    FaultClassResult c;
+    c.name = "task-hang";
+    c.inject_cycle = inst.faults().triggers().empty() ? 0 : inst.faults().triggers()[0].cycle;
+    const app::AppHealth h = dec.handle().health();
+    c.detect_cycle = h.faults.empty() ? 0 : h.faults[0].cycle;
+    c.end_cycle = end;
+    c.outcome = h.faults.empty() ? "undetected" : "hang-latched";
+    r.classes.push_back(c);
+  }
+
+  // Class 3: lost putspace messages — the space accounting diverges, the
+  // graph wedges, and the watchdog latches stream stalls; the blocked-on
+  // walk classifies the quiescence.
+  {
+    app::EclipseInstance inst;
+    app::DecodeApp dec(inst, w.bitstream);
+    sim::FaultPlan plan;
+    sim::FaultSpec f;
+    f.kind = sim::FaultKind::DropPutspace;
+    f.shell = inst.rlsqShell().id();
+    f.at_cycle = r.baseline_cycles / 4;
+    f.count = 0;  // every message from this shell, forever
+    plan.faults.push_back(f);
+    inst.armFaults(plan);
+    inst.armWatchdogs(/*timeout=*/20'000, /*period=*/256);
+    const Cycle end = inst.run(r.baseline_cycles * 2);
+    FaultClassResult c;
+    c.name = "drop-putspace";
+    c.inject_cycle = inst.faults().triggers().empty() ? 0 : inst.faults().triggers()[0].cycle;
+    const app::AppHealth h = dec.handle().health();
+    c.detect_cycle = h.stalls.empty() ? 0 : h.stalls[0].cycle;
+    c.end_cycle = end;
+    c.outcome = dec.done() ? "completed" : app::quiescenceName(inst.classifyQuiescence());
+    r.classes.push_back(c);
+  }
+
+  return r;
+}
+
+void emitFaults(std::FILE* f, const FaultsResult& r) {
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"eclipse-bench-faults-v1\",\n");
+  std::fprintf(f, "  \"baseline\": {\"sim_cycles\": %llu, \"events\": %llu, \"wall_s\": %.6f},\n",
+               static_cast<unsigned long long>(r.baseline_cycles),
+               static_cast<unsigned long long>(r.baseline_events), r.baseline_wall_s);
+  std::fprintf(f,
+               "  \"injector_disarmed\": {\"sim_cycles\": %llu, \"events\": %llu, "
+               "\"overhead_cycles\": %llu, \"overhead_events\": %llu},\n",
+               static_cast<unsigned long long>(r.disarmed_cycles),
+               static_cast<unsigned long long>(r.disarmed_events),
+               static_cast<unsigned long long>(r.disarmed_cycles - r.baseline_cycles),
+               static_cast<unsigned long long>(r.disarmed_events - r.baseline_events));
+  std::fprintf(f,
+               "  \"watchdog_armed\": {\"sim_cycles\": %llu, \"events\": %llu, \"wall_s\": %.6f, "
+               "\"overhead_cycles\": %llu, \"extra_events\": %llu},\n",
+               static_cast<unsigned long long>(r.watchdog_cycles),
+               static_cast<unsigned long long>(r.watchdog_events), r.watchdog_wall_s,
+               static_cast<unsigned long long>(r.watchdog_cycles - r.baseline_cycles),
+               static_cast<unsigned long long>(r.watchdog_events - r.baseline_events));
+  std::fprintf(f, "  \"classes\": [\n");
+  for (std::size_t i = 0; i < r.classes.size(); ++i) {
+    const FaultClassResult& c = r.classes[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"inject_cycle\": %llu, \"detect_cycle\": %llu, "
+                 "\"cycles_to_detect\": %llu, \"end_cycle\": %llu, \"outcome\": \"%s\", "
+                 "\"frames_dropped\": %llu}%s\n",
+                 c.name.c_str(), static_cast<unsigned long long>(c.inject_cycle),
+                 static_cast<unsigned long long>(c.detect_cycle),
+                 static_cast<unsigned long long>(
+                     c.detect_cycle > c.inject_cycle ? c.detect_cycle - c.inject_cycle : 0),
+                 static_cast<unsigned long long>(c.end_cycle), c.outcome.c_str(),
+                 static_cast<unsigned long long>(c.frames_dropped),
+                 i + 1 < r.classes.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+}
+
 void emit(std::FILE* f, const std::vector<Result>& results) {
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"schema\": \"eclipse-bench-kernel-v1\",\n");
@@ -316,6 +527,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool transport = false;
   bool reconfig = false;
+  bool faults = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out = argv[++i];
@@ -327,19 +539,36 @@ int main(int argc, char** argv) {
       transport = true;
     } else if (std::strcmp(argv[i], "--reconfig") == 0) {
       reconfig = true;
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      faults = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--out FILE] [--repeats N] [--smoke] [--transport | --reconfig]\n",
+                   "usage: %s [--out FILE] [--repeats N] [--smoke] "
+                   "[--transport | --reconfig | --faults]\n",
                    argv[0]);
       return 2;
     }
   }
   if (repeats < 1) repeats = 1;
   if (out.empty()) {
-    out = reconfig ? "BENCH_reconfig.json"
-                   : (transport ? "BENCH_transport.json" : "BENCH_kernel.json");
+    out = faults ? "BENCH_faults.json"
+                 : (reconfig ? "BENCH_reconfig.json"
+                             : (transport ? "BENCH_transport.json" : "BENCH_kernel.json"));
   }
 
+  if (faults) {
+    const FaultsResult r = runFaults(smoke);
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot open %s for writing\n", out.c_str());
+      return 1;
+    }
+    emitFaults(f, r);
+    std::fclose(f);
+    emitFaults(stdout, r);
+    std::fprintf(stderr, "wrote %s\n", out.c_str());
+    return 0;
+  }
   if (reconfig) {
     const ReconfigResult r = runReconfig(smoke);
     std::FILE* f = std::fopen(out.c_str(), "w");

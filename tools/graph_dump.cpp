@@ -6,9 +6,12 @@
 // register map shared by the Configurator and the shells: a field that the
 // Configurator writes to the wrong word shows up here as a broken edge.
 //
-// Usage: graph_dump [--dot FILE] [--json FILE] [--run]
-//   --run  simulate to completion first, so the measurement registers
-//          (bytes transferred, busy cycles) carry real traffic.
+// Usage: graph_dump [--dot FILE] [--json FILE] [--run] [--demo-fault]
+//   --run         simulate to completion first, so the measurement registers
+//                 (bytes transferred, busy cycles) carry real traffic.
+//   --demo-fault  latch a fault on the VLD task before dumping, so the
+//                 fault-rendering path (salmon node, fault registers in the
+//                 JSON) can be exercised and eyeballed without an injector.
 
 #include <cstdio>
 #include <cstring>
@@ -32,6 +35,8 @@ struct StreamRowDump {
   std::uint32_t base = 0, size = 0, space = 0;
   std::uint32_t remote_shell = 0, remote_row = 0, granted = 0;
   std::uint64_t bytes = 0;
+  std::uint32_t stalled = 0;
+  std::uint64_t stall_cycle = 0;
 };
 
 struct TaskRowDump {
@@ -39,6 +44,8 @@ struct TaskRowDump {
   std::uint32_t enabled = 0, budget = 0, info = 0;
   std::uint64_t busy = 0;
   std::uint32_t blocked = 0;
+  std::uint32_t faulted = 0, fault_cause = 0, fault_row = 0, fault_count = 0;
+  std::uint64_t fault_cycle = 0;
 };
 
 struct ShellDump {
@@ -74,6 +81,9 @@ ShellDump dumpShell(mem::PiBus& bus, const shell::Shell& sh) {
     r.granted = sreg(row, mmio::kStreamGranted);
     r.bytes = sreg(row, mmio::kStreamBytesLo) |
               (static_cast<std::uint64_t>(sreg(row, mmio::kStreamBytesHi)) << 32);
+    r.stalled = sreg(row, mmio::kStreamStalled);
+    r.stall_cycle = sreg(row, mmio::kStreamStallCycleLo) |
+                    (static_cast<std::uint64_t>(sreg(row, mmio::kStreamStallCycleHi)) << 32);
     d.streams.push_back(r);
   }
   for (std::uint32_t slot = 0; slot < sh.params().max_tasks; ++slot) {
@@ -86,6 +96,12 @@ ShellDump dumpShell(mem::PiBus& bus, const shell::Shell& sh) {
     t.busy = treg(slot, mmio::kTaskBusyLo) |
              (static_cast<std::uint64_t>(treg(slot, mmio::kTaskBusyHi)) << 32);
     t.blocked = treg(slot, mmio::kTaskBlocked);
+    t.faulted = treg(slot, mmio::kTaskFaulted);
+    t.fault_cause = treg(slot, mmio::kTaskFaultCause);
+    t.fault_row = treg(slot, mmio::kTaskFaultRow);
+    t.fault_count = treg(slot, mmio::kTaskFaultCount);
+    t.fault_cycle = treg(slot, mmio::kTaskFaultCycleLo) |
+                    (static_cast<std::uint64_t>(treg(slot, mmio::kTaskFaultCycleHi)) << 32);
     d.tasks.push_back(t);
   }
   return d;
@@ -105,8 +121,16 @@ void emitDot(std::FILE* f, const std::vector<ShellDump>& shells) {
     std::fprintf(f, "  subgraph \"cluster_%s\" {\n    label=\"%s\";\n", s.name.c_str(),
                  s.name.c_str());
     for (const auto& t : s.tasks) {
-      std::fprintf(f, "    %s [label=\"t%u%s\"%s];\n", nodeId(s.id, t.slot).c_str(), t.slot,
-                   t.enabled != 0 ? "" : " (off)", t.enabled != 0 ? "" : " style=dashed");
+      // Faulted tasks are filled salmon and labeled with the latched cause;
+      // merely-disabled tasks stay dashed.
+      if (t.faulted != 0) {
+        std::fprintf(f, "    %s [label=\"t%u (%s)\" style=filled fillcolor=salmon];\n",
+                     nodeId(s.id, t.slot).c_str(), t.slot,
+                     shell::faultCauseName(static_cast<shell::FaultCause>(t.fault_cause)));
+      } else {
+        std::fprintf(f, "    %s [label=\"t%u%s\"%s];\n", nodeId(s.id, t.slot).c_str(), t.slot,
+                     t.enabled != 0 ? "" : " (off)", t.enabled != 0 ? "" : " style=dashed");
+      }
     }
     std::fprintf(f, "  }\n");
   }
@@ -119,11 +143,18 @@ void emitDot(std::FILE* f, const std::vector<ShellDump>& shells) {
       if (it == by_id.end()) continue;
       const ShellDump& cs = *it->second;
       std::uint32_t ctask = 0;
+      std::uint32_t cstalled = 0;
       for (const auto& cr : cs.streams) {
-        if (cr.row == r.remote_row) ctask = cr.task;
+        if (cr.row == r.remote_row) {
+          ctask = cr.task;
+          cstalled = cr.stalled;
+        }
       }
-      std::fprintf(f, "  %s -> %s [label=\"%u B\"];\n", nodeId(s.id, r.task).c_str(),
-                   nodeId(cs.id, ctask).c_str(), r.size);
+      // A watchdog stall latch on either side paints the edge orange.
+      const bool stalled = r.stalled != 0 || cstalled != 0;
+      std::fprintf(f, "  %s -> %s [label=\"%u B%s\"%s];\n", nodeId(s.id, r.task).c_str(),
+                   nodeId(cs.id, ctask).c_str(), r.size, stalled ? " STALL" : "",
+                   stalled ? " color=orange penwidth=2" : "");
     }
   }
   std::fprintf(f, "}\n");
@@ -141,19 +172,24 @@ void emitJson(std::FILE* f, const std::vector<ShellDump>& shells) {
                    "%s\n        {\"row\": %u, \"task\": %u, \"port\": %u, "
                    "\"is_producer\": %u, \"base\": %u, \"size\": %u, \"space\": %u, "
                    "\"remote_shell\": %u, \"remote_row\": %u, \"granted\": %u, "
-                   "\"bytes_transferred\": %llu}",
+                   "\"bytes_transferred\": %llu, \"stalled\": %u, \"stall_cycle\": %llu}",
                    j == 0 ? "" : ",", r.row, r.task, r.port, r.is_producer, r.base, r.size,
                    r.space, r.remote_shell, r.remote_row, r.granted,
-                   static_cast<unsigned long long>(r.bytes));
+                   static_cast<unsigned long long>(r.bytes), r.stalled,
+                   static_cast<unsigned long long>(r.stall_cycle));
     }
     std::fprintf(f, "%s],\n      \"tasks\": [", s.streams.empty() ? "" : "\n      ");
     for (std::size_t j = 0; j < s.tasks.size(); ++j) {
       const TaskRowDump& t = s.tasks[j];
       std::fprintf(f,
                    "%s\n        {\"slot\": %u, \"enabled\": %u, \"budget\": %u, "
-                   "\"info\": %u, \"busy_cycles\": %llu, \"blocked_count\": %u}",
+                   "\"info\": %u, \"busy_cycles\": %llu, \"blocked_count\": %u, "
+                   "\"faulted\": %u, \"fault_cause\": \"%s\", \"fault_cycle\": %llu, "
+                   "\"fault_row\": %u, \"fault_count\": %u}",
                    j == 0 ? "" : ",", t.slot, t.enabled, t.budget, t.info,
-                   static_cast<unsigned long long>(t.busy), t.blocked);
+                   static_cast<unsigned long long>(t.busy), t.blocked, t.faulted,
+                   shell::faultCauseName(static_cast<shell::FaultCause>(t.fault_cause)),
+                   static_cast<unsigned long long>(t.fault_cycle), t.fault_row, t.fault_count);
     }
     std::fprintf(f, "%s]\n    }%s\n", s.tasks.empty() ? "" : "\n      ",
                  i + 1 < shells.size() ? "," : "");
@@ -167,6 +203,7 @@ int main(int argc, char** argv) {
   std::string dot_path = "graph.dot";
   std::string json_path = "graph.json";
   bool run = false;
+  bool demo_fault = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dot") == 0 && i + 1 < argc) {
       dot_path = argv[++i];
@@ -174,8 +211,11 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--run") == 0) {
       run = true;
+    } else if (std::strcmp(argv[i], "--demo-fault") == 0) {
+      demo_fault = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--dot FILE] [--json FILE] [--run]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--dot FILE] [--json FILE] [--run] [--demo-fault]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -192,6 +232,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "graph_dump: applications did not complete\n");
       return 1;
     }
+  }
+  if (demo_fault) {
+    inst.vldShell().latchFault(dec.vldTask(), shell::FaultCause::Injected, /*row=*/0,
+                               "demo fault for rendering");
   }
 
   std::vector<ShellDump> shells;
