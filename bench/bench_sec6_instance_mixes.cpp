@@ -8,7 +8,14 @@
 // per macroblock per mix, and the derived operation-rate estimate standing
 // in for the paper's "36 Gops for two HD streams".
 
+// With --parallel [N] the same four mixes are additionally batch-served
+// through an eclipse::farm::Farm on N workers and each mix's simulated
+// numbers are checked against the serial run — exercising the farm's
+// determinism contract on multi-application jobs (exit 1 on any mismatch).
+
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 
 #include "bench_util.hpp"
@@ -33,9 +40,44 @@ struct MixResult {
   double gops_at_150mhz = 0;
 };
 
+/// The four mixes as farm jobs (the workload descriptor reproduces
+/// bench_util::makeWorkload(176, 144, 9) field for field).
+std::vector<farm::Job> mixJobs() {
+  farm::WorkloadDesc wd;
+  wd.width = 176;
+  wd.height = 144;
+  wd.frames = 9;
+
+  std::vector<farm::Job> jobs(4);
+  jobs[0].name = "decode x1";
+  jobs[0].apps = {farm::AppSpec{farm::AppKind::Decode, wd}};
+  jobs[1].name = "decode x2";
+  jobs[1].apps = {farm::AppSpec{farm::AppKind::Decode, wd},
+                  farm::AppSpec{farm::AppKind::Decode, wd}};
+  jobs[1].config.set("sram.size_bytes", std::int64_t{64 * 1024});
+  jobs[2].name = "encode x1";
+  jobs[2].apps = {farm::AppSpec{farm::AppKind::Encode, wd}};
+  jobs[2].config.set("sram.size_bytes", std::int64_t{64 * 1024});
+  jobs[3].name = "encode + decode";
+  jobs[3].apps = {farm::AppSpec{farm::AppKind::Encode, wd},
+                  farm::AppSpec{farm::AppKind::Decode, wd}};
+  jobs[3].config.set("sram.size_bytes", std::int64_t{96 * 1024});
+  return jobs;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  int parallel = 0;  // 0 = serial only
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--parallel") == 0) {
+      parallel = i + 1 < argc && argv[i + 1][0] != '-' ? std::atoi(argv[++i]) : 4;
+    } else {
+      std::fprintf(stderr, "usage: %s [--parallel [N]]\n", argv[0]);
+      return 2;
+    }
+  }
+
   eclipse::bench::printHeader("E5: simultaneous application mixes on one instance",
                               "Section 6 (Figure 8 instance)");
 
@@ -116,5 +158,29 @@ int main() {
 
   std::printf("\nshape check vs paper: two streams on one instance cost < 2x one stream\n"
               "(coprocessor time-sharing absorbs the second application's slack).\n");
+
+  if (parallel > 0) {
+    std::printf("\n-- farm cross-check: same mixes on %d worker(s) --\n", parallel);
+    farm::FarmOptions opts;
+    opts.workers = parallel;
+    farm::Farm f(opts);
+    auto futs = f.submitBatch(mixJobs());
+    bool match = true;
+    for (std::size_t i = 0; i < futs.size(); ++i) {
+      const farm::JobResult jr = futs[i].get();
+      const bool ok = jr.status == farm::JobStatus::Completed &&
+                      jr.sim_cycles == results[i].cycles && jr.macroblocks == results[i].mbs;
+      match = match && ok;
+      std::printf("%-18s %12llu cycles %10llu MBs  worker %d  %s\n", jr.name.c_str(),
+                  static_cast<unsigned long long>(jr.sim_cycles),
+                  static_cast<unsigned long long>(jr.macroblocks), jr.worker,
+                  ok ? "== serial" : "!= serial  MISMATCH");
+    }
+    if (!match) {
+      std::printf("FARM RESULTS DIVERGE FROM SERIAL RUN\n");
+      return 1;
+    }
+    std::printf("all mixes bit-identical to the serial run.\n");
+  }
   return 0;
 }

@@ -1,17 +1,47 @@
 // E7 — Section 7: design-space exploration of the communication network
 // ("bus latency and width, etc."). The paper's instance chose a wide
 // (128-bit) on-chip bus pair; this sweep shows why.
+//
+// With --parallel [N] every sweep point is additionally batch-served
+// through an eclipse::farm::Farm on N workers (one job per point, the
+// swept parameter carried as a config override) and the simulated cycle
+// counts are checked against the serial sweep — exit 1 on any mismatch.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
 
 #include "bench_util.hpp"
 
 using namespace eclipse;
 
-int main() {
+namespace {
+
+/// One serial sweep point, kept for the farm cross-check.
+struct SweepPoint {
+  const char* key;          // InstanceParams config key being swept
+  std::int64_t value;
+  sim::Cycle cycles = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int parallel = 0;  // 0 = serial only
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--parallel") == 0) {
+      parallel = i + 1 < argc && argv[i + 1][0] != '-' ? std::atoi(argv[++i]) : 4;
+    } else {
+      std::fprintf(stderr, "usage: %s [--parallel [N]]\n", argv[0]);
+      return 2;
+    }
+  }
+
   eclipse::bench::printHeader("E7: stream-bus width and latency sweep", "Section 7");
 
   const auto w = eclipse::bench::makeWorkload();
+  std::vector<SweepPoint> points;
 
   std::printf("\n-- width sweep (arbitration latency 1) --\n");
   std::printf("%12s %12s %10s %10s %12s\n", "width[bits]", "cycles", "rd-bus%", "wr-bus%",
@@ -27,6 +57,7 @@ int main() {
       return 1;
     }
     if (base == 0) base = r.cycles;
+    points.push_back({"sram.bus_width_bytes", width, r.cycles});
     std::printf("%12u %12llu %9.1f%% %9.1f%% %11.2fx\n", width * 8,
                 static_cast<unsigned long long>(r.cycles),
                 100.0 * inst.sram().readBus().utilization(r.cycles),
@@ -44,6 +75,7 @@ int main() {
     const auto r = eclipse::bench::runDecode(inst, w);
     if (!r.bit_exact) return 1;
     if (base == 0) base = r.cycles;
+    points.push_back({"sram.bus_arbitration_latency", static_cast<std::int64_t>(arb), r.cycles});
     std::printf("%12llu %12llu %9.1f%% %11.2fx\n", static_cast<unsigned long long>(arb),
                 static_cast<unsigned long long>(r.cycles),
                 100.0 * inst.sram().readBus().utilization(r.cycles),
@@ -60,6 +92,7 @@ int main() {
     const auto r = eclipse::bench::runDecode(inst, w);
     if (!r.bit_exact) return 1;
     if (base == 0) base = r.cycles;
+    points.push_back({"dram.access_latency", static_cast<std::int64_t>(lat), r.cycles});
     std::printf("%12llu %12llu %11.1f%% %11.2fx\n", static_cast<unsigned long long>(lat),
                 static_cast<unsigned long long>(r.cycles),
                 100.0 * inst.dram().bus().utilization(r.cycles),
@@ -69,5 +102,43 @@ int main() {
   std::printf("\nshape check vs paper: decode time is insensitive to the stream bus until\n"
               "the width drops enough to saturate it (the wide-bus rationale of Section 3),\n"
               "while off-chip latency feeds straight into the MC-bound pictures.\n");
+
+  if (parallel > 0) {
+    std::printf("\n-- farm cross-check: all %zu sweep points on %d worker(s) --\n",
+                points.size(), parallel);
+    farm::WorkloadDesc wd;  // defaults == makeWorkload(176, 144, 9)
+    wd.width = 176;
+    wd.height = 144;
+    wd.frames = 9;
+    std::vector<farm::Job> jobs;
+    for (const SweepPoint& p : points) {
+      farm::Job j;
+      j.name = std::string(p.key) + "=" + std::to_string(p.value);
+      j.apps = {farm::AppSpec{farm::AppKind::Decode, wd}};
+      j.config.set(p.key, p.value);
+      jobs.push_back(std::move(j));
+    }
+    farm::FarmOptions opts;
+    opts.workers = parallel;
+    farm::Farm f(opts);
+    auto futs = f.submitBatch(std::move(jobs));
+    bool match = true;
+    for (std::size_t i = 0; i < futs.size(); ++i) {
+      const farm::JobResult jr = futs[i].get();
+      const bool ok = jr.status == farm::JobStatus::Completed && jr.bit_exact &&
+                      jr.sim_cycles == points[i].cycles;
+      match = match && ok;
+      if (!ok) {
+        std::printf("MISMATCH %-34s farm %llu cycles vs serial %llu\n", jr.name.c_str(),
+                    static_cast<unsigned long long>(jr.sim_cycles),
+                    static_cast<unsigned long long>(points[i].cycles));
+      }
+    }
+    if (!match) {
+      std::printf("FARM RESULTS DIVERGE FROM SERIAL SWEEP\n");
+      return 1;
+    }
+    std::printf("all %zu points bit-identical to the serial sweep.\n", points.size());
+  }
   return 0;
 }

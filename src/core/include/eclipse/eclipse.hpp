@@ -11,6 +11,7 @@
 ///   eclipse::shell  — the coprocessor shell (the paper's contribution)
 ///   eclipse::coproc — coprocessors programmed against the five primitives
 ///   eclipse::app    — instance builder, application graphs, trace output
+///   eclipse::farm   — multi-instance batch-serving farm (worker threads)
 ///
 /// Quickstart: see examples/quickstart.cpp.
 
@@ -20,6 +21,7 @@
 #include "eclipse/app/encode_app.hpp"
 #include "eclipse/app/instance.hpp"
 #include "eclipse/app/trace.hpp"
+#include "eclipse/farm/farm.hpp"
 #include "eclipse/kpn/graph.hpp"
 #include "eclipse/media/audio.hpp"
 #include "eclipse/media/codec.hpp"

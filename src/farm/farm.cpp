@@ -1,0 +1,138 @@
+#include "eclipse/farm/farm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+namespace eclipse::farm {
+
+namespace {
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+Farm::Farm(FarmOptions options)
+    : cache_(options.cache ? std::move(options.cache) : std::make_shared<WorkloadCache>()),
+      queue_(options.queue_capacity),
+      started_(std::chrono::steady_clock::now()) {
+  int n = options.workers;
+  if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
+  if (n <= 0) n = 1;
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>(
+        i, queue_, *cache_, [this](const JobResult& r) { onComplete(r); }));
+  }
+}
+
+Farm::~Farm() {
+  close();
+  for (auto& w : workers_) w->join();
+}
+
+PendingJob Farm::makePending(Job&& job) {
+  PendingJob pj;
+  pj.job = std::move(job);
+  pj.submitted = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pj.id = next_id_++;
+    ++submitted_;
+  }
+  return pj;
+}
+
+SubmitTicket Farm::submit(Job job) {
+  PendingJob pj = makePending(std::move(job));
+  std::future<JobResult> fut = pj.promise.get_future();
+  // Count the acceptance before the push: once pushed, a worker may
+  // deliver immediately, and drain() relies on accepted_ >= delivered_.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++accepted_;
+  }
+  const Admission a = queue_.tryPush(std::move(pj));
+  if (a != Admission::Accepted) {
+    std::lock_guard<std::mutex> lock(mu_);
+    --accepted_;
+    ++rejected_;
+  }
+  SubmitTicket t;
+  t.admission = a;
+  if (a == Admission::Accepted) t.result = std::move(fut);
+  return t;
+}
+
+std::future<JobResult> Farm::submitWait(Job job) {
+  PendingJob pj = makePending(std::move(job));
+  std::future<JobResult> fut = pj.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++accepted_;
+  }
+  if (!queue_.waitPush(std::move(pj))) {
+    std::lock_guard<std::mutex> lock(mu_);
+    --accepted_;
+    ++rejected_;
+    throw std::runtime_error("Farm: submission while shutting down");
+  }
+  return fut;
+}
+
+std::vector<std::future<JobResult>> Farm::submitBatch(std::vector<Job> jobs) {
+  std::vector<std::future<JobResult>> futs;
+  futs.reserve(jobs.size());
+  for (Job& j : jobs) futs.push_back(submitWait(std::move(j)));
+  return futs;
+}
+
+void Farm::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_.wait(lock, [&] { return delivered_ >= accepted_; });
+}
+
+void Farm::close() { queue_.close(); }
+
+void Farm::onComplete(const JobResult& r) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++delivered_;
+  r.status == JobStatus::Completed ? ++completed_ : ++failed_;
+  latencies_ms_.push_back(r.latency_ms);
+  if (delivered_ >= accepted_) drained_.notify_all();
+}
+
+FarmMetrics Farm::metrics() const {
+  FarmMetrics m;
+  std::vector<double> lat;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    m.submitted = submitted_;
+    m.accepted = accepted_;
+    m.rejected = rejected_;
+    m.completed = completed_;
+    m.failed = failed_;
+    lat = latencies_ms_;
+  }
+  m.queue_depth = queue_.depth();
+  m.elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started_).count();
+  const double delivered = static_cast<double>(m.completed + m.failed);
+  m.jobs_per_s = m.elapsed_s > 0 ? delivered / m.elapsed_s : 0.0;
+  std::sort(lat.begin(), lat.end());
+  m.p50_ms = percentile(lat, 50);
+  m.p95_ms = percentile(lat, 95);
+  m.p99_ms = percentile(lat, 99);
+  m.workers.reserve(workers_.size());
+  for (const auto& w : workers_) m.workers.push_back(w->stats());
+  return m;
+}
+
+}  // namespace eclipse::farm

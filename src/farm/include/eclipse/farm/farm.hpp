@@ -1,0 +1,117 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "eclipse/farm/job.hpp"
+#include "eclipse/farm/job_queue.hpp"
+#include "eclipse/farm/worker.hpp"
+#include "eclipse/farm/workload_cache.hpp"
+
+namespace eclipse::farm {
+
+struct FarmOptions {
+  int workers = 0;  ///< 0 = std::thread::hardware_concurrency()
+  std::size_t queue_capacity = 64;
+  /// Share a prepared-workload cache across farms (e.g. a bench sweeping
+  /// worker counts pays video generation once). Null = private cache.
+  std::shared_ptr<WorkloadCache> cache;
+};
+
+/// Aggregate farm metrics (host-side view; snapshot).
+struct FarmMetrics {
+  std::uint64_t submitted = 0;  ///< submit attempts
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;  ///< QueueFull or ShuttingDown
+  std::uint64_t completed = 0;  ///< results delivered with status Completed
+  std::uint64_t failed = 0;     ///< Incomplete or Error results
+  std::size_t queue_depth = 0;
+  double elapsed_s = 0.0;   ///< since farm construction
+  double jobs_per_s = 0.0;  ///< delivered results / elapsed
+  // Completion-latency percentiles (submission to result, ms).
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  std::vector<WorkerStats> workers;
+
+  [[nodiscard]] std::uint64_t reused() const {
+    std::uint64_t n = 0;
+    for (const WorkerStats& w : workers) n += w.reused;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t coldBuilds() const {
+    std::uint64_t n = 0;
+    for (const WorkerStats& w : workers) n += w.cold_builds;
+    return n;
+  }
+};
+
+/// Outcome of a non-blocking submit: the future is valid only when the
+/// job was Accepted.
+struct SubmitTicket {
+  Admission admission = Admission::ShuttingDown;
+  std::future<JobResult> result;
+};
+
+/// The batch-serving front-end: N workers behind a bounded priority
+/// queue. Deterministic by construction — all simulation state is private
+/// to a worker, so a job's simulated result does not depend on worker
+/// count, placement, or interleaving (see DESIGN §10).
+class Farm {
+ public:
+  explicit Farm(FarmOptions options = {});
+  /// Closes the queue and joins the workers; queued jobs still run.
+  ~Farm();
+
+  Farm(const Farm&) = delete;
+  Farm& operator=(const Farm&) = delete;
+
+  /// Non-blocking submission with admission control: a full queue rejects
+  /// (QueueFull) instead of buffering unboundedly.
+  SubmitTicket submit(Job job);
+
+  /// Cooperating submission: blocks until the queue has room. Throws
+  /// std::runtime_error when the farm is shutting down.
+  std::future<JobResult> submitWait(Job job);
+
+  /// Submits a batch with waiting admission; futures arrive in job order.
+  std::vector<std::future<JobResult>> submitBatch(std::vector<Job> jobs);
+
+  /// Blocks until every accepted job has delivered its result.
+  void drain();
+
+  /// Stops admissions; workers finish the backlog and exit.
+  void close();
+
+  [[nodiscard]] FarmMetrics metrics() const;
+  [[nodiscard]] std::size_t queueDepth() const { return queue_.depth(); }
+  [[nodiscard]] int workerCount() const { return static_cast<int>(workers_.size()); }
+  [[nodiscard]] WorkloadCache& workloadCache() { return *cache_; }
+
+ private:
+  PendingJob makePending(Job&& job);
+  void onComplete(const JobResult& r);
+
+  std::shared_ptr<WorkloadCache> cache_;
+  JobQueue queue_;
+  std::chrono::steady_clock::time_point started_;
+
+  mutable std::mutex mu_;
+  std::condition_variable drained_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::vector<double> latencies_ms_;
+
+  std::vector<std::unique_ptr<Worker>> workers_;  // after queue_: joined first
+};
+
+}  // namespace eclipse::farm

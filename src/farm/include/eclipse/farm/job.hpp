@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eclipse/sim/config.hpp"
+#include "eclipse/sim/fault.hpp"
+#include "eclipse/sim/types.hpp"
+
+namespace eclipse::farm {
+
+/// Deterministic recipe for a job's media workload: the synthetic clip is
+/// generated (and encoded to a golden bitstream) from these parameters
+/// alone, so two jobs with equal descriptors share one prepared workload
+/// (see WorkloadCache) and any worker reproduces it exactly.
+struct WorkloadDesc {
+  int width = 96;
+  int height = 80;
+  int frames = 5;
+  std::uint64_t seed = 3;
+  int qscale = 14;
+  int gop_n = 9;
+  int gop_m = 3;
+  int detail = 8;
+  double noise_level = 0.0;
+  int motion_speed = 4;
+
+  /// Cache key: every field, in a fixed order.
+  [[nodiscard]] std::string key() const;
+};
+
+enum class AppKind { Decode, Encode };
+
+[[nodiscard]] constexpr const char* appKindName(AppKind k) {
+  return k == AppKind::Decode ? "decode" : "encode";
+}
+
+/// One application to configure onto the job's instance. A job may carry
+/// several (the Section-6 mixes: two decodes, encode + decode, ...); they
+/// run simultaneously on the same instance, time-sharing the coprocessors.
+struct AppSpec {
+  AppKind kind = AppKind::Decode;
+  WorkloadDesc workload{};
+};
+
+enum class Priority { High = 0, Normal = 1, Low = 2 };
+
+/// One unit of farm work: a set of applications on one instance shape.
+///
+/// The determinism contract: every *simulated* field of the JobResult is a
+/// pure function of this struct — independent of worker count, submission
+/// order, queue state, or whether the executing instance is cold or
+/// recycled.
+struct Job {
+  std::string name;
+  std::vector<AppSpec> apps{AppSpec{}};  ///< default: one decode application
+  sim::Config config{};                  ///< instance parameters (shape key)
+  std::uint64_t seed = 0;                ///< recorded; reserved for seeded plans
+  Priority priority = Priority::Normal;
+  sim::FaultPlan faults{};     ///< non-empty => instance retired after the job
+  sim::Cycle watchdog_timeout = 0;  ///< arm per-shell watchdogs when > 0
+  sim::Cycle max_cycles = 50'000'000;  ///< simulated-cycle budget (0 = unbounded)
+  bool verify = true;  ///< bit-exact (decode) / PSNR (encode) checks
+};
+
+/// Admission-control outcome of a submit.
+enum class Admission { Accepted, QueueFull, ShuttingDown };
+
+[[nodiscard]] constexpr const char* admissionName(Admission a) {
+  switch (a) {
+    case Admission::Accepted: return "accepted";
+    case Admission::QueueFull: return "queue-full";
+    case Admission::ShuttingDown: return "shutting-down";
+  }
+  return "?";
+}
+
+enum class JobStatus {
+  Completed,   ///< every application finished (verification may still fail)
+  Incomplete,  ///< stopped without finishing (budget, stall, fault abort)
+  Error,       ///< configuration/runtime error before or during the run
+};
+
+[[nodiscard]] constexpr const char* jobStatusName(JobStatus s) {
+  switch (s) {
+    case JobStatus::Completed: return "completed";
+    case JobStatus::Incomplete: return "incomplete";
+    case JobStatus::Error: return "error";
+  }
+  return "?";
+}
+
+/// Per-job outcome. Simulated fields are covered by the determinism
+/// contract; host-side fields (worker, reuse, wall/latency times) describe
+/// this particular execution and may vary run to run.
+struct JobResult {
+  std::uint64_t id = 0;
+  std::string name;
+  JobStatus status = JobStatus::Error;
+
+  // --- simulated (bit-identical for a given Job) ---
+  sim::Cycle sim_cycles = 0;      ///< cycles from launch to stop
+  std::uint64_t sim_events = 0;   ///< kernel events dispatched in that span
+  std::uint64_t macroblocks = 0;  ///< decoded MBs across the job's apps
+  bool bit_exact = false;         ///< decode outputs match the golden frames
+  double psnr_db = 0.0;           ///< min luma PSNR across encode apps
+  std::uint64_t faults_latched = 0;
+  std::uint64_t stalls_latched = 0;
+  std::uint64_t frames_dropped = 0;
+  std::string quiescence;  ///< classification when incomplete
+
+  // --- host-side (execution facts, outside the contract) ---
+  int worker = -1;
+  bool reused_instance = false;
+  double wall_ms = 0.0;     ///< run time on the worker
+  double latency_ms = 0.0;  ///< submission to completion
+  std::string error;
+};
+
+}  // namespace eclipse::farm

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+
+#include "eclipse/farm/job.hpp"
+
+namespace eclipse::farm {
+
+/// A job admitted to the farm, waiting for (or owned by) a worker.
+struct PendingJob {
+  Job job;
+  std::uint64_t id = 0;
+  std::chrono::steady_clock::time_point submitted{};
+  std::promise<JobResult> promise;
+};
+
+/// Bounded multi-producer / multi-consumer queue with three priority
+/// lanes. Admission control is explicit: tryPush() never blocks and
+/// reports QueueFull when the bound is hit, so callers can shed load
+/// (reject upstream) instead of buffering without limit; waitPush() is
+/// the cooperating-producer alternative that blocks for space.
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Non-blocking admission. On anything but Accepted the job is returned
+  /// untouched in `pj`.
+  Admission tryPush(PendingJob&& pj);
+
+  /// Blocks while the queue is full; returns false (job untouched) when
+  /// the queue was closed before space appeared.
+  bool waitPush(PendingJob&& pj);
+
+  /// Blocks for the next job, highest priority lane first (FIFO within a
+  /// lane). Returns nullopt once the queue is closed *and* empty, letting
+  /// workers drain the backlog before exiting.
+  std::optional<PendingJob> pop();
+
+  /// Stops admissions; pop() keeps draining what was already accepted.
+  void close();
+
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool closed() const;
+
+ private:
+  [[nodiscard]] std::size_t depthLocked() const {
+    return lanes_[0].size() + lanes_[1].size() + lanes_[2].size();
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<PendingJob> lanes_[3];  // indexed by Priority
+  bool closed_ = false;
+};
+
+}  // namespace eclipse::farm

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "eclipse/app/instance.hpp"
+#include "eclipse/farm/job.hpp"
+#include "eclipse/farm/job_queue.hpp"
+#include "eclipse/farm/workload_cache.hpp"
+
+namespace eclipse::farm {
+
+/// Execution counters of one worker (snapshot; host-side quantities).
+struct WorkerStats {
+  int index = -1;
+  std::uint64_t jobs = 0;
+  std::uint64_t completed = 0;  ///< status == Completed
+  std::uint64_t failed = 0;     ///< Incomplete or Error
+  std::uint64_t reused = 0;     ///< jobs served by a recycled instance
+  std::uint64_t cold_builds = 0;  ///< jobs that built a fresh instance
+  double busy_ms = 0.0;     ///< wall time spent inside jobs
+  double build_ms = 0.0;    ///< wall time constructing instances (cold path)
+  double recycle_ms = 0.0;  ///< wall time in teardown-settle-recycle (reuse path)
+};
+
+/// One farm worker: a host thread owning a private Simulator +
+/// EclipseInstance, pulling jobs from the shared queue until it closes.
+///
+/// Instance reuse: after a clean job the instance is recycled (drain /
+/// teardown / EclipseInstance::recycle()) and kept for the next job with
+/// the same `Config` shape — bit-identical to a cold build by
+/// construction. The worker falls back to a cold rebuild when the shape
+/// changes, when the previous job armed faults or watchdogs, latched any
+/// fault or stall, ended incomplete, or threw: auditing residual state is
+/// never cheaper than rebuilding, and isolation must hold regardless.
+class Worker {
+ public:
+  using CompletionFn = std::function<void(const JobResult&)>;
+
+  Worker(int index, JobQueue& queue, WorkloadCache& cache, CompletionFn on_complete);
+  ~Worker() { join(); }
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  /// Blocks until the worker thread exits (the queue must be closed).
+  void join();
+
+  [[nodiscard]] WorkerStats stats() const;
+
+ private:
+  void threadMain();
+  JobResult runJob(const Job& job);
+  /// Quiesce/teardown the finished job and recycle the instance for
+  /// reuse; on any doubt, retire the instance (next job builds cold).
+  void retireOrRecycle(bool healthy);
+
+  const int index_;
+  JobQueue& queue_;
+  WorkloadCache& cache_;
+  CompletionFn on_complete_;
+
+  // Owned by the worker thread exclusively (one thread per Simulator).
+  std::unique_ptr<app::EclipseInstance> inst_;
+  std::string shape_;  ///< Config::toString() of the live instance
+
+  mutable std::mutex stats_mu_;
+  WorkerStats stats_;
+
+  std::thread thread_;  // last member: starts after everything is ready
+};
+
+}  // namespace eclipse::farm

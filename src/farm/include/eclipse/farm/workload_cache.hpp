@@ -1,0 +1,49 @@
+#pragma once
+
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "eclipse/farm/job.hpp"
+#include "eclipse/media/codec.hpp"
+#include "eclipse/media/video_gen.hpp"
+
+namespace eclipse::farm {
+
+/// A fully prepared media workload: the generated clip, its golden
+/// elementary stream and the encoder's reconstruction (decode ground
+/// truth). Immutable once built — workers share it read-only across
+/// threads, which is safe under the one-thread-per-Simulator contract.
+struct PreparedWorkload {
+  media::VideoGenParams video{};
+  media::CodecParams codec{};
+  std::vector<media::Frame> frames;
+  std::vector<std::uint8_t> bitstream;
+  std::vector<media::Frame> golden;
+  std::uint64_t macroblocks_per_clip = 0;
+};
+
+/// Generate-once, share-forever cache keyed by WorkloadDesc::key().
+///
+/// Workload preparation (video synthesis + golden encode) is the dominant
+/// host-side cost of small jobs; a 200-job batch typically uses a handful
+/// of distinct descriptors. The first worker to request a descriptor
+/// builds it outside the lock while later requesters block on a shared
+/// future, so each unique workload is built exactly once even when many
+/// workers ask simultaneously.
+class WorkloadCache {
+ public:
+  std::shared_ptr<const PreparedWorkload> get(const WorkloadDesc& desc);
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  using Entry = std::shared_future<std::shared_ptr<const PreparedWorkload>>;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace eclipse::farm

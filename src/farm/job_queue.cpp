@@ -1,0 +1,61 @@
+#include "eclipse/farm/job_queue.hpp"
+
+namespace eclipse::farm {
+
+Admission JobQueue::tryPush(PendingJob&& pj) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return Admission::ShuttingDown;
+    if (depthLocked() >= capacity_) return Admission::QueueFull;
+    lanes_[static_cast<int>(pj.job.priority)].push_back(std::move(pj));
+  }
+  not_empty_.notify_one();
+  return Admission::Accepted;
+}
+
+bool JobQueue::waitPush(PendingJob&& pj) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || depthLocked() < capacity_; });
+    if (closed_) return false;
+    lanes_[static_cast<int>(pj.job.priority)].push_back(std::move(pj));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+std::optional<PendingJob> JobQueue::pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [&] { return closed_ || depthLocked() > 0; });
+  for (auto& lane : lanes_) {
+    if (!lane.empty()) {
+      PendingJob pj = std::move(lane.front());
+      lane.pop_front();
+      lock.unlock();
+      not_full_.notify_one();
+      return pj;
+    }
+  }
+  return std::nullopt;  // closed and drained
+}
+
+void JobQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+std::size_t JobQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return depthLocked();
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+}  // namespace eclipse::farm

@@ -1,0 +1,211 @@
+#include "eclipse/farm/worker.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <vector>
+
+#include "eclipse/app/decode_app.hpp"
+#include "eclipse/app/encode_app.hpp"
+#include "eclipse/media/codec.hpp"
+#include "eclipse/media/metrics.hpp"
+
+namespace eclipse::farm {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Simulated-cycle allowance for draining residual events after a job
+/// (parked control loops, in-flight putspaces). Generous: a healthy
+/// torn-down graph settles in a few hundred cycles.
+constexpr sim::Cycle kSettleCap = 1'000'000;
+
+/// One application instantiated on the worker's instance for the current
+/// job, kept alive across the run.
+struct RunningApp {
+  AppKind kind = AppKind::Decode;
+  std::shared_ptr<const PreparedWorkload> w;
+  std::unique_ptr<app::DecodeApp> dec;
+  std::unique_ptr<app::EncodeApp> enc;
+
+  [[nodiscard]] bool done() const { return dec ? dec->done() : enc->done(); }
+  [[nodiscard]] app::AppHandle& handle() { return dec ? dec->handle() : enc->handle(); }
+};
+
+}  // namespace
+
+Worker::Worker(int index, JobQueue& queue, WorkloadCache& cache, CompletionFn on_complete)
+    : index_(index), queue_(queue), cache_(cache), on_complete_(std::move(on_complete)) {
+  stats_.index = index;
+  thread_ = std::thread([this] { threadMain(); });
+}
+
+void Worker::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+WorkerStats Worker::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void Worker::threadMain() {
+  while (auto pj = queue_.pop()) {
+    const Clock::time_point t0 = Clock::now();
+    JobResult r = runJob(pj->job);
+    r.id = pj->id;
+    r.name = pj->job.name;
+    r.worker = index_;
+    r.wall_ms = msSince(t0);
+    r.latency_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - pj->submitted).count();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.jobs;
+      r.status == JobStatus::Completed ? ++stats_.completed : ++stats_.failed;
+      stats_.busy_ms += r.wall_ms;
+    }
+    // Farm accounting first, so a caller observing the future immediately
+    // afterwards sees metrics that already include this job.
+    if (on_complete_) on_complete_(r);
+    pj->promise.set_value(std::move(r));
+  }
+}
+
+JobResult Worker::runJob(const Job& job) {
+  JobResult r;
+  try {
+    // Workload preparation first (host-side; cache hit after the first
+    // job with a given descriptor), so instance state is untouched if the
+    // descriptor is degenerate.
+    std::vector<std::shared_ptr<const PreparedWorkload>> prepared;
+    prepared.reserve(job.apps.size());
+    for (const AppSpec& s : job.apps) prepared.push_back(cache_.get(s.workload));
+
+    // Reuse the recycled instance only for an identical parameter shape.
+    const std::string shape = job.config.toString();
+    const bool reuse = inst_ != nullptr && shape == shape_;
+    if (reuse) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.reused;
+    } else {
+      const Clock::time_point tb = Clock::now();
+      inst_.reset();
+      inst_ = std::make_unique<app::EclipseInstance>(app::InstanceParams::fromConfig(job.config));
+      shape_ = shape;
+      const double build_ms = msSince(tb);
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.cold_builds;
+      stats_.build_ms += build_ms;
+    }
+    r.reused_instance = reuse;
+
+    sim::Simulator& sim = inst_->simulator();
+    const sim::Cycle c0 = sim.now();
+    const std::uint64_t e0 = sim.eventsDispatched();
+
+    std::vector<RunningApp> apps;
+    apps.reserve(job.apps.size());
+    for (std::size_t i = 0; i < job.apps.size(); ++i) {
+      RunningApp ra;
+      ra.kind = job.apps[i].kind;
+      ra.w = prepared[i];
+      if (ra.kind == AppKind::Decode) {
+        ra.dec = std::make_unique<app::DecodeApp>(*inst_, ra.w->bitstream);
+      } else {
+        ra.enc = std::make_unique<app::EncodeApp>(*inst_, ra.w->frames, ra.w->codec);
+      }
+      apps.push_back(std::move(ra));
+    }
+
+    const bool armed = !job.faults.faults.empty();
+    if (armed) inst_->armFaults(job.faults);
+    if (job.watchdog_timeout > 0) inst_->armWatchdogs(job.watchdog_timeout);
+
+    const sim::Cycle budget =
+        job.max_cycles == 0 || c0 > sim::Simulator::kForever - job.max_cycles
+            ? sim::Simulator::kForever
+            : c0 + job.max_cycles;
+    const sim::Cycle end = inst_->run(budget);
+    r.sim_cycles = end - c0;
+    r.sim_events = sim.eventsDispatched() - e0;
+
+    bool all_done = true;
+    for (RunningApp& ra : apps) all_done = all_done && ra.done();
+    r.status = all_done ? JobStatus::Completed : JobStatus::Incomplete;
+    if (!all_done) r.quiescence = app::quiescenceName(inst_->classifyQuiescence());
+
+    // Measurements and verification (health before teardown: the fault
+    // and stall registers live in the rows teardown resets).
+    bool decode_exact = true;
+    double min_psnr = std::numeric_limits<double>::infinity();
+    bool any_encode = false;
+    for (RunningApp& ra : apps) {
+      const app::AppHealth h = ra.handle().health();
+      r.faults_latched += h.faults.size();
+      r.stalls_latched += h.stalls.size();
+      if (ra.kind == AppKind::Decode) {
+        if (!ra.done()) {
+          decode_exact = false;
+          continue;
+        }
+        r.macroblocks += ra.dec->macroblocksDecoded();
+        r.frames_dropped += ra.dec->framesDropped();
+        if (job.verify) {
+          const auto out = ra.dec->frames();
+          bool ok = out.size() == ra.w->golden.size();
+          for (std::size_t i = 0; ok && i < out.size(); ++i) ok = out[i] == ra.w->golden[i];
+          decode_exact = decode_exact && ok;
+        }
+      } else {
+        any_encode = true;
+        if (!ra.done()) continue;
+        r.macroblocks += ra.w->macroblocks_per_clip;
+        if (job.verify) {
+          media::Decoder check;
+          const auto out = check.decode(ra.enc->bitstream());
+          min_psnr = std::min(min_psnr, media::averagePsnr(ra.w->frames, out));
+        }
+      }
+    }
+    r.bit_exact = job.verify && all_done && decode_exact;
+    r.psnr_db = any_encode && job.verify && all_done ? min_psnr : 0.0;
+
+    // Quiesce and tear down so the instance can be recycled. Anything
+    // suspicious retires the instance instead — correctness over reuse.
+    bool healthy = all_done && !armed && job.watchdog_timeout == 0 &&
+                   r.faults_latched == 0 && r.stalls_latched == 0;
+    const Clock::time_point tr = Clock::now();
+    if (healthy) {
+      if (!sim.quiescent()) inst_->run(sim.now() + kSettleCap);
+      healthy = sim.quiescent();
+      if (healthy) {
+        for (RunningApp& ra : apps) ra.handle().teardown();
+      }
+    }
+    retireOrRecycle(healthy);
+    if (healthy) {
+      const double recycle_ms = msSince(tr);
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.recycle_ms += recycle_ms;
+    }
+  } catch (const std::exception& e) {
+    r.status = JobStatus::Error;
+    r.error = e.what();
+    retireOrRecycle(false);
+  }
+  return r;
+}
+
+void Worker::retireOrRecycle(bool healthy) {
+  if (healthy && inst_ != nullptr && inst_->recycle()) return;
+  inst_.reset();
+  shape_.clear();
+}
+
+}  // namespace eclipse::farm

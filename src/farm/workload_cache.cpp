@@ -1,0 +1,59 @@
+#include "eclipse/farm/workload_cache.hpp"
+
+#include <sstream>
+
+namespace eclipse::farm {
+
+std::string WorkloadDesc::key() const {
+  std::ostringstream os;
+  os << width << 'x' << height << 'f' << frames << 's' << seed << 'q' << qscale << 'g' << gop_n
+     << ',' << gop_m << 'd' << detail << 'n' << noise_level << 'm' << motion_speed;
+  return os.str();
+}
+
+std::shared_ptr<const PreparedWorkload> WorkloadCache::get(const WorkloadDesc& desc) {
+  std::promise<std::shared_ptr<const PreparedWorkload>> promise;
+  Entry entry;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = entries_.try_emplace(desc.key());
+    if (inserted) {
+      it->second = promise.get_future().share();
+      builder = true;
+    }
+    entry = it->second;
+  }
+  if (builder) {
+    // Built outside the lock: other descriptors stay available while this
+    // one generates, and requesters of the same key wait on the future.
+    auto w = std::make_shared<PreparedWorkload>();
+    w->video.width = desc.width;
+    w->video.height = desc.height;
+    w->video.frames = desc.frames;
+    w->video.seed = desc.seed;
+    w->video.detail = desc.detail;
+    w->video.noise_level = desc.noise_level;
+    w->video.motion_speed = desc.motion_speed;
+    w->frames = media::generateVideo(w->video);
+    w->codec.width = desc.width;
+    w->codec.height = desc.height;
+    w->codec.qscale = desc.qscale;
+    w->codec.gop = media::GopStructure{desc.gop_n, desc.gop_m};
+    media::Encoder enc(w->codec);
+    w->bitstream = enc.encode(w->frames);
+    w->golden = enc.reconstructed();
+    w->macroblocks_per_clip = static_cast<std::uint64_t>(desc.width / 16) *
+                              static_cast<std::uint64_t>(desc.height / 16) *
+                              static_cast<std::uint64_t>(desc.frames);
+    promise.set_value(std::move(w));
+  }
+  return entry.get();
+}
+
+std::size_t WorkloadCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace eclipse::farm

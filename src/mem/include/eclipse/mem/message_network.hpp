@@ -40,6 +40,12 @@ class MessageNetwork {
     handlers_[shell_id] = std::move(handler);
   }
 
+  /// Withdraws a shell's handler (shell removal on instance recycle).
+  /// Delivery events capture a pointer to the registered handler, so this
+  /// is only sound while no message to `shell_id` is in flight — i.e.
+  /// after the simulator has quiesced or its events were destroyed.
+  void detach(std::uint32_t shell_id) { handlers_.erase(shell_id); }
+
   /// Sends a message; delivery happens `latency` cycles later.
   void send(const SyncMessage& msg) {
     auto it = handlers_.find(msg.dst_shell);

@@ -178,6 +178,16 @@ class Shell {
   void startProfiler();
   void stopProfiler() { profiling_ = false; }
 
+  /// Returns the shell to its just-constructed scheduler state so the
+  /// instance can be reused for a fresh set of control-loop processes
+  /// (farm worker recycling). Only sound after every task/stream row has
+  /// been invalidated (teardown) and the owning simulator's
+  /// destroyProcesses() ran: the parked GetTask/waitSpace waiters recorded
+  /// in the shell's events are dangling handles then. Measurement counters
+  /// (idle cycles, task switches, latched-fault totals) are preserved —
+  /// they are cumulative statistics, not scheduler state.
+  void recycle();
+
  private:
   struct Port {
     std::unique_ptr<StreamCache> cache;

@@ -44,6 +44,12 @@ class SimEvent {
 
   [[nodiscard]] std::size_t waiterCount() const { return waiters_.size(); }
 
+  /// Forgets all parked waiters without resuming them. Only sound right
+  /// after the owning simulator's destroyProcesses(): the recorded handles
+  /// point into destroyed coroutine frames then, and recycling the event
+  /// for a fresh set of processes must not resume them.
+  void clearWaiters() { waiters_.clear(); }
+
  private:
   Simulator* sim_;
   std::deque<std::coroutine_handle<>> waiters_;

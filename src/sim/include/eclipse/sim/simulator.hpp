@@ -24,6 +24,16 @@ class FaultInjector;
 /// Delay / SimEvent / Semaphore awaitables. Events scheduled for the same
 /// cycle run in scheduling order, so a given model and seed always produce
 /// the same trace.
+///
+/// Threading contract: **one thread per Simulator**. A Simulator and every
+/// model attached to it (shells, memories, buses, coprocessors, the
+/// instance that owns them) must be driven from a single thread; nothing
+/// here takes locks. Concurrency is achieved by running *independent*
+/// Simulators on separate threads (the eclipse_farm worker pool does
+/// exactly this): the kernel has no global mutable state, so N private
+/// simulators on N threads are safe and each stays bit-deterministic.
+/// Shared read-only inputs (e.g. a prepared workload's bitstream) may be
+/// referenced from several simulators; anything mutable must be private.
 class Simulator {
  public:
   static constexpr Cycle kForever = std::numeric_limits<Cycle>::max();

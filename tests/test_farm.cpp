@@ -1,0 +1,325 @@
+// eclipse_farm: deterministic batch serving on worker threads (DESIGN §10).
+//
+// The load-bearing property checked here is the determinism contract: a
+// job's *simulated* result (cycles, events, macroblocks, bit-exactness) is
+// a pure function of the Job — independent of worker count, submission
+// order, and whether it executes on a cold or a recycled instance. The
+// pinned decode job must land on the same 144885 cycles / 48109 events the
+// rest of the suite pins.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "eclipse/app/decode_app.hpp"
+#include "eclipse/farm/farm.hpp"
+#include "eclipse/sim/fault.hpp"
+
+using namespace eclipse;
+using farm::Admission;
+using farm::AppKind;
+using farm::AppSpec;
+using farm::Job;
+using farm::JobResult;
+using farm::JobStatus;
+
+namespace {
+
+// The suite-wide decode pin (tests/test_event_queue.cpp): default 96x80x5
+// workload on the default instance.
+constexpr sim::Cycle kPinCycles = 144885;
+constexpr std::uint64_t kPinEvents = 48109;
+constexpr std::uint64_t kPinMacroblocks = 150;
+
+Job decodeJob(std::string name, int qscale = 14) {
+  Job j;
+  j.name = std::move(name);
+  j.apps = {AppSpec{AppKind::Decode, farm::WorkloadDesc{}}};
+  j.apps[0].workload.qscale = qscale;
+  return j;
+}
+
+Job encodeJob(std::string name) {
+  Job j;
+  j.name = std::move(name);
+  j.apps = {AppSpec{AppKind::Encode, farm::WorkloadDesc{}}};
+  return j;
+}
+
+/// A mixed job list exercising decode, encode, a dual-decode mix with a
+/// different instance shape, and a distinct workload descriptor.
+std::vector<Job> mixedJobs() {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 4; ++i) jobs.push_back(decodeJob("dec-" + std::to_string(i)));
+  for (int i = 0; i < 2; ++i) jobs.push_back(decodeJob("dec-q20-" + std::to_string(i), 20));
+  for (int i = 0; i < 2; ++i) jobs.push_back(encodeJob("enc-" + std::to_string(i)));
+  for (int i = 0; i < 2; ++i) {
+    Job j;
+    j.name = "dual-dec-" + std::to_string(i);
+    j.apps = {AppSpec{}, AppSpec{}};
+    j.config.set("sram.size_bytes", std::int64_t{64 * 1024});
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+struct SimFields {
+  JobStatus status;
+  sim::Cycle cycles;
+  std::uint64_t events;
+  std::uint64_t macroblocks;
+  bool bit_exact;
+  double psnr_db;
+
+  bool operator==(const SimFields&) const = default;
+};
+
+SimFields simFields(const JobResult& r) {
+  return {r.status, r.sim_cycles, r.sim_events, r.macroblocks, r.bit_exact, r.psnr_db};
+}
+
+std::map<std::string, SimFields> runAll(std::vector<Job> jobs, int workers,
+                                        std::shared_ptr<farm::WorkloadCache> cache = {}) {
+  farm::FarmOptions opts;
+  opts.workers = workers;
+  opts.queue_capacity = jobs.size() + 1;
+  opts.cache = std::move(cache);
+  farm::Farm f(opts);
+  auto futs = f.submitBatch(std::move(jobs));
+  std::map<std::string, SimFields> out;
+  for (auto& fut : futs) {
+    const JobResult r = fut.get();
+    out.emplace(r.name, simFields(r));
+  }
+  return out;
+}
+
+// Shared across tests: video generation + golden encode is the dominant
+// cost of these small jobs, and the descriptors repeat.
+std::shared_ptr<farm::WorkloadCache> sharedCache() {
+  static auto cache = std::make_shared<farm::WorkloadCache>();
+  return cache;
+}
+
+}  // namespace
+
+TEST(Farm, DecodePinOnSingleWorker) {
+  farm::FarmOptions opts;
+  opts.workers = 1;
+  opts.cache = sharedCache();
+  farm::Farm f(opts);
+  auto t = f.submit(decodeJob("pin"));
+  ASSERT_EQ(t.admission, Admission::Accepted);
+  const JobResult r = t.result.get();
+  EXPECT_EQ(r.status, JobStatus::Completed);
+  EXPECT_EQ(r.sim_cycles, kPinCycles);
+  EXPECT_EQ(r.sim_events, kPinEvents);
+  EXPECT_EQ(r.macroblocks, kPinMacroblocks);
+  EXPECT_TRUE(r.bit_exact);
+  EXPECT_EQ(r.worker, 0);
+  EXPECT_FALSE(r.reused_instance);
+}
+
+TEST(Farm, BitIdenticalAcrossWorkerCountsAndOrder) {
+  const std::vector<Job> jobs = mixedJobs();
+  const auto serial = runAll(jobs, 1, sharedCache());
+
+  std::vector<Job> reversed(jobs.rbegin(), jobs.rend());
+  const auto parallel = runAll(std::move(reversed), 4, sharedCache());
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (const auto& [name, fields] : serial) {
+    auto it = parallel.find(name);
+    ASSERT_NE(it, parallel.end()) << name;
+    EXPECT_EQ(fields, it->second) << "simulated result diverged for job " << name;
+    EXPECT_EQ(fields.status, JobStatus::Completed) << name;
+    EXPECT_TRUE(fields.bit_exact || fields.psnr_db > 25.0) << name;
+  }
+  // The pinned decode jobs land on the pinned numbers in both sweeps.
+  EXPECT_EQ(serial.at("dec-0").cycles, kPinCycles);
+  EXPECT_EQ(serial.at("dec-0").events, kPinEvents);
+  EXPECT_EQ(parallel.at("dec-3").cycles, kPinCycles);
+}
+
+TEST(Farm, InstanceReuseIsBitIdenticalToColdBuild) {
+  farm::FarmOptions opts;
+  opts.workers = 1;
+  opts.cache = sharedCache();
+  farm::Farm f(opts);
+  auto futs = f.submitBatch({decodeJob("first"), decodeJob("second"), decodeJob("third")});
+  std::vector<JobResult> rs;
+  for (auto& fut : futs) rs.push_back(fut.get());
+
+  EXPECT_FALSE(rs[0].reused_instance);
+  EXPECT_TRUE(rs[1].reused_instance);
+  EXPECT_TRUE(rs[2].reused_instance);
+  for (const JobResult& r : rs) {
+    EXPECT_EQ(r.sim_cycles, kPinCycles) << r.name;
+    EXPECT_EQ(r.sim_events, kPinEvents) << r.name;
+    EXPECT_TRUE(r.bit_exact) << r.name;
+  }
+  const farm::FarmMetrics m = f.metrics();
+  EXPECT_EQ(m.coldBuilds(), 1u);
+  EXPECT_EQ(m.reused(), 2u);
+}
+
+TEST(Farm, ShapeChangeForcesColdRebuild) {
+  farm::FarmOptions opts;
+  opts.workers = 1;
+  opts.cache = sharedCache();
+  farm::Farm f(opts);
+  Job wide = decodeJob("wide");
+  wide.config.set("sram.bus_width_bytes", std::int64_t{8});
+  auto futs = f.submitBatch({decodeJob("a"), std::move(wide), decodeJob("b")});
+  std::vector<JobResult> rs;
+  for (auto& fut : futs) rs.push_back(fut.get());
+
+  EXPECT_FALSE(rs[0].reused_instance);
+  EXPECT_FALSE(rs[1].reused_instance) << "different Config must not reuse the instance";
+  EXPECT_FALSE(rs[2].reused_instance) << "shape changed back: cold again";
+  EXPECT_EQ(rs[0].sim_cycles, kPinCycles);
+  EXPECT_EQ(rs[2].sim_cycles, kPinCycles);
+  EXPECT_GT(rs[1].sim_cycles, kPinCycles) << "narrow bus must cost cycles";
+  for (const JobResult& r : rs) EXPECT_TRUE(r.bit_exact) << r.name;
+}
+
+TEST(Farm, MultiAppMixJobMatchesDirectRun) {
+  // The dual-decode Section-6 mix as one farm job vs. the same mix run
+  // directly on a hand-built instance.
+  Job j;
+  j.name = "dual";
+  j.apps = {AppSpec{}, AppSpec{}};
+  j.config.set("sram.size_bytes", std::int64_t{64 * 1024});
+
+  farm::FarmOptions opts;
+  opts.workers = 1;
+  opts.cache = sharedCache();
+  farm::Farm f(opts);
+  const JobResult r = f.submit(std::move(j)).result.get();
+  ASSERT_EQ(r.status, JobStatus::Completed);
+
+  const auto w = sharedCache()->get(farm::WorkloadDesc{});
+  app::InstanceParams ip;
+  ip.sram.size_bytes = 64 * 1024;
+  app::EclipseInstance inst(ip);
+  app::DecodeApp a(inst, w->bitstream);
+  app::DecodeApp b(inst, w->bitstream);
+  const sim::Cycle cycles = inst.run();
+  ASSERT_TRUE(a.done() && b.done());
+  EXPECT_EQ(r.sim_cycles, cycles);
+  EXPECT_EQ(r.macroblocks, a.macroblocksDecoded() + b.macroblocksDecoded());
+}
+
+TEST(Farm, BackpressureRejectsThenAcceptsAfterDrain) {
+  // Queue-level admission is deterministic; check it directly first.
+  farm::JobQueue q(2);
+  farm::PendingJob pj;
+  EXPECT_EQ(q.tryPush(std::move(pj)), Admission::Accepted);
+  EXPECT_EQ(q.tryPush(std::move(pj)), Admission::Accepted);
+  EXPECT_EQ(q.tryPush(std::move(pj)), Admission::QueueFull);
+  EXPECT_EQ(q.depth(), 2u);
+  EXPECT_TRUE(q.pop().has_value());
+  EXPECT_EQ(q.tryPush(std::move(pj)), Admission::Accepted);
+  q.close();
+  EXPECT_EQ(q.tryPush(std::move(pj)), Admission::ShuttingDown);
+
+  // Farm-level: a single slow worker behind a capacity-1 queue must shed
+  // load from a fast submission burst, then accept again once drained.
+  farm::FarmOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 1;
+  opts.cache = sharedCache();
+  farm::Farm f(opts);
+  std::vector<std::future<JobResult>> accepted;
+  int rejected = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto t = f.submit(decodeJob("burst-" + std::to_string(i)));
+    if (t.admission == Admission::Accepted) {
+      accepted.push_back(std::move(t.result));
+    } else {
+      EXPECT_EQ(t.admission, Admission::QueueFull);
+      ++rejected;
+    }
+  }
+  EXPECT_GE(rejected, 1) << "burst of 10 into a capacity-1 queue must shed load";
+  for (auto& fut : accepted) EXPECT_EQ(fut.get().status, JobStatus::Completed);
+  auto t = f.submit(decodeJob("after-drain"));
+  EXPECT_EQ(t.admission, Admission::Accepted);
+  EXPECT_EQ(t.result.get().sim_cycles, kPinCycles);
+  const farm::FarmMetrics m = f.metrics();
+  EXPECT_EQ(m.rejected, static_cast<std::uint64_t>(rejected));
+}
+
+TEST(Farm, PriorityLanesPopInOrder) {
+  farm::JobQueue q(8);
+  auto push = [&](const char* name, farm::Priority p) {
+    farm::PendingJob pj;
+    pj.job.name = name;
+    pj.job.priority = p;
+    ASSERT_EQ(q.tryPush(std::move(pj)), Admission::Accepted);
+  };
+  push("low-0", farm::Priority::Low);
+  push("normal-0", farm::Priority::Normal);
+  push("high-0", farm::Priority::High);
+  push("normal-1", farm::Priority::Normal);
+  push("high-1", farm::Priority::High);
+
+  std::vector<std::string> order;
+  for (int i = 0; i < 5; ++i) order.push_back(q.pop()->job.name);
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"high-0", "high-1", "normal-0", "normal-1", "low-0"}));
+}
+
+TEST(Farm, FaultyJobFailsInIsolation) {
+  farm::FarmOptions opts;
+  opts.workers = 1;
+  opts.cache = sharedCache();
+  farm::Farm f(opts);
+
+  const JobResult before = f.submit(decodeJob("before")).result.get();
+  ASSERT_EQ(before.sim_cycles, kPinCycles);
+
+  // A task hang long enough that the armed watchdog latches Hang; the
+  // job reports its faults and must not poison the worker for successors.
+  Job faulty = decodeJob("faulty");
+  {
+    sim::FaultSpec hang;
+    hang.kind = sim::FaultKind::TaskHang;
+    hang.shell = 1;  // rlsq; the single decode app's task sits in slot 0
+    hang.task = 0;
+    hang.at_cycle = 10'000;
+    hang.delay_cycles = 600'000;  // well past the watchdog timeout
+    faulty.faults.faults.push_back(hang);
+  }
+  faulty.watchdog_timeout = 20'000;
+  faulty.max_cycles = 800'000;
+  const JobResult rf = f.submit(std::move(faulty)).result.get();
+  EXPECT_GT(rf.faults_latched + rf.stalls_latched, 0u)
+      << "injected hang must be observed by the health summary";
+
+  const JobResult after = f.submit(decodeJob("after")).result.get();
+  EXPECT_EQ(after.status, JobStatus::Completed);
+  EXPECT_EQ(after.sim_cycles, kPinCycles);
+  EXPECT_EQ(after.sim_events, kPinEvents);
+  EXPECT_TRUE(after.bit_exact);
+  EXPECT_FALSE(after.reused_instance) << "a faulted job must retire its instance";
+}
+
+TEST(Farm, ConfigurationErrorIsContainedPerJob) {
+  farm::FarmOptions opts;
+  opts.workers = 1;
+  opts.cache = sharedCache();
+  farm::Farm f(opts);
+
+  Job tiny = decodeJob("tiny-sram");
+  tiny.config.set("sram.size_bytes", std::int64_t{4096});  // graph cannot fit
+  const JobResult re = f.submit(std::move(tiny)).result.get();
+  EXPECT_EQ(re.status, JobStatus::Error);
+  EXPECT_FALSE(re.error.empty());
+
+  const JobResult ok = f.submit(decodeJob("recovered")).result.get();
+  EXPECT_EQ(ok.status, JobStatus::Completed);
+  EXPECT_EQ(ok.sim_cycles, kPinCycles);
+}

@@ -5,7 +5,7 @@
 // machine-readable output, and has a --smoke mode cheap enough for CI.
 //
 // Usage: bench_json [--out FILE] [--repeats N] [--smoke]
-//                   [--transport | --reconfig | --faults]
+//                   [--transport | --reconfig | --faults | --farm]
 
 #include <chrono>
 #include <cstdint>
@@ -498,6 +498,153 @@ void emitFaults(std::FILE* f, const FaultsResult& r) {
   std::fprintf(f, "  ]\n}\n");
 }
 
+/// Farm scenario: batch-serve a mixed job list at increasing worker
+/// counts. Two figures of merit: throughput scaling (jobs/s and latency
+/// percentiles per worker count, with the reuse-vs-cold configure cost
+/// split) and the determinism contract — every job's simulated fields must
+/// be bit-identical across worker counts, enforced in-binary (exit 1).
+struct FarmSweepPoint {
+  int workers = 0;
+  double wall_s = 0;
+  double jobs_per_s = 0;
+  double p50_ms = 0, p95_ms = 0, p99_ms = 0;
+  std::uint64_t completed = 0, failed = 0;
+  std::uint64_t reused = 0, cold_builds = 0;
+  double build_ms = 0;    // total cold-configure cost across workers
+  double recycle_ms = 0;  // total recycle cost across workers
+};
+
+struct FarmBenchResult {
+  int jobs = 0;
+  bool deterministic = true;
+  std::vector<FarmSweepPoint> points;
+};
+
+std::vector<farm::Job> farmBenchJobs(int n) {
+  std::vector<farm::Job> jobs;
+  jobs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    farm::Job j;
+    j.name = "bench-" + std::to_string(i);
+    switch (i % 4) {
+      case 0:  // the pinned reference decode
+        break;
+      case 1:  // decode of a coarser clip (distinct prepared workload)
+        j.apps[0].workload.qscale = 20;
+        break;
+      case 2:  // encode
+        j.apps[0].kind = farm::AppKind::Encode;
+        break;
+      case 3:  // dual-decode mix on a larger SRAM (distinct instance shape)
+        j.apps.push_back(farm::AppSpec{});
+        j.config.set("sram.size_bytes", std::int64_t{64 * 1024});
+        break;
+    }
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+/// The simulated fields covered by the determinism contract.
+struct FarmSimFields {
+  sim::Cycle sim_cycles;
+  std::uint64_t sim_events, macroblocks;
+  bool bit_exact;
+  double psnr_db;
+  std::uint64_t faults, stalls;
+  bool operator==(const FarmSimFields&) const = default;
+};
+
+FarmBenchResult runFarm(bool smoke) {
+  FarmBenchResult r;
+  r.jobs = smoke ? 24 : 200;
+  const std::vector<int> worker_counts = smoke ? std::vector<int>{1, 2, 4}
+                                               : std::vector<int>{1, 2, 4, 8};
+  // One prepared-workload cache across the sweep: video generation and
+  // golden encodes are paid once, so the points measure serving, not setup.
+  auto cache = std::make_shared<farm::WorkloadCache>();
+  std::vector<FarmSimFields> reference;
+
+  for (int workers : worker_counts) {
+    farm::FarmOptions opts;
+    opts.workers = workers;
+    opts.queue_capacity = static_cast<std::size_t>(r.jobs);
+    opts.cache = cache;
+    farm::Farm f(opts);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    auto futs = f.submitBatch(farmBenchJobs(r.jobs));
+    std::vector<FarmSimFields> fields;
+    fields.reserve(futs.size());
+    for (auto& fut : futs) {
+      const farm::JobResult jr = fut.get();
+      fields.push_back({jr.sim_cycles, jr.sim_events, jr.macroblocks, jr.bit_exact, jr.psnr_db,
+                        jr.faults_latched, jr.stalls_latched});
+    }
+    const double wall = seconds(t0);
+
+    if (reference.empty()) {
+      reference = fields;
+    } else {
+      for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (!(fields[i] == reference[i])) {
+          std::fprintf(stderr,
+                       "FARM DETERMINISM VIOLATION: job %zu at %d workers "
+                       "(cycles %llu vs %llu, events %llu vs %llu)\n",
+                       i, workers, static_cast<unsigned long long>(fields[i].sim_cycles),
+                       static_cast<unsigned long long>(reference[i].sim_cycles),
+                       static_cast<unsigned long long>(fields[i].sim_events),
+                       static_cast<unsigned long long>(reference[i].sim_events));
+          r.deterministic = false;
+        }
+      }
+    }
+
+    const farm::FarmMetrics m = f.metrics();
+    FarmSweepPoint p;
+    p.workers = workers;
+    p.wall_s = wall;
+    p.jobs_per_s = wall > 0 ? static_cast<double>(r.jobs) / wall : 0;
+    p.p50_ms = m.p50_ms;
+    p.p95_ms = m.p95_ms;
+    p.p99_ms = m.p99_ms;
+    p.completed = m.completed;
+    p.failed = m.failed;
+    p.reused = m.reused();
+    p.cold_builds = m.coldBuilds();
+    for (const farm::WorkerStats& w : m.workers) {
+      p.build_ms += w.build_ms;
+      p.recycle_ms += w.recycle_ms;
+    }
+    r.points.push_back(p);
+  }
+  return r;
+}
+
+void emitFarm(std::FILE* f, const FarmBenchResult& r) {
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"eclipse-bench-farm-v1\",\n");
+  std::fprintf(f, "  \"jobs\": %d,\n", r.jobs);
+  std::fprintf(f, "  \"deterministic\": %s,\n", r.deterministic ? "true" : "false");
+  const double base = r.points.empty() ? 0 : r.points.front().jobs_per_s;
+  std::fprintf(f, "  \"points\": [\n");
+  for (std::size_t i = 0; i < r.points.size(); ++i) {
+    const FarmSweepPoint& p = r.points[i];
+    std::fprintf(f,
+                 "    {\"workers\": %d, \"wall_s\": %.3f, \"jobs_per_s\": %.2f, "
+                 "\"speedup\": %.2f, \"p50_ms\": %.2f, \"p95_ms\": %.2f, \"p99_ms\": %.2f, "
+                 "\"completed\": %llu, \"failed\": %llu, \"reused\": %llu, "
+                 "\"cold_builds\": %llu, \"build_ms\": %.1f, \"recycle_ms\": %.1f}%s\n",
+                 p.workers, p.wall_s, p.jobs_per_s, base > 0 ? p.jobs_per_s / base : 0, p.p50_ms,
+                 p.p95_ms, p.p99_ms, static_cast<unsigned long long>(p.completed),
+                 static_cast<unsigned long long>(p.failed),
+                 static_cast<unsigned long long>(p.reused),
+                 static_cast<unsigned long long>(p.cold_builds), p.build_ms, p.recycle_ms,
+                 i + 1 < r.points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+}
+
 void emit(std::FILE* f, const std::vector<Result>& results) {
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"schema\": \"eclipse-bench-kernel-v1\",\n");
@@ -528,6 +675,7 @@ int main(int argc, char** argv) {
   bool transport = false;
   bool reconfig = false;
   bool faults = false;
+  bool farm_bench = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out = argv[++i];
@@ -541,21 +689,39 @@ int main(int argc, char** argv) {
       reconfig = true;
     } else if (std::strcmp(argv[i], "--faults") == 0) {
       faults = true;
+    } else if (std::strcmp(argv[i], "--farm") == 0) {
+      farm_bench = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--out FILE] [--repeats N] [--smoke] "
-                   "[--transport | --reconfig | --faults]\n",
+                   "[--transport | --reconfig | --faults | --farm]\n",
                    argv[0]);
       return 2;
     }
   }
   if (repeats < 1) repeats = 1;
   if (out.empty()) {
-    out = faults ? "BENCH_faults.json"
-                 : (reconfig ? "BENCH_reconfig.json"
-                             : (transport ? "BENCH_transport.json" : "BENCH_kernel.json"));
+    out = farm_bench
+              ? "BENCH_farm.json"
+              : (faults ? "BENCH_faults.json"
+                        : (reconfig ? "BENCH_reconfig.json"
+                                    : (transport ? "BENCH_transport.json" : "BENCH_kernel.json")));
   }
 
+  if (farm_bench) {
+    const FarmBenchResult r = runFarm(smoke);
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot open %s for writing\n", out.c_str());
+      return 1;
+    }
+    emitFarm(f, r);
+    std::fclose(f);
+    emitFarm(stdout, r);
+    std::fprintf(stderr, "wrote %s\n", out.c_str());
+    // The determinism contract is a hard invariant, not a perf number.
+    return r.deterministic ? 0 : 1;
+  }
   if (faults) {
     const FaultsResult r = runFaults(smoke);
     std::FILE* f = std::fopen(out.c_str(), "w");

@@ -1,0 +1,321 @@
+// farm_driver — batch-serve simulation jobs across worker threads.
+//
+// Reads a job list (one job per line: a name followed by key=value
+// fields), runs it through an eclipse::farm::Farm, and writes per-job
+// results as CSV and/or JSON plus an aggregate summary. See
+// tools/farm_jobs.example and README.md ("Batch serving") for the format.
+//
+// Exit status: 0 when every accepted job completed (and verified when
+// verification was on), 1 otherwise.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "eclipse/farm/farm.hpp"
+
+using namespace eclipse;
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: farm_driver (--jobs FILE | --demo [N]) [options]\n"
+      "  --jobs FILE    job list, one job per line (see tools/farm_jobs.example)\n"
+      "  --demo [N]     built-in mixed list of N jobs (default 12)\n"
+      "  --workers N    worker threads (default: hardware concurrency)\n"
+      "  --queue N      queue capacity for admission control (default 64)\n"
+      "  --csv FILE     write per-job results as CSV\n"
+      "  --json FILE    write per-job results + farm metrics as JSON\n"
+      "  --quiet        suppress the per-job progress lines\n"
+      "\n"
+      "job line:   <name> [key=value ...]\n"
+      "  kind=decode|encode|decode+decode+...   applications on one instance\n"
+      "  width= height= frames= seed= qscale= gop=N,M detail= motion= noise=\n"
+      "  priority=high|normal|low   repeat=N   max_cycles=N   verify=0|1\n"
+      "  config:KEY=VALUE           instance parameter (e.g. config:sram.size_bytes=65536)\n");
+}
+
+bool parseJobLine(const std::string& line, std::vector<farm::Job>& out, std::string& err) {
+  std::istringstream is(line);
+  std::string name;
+  if (!(is >> name)) return true;  // blank
+  if (name[0] == '#') return true;
+
+  farm::Job job;
+  job.name = name;
+  farm::WorkloadDesc wd;  // shared by every app of the job
+  std::vector<farm::AppKind> kinds{farm::AppKind::Decode};
+  int repeat = 1;
+
+  std::string field;
+  while (is >> field) {
+    const auto eq = field.find('=');
+    if (eq == std::string::npos) {
+      err = "field without '=': " + field;
+      return false;
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string val = field.substr(eq + 1);
+    try {
+      if (key == "kind") {
+        kinds.clear();
+        std::istringstream ks(val);
+        std::string k;
+        while (std::getline(ks, k, '+')) {
+          if (k == "decode") {
+            kinds.push_back(farm::AppKind::Decode);
+          } else if (k == "encode") {
+            kinds.push_back(farm::AppKind::Encode);
+          } else {
+            err = "unknown kind: " + k;
+            return false;
+          }
+        }
+        if (kinds.empty()) {
+          err = "empty kind list";
+          return false;
+        }
+      } else if (key == "width") {
+        wd.width = std::stoi(val);
+      } else if (key == "height") {
+        wd.height = std::stoi(val);
+      } else if (key == "frames") {
+        wd.frames = std::stoi(val);
+      } else if (key == "seed") {
+        wd.seed = std::stoull(val);
+      } else if (key == "qscale") {
+        wd.qscale = std::stoi(val);
+      } else if (key == "gop") {
+        const auto comma = val.find(',');
+        wd.gop_n = std::stoi(val.substr(0, comma));
+        if (comma != std::string::npos) wd.gop_m = std::stoi(val.substr(comma + 1));
+      } else if (key == "detail") {
+        wd.detail = std::stoi(val);
+      } else if (key == "motion") {
+        wd.motion_speed = std::stoi(val);
+      } else if (key == "noise") {
+        wd.noise_level = std::stod(val);
+      } else if (key == "priority") {
+        if (val == "high") {
+          job.priority = farm::Priority::High;
+        } else if (val == "normal") {
+          job.priority = farm::Priority::Normal;
+        } else if (val == "low") {
+          job.priority = farm::Priority::Low;
+        } else {
+          err = "unknown priority: " + val;
+          return false;
+        }
+      } else if (key == "repeat") {
+        repeat = std::stoi(val);
+      } else if (key == "max_cycles") {
+        job.max_cycles = std::stoull(val);
+      } else if (key == "verify") {
+        job.verify = val != "0" && val != "false";
+      } else if (key.rfind("config:", 0) == 0) {
+        job.config.set(key.substr(7), val);
+      } else {
+        err = "unknown field: " + key;
+        return false;
+      }
+    } catch (const std::exception&) {
+      err = "bad value for " + key + ": " + val;
+      return false;
+    }
+  }
+
+  job.apps.clear();
+  for (farm::AppKind k : kinds) job.apps.push_back(farm::AppSpec{k, wd});
+  for (int i = 0; i < repeat; ++i) {
+    farm::Job j = job;
+    if (repeat > 1) j.name += "-" + std::to_string(i);
+    out.push_back(std::move(j));
+  }
+  return true;
+}
+
+std::vector<farm::Job> demoJobs(int n) {
+  std::vector<farm::Job> jobs;
+  for (int i = 0; i < n; ++i) {
+    farm::Job j;
+    j.name = "demo-" + std::to_string(i);
+    switch (i % 4) {
+      case 0:  // pinned decode
+        break;
+      case 1:  // decode of a different clip
+        j.apps[0].workload.qscale = 20;
+        break;
+      case 2:  // encode
+        j.apps[0].kind = farm::AppKind::Encode;
+        break;
+      case 3:  // dual-decode mix on a larger SRAM
+        j.apps.push_back(farm::AppSpec{});
+        j.config.set("sram.size_bytes", std::int64_t{64 * 1024});
+        break;
+    }
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void writeCsv(const std::string& path, const std::vector<farm::JobResult>& results) {
+  std::ofstream os(path);
+  os << "id,name,status,sim_cycles,sim_events,macroblocks,bit_exact,psnr_db,"
+        "faults,stalls,worker,reused,wall_ms,latency_ms,error\n";
+  for (const auto& r : results) {
+    os << r.id << ',' << r.name << ',' << farm::jobStatusName(r.status) << ',' << r.sim_cycles
+       << ',' << r.sim_events << ',' << r.macroblocks << ',' << (r.bit_exact ? 1 : 0) << ','
+       << r.psnr_db << ',' << r.faults_latched << ',' << r.stalls_latched << ',' << r.worker
+       << ',' << (r.reused_instance ? 1 : 0) << ',' << r.wall_ms << ',' << r.latency_ms << ','
+       << r.error << '\n';
+  }
+}
+
+void writeJson(const std::string& path, const std::vector<farm::JobResult>& results,
+               const farm::FarmMetrics& m, int workers) {
+  std::ofstream os(path);
+  os << "{\n  \"schema\": \"eclipse-farm-results-v1\",\n";
+  os << "  \"workers\": " << workers << ",\n  \"jobs\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    os << "    {\"id\": " << r.id << ", \"name\": \"" << jsonEscape(r.name)
+       << "\", \"status\": \"" << farm::jobStatusName(r.status)
+       << "\", \"sim_cycles\": " << r.sim_cycles << ", \"sim_events\": " << r.sim_events
+       << ", \"macroblocks\": " << r.macroblocks
+       << ", \"bit_exact\": " << (r.bit_exact ? "true" : "false")
+       << ", \"psnr_db\": " << r.psnr_db << ", \"worker\": " << r.worker
+       << ", \"reused\": " << (r.reused_instance ? "true" : "false")
+       << ", \"wall_ms\": " << r.wall_ms << ", \"latency_ms\": " << r.latency_ms
+       << (r.error.empty() ? "" : ", \"error\": \"" + jsonEscape(r.error) + "\"") << "}"
+       << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"metrics\": {\"accepted\": " << m.accepted << ", \"rejected\": " << m.rejected
+     << ", \"completed\": " << m.completed << ", \"failed\": " << m.failed
+     << ", \"jobs_per_s\": " << m.jobs_per_s << ", \"p50_ms\": " << m.p50_ms
+     << ", \"p95_ms\": " << m.p95_ms << ", \"p99_ms\": " << m.p99_ms
+     << ", \"reused\": " << m.reused() << ", \"cold_builds\": " << m.coldBuilds() << "}\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string jobs_path, csv_path, json_path;
+  int demo = 0;
+  bool quiet = false;
+  farm::FarmOptions opts;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--jobs") {
+      jobs_path = next();
+    } else if (a == "--demo") {
+      demo = i + 1 < argc && argv[i + 1][0] != '-' ? std::atoi(argv[++i]) : 12;
+    } else if (a == "--workers") {
+      opts.workers = std::atoi(next());
+    } else if (a == "--queue") {
+      opts.queue_capacity = static_cast<std::size_t>(std::atoll(next()));
+    } else if (a == "--csv") {
+      csv_path = next();
+    } else if (a == "--json") {
+      json_path = next();
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else {
+      usage();
+      return a == "--help" || a == "-h" ? 0 : 2;
+    }
+  }
+  if (jobs_path.empty() && demo == 0) {
+    usage();
+    return 2;
+  }
+
+  std::vector<farm::Job> jobs;
+  if (!jobs_path.empty()) {
+    std::ifstream is(jobs_path);
+    if (!is) {
+      std::fprintf(stderr, "farm_driver: cannot open %s\n", jobs_path.c_str());
+      return 2;
+    }
+    std::string line, err;
+    int line_no = 0;
+    while (std::getline(is, line)) {
+      ++line_no;
+      if (!parseJobLine(line, jobs, err)) {
+        std::fprintf(stderr, "farm_driver: %s:%d: %s\n", jobs_path.c_str(), line_no,
+                     err.c_str());
+        return 2;
+      }
+    }
+  } else {
+    jobs = demoJobs(demo);
+  }
+  if (jobs.empty()) {
+    std::fprintf(stderr, "farm_driver: no jobs\n");
+    return 2;
+  }
+
+  farm::Farm f(opts);
+  const int workers = f.workerCount();
+  std::printf("farm_driver: %zu job(s) on %d worker(s), queue capacity %zu\n", jobs.size(),
+              workers, opts.queue_capacity);
+
+  auto futs = f.submitBatch(std::move(jobs));
+  std::vector<farm::JobResult> results;
+  results.reserve(futs.size());
+  bool all_ok = true;
+  for (auto& fut : futs) {
+    farm::JobResult r = fut.get();
+    const bool ok = r.status == farm::JobStatus::Completed &&
+                    (!r.error.empty() ? false : true) && r.faults_latched == 0;
+    all_ok = all_ok && ok;
+    if (!quiet) {
+      std::printf("  [%s] %-16s %10llu cycles %8llu MBs  worker %d %s%s%s\n",
+                  farm::jobStatusName(r.status), r.name.c_str(),
+                  static_cast<unsigned long long>(r.sim_cycles),
+                  static_cast<unsigned long long>(r.macroblocks), r.worker,
+                  r.reused_instance ? "(reused)" : "(cold)", r.error.empty() ? "" : " error: ",
+                  r.error.c_str());
+    }
+    results.push_back(std::move(r));
+  }
+
+  const farm::FarmMetrics m = f.metrics();
+  std::printf(
+      "summary: %llu completed, %llu failed, %llu rejected | %.1f jobs/s | "
+      "latency p50 %.1f ms p95 %.1f ms p99 %.1f ms | %llu reused / %llu cold builds\n",
+      static_cast<unsigned long long>(m.completed), static_cast<unsigned long long>(m.failed),
+      static_cast<unsigned long long>(m.rejected), m.jobs_per_s, m.p50_ms, m.p95_ms, m.p99_ms,
+      static_cast<unsigned long long>(m.reused()),
+      static_cast<unsigned long long>(m.coldBuilds()));
+
+  if (!csv_path.empty()) writeCsv(csv_path, results);
+  if (!json_path.empty()) writeJson(json_path, results, m, workers);
+  return all_ok ? 0 : 1;
+}
