@@ -7,6 +7,7 @@
 
 #include "eclipse/coproc/limits.hpp"
 #include "eclipse/coproc/packet_io.hpp"
+#include "eclipse/media/kernels.hpp"
 #include "eclipse/media/motion.hpp"
 
 namespace eclipse::coproc {
@@ -31,27 +32,6 @@ PlaneGeom planeGeom(const media::SeqHeader& sh, int plane) {
 }
 
 int clampi(int v, int lo, int hi) { return v < lo ? lo : (v > hi ? hi : v); }
-
-/// Bilinear sample of a fetched full-pel region at integer offset (x, y)
-/// with half-pel fraction bits (fx, fy) — bit-exact with
-/// motion::sampleHalfPel on the source plane.
-std::uint8_t bilinear(const std::vector<std::uint8_t>& region, int rw, int x, int y, int fx,
-                      int fy) {
-  const int a = region[static_cast<std::size_t>(y * rw + x)];
-  if (fx == 0 && fy == 0) return static_cast<std::uint8_t>(a);
-  if (fx != 0 && fy == 0) {
-    const int b = region[static_cast<std::size_t>(y * rw + x + 1)];
-    return static_cast<std::uint8_t>((a + b + 1) / 2);
-  }
-  if (fx == 0) {
-    const int b = region[static_cast<std::size_t>((y + 1) * rw + x)];
-    return static_cast<std::uint8_t>((a + b + 1) / 2);
-  }
-  const int b = region[static_cast<std::size_t>(y * rw + x + 1)];
-  const int c = region[static_cast<std::size_t>((y + 1) * rw + x)];
-  const int d = region[static_cast<std::size_t>((y + 1) * rw + x + 1)];
-  return static_cast<std::uint8_t>((a + b + c + d + 2) / 4);
-}
 
 }  // namespace
 
@@ -146,11 +126,10 @@ sim::Task<void> McCoproc::predictTimed(TaskState& st, const media::MbHeader& h,
     const int x0 = cx >> 1, fx = cx & 1;
     const int y0 = cy >> 1, fy = cy & 1;
     co_await fetchRegion(st, slot, 0, x0, y0, 17, 17, region_);
-    for (int y = 0; y < media::kMbSize; ++y) {
-      for (int x = 0; x < media::kMbSize; ++x) {
-        out.y[static_cast<std::size_t>(y * media::kMbSize + x)] = bilinear(region_, 17, x, y, fx, fy);
-      }
-    }
+    // The fetched region is clamp-extended, so the whole 16x16 read is
+    // in-bounds — straight into the vector interpolator.
+    media::kernels::active().interp_16xh(out.y.data(), media::kMbSize, region_.data(), 17,
+                                         media::kMbSize, fx, fy);
     // Chroma: the luma vector halved (truncation toward zero, MPEG-2).
     const int cvx = mv.x / 2;
     const int cvy = mv.y / 2;
@@ -160,12 +139,8 @@ sim::Task<void> McCoproc::predictTimed(TaskState& st, const media::MbHeader& h,
     const int cy0 = ccy >> 1, cfy = ccy & 1;
     co_await fetchRegion(st, slot, 1, cx0, cy0, 9, 9, rcb_);
     co_await fetchRegion(st, slot, 2, cx0, cy0, 9, 9, rcr_);
-    for (int y = 0; y < 8; ++y) {
-      for (int x = 0; x < 8; ++x) {
-        out.cb[static_cast<std::size_t>(y * 8 + x)] = bilinear(rcb_, 9, x, y, cfx, cfy);
-        out.cr[static_cast<std::size_t>(y * 8 + x)] = bilinear(rcr_, 9, x, y, cfx, cfy);
-      }
-    }
+    media::kernels::active().interp_8xh(out.cb.data(), 8, rcb_.data(), 9, 8, cfx, cfy);
+    media::kernels::active().interp_8xh(out.cr.data(), 8, rcr_.data(), 9, 8, cfx, cfy);
   };
 
   // Reference slot selection mirrors the decoder: P pictures predict from
@@ -210,19 +185,20 @@ sim::Task<void> McCoproc::decideMode(TaskState& st, const media::MbPixels& cur,
   const int wx0 = px - (R + 1);
   const int wy0 = py - (R + 1);
 
+  // Half-pel candidate offset into a fetched window: every candidate the
+  // search emits has mv + 2(R+1) >= 1, so >>1 is a plain floor and the
+  // 16x16(+fraction) read stays inside the S x S window.
+  auto winAt = [&](const std::vector<std::uint8_t>& win, int mvx, int mvy) {
+    const int cx = mvx + 2 * (R + 1);
+    const int cy = mvy + 2 * (R + 1);
+    return win.data() + static_cast<std::ptrdiff_t>(cy >> 1) * S + (cx >> 1);
+  };
+
   // SAD of a half-pel candidate against a fetched window.
   auto sadHalf = [&](const std::vector<std::uint8_t>& win, int mvx, int mvy) {
-    std::uint32_t sad = 0;
-    for (int y = 0; y < media::kMbSize; ++y) {
-      const int hy = 2 * y + mvy + 2 * (R + 1);
-      for (int x = 0; x < media::kMbSize; ++x) {
-        const int hx = 2 * x + mvx + 2 * (R + 1);
-        const int p = bilinear(win, S, hx >> 1, hy >> 1, hx & 1, hy & 1);
-        sad += static_cast<std::uint32_t>(
-            std::abs(static_cast<int>(cur.y[static_cast<std::size_t>(y * media::kMbSize + x)]) - p));
-      }
-    }
-    return sad;
+    return media::kernels::active().sad_16xh(cur.y.data(), media::kMbSize, winAt(win, mvx, mvy),
+                                             S, media::kMbSize, (mvx + 2 * (R + 1)) & 1,
+                                             (mvy + 2 * (R + 1)) & 1);
   };
 
   // Full-pel exhaustive search plus half-pel refinement in one window.
@@ -280,35 +256,31 @@ sim::Task<void> McCoproc::decideMode(TaskState& st, const media::MbPixels& cur,
   if (st.pic.type == media::FrameType::B) {
     co_await fetchRegion(st, st.refs.last, 0, wx0, wy0, S, S, win_b_);
     best_b = searchWindow(win_b_);
-    // Bidirectional: average of the two best predictions.
-    std::uint32_t sad = 0;
-    for (int y = 0; y < media::kMbSize; ++y) {
-      const int hfy = 2 * y + best_f.mv.y + 2 * (R + 1);
-      const int hby = 2 * y + best_b.mv.y + 2 * (R + 1);
-      for (int x = 0; x < media::kMbSize; ++x) {
-        const int hfx = 2 * x + best_f.mv.x + 2 * (R + 1);
-        const int hbx = 2 * x + best_b.mv.x + 2 * (R + 1);
-        const int pf = bilinear(win_f_, S, hfx >> 1, hfy >> 1, hfx & 1, hfy & 1);
-        const int pb = bilinear(win_b_, S, hbx >> 1, hby >> 1, hbx & 1, hby & 1);
-        const int p = (pf + pb + 1) / 2;
-        sad += static_cast<std::uint32_t>(
-            std::abs(static_cast<int>(cur.y[static_cast<std::size_t>(y * media::kMbSize + x)]) - p));
-      }
-    }
-    sad_bidi = sad;
+    // Bidirectional: average of the two best predictions. Interpolate both
+    // into scratch macroblocks, average, then a full-pel SAD.
+    const auto& k = media::kernels::active();
+    alignas(16) std::uint8_t pf[256], pb[256], avg[256];
+    k.interp_16xh(pf, media::kMbSize, winAt(win_f_, best_f.mv.x, best_f.mv.y), S, media::kMbSize,
+                  (best_f.mv.x + 2 * (R + 1)) & 1, (best_f.mv.y + 2 * (R + 1)) & 1);
+    k.interp_16xh(pb, media::kMbSize, winAt(win_b_, best_b.mv.x, best_b.mv.y), S, media::kMbSize,
+                  (best_b.mv.x + 2 * (R + 1)) & 1, (best_b.mv.y + 2 * (R + 1)) & 1);
+    k.avg_u8(pf, pb, avg, 256);
+    sad_bidi = k.sad_16xh(cur.y.data(), media::kMbSize, avg, media::kMbSize, media::kMbSize, 0, 0);
     ++candidates;
   }
 
   co_await sim_.delay(static_cast<sim::Cycle>(candidates) * params_.cycles_per_candidate);
 
   // Intra activity of the current macroblock (mean absolute deviation).
-  std::uint32_t sum = 0;
-  for (const auto v : cur.y) sum += v;
+  // SAD against a constant row with ref_stride 0: vs zero it sums the
+  // pixels, vs the mean it is exactly the activity sum.
+  alignas(16) std::uint8_t mrow[media::kMbSize] = {};
+  const std::uint32_t sum =
+      media::kernels::active().sad_16xh(cur.y.data(), media::kMbSize, mrow, 0, media::kMbSize, 0, 0);
   const std::uint32_t mean = sum / 256;
-  std::uint32_t activity = 0;
-  for (const auto v : cur.y) {
-    activity += static_cast<std::uint32_t>(std::abs(static_cast<int>(v) - static_cast<int>(mean)));
-  }
+  std::fill(std::begin(mrow), std::end(mrow), static_cast<std::uint8_t>(mean));
+  const std::uint32_t activity =
+      media::kernels::active().sad_16xh(cur.y.data(), media::kMbSize, mrow, 0, media::kMbSize, 0, 0);
 
   std::uint32_t best_sad = best_f.sad;
   media::MbMode mode = media::MbMode::Forward;

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "eclipse/media/dct.hpp"
+#include "eclipse/media/kernels.hpp"
 #include "eclipse/media/vlc.hpp"
 
 namespace eclipse::media {
@@ -48,10 +49,6 @@ const quant::Matrix& intraMatrix(const SeqHeader& sh) {
 
 scan::Order scanOrder(const SeqHeader& sh) {
   return sh.scan_order == 0 ? scan::Order::Zigzag : scan::Order::Alternate;
-}
-
-std::uint8_t clampPel(int v) {
-  return static_cast<std::uint8_t>(v < 0 ? 0 : (v > 255 ? 255 : v));
 }
 
 }  // namespace
@@ -314,59 +311,43 @@ void predictMb(const MbHeader& h, const Frame* fwd_ref, const Frame* bwd_ref, Mb
 
 namespace {
 
-// Maps (block index, in-block offset) to the MbPixels sample arrays.
-template <typename PixFn>
-void forEachBlockSample(PixFn&& fn) {
-  for (int b = 0; b < kBlocksPerMacroblock; ++b) {
-    for (int i = 0; i < 64; ++i) {
-      const int bx = i % 8;
-      const int by = i / 8;
-      if (b < 4) {
-        const int x = (b % 2) * 8 + bx;
-        const int y = (b / 2) * 8 + by;
-        fn(b, i, /*luma=*/true, y * kMbSize + x);
-      } else {
-        fn(b, i, /*luma=*/false, by * 8 + bx);
-      }
-    }
+// The six 8x8 blocks of a macroblock as (plane base offset, stride) into
+// the MbPixels arrays: four luma quadrants, then Cb, then Cr.
+struct BlockGeom {
+  std::size_t offset;
+  int stride;
+};
+
+BlockGeom blockGeom(int b) {
+  if (b < 4) {
+    return BlockGeom{static_cast<std::size_t>((b / 2) * 8 * kMbSize + (b % 2) * 8), kMbSize};
   }
+  return BlockGeom{0, 8};
 }
 
 }  // namespace
 
 void residualMb(const MbPixels& cur, const MbPixels& pred, MbBlocks& out) {
   out.cbp = 0x3F;
-  forEachBlockSample([&](int b, int i, bool luma, int off) {
-    int c, p;
-    if (luma) {
-      c = cur.y[static_cast<std::size_t>(off)];
-      p = pred.y[static_cast<std::size_t>(off)];
-    } else if (b == 4) {
-      c = cur.cb[static_cast<std::size_t>(off)];
-      p = pred.cb[static_cast<std::size_t>(off)];
-    } else {
-      c = cur.cr[static_cast<std::size_t>(off)];
-      p = pred.cr[static_cast<std::size_t>(off)];
-    }
-    out.blocks[static_cast<std::size_t>(b)][static_cast<std::size_t>(i)] =
-        static_cast<std::int16_t>(c - p);
-  });
+  const auto& k = kernels::active();
+  for (int b = 0; b < kBlocksPerMacroblock; ++b) {
+    const BlockGeom g = blockGeom(b);
+    const std::uint8_t* c = b < 4 ? cur.y.data() : (b == 4 ? cur.cb.data() : cur.cr.data());
+    const std::uint8_t* p = b < 4 ? pred.y.data() : (b == 4 ? pred.cb.data() : pred.cr.data());
+    k.diff_8x8(out.blocks[static_cast<std::size_t>(b)].data(), c + g.offset, g.stride,
+               p + g.offset, g.stride);
+  }
 }
 
 void addResidualMb(const MbPixels& pred, const MbBlocks& residual, MbPixels& out) {
-  forEachBlockSample([&](int b, int i, bool luma, int off) {
-    const int r = residual.blocks[static_cast<std::size_t>(b)][static_cast<std::size_t>(i)];
-    if (luma) {
-      out.y[static_cast<std::size_t>(off)] =
-          clampPel(pred.y[static_cast<std::size_t>(off)] + r);
-    } else if (b == 4) {
-      out.cb[static_cast<std::size_t>(off)] =
-          clampPel(pred.cb[static_cast<std::size_t>(off)] + r);
-    } else {
-      out.cr[static_cast<std::size_t>(off)] =
-          clampPel(pred.cr[static_cast<std::size_t>(off)] + r);
-    }
-  });
+  const auto& k = kernels::active();
+  for (int b = 0; b < kBlocksPerMacroblock; ++b) {
+    const BlockGeom g = blockGeom(b);
+    const std::uint8_t* p = b < 4 ? pred.y.data() : (b == 4 ? pred.cb.data() : pred.cr.data());
+    std::uint8_t* o = b < 4 ? out.y.data() : (b == 4 ? out.cb.data() : out.cr.data());
+    k.add_res_8x8(o + g.offset, g.stride, p + g.offset, g.stride,
+                  residual.blocks[static_cast<std::size_t>(b)].data());
+  }
 }
 
 MbHeader decideMbMode(const Frame& src, int mb_x, int mb_y, FrameType pic_type, const Frame* fwd,
@@ -414,12 +395,8 @@ MbHeader decideMbMode(const Frame& src, int mb_x, int mb_y, FrameType pic_type, 
       MbPixels cur_px, pred_px;
       stages::extractMb(src, mb_x, mb_y, cur_px);
       stages::predictMb(bh, fwd, bwd, pred_px);
-      std::uint32_t sad = 0;
-      for (std::size_t i = 0; i < cur_px.y.size(); ++i) {
-        sad += static_cast<std::uint32_t>(
-            std::abs(static_cast<int>(cur_px.y[i]) - static_cast<int>(pred_px.y[i])));
-      }
-      sad_bidi = sad;
+      sad_bidi = kernels::active().sad_16xh(cur_px.y.data(), kMbSize, pred_px.y.data(), kMbSize,
+                                            kMbSize, 0, 0);
       if (sad_bidi < best_sad) {
         best_sad = sad_bidi;
         best_mode = MbMode::Bidirectional;

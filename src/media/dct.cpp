@@ -1,100 +1,15 @@
 #include "eclipse/media/dct.hpp"
 
-#include <array>
-#include <cmath>
-#include <cstdint>
+#include "eclipse/media/kernels.hpp"
 
 namespace eclipse::media::dct {
 
-namespace {
+// The transform maths lives in the kernel backends (kernels_scalar.cpp is
+// the original implementation, verbatim; SIMD backends are bit-identical
+// to it). See DESIGN.md §11.
 
-constexpr int kShift = 13;  // fixed-point fraction bits
-constexpr std::int32_t kRound = 1 << (kShift - 1);
+void forward(const Block& in, Block& out) { kernels::active().dct_forward(in, out); }
 
-/// K[u][x] = round( (alpha(u)/2) * cos((2x+1) u pi / 16) * 2^kShift )
-struct Tables {
-  std::array<std::array<std::int32_t, 8>, 8> fwd{};  // [u][x]
-  Tables() {
-    for (int u = 0; u < 8; ++u) {
-      const double alpha = u == 0 ? 1.0 / std::sqrt(2.0) : 1.0;
-      for (int x = 0; x < 8; ++x) {
-        const double c = (alpha / 2.0) * std::cos((2.0 * x + 1.0) * u * M_PI / 16.0);
-        fwd[static_cast<std::size_t>(u)][static_cast<std::size_t>(x)] =
-            static_cast<std::int32_t>(std::lround(c * (1 << kShift)));
-      }
-    }
-  }
-};
-
-const Tables& tables() {
-  static const Tables t;
-  return t;
-}
-
-std::int16_t clamp16(std::int32_t v) {
-  if (v > 32767) return 32767;
-  if (v < -32768) return -32768;
-  return static_cast<std::int16_t>(v);
-}
-
-}  // namespace
-
-void forward(const Block& in, Block& out) {
-  const auto& k = tables().fwd;
-  std::array<std::int32_t, 64> tmp{};
-  // Rows: tmp[y][u] = sum_x in[y][x] * K[u][x]
-  for (int y = 0; y < 8; ++y) {
-    for (int u = 0; u < 8; ++u) {
-      std::int64_t acc = 0;
-      for (int x = 0; x < 8; ++x) {
-        acc += static_cast<std::int64_t>(in[static_cast<std::size_t>(y * 8 + x)]) *
-               k[static_cast<std::size_t>(u)][static_cast<std::size_t>(x)];
-      }
-      tmp[static_cast<std::size_t>(y * 8 + u)] =
-          static_cast<std::int32_t>((acc + kRound) >> kShift);
-    }
-  }
-  // Columns: out[v][u] = sum_y tmp[y][u] * K[v][y]
-  for (int u = 0; u < 8; ++u) {
-    for (int v = 0; v < 8; ++v) {
-      std::int64_t acc = 0;
-      for (int y = 0; y < 8; ++y) {
-        acc += static_cast<std::int64_t>(tmp[static_cast<std::size_t>(y * 8 + u)]) *
-               k[static_cast<std::size_t>(v)][static_cast<std::size_t>(y)];
-      }
-      out[static_cast<std::size_t>(v * 8 + u)] =
-          clamp16(static_cast<std::int32_t>((acc + kRound) >> kShift));
-    }
-  }
-}
-
-void inverse(const Block& in, Block& out) {
-  const auto& k = tables().fwd;
-  std::array<std::int32_t, 64> tmp{};
-  // Rows: tmp[v][x] = sum_u in[v][u] * K[u][x]
-  for (int v = 0; v < 8; ++v) {
-    for (int x = 0; x < 8; ++x) {
-      std::int64_t acc = 0;
-      for (int u = 0; u < 8; ++u) {
-        acc += static_cast<std::int64_t>(in[static_cast<std::size_t>(v * 8 + u)]) *
-               k[static_cast<std::size_t>(u)][static_cast<std::size_t>(x)];
-      }
-      tmp[static_cast<std::size_t>(v * 8 + x)] =
-          static_cast<std::int32_t>((acc + kRound) >> kShift);
-    }
-  }
-  // Columns: out[y][x] = sum_v tmp[v][x] * K[v][y]
-  for (int x = 0; x < 8; ++x) {
-    for (int y = 0; y < 8; ++y) {
-      std::int64_t acc = 0;
-      for (int v = 0; v < 8; ++v) {
-        acc += static_cast<std::int64_t>(tmp[static_cast<std::size_t>(v * 8 + x)]) *
-               k[static_cast<std::size_t>(v)][static_cast<std::size_t>(y)];
-      }
-      out[static_cast<std::size_t>(y * 8 + x)] =
-          clamp16(static_cast<std::int32_t>((acc + kRound) >> kShift));
-    }
-  }
-}
+void inverse(const Block& in, Block& out) { kernels::active().dct_inverse(in, out); }
 
 }  // namespace eclipse::media::dct

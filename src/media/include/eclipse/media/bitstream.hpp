@@ -91,10 +91,32 @@ class BitReader {
 
   [[nodiscard]] std::uint32_t get(int count) {
     if (count < 0 || count > 32) throw std::invalid_argument("BitReader::get: bad count");
-    std::uint32_t v = 0;
-    for (int i = 0; i < count; ++i) v = (v << 1) | getBit();
+    if (static_cast<std::size_t>(count) > bitsRemaining()) {
+      pos_ = data_.size() * 8;  // a bit-at-a-time read would stop here
+      throw BitstreamError("BitReader: read past end of stream");
+    }
+    const std::uint32_t v = peekBits(count);
+    pos_ += static_cast<std::size_t>(count);
     return v;
   }
+
+  /// Returns the next `count` (<= 32) bits MSB-first without consuming
+  /// them; bits past the end of the stream read as zero.
+  [[nodiscard]] std::uint32_t peekBits(int count) const {
+    if (count <= 0) return 0;
+    const std::size_t byte = pos_ / 8;
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      const std::size_t idx = byte + i;
+      acc = (acc << 8) | (idx < data_.size() ? data_[idx] : 0u);
+    }
+    acc <<= pos_ % 8;  // top bits now start at the current position
+    return static_cast<std::uint32_t>(acc >> (64 - count));
+  }
+
+  /// Advances the position without bounds checks (callers pair this with
+  /// peekBits and their own end-of-stream handling).
+  void skipBits(int count) { pos_ += static_cast<std::size_t>(count); }
 
   [[nodiscard]] std::uint32_t getUe() {
     int zeros = 0;

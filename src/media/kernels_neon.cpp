@@ -1,0 +1,314 @@
+// NEON backend for the media kernels (AArch64 only, where Advanced SIMD is
+// architectural — no runtime probe needed). Quantize and run-length encode
+// stay on the scalar path: the quantizer needs an exact integer division
+// with no NEON equivalent, and RLE is dominated by the output loop.
+// Bit-identical to the scalar oracle (DESIGN.md §11).
+
+#include "kernels_impl.hpp"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace eclipse::media::kernels::detail {
+
+namespace {
+
+// ----------------------------------------------------------------- tables
+
+struct DctTabs {
+  alignas(16) std::int32_t k[8][8];   // K[u][x]
+  alignas(16) std::int32_t kt[8][8];  // K transposed: kt[x][u] = K[u][x]
+
+  DctTabs() {
+    const DctK t = computeDctK();
+    for (int u = 0; u < 8; ++u) {
+      for (int x = 0; x < 8; ++x) {
+        k[u][x] = t.k[static_cast<std::size_t>(u)][static_cast<std::size_t>(x)];
+        kt[x][u] = k[u][x];
+      }
+    }
+  }
+};
+
+const DctTabs g_dct;
+
+/// Byte-shuffle indices applying a fixed 64-element int16 permutation with
+/// two vqtbl4q lookups (low / high 64 source bytes) per 16 output bytes.
+/// 0xFF indexes yield zero, so the two lookups OR together.
+struct ScanIdx {
+  alignas(16) std::uint8_t lo[8][16];
+  alignas(16) std::uint8_t hi[8][16];
+};
+
+constexpr ScanIdx buildIdx(const std::array<int, 64>& perm) {
+  ScanIdx s{};
+  for (int i = 0; i < 64; ++i) {
+    const int e = perm[static_cast<std::size_t>(i)];
+    for (int half = 0; half < 2; ++half) {
+      const int db_abs = 2 * i + half;
+      const int sb_abs = 2 * e + half;
+      const int j = db_abs / 16, db = db_abs % 16;
+      if (sb_abs < 64) {
+        s.lo[j][db] = static_cast<std::uint8_t>(sb_abs);
+        s.hi[j][db] = 0xFF;
+      } else {
+        s.lo[j][db] = 0xFF;
+        s.hi[j][db] = static_cast<std::uint8_t>(sb_abs - 64);
+      }
+    }
+  }
+  return s;
+}
+
+constexpr ScanIdx kZigzagFwd = buildIdx(scanPerm(kZigzagTable, false));
+constexpr ScanIdx kZigzagInv = buildIdx(scanPerm(kZigzagTable, true));
+constexpr ScanIdx kAltFwd = buildIdx(scanPerm(kAlternateTable, false));
+constexpr ScanIdx kAltInv = buildIdx(scanPerm(kAlternateTable, true));
+
+// ------------------------------------------------------------------- DCT
+
+/// acc[lane] = kRound + sum_i cols[i][lane] * row[i], then >> kDctShift.
+/// `cols[i]` must be the coefficient vector matching input element i.
+inline void dctPass8(const std::int16_t* row, const std::int32_t cols[8][8],
+                     std::int32_t* out_row) {
+  int32x4_t lo = vdupq_n_s32(kDctRound);
+  int32x4_t hi = lo;
+  for (int i = 0; i < 8; ++i) {
+    const std::int32_t s = row[i];
+    lo = vmlaq_n_s32(lo, vld1q_s32(cols[i]), s);
+    hi = vmlaq_n_s32(hi, vld1q_s32(cols[i] + 4), s);
+  }
+  vst1q_s32(out_row, vshrq_n_s32(lo, kDctShift));
+  vst1q_s32(out_row + 4, vshrq_n_s32(hi, kDctShift));
+}
+
+/// Column pass: acc[lane x] = kRound + sum_t tmp[t][x] * f[t], >> shift,
+/// saturating narrow (== clamp16).
+inline void dctColPass(const std::int32_t* tmp, const std::int32_t* f, std::int16_t* out_row) {
+  int32x4_t lo = vdupq_n_s32(kDctRound);
+  int32x4_t hi = lo;
+  for (int t = 0; t < 8; ++t) {
+    lo = vmlaq_n_s32(lo, vld1q_s32(tmp + t * 8), f[t]);
+    hi = vmlaq_n_s32(hi, vld1q_s32(tmp + t * 8 + 4), f[t]);
+  }
+  vst1q_s16(out_row, vcombine_s16(vqmovn_s32(vshrq_n_s32(lo, kDctShift)),
+                                  vqmovn_s32(vshrq_n_s32(hi, kDctShift))));
+}
+
+void neonDctForward(const Block& in, Block& out) {
+  alignas(16) std::int32_t tmp[64];
+  // Row pass: tmp[y][u] = sum_x K[u][x] * in[y][x] — lane u, so the
+  // coefficient vector for input x is column x of K (a row of kt).
+  for (int y = 0; y < 8; ++y) {
+    dctPass8(&in[static_cast<std::size_t>(y * 8)], g_dct.kt, tmp + y * 8);
+  }
+  // Col pass: out[v][u] = clamp16(sum_y tmp[y][u] * K[v][y]).
+  for (int v = 0; v < 8; ++v) {
+    dctColPass(tmp, g_dct.k[v], &out[static_cast<std::size_t>(v * 8)]);
+  }
+}
+
+void neonDctInverse(const Block& in, Block& out) {
+  alignas(16) std::int32_t tmp[64];
+  // Row pass: tmp[v][x] = sum_u in[v][u] * K[u][x] — lane x, coefficient
+  // vector for input u is row u of K.
+  for (int v = 0; v < 8; ++v) {
+    dctPass8(&in[static_cast<std::size_t>(v * 8)], g_dct.k, tmp + v * 8);
+  }
+  // Col pass: out[y][x] = clamp16(sum_v tmp[v][x] * K[v][y]) — factors are
+  // column y of K (a row of kt).
+  for (int y = 0; y < 8; ++y) {
+    dctColPass(tmp, g_dct.kt[y], &out[static_cast<std::size_t>(y * 8)]);
+  }
+}
+
+// ------------------------------------------------------------------ quant
+
+void neonDequantize(const Block& levels, Block& coefs, int qscale, const quant::Matrix& m) {
+  const int32x4_t fifteen = vdupq_n_s32(15);
+  for (int i = 0; i < 64; i += 8) {
+    const int16x8_t l16 = vld1q_s16(&levels[static_cast<std::size_t>(i)]);
+    const uint16x8_t m16 = vmovl_u8(vld1_u8(&m[static_cast<std::size_t>(i)]));
+    const int32x4_t step_lo =
+        vmulq_n_s32(vreinterpretq_s32_u32(vmovl_u16(vget_low_u16(m16))), qscale);
+    const int32x4_t step_hi =
+        vmulq_n_s32(vreinterpretq_s32_u32(vmovl_u16(vget_high_u16(m16))), qscale);
+    const int32x4_t p_lo = vmulq_s32(vmovl_s16(vget_low_s16(l16)), step_lo);
+    const int32x4_t p_hi = vmulq_s32(vmovl_s16(vget_high_s16(l16)), step_hi);
+    // Truncating /16: add 15 to negative values before the arithmetic shift.
+    const int32x4_t c_lo =
+        vshrq_n_s32(vaddq_s32(p_lo, vandq_s32(vshrq_n_s32(p_lo, 31), fifteen)), 4);
+    const int32x4_t c_hi =
+        vshrq_n_s32(vaddq_s32(p_hi, vandq_s32(vshrq_n_s32(p_hi, 31), fifteen)), 4);
+    // Saturating narrow == clampCoef.
+    vst1q_s16(&coefs[static_cast<std::size_t>(i)],
+              vcombine_s16(vqmovn_s32(c_lo), vqmovn_s32(c_hi)));
+  }
+}
+
+// ------------------------------------------------------------------- scan
+
+inline void shuffle64(const std::int16_t* src, std::int16_t* dst, const ScanIdx& S) {
+  uint8x16x4_t lo, hi;
+  const std::uint8_t* sb = reinterpret_cast<const std::uint8_t*>(src);
+  for (int k = 0; k < 4; ++k) {
+    lo.val[k] = vld1q_u8(sb + 16 * k);
+    hi.val[k] = vld1q_u8(sb + 64 + 16 * k);
+  }
+  std::uint8_t* db = reinterpret_cast<std::uint8_t*>(dst);
+  for (int j = 0; j < 8; ++j) {
+    const uint8x16_t r = vorrq_u8(vqtbl4q_u8(lo, vld1q_u8(S.lo[j])),
+                                  vqtbl4q_u8(hi, vld1q_u8(S.hi[j])));
+    vst1q_u8(db + 16 * j, r);
+  }
+}
+
+void neonToScan(const Block& raster, Block& scanned, scan::Order order) {
+  shuffle64(raster.data(), scanned.data(),
+            order == scan::Order::Zigzag ? kZigzagFwd : kAltFwd);
+}
+
+void neonFromScan(const Block& scanned, Block& raster, scan::Order order) {
+  shuffle64(scanned.data(), raster.data(),
+            order == scan::Order::Zigzag ? kZigzagInv : kAltInv);
+}
+
+// ------------------------------------------------------------------ motion
+
+inline uint8x16_t predRow16(const std::uint8_t* r0, int stride, int fx, int fy) {
+  if (fx == 0 && fy == 0) return vld1q_u8(r0);
+  // vrhadd == (a + b + 1) >> 1, exactly the scalar 2-tap filter.
+  if (fx != 0 && fy == 0) return vrhaddq_u8(vld1q_u8(r0), vld1q_u8(r0 + 1));
+  if (fx == 0) return vrhaddq_u8(vld1q_u8(r0), vld1q_u8(r0 + stride));
+  // 4-tap (a+b+c+d+2)/4 widened to 16 bits (nested rounding averages are
+  // not bit-exact).
+  const uint8x16_t a = vld1q_u8(r0);
+  const uint8x16_t b = vld1q_u8(r0 + 1);
+  const uint8x16_t c = vld1q_u8(r0 + stride);
+  const uint8x16_t d = vld1q_u8(r0 + stride + 1);
+  const uint16x8_t lo = vaddq_u16(vaddl_u8(vget_low_u8(a), vget_low_u8(b)),
+                                  vaddl_u8(vget_low_u8(c), vget_low_u8(d)));
+  const uint16x8_t hi = vaddq_u16(vaddl_u8(vget_high_u8(a), vget_high_u8(b)),
+                                  vaddl_u8(vget_high_u8(c), vget_high_u8(d)));
+  return vcombine_u8(vmovn_u16(vshrq_n_u16(vaddq_u16(lo, vdupq_n_u16(2)), 2)),
+                     vmovn_u16(vshrq_n_u16(vaddq_u16(hi, vdupq_n_u16(2)), 2)));
+}
+
+inline uint8x8_t predRow8(const std::uint8_t* r0, int stride, int fx, int fy) {
+  if (fx == 0 && fy == 0) return vld1_u8(r0);
+  if (fx != 0 && fy == 0) return vrhadd_u8(vld1_u8(r0), vld1_u8(r0 + 1));
+  if (fx == 0) return vrhadd_u8(vld1_u8(r0), vld1_u8(r0 + stride));
+  const uint16x8_t sum = vaddq_u16(vaddl_u8(vld1_u8(r0), vld1_u8(r0 + 1)),
+                                   vaddl_u8(vld1_u8(r0 + stride), vld1_u8(r0 + stride + 1)));
+  return vmovn_u16(vshrq_n_u16(vaddq_u16(sum, vdupq_n_u16(2)), 2));
+}
+
+std::uint32_t neonSad16xH(const std::uint8_t* cur, int cur_stride, const std::uint8_t* ref,
+                          int ref_stride, int h, int fx, int fy) {
+  uint32x4_t acc = vdupq_n_u32(0);
+  for (int y = 0; y < h; ++y) {
+    const uint8x16_t c = vld1q_u8(cur + static_cast<std::ptrdiff_t>(y) * cur_stride);
+    const uint8x16_t p = predRow16(ref + static_cast<std::ptrdiff_t>(y) * ref_stride,
+                                   ref_stride, fx, fy);
+    acc = vpadalq_u16(acc, vpaddlq_u8(vabdq_u8(c, p)));
+  }
+  return vaddvq_u32(acc);
+}
+
+void neonInterp16xH(std::uint8_t* dst, int dst_stride, const std::uint8_t* src, int src_stride,
+                    int h, int fx, int fy) {
+  for (int y = 0; y < h; ++y) {
+    vst1q_u8(dst + static_cast<std::ptrdiff_t>(y) * dst_stride,
+             predRow16(src + static_cast<std::ptrdiff_t>(y) * src_stride, src_stride, fx, fy));
+  }
+}
+
+void neonInterp8xH(std::uint8_t* dst, int dst_stride, const std::uint8_t* src, int src_stride,
+                   int h, int fx, int fy) {
+  for (int y = 0; y < h; ++y) {
+    vst1_u8(dst + static_cast<std::ptrdiff_t>(y) * dst_stride,
+            predRow8(src + static_cast<std::ptrdiff_t>(y) * src_stride, src_stride, fx, fy));
+  }
+}
+
+void neonAvgU8(const std::uint8_t* a, const std::uint8_t* b, std::uint8_t* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    vst1q_u8(out + i, vrhaddq_u8(vld1q_u8(a + i), vld1q_u8(b + i)));
+  }
+  for (; i < n; ++i) out[i] = static_cast<std::uint8_t>((a[i] + b[i] + 1) / 2);
+}
+
+void neonAddRes8x8(std::uint8_t* dst, int dst_stride, const std::uint8_t* pred, int pred_stride,
+                   const std::int16_t* res) {
+  for (int y = 0; y < 8; ++y) {
+    const int16x8_t p =
+        vreinterpretq_s16_u16(vmovl_u8(vld1_u8(pred + static_cast<std::ptrdiff_t>(y) * pred_stride)));
+    const int16x8_t r = vld1q_s16(res + y * 8);
+    // Saturating add + unsigned saturating narrow == clampPel (pred >= 0,
+    // so a saturated endpoint clamps to the same pixel the wide sum would).
+    vst1_u8(dst + static_cast<std::ptrdiff_t>(y) * dst_stride, vqmovun_s16(vqaddq_s16(p, r)));
+  }
+}
+
+void neonDiff8x8(std::int16_t* res, const std::uint8_t* cur, int cur_stride,
+                 const std::uint8_t* pred, int pred_stride) {
+  for (int y = 0; y < 8; ++y) {
+    const int16x8_t c =
+        vreinterpretq_s16_u16(vmovl_u8(vld1_u8(cur + static_cast<std::ptrdiff_t>(y) * cur_stride)));
+    const int16x8_t p =
+        vreinterpretq_s16_u16(vmovl_u8(vld1_u8(pred + static_cast<std::ptrdiff_t>(y) * pred_stride)));
+    vst1q_s16(res + y * 8, vsubq_s16(c, p));
+  }
+}
+
+void neonClampStoreRow(const std::int32_t* src, std::uint8_t* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const int16x8_t s16 = vcombine_s16(vqmovn_s32(vld1q_s32(src + i)),
+                                       vqmovn_s32(vld1q_s32(src + i + 4)));
+    vst1_u8(dst + i, vqmovun_s16(s16));
+  }
+  for (; i < n; ++i) {
+    const std::int32_t v = src[i];
+    dst[i] = static_cast<std::uint8_t>(v < 0 ? 0 : (v > 255 ? 255 : v));
+  }
+}
+
+}  // namespace
+
+const KernelTable* neonTable() {
+  static const KernelTable t = [] {
+    KernelTable k;
+    k.backend = Backend::Neon;
+    k.name = "neon";
+    k.dct_forward = neonDctForward;
+    k.dct_inverse = neonDctInverse;
+    k.quantize = scalarQuantize;  // exact integer division — keep the oracle
+    k.dequantize = neonDequantize;
+    k.to_scan = neonToScan;
+    k.from_scan = neonFromScan;
+    k.rle_encode = scalarRleEncode;
+    k.sad_16xh = neonSad16xH;
+    k.interp_16xh = neonInterp16xH;
+    k.interp_8xh = neonInterp8xH;
+    k.avg_u8 = neonAvgU8;
+    k.add_res_8x8 = neonAddRes8x8;
+    k.diff_8x8 = neonDiff8x8;
+    k.clamp_store_row = neonClampStoreRow;
+    k.vlc_get_block = vlcGetBlockFast;
+    return k;
+  }();
+  return &t;
+}
+
+}  // namespace eclipse::media::kernels::detail
+
+#else  // not AArch64
+
+namespace eclipse::media::kernels::detail {
+const KernelTable* neonTable() { return nullptr; }
+}  // namespace eclipse::media::kernels::detail
+
+#endif

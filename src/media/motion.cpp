@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <limits>
 
+#include "eclipse/media/kernels.hpp"
+
 namespace eclipse::media::motion {
 
 namespace {
@@ -16,6 +18,26 @@ std::uint8_t fullPel(const std::vector<std::uint8_t>& plane, int w, int h, int x
   y = clampi(y, 0, h - 1);
   return plane[static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
                static_cast<std::size_t>(x)];
+}
+
+/// Top-left full-pel anchor and half-pel fraction of a block read. The
+/// window is "fast" (vectorizable) when every sample the interpolator
+/// touches — columns [x0, x0+w-1+fx], rows [y0, y0+h-1+fy] — is inside
+/// the plane, so the edge clamps in fullPel are all no-ops.
+struct Anchor {
+  int x0, y0, fx, fy;
+  bool fast;
+};
+
+Anchor anchorFor(int w, int h, int block_w, int block_h, int cx, int cy) {
+  Anchor a{};
+  a.x0 = cx >> 1;  // floor division, matching sampleHalfPel's x2 >> 1
+  a.y0 = cy >> 1;
+  a.fx = cx & 1;
+  a.fy = cy & 1;
+  a.fast = a.x0 >= 0 && a.y0 >= 0 && a.x0 + block_w - 1 + a.fx < w &&
+           a.y0 + block_h - 1 + a.fy < h;
+  return a;
 }
 
 }  // namespace
@@ -45,6 +67,13 @@ void predictLuma(const Frame& ref, int px, int py, MotionVector mv, LumaMb& out)
   const auto& plane = ref.yPlane();
   const int w = ref.width();
   const int h = ref.height();
+  const Anchor a = anchorFor(w, h, kMbSize, kMbSize, 2 * px + mv.x, 2 * py + mv.y);
+  if (a.fast) {
+    kernels::active().interp_16xh(
+        out.data(), kMbSize,
+        plane.data() + static_cast<std::ptrdiff_t>(a.y0) * w + a.x0, w, kMbSize, a.fx, a.fy);
+    return;
+  }
   for (int y = 0; y < kMbSize; ++y) {
     for (int x = 0; x < kMbSize; ++x) {
       out[static_cast<std::size_t>(y * kMbSize + x)] =
@@ -59,6 +88,13 @@ void predictChroma(const std::vector<std::uint8_t>& plane, int w, int h, int px,
   // still in half-pel units of the chroma grid.
   const int cvx = mv.x / 2;
   const int cvy = mv.y / 2;
+  const Anchor a = anchorFor(w, h, 8, 8, 2 * px + cvx, 2 * py + cvy);
+  if (a.fast) {
+    kernels::active().interp_8xh(
+        out.data(), 8, plane.data() + static_cast<std::ptrdiff_t>(a.y0) * w + a.x0, w, 8, a.fx,
+        a.fy);
+    return;
+  }
   for (int y = 0; y < 8; ++y) {
     for (int x = 0; x < 8; ++x) {
       out[static_cast<std::size_t>(y * 8 + x)] =
@@ -68,27 +104,30 @@ void predictChroma(const std::vector<std::uint8_t>& plane, int w, int h, int px,
 }
 
 void average(const LumaMb& a, const LumaMb& b, LumaMb& out) {
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    out[i] = static_cast<std::uint8_t>((a[i] + b[i] + 1) / 2);
-  }
+  kernels::active().avg_u8(a.data(), b.data(), out.data(), out.size());
 }
 
 void average(const ChromaMb& a, const ChromaMb& b, ChromaMb& out) {
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    out[i] = static_cast<std::uint8_t>((a[i] + b[i] + 1) / 2);
-  }
+  kernels::active().avg_u8(a.data(), b.data(), out.data(), out.size());
 }
 
 std::uint32_t sadLuma(const Frame& cur, const Frame& ref, int mb_x, int mb_y, MotionVector mv) {
   const int px = mb_x * kMbSize;
   const int py = mb_y * kMbSize;
   const auto& rplane = ref.yPlane();
+  const int w = ref.width();
+  const int h = ref.height();
+  const Anchor a = anchorFor(w, h, kMbSize, kMbSize, 2 * px + mv.x, 2 * py + mv.y);
+  if (a.fast) {
+    return kernels::active().sad_16xh(
+        cur.yPlane().data() + static_cast<std::ptrdiff_t>(py) * cur.width() + px, cur.width(),
+        rplane.data() + static_cast<std::ptrdiff_t>(a.y0) * w + a.x0, w, kMbSize, a.fx, a.fy);
+  }
   std::uint32_t sad = 0;
   for (int y = 0; y < kMbSize; ++y) {
     for (int x = 0; x < kMbSize; ++x) {
       const int c = cur.yAt(px + x, py + y);
-      const int p = sampleHalfPel(rplane, ref.width(), ref.height(), 2 * (px + x) + mv.x,
-                                  2 * (py + y) + mv.y);
+      const int p = sampleHalfPel(rplane, w, h, 2 * (px + x) + mv.x, 2 * (py + y) + mv.y);
       sad += static_cast<std::uint32_t>(std::abs(c - p));
     }
   }
@@ -160,19 +199,16 @@ SearchResult search(const Frame& cur, const Frame& ref, int mb_x, int mb_y,
 std::uint32_t intraActivity(const Frame& cur, int mb_x, int mb_y) {
   const int px = mb_x * kMbSize;
   const int py = mb_y * kMbSize;
-  std::uint32_t sum = 0;
-  for (int y = 0; y < kMbSize; ++y) {
-    for (int x = 0; x < kMbSize; ++x) sum += cur.yAt(px + x, py + y);
-  }
+  const std::uint8_t* mb = cur.yPlane().data() +
+                           static_cast<std::ptrdiff_t>(py) * cur.width() + px;
+  // SAD against a constant row with ref_stride 0: vs zero it sums the
+  // pixels, vs the mean it is exactly the activity sum.
+  alignas(16) std::uint8_t row[kMbSize] = {};
+  const std::uint32_t sum =
+      kernels::active().sad_16xh(mb, cur.width(), row, 0, kMbSize, 0, 0);
   const std::uint32_t mean = sum / 256;
-  std::uint32_t activity = 0;
-  for (int y = 0; y < kMbSize; ++y) {
-    for (int x = 0; x < kMbSize; ++x) {
-      activity += static_cast<std::uint32_t>(
-          std::abs(static_cast<int>(cur.yAt(px + x, py + y)) - static_cast<int>(mean)));
-    }
-  }
-  return activity;
+  std::fill(std::begin(row), std::end(row), static_cast<std::uint8_t>(mean));
+  return kernels::active().sad_16xh(mb, cur.width(), row, 0, kMbSize, 0, 0);
 }
 
 }  // namespace eclipse::media::motion

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "eclipse/media/kernels.hpp"
+
 namespace eclipse::media::quant {
 
 namespace {
@@ -19,18 +21,6 @@ constexpr Matrix kDefaultIntra = {
     22, 26, 27, 29, 32, 35, 40, 48, 26, 27, 29, 32, 35, 40, 48, 58,
     26, 27, 29, 34, 38, 46, 56, 69, 27, 29, 35, 38, 46, 56, 69, 83};
 
-std::int16_t clampLevel(std::int32_t v) {
-  if (v > 2047) return 2047;
-  if (v < -2047) return -2047;
-  return static_cast<std::int16_t>(v);
-}
-
-std::int16_t clampCoef(std::int32_t v) {
-  if (v > 32767) return 32767;
-  if (v < -32768) return -32768;
-  return static_cast<std::int16_t>(v);
-}
-
 void checkQscale(int qscale) {
   if (qscale < kMinQscale || qscale > kMaxQscale) {
     throw std::invalid_argument("quant: qscale out of range [1, 31]");
@@ -42,26 +32,17 @@ void checkQscale(int qscale) {
 const Matrix& flatMatrix() { return kFlat; }
 const Matrix& defaultIntraMatrix() { return kDefaultIntra; }
 
+// Argument validation stays here; the arithmetic lives in the kernel
+// backends, which may assume a valid qscale.
+
 void quantize(const Block& coefs, Block& levels, int qscale, const Matrix& m) {
   checkQscale(qscale);
-  for (int i = 0; i < 64; ++i) {
-    const auto idx = static_cast<std::size_t>(i);
-    const std::int32_t step = qscale * m[idx];  // step/16 is the real step
-    const std::int32_t c = coefs[idx] * 16;
-    // Round half away from zero for symmetry around 0.
-    const std::int32_t lv = c >= 0 ? (c + step / 2) / step : -((-c + step / 2) / step);
-    levels[idx] = clampLevel(lv);
-  }
+  kernels::active().quantize(coefs, levels, qscale, m);
 }
 
 void dequantize(const Block& levels, Block& coefs, int qscale, const Matrix& m) {
   checkQscale(qscale);
-  for (int i = 0; i < 64; ++i) {
-    const auto idx = static_cast<std::size_t>(i);
-    const std::int32_t step = qscale * m[idx];
-    const std::int32_t c = levels[idx] * step / 16;
-    coefs[idx] = clampCoef(c);
-  }
+  kernels::active().dequantize(levels, coefs, qscale, m);
 }
 
 }  // namespace eclipse::media::quant

@@ -1,21 +1,13 @@
 #include "eclipse/media/rle.hpp"
 
 #include "eclipse/media/bitstream.hpp"
+#include "eclipse/media/kernels.hpp"
 
 namespace eclipse::media::rle {
 
 std::vector<RunLevel> encode(const Block& scanned) {
   std::vector<RunLevel> pairs;
-  int run = 0;
-  for (int i = 0; i < 64; ++i) {
-    const std::int16_t v = scanned[static_cast<std::size_t>(i)];
-    if (v == 0) {
-      ++run;
-    } else {
-      pairs.push_back(RunLevel{static_cast<std::uint8_t>(run), v});
-      run = 0;
-    }
-  }
+  kernels::active().rle_encode(scanned, pairs);
   return pairs;
 }
 

@@ -1,41 +1,23 @@
 #include "eclipse/media/scan.hpp"
 
+#include "eclipse/media/kernels.hpp"
+#include "kernels_impl.hpp"
+
 namespace eclipse::media::scan {
 
-namespace {
-
-// ISO/IEC 13818-2 Figure 7-2: zigzag scanning order.
-constexpr std::array<int, 64> kZigzag = {
-    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
-    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
-    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
-    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
-
-// ISO/IEC 13818-2 Figure 7-3: alternate scanning order.
-constexpr std::array<int, 64> kAlternate = {
-    0,  8,  16, 24, 1,  9,  2,  10, 17, 25, 32, 40, 48, 56, 57, 49,
-    41, 33, 26, 18, 3,  11, 4,  12, 19, 27, 34, 42, 50, 58, 35, 43,
-    51, 59, 20, 28, 5,  13, 6,  14, 21, 29, 36, 44, 52, 60, 37, 45,
-    53, 61, 22, 30, 7,  15, 23, 31, 38, 46, 54, 62, 39, 47, 55, 63};
-
-}  // namespace
-
 const std::array<int, 64>& table(Order order) {
-  return order == Order::Zigzag ? kZigzag : kAlternate;
+  // Single definition of the scan orders: the constexpr tables in
+  // kernels_impl.hpp, which the SIMD shuffle masks are also built from.
+  return order == Order::Zigzag ? kernels::detail::kZigzagTable
+                                : kernels::detail::kAlternateTable;
 }
 
 void toScan(const Block& raster, Block& scanned, Order order) {
-  const auto& t = table(order);
-  for (int i = 0; i < 64; ++i) {
-    scanned[static_cast<std::size_t>(i)] = raster[static_cast<std::size_t>(t[static_cast<std::size_t>(i)])];
-  }
+  kernels::active().to_scan(raster, scanned, order);
 }
 
 void fromScan(const Block& scanned, Block& raster, Order order) {
-  const auto& t = table(order);
-  for (int i = 0; i < 64; ++i) {
-    raster[static_cast<std::size_t>(t[static_cast<std::size_t>(i)])] = scanned[static_cast<std::size_t>(i)];
-  }
+  kernels::active().from_scan(scanned, raster, order);
 }
 
 }  // namespace eclipse::media::scan

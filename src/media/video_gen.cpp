@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
+
+#include "eclipse/media/kernels.hpp"
 
 namespace eclipse::media {
 
@@ -49,16 +52,20 @@ Frame generateFrame(const VideoGenParams& p, int index) {
   Frame f(p.width, p.height);
   const int scene = p.scene_cut_period > 0 ? index / p.scene_cut_period : 0;
   const int t = p.scene_cut_period > 0 ? index % p.scene_cut_period : index;
+  const auto& k = kernels::active();
 
   // Background: diagonal gradient plus sinusoidal texture, translating with
-  // time so P-frames see global motion.
+  // time so P-frames see global motion. The floating-point math is kept
+  // per-pixel (bit-exactness across backends); only the clamp-and-narrow
+  // store is batched per row through the kernel table.
   sim::Prng noise_rng(p.seed * 31 + static_cast<std::uint64_t>(index) * 1000003 + 7);
   const int bg_shift = t * std::max(1, p.motion_speed / 2);
   auto& yp = f.yPlane();
+  std::vector<std::int32_t> row(static_cast<std::size_t>(p.width));
   for (int y = 0; y < p.height; ++y) {
+    const int gy = y + scene * 23;
     for (int x = 0; x < p.width; ++x) {
       const int gx = x + bg_shift + scene * 37;
-      const int gy = y + scene * 23;
       double v = 96.0 + (gx * 48.0) / p.width + (gy * 32.0) / p.height;
       if (p.detail > 0) {
         v += 24.0 * std::sin(gx * 0.18 * p.detail) * std::cos(gy * 0.13 * p.detail);
@@ -66,22 +73,27 @@ Frame generateFrame(const VideoGenParams& p, int index) {
       if (p.noise_level > 0) {
         v += (noise_rng.uniform() - 0.5) * 2.0 * p.noise_level;
       }
-      yp[static_cast<std::size_t>(y) * static_cast<std::size_t>(p.width) +
-         static_cast<std::size_t>(x)] = clampPel(static_cast<int>(std::lround(v)));
+      row[static_cast<std::size_t>(x)] = static_cast<std::int32_t>(std::lround(v));
     }
+    k.clamp_store_row(row.data(),
+                      yp.data() + static_cast<std::size_t>(y) * static_cast<std::size_t>(p.width),
+                      static_cast<std::size_t>(p.width));
   }
-  // Chroma background: slow gradients.
+  // Chroma background: slow gradients. Cb depends only on x and Cr only on
+  // y, so each plane is one computed row (resp. one fill value) per frame.
   const int cw = p.width / 2;
   const int ch = p.height / 2;
   auto& cbp = f.cbPlane();
   auto& crp = f.crPlane();
+  std::vector<std::int32_t> cb_row(static_cast<std::size_t>(cw));
+  for (int x = 0; x < cw; ++x) {
+    cb_row[static_cast<std::size_t>(x)] = 112 + (x + bg_shift / 2) * 24 / cw;
+  }
   for (int y = 0; y < ch; ++y) {
-    for (int x = 0; x < cw; ++x) {
-      const std::size_t i =
-          static_cast<std::size_t>(y) * static_cast<std::size_t>(cw) + static_cast<std::size_t>(x);
-      cbp[i] = clampPel(112 + (x + bg_shift / 2) * 24 / cw);
-      crp[i] = clampPel(136 - (y + scene * 11) * 24 / ch);
-    }
+    std::uint8_t* cb_dst = cbp.data() + static_cast<std::size_t>(y) * static_cast<std::size_t>(cw);
+    k.clamp_store_row(cb_row.data(), cb_dst, static_cast<std::size_t>(cw));
+    std::fill_n(crp.data() + static_cast<std::size_t>(y) * static_cast<std::size_t>(cw),
+                static_cast<std::size_t>(cw), clampPel(136 - (y + scene * 11) * 24 / ch));
   }
 
   // Foreground objects translate linearly and bounce off frame edges.
@@ -101,15 +113,19 @@ Frame generateFrame(const VideoGenParams& p, int index) {
     oy = bounce(oy, static_cast<double>(p.height - o.h));
     const int ix = static_cast<int>(std::lround(ox));
     const int iy = static_cast<int>(std::lround(oy));
+    const int x0 = std::max(0, ix);
+    const int x1 = std::min(p.width, ix + o.w);  // exclusive
+    if (x0 >= x1) continue;
     for (int y = std::max(0, iy); y < std::min(p.height, iy + o.h); ++y) {
-      for (int x = std::max(0, ix); x < std::min(p.width, ix + o.w); ++x) {
-        yp[static_cast<std::size_t>(y) * static_cast<std::size_t>(p.width) +
-           static_cast<std::size_t>(x)] = o.luma;
-        const std::size_t ci = static_cast<std::size_t>(y / 2) * static_cast<std::size_t>(cw) +
-                               static_cast<std::size_t>(x / 2);
-        cbp[ci] = o.cb;
-        crp[ci] = o.cr;
-      }
+      std::fill_n(yp.data() + static_cast<std::size_t>(y) * static_cast<std::size_t>(p.width) +
+                      static_cast<std::size_t>(x0),
+                  static_cast<std::size_t>(x1 - x0), o.luma);
+      // Chroma covers columns x0/2 .. (x1-1)/2 inclusive on row y/2.
+      const std::size_t c0 = static_cast<std::size_t>(y / 2) * static_cast<std::size_t>(cw) +
+                             static_cast<std::size_t>(x0 / 2);
+      const std::size_t cn = static_cast<std::size_t>((x1 - 1) / 2 - x0 / 2 + 1);
+      std::fill_n(cbp.data() + c0, cn, o.cb);
+      std::fill_n(crp.data() + c0, cn, o.cr);
     }
   }
   return f;

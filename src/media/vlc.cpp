@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "eclipse/media/kernels.hpp"
+
 namespace eclipse::media::vlc {
 
 namespace {
@@ -38,28 +40,13 @@ void putBlock(BitWriter& bw, const std::vector<rle::RunLevel>& pairs) {
 }
 
 std::vector<rle::RunLevel> getBlock(BitReader& br) {
+  // Decode goes through the kernel table: the scalar backend is the
+  // original bit-at-a-time loop, SIMD backends use a table-driven
+  // multi-bit decoder with identical output, exceptions and bit
+  // consumption (fault recovery resumes from the reader's position).
   std::vector<rle::RunLevel> pairs;
-  while (true) {
-    if (br.getBit() == 0) {
-      // common pair
-      const std::uint32_t run = br.get(2);
-      const std::uint32_t mag = br.get(2) + 1;
-      const bool neg = br.getBit() != 0;
-      pairs.push_back(rle::RunLevel{static_cast<std::uint8_t>(run),
-                                    static_cast<std::int16_t>(neg ? -static_cast<int>(mag)
-                                                                  : static_cast<int>(mag))});
-      continue;
-    }
-    if (br.getBit() == 0) return pairs;  // "10": end of block
-    // "11": escape
-    const std::uint32_t run = br.getUe();
-    const std::uint32_t mag = br.getUe() + 1;
-    const bool neg = br.getBit() != 0;
-    if (run > 63 || mag > 32767) throw BitstreamError("vlc: escape symbol out of range");
-    pairs.push_back(rle::RunLevel{static_cast<std::uint8_t>(run),
-                                  static_cast<std::int16_t>(neg ? -static_cast<int>(mag)
-                                                                : static_cast<int>(mag))});
-  }
+  kernels::active().vlc_get_block(br, pairs);
+  return pairs;
 }
 
 int pairBits(const rle::RunLevel& pair) {

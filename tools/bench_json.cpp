@@ -5,7 +5,7 @@
 // machine-readable output, and has a --smoke mode cheap enough for CI.
 //
 // Usage: bench_json [--out FILE] [--repeats N] [--smoke]
-//                   [--transport | --reconfig | --faults | --farm]
+//                   [--transport | --reconfig | --faults | --farm | --media]
 
 #include <chrono>
 #include <cstdint>
@@ -18,6 +18,8 @@
 #include "eclipse/app/configurator.hpp"
 #include "eclipse/app/decode_app.hpp"
 #include "eclipse/eclipse.hpp"
+#include "eclipse/media/kernels.hpp"
+#include "eclipse/media/vlc.hpp"
 #include "eclipse/sim/sim_event.hpp"
 
 using namespace eclipse;
@@ -645,6 +647,354 @@ void emitFarm(std::FILE* f, const FarmBenchResult& r) {
   std::fprintf(f, "  ]\n}\n");
 }
 
+/// Media scenario: host throughput of the vectorized media kernels
+/// (DESIGN.md §11), per backend, plus two in-binary correctness gates that
+/// make a silently wrong SIMD kernel fail CI: (1) every vector backend must
+/// be bit-identical to the scalar oracle on a large randomized input sweep,
+/// and (2) the reference timed decode must land on the same simulated
+/// cycle/event/macroblock counts — and bit-exact output — under every
+/// backend. Only blocks/s may differ between backends; the simulated
+/// numbers are backend-invariant by design.
+namespace mk = media::kernels;
+
+struct MediaPoint {
+  std::string backend;
+  double wall_s = 0;
+  double per_s = 0;     // kernel calls (blocks) per host second
+  double speedup = 0;   // vs scalar on the same inputs; 1.0 for scalar
+};
+
+struct MediaKernelBench {
+  std::string kernel;
+  int iters = 0;
+  std::vector<MediaPoint> points;
+};
+
+struct MediaDecodePoint {
+  std::string backend;
+  double wall_s = 0;  // best wall time of the full timed decode
+};
+
+struct MediaBenchResult {
+  std::vector<std::string> backends;
+  std::string best;
+  int identity_blocks = 0;
+  bool identity_ok = true;
+  std::uint64_t pin_cycles = 0, pin_events = 0, pin_macroblocks = 0;
+  bool pin_ok = true;
+  std::vector<MediaDecodePoint> decode;
+  std::vector<MediaKernelBench> kernels;
+};
+
+volatile std::uint64_t g_media_sink = 0;  // defeats dead-code elimination
+
+template <typename Fn>
+double bestWall(int repeats, Fn&& fn) {
+  double best = 0;
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const double dt = seconds(t0);
+    if (r == 0 || dt < best) best = dt;
+  }
+  return best;
+}
+
+media::Block randomMediaBlock(sim::Prng& rng, int magnitude) {
+  media::Block b{};
+  for (auto& v : b) {
+    v = static_cast<std::int16_t>(static_cast<int>(rng.range(-magnitude, magnitude)));
+  }
+  return b;
+}
+
+/// Bit-identity gate: every vector backend against the scalar oracle on
+/// `blocks` randomized inputs per kernel family. Returns false (and prints
+/// the first offender) on any mismatch.
+bool mediaIdentityGate(int blocks) {
+  sim::Prng rng(0xBE7C11ull);
+  const auto backends = mk::availableBackends();
+
+  // Pixel planes for the SAD/interp side.
+  std::vector<std::uint8_t> plane(128 * 80), cur(128 * 80);
+  for (auto& v : plane) v = static_cast<std::uint8_t>(rng.below(256));
+  for (auto& v : cur) v = static_cast<std::uint8_t>(rng.below(256));
+
+  for (int i = 0; i < blocks; ++i) {
+    const int mag = i % 3 == 0 ? 255 : (i % 3 == 1 ? 2047 : 32767);
+    const media::Block in = randomMediaBlock(rng, mag);
+    const media::Block lv = randomMediaBlock(rng, 2047);
+    const int qscale = 1 + i % 31;
+    const media::quant::Matrix& m =
+        i % 2 == 0 ? media::quant::flatMatrix() : media::quant::defaultIntraMatrix();
+    const auto order = i % 2 == 0 ? media::scan::Order::Zigzag : media::scan::Order::Alternate;
+    const int sx = static_cast<int>(rng.below(128 - 17));
+    const int sy = static_cast<int>(rng.below(80 - 17));
+    const int fx = static_cast<int>(rng.below(2));
+    const int fy = static_cast<int>(rng.below(2));
+
+    media::Block ref_f, ref_i, ref_q, ref_d, ref_s;
+    std::vector<media::rle::RunLevel> ref_p;
+    mk::setBackend(mk::Backend::Scalar);
+    {
+      const auto& t = mk::active();
+      t.dct_forward(in, ref_f);
+      t.dct_inverse(in, ref_i);
+      t.quantize(in, ref_q, qscale, m);
+      t.dequantize(lv, ref_d, qscale, m);
+      t.to_scan(in, ref_s, order);
+      t.rle_encode(in, ref_p);
+    }
+    const std::uint8_t* ref_win = plane.data() + sy * 128 + sx;
+    const std::uint8_t* cur_win = cur.data() + sy * 128 + sx;
+    std::uint32_t ref_sad = 0;
+    std::array<std::uint8_t, 256> ref_interp{};
+    mk::setBackend(mk::Backend::Scalar);
+    ref_sad = mk::active().sad_16xh(cur_win, 128, ref_win, 128, 16, fx, fy);
+    mk::active().interp_16xh(ref_interp.data(), 16, ref_win, 128, 16, fx, fy);
+
+    for (const auto b : backends) {
+      if (b == mk::Backend::Scalar) continue;
+      mk::setBackend(b);
+      const auto& t = mk::active();
+      media::Block got;
+      std::vector<media::rle::RunLevel> got_p;
+      t.dct_forward(in, got);
+      if (got != ref_f) {
+        std::fprintf(stderr, "media identity: dct_forward diverges on %s (block %d)\n", t.name, i);
+        return false;
+      }
+      t.dct_inverse(in, got);
+      if (got != ref_i) {
+        std::fprintf(stderr, "media identity: dct_inverse diverges on %s (block %d)\n", t.name, i);
+        return false;
+      }
+      t.quantize(in, got, qscale, m);
+      if (got != ref_q) {
+        std::fprintf(stderr, "media identity: quantize diverges on %s (block %d)\n", t.name, i);
+        return false;
+      }
+      t.dequantize(lv, got, qscale, m);
+      if (got != ref_d) {
+        std::fprintf(stderr, "media identity: dequantize diverges on %s (block %d)\n", t.name, i);
+        return false;
+      }
+      t.to_scan(in, got, order);
+      if (got != ref_s) {
+        std::fprintf(stderr, "media identity: to_scan diverges on %s (block %d)\n", t.name, i);
+        return false;
+      }
+      t.rle_encode(in, got_p);
+      if (got_p != ref_p) {
+        std::fprintf(stderr, "media identity: rle_encode diverges on %s (block %d)\n", t.name, i);
+        return false;
+      }
+      std::array<std::uint8_t, 256> got_interp{};
+      if (t.sad_16xh(cur_win, 128, ref_win, 128, 16, fx, fy) != ref_sad) {
+        std::fprintf(stderr, "media identity: sad_16xh diverges on %s (block %d)\n", t.name, i);
+        return false;
+      }
+      t.interp_16xh(got_interp.data(), 16, ref_win, 128, 16, fx, fy);
+      if (got_interp != ref_interp) {
+        std::fprintf(stderr, "media identity: interp_16xh diverges on %s (block %d)\n", t.name, i);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+MediaBenchResult runMedia(bool smoke, int repeats) {
+  MediaBenchResult r;
+  const auto backends = mk::availableBackends();
+  for (const auto b : backends) r.backends.emplace_back(mk::backendName(b));
+  r.best = mk::backendName(backends.back());
+
+  r.identity_blocks = 10000;
+  r.identity_ok = mediaIdentityGate(r.identity_blocks);
+
+  // Decode pin: simulated numbers and decoded frames must be invariant
+  // across backends; wall time is the per-backend figure of merit.
+  {
+    bool first = true;
+    for (const auto b : backends) {
+      mk::setBackend(b);
+      // Regenerate and re-encode under this backend too: the producer side
+      // (video generator + encoder) must be bit-identical as well.
+      const auto w = eclipse::bench::makeWorkload(96, 80, smoke ? 2 : 5);
+      MediaDecodePoint p;
+      p.backend = mk::backendName(b);
+      std::uint64_t cycles = 0, events = 0, mbs = 0;
+      bool bit_exact = false;
+      p.wall_s = bestWall(smoke ? 1 : repeats, [&] {
+        app::EclipseInstance inst;
+        const auto run = eclipse::bench::runDecode(inst, w);
+        cycles = run.cycles;
+        events = inst.simulator().eventsDispatched();
+        mbs = run.macroblocks;
+        bit_exact = run.bit_exact;
+      });
+      if (first) {
+        r.pin_cycles = cycles;
+        r.pin_events = events;
+        r.pin_macroblocks = mbs;
+        first = false;
+      } else if (cycles != r.pin_cycles || events != r.pin_events || mbs != r.pin_macroblocks) {
+        std::fprintf(stderr,
+                     "media pin: backend %s moved the decode (%llu/%llu/%llu vs "
+                     "%llu/%llu/%llu)\n",
+                     p.backend.c_str(), static_cast<unsigned long long>(cycles),
+                     static_cast<unsigned long long>(events), static_cast<unsigned long long>(mbs),
+                     static_cast<unsigned long long>(r.pin_cycles),
+                     static_cast<unsigned long long>(r.pin_events),
+                     static_cast<unsigned long long>(r.pin_macroblocks));
+        r.pin_ok = false;
+      }
+      if (!bit_exact) {
+        std::fprintf(stderr, "media pin: backend %s output not bit-exact vs golden\n",
+                     p.backend.c_str());
+        r.pin_ok = false;
+      }
+      r.decode.push_back(p);
+    }
+  }
+
+  // Per-kernel throughput. Shared randomized inputs, cycled via index mask
+  // so the working set (256 blocks) stays cache-resident and the number
+  // measured is kernel arithmetic, not DRAM.
+  sim::Prng rng(0x5EEDull);
+  constexpr int kMask = 255;
+  std::vector<media::Block> coefs, levels, sparse;
+  for (int i = 0; i <= kMask; ++i) {
+    coefs.push_back(randomMediaBlock(rng, i % 2 == 0 ? 255 : 2047));
+    levels.push_back(randomMediaBlock(rng, 2047));
+    // Post-quantization distribution for RLE: mostly zeros.
+    media::Block sp = randomMediaBlock(rng, 2047);
+    for (auto& v : sp) {
+      if (rng.below(8) != 0) v = 0;
+    }
+    sparse.push_back(sp);
+  }
+  std::vector<std::uint8_t> plane(128 * 80), cur(128 * 80);
+  for (auto& v : plane) v = static_cast<std::uint8_t>(rng.below(256));
+  for (auto& v : cur) v = static_cast<std::uint8_t>(rng.below(256));
+
+  struct Spec {
+    const char* name;
+    int iters;
+  };
+  const int scale = smoke ? 1 : 20;
+  const Spec specs[] = {
+      {"dct_forward", 10000 * scale},        {"dct_inverse", 10000 * scale},
+      {"quantize", 10000 * scale},           {"dequantize", 10000 * scale},
+      {"to_scan_zigzag", 20000 * scale},     {"rle_encode", 10000 * scale},
+      {"sad_16x16", 25000 * scale},          {"sad_16x16_halfpel", 25000 * scale},
+      {"interp_16x16_halfpel", 25000 * scale},
+  };
+
+  for (const Spec& s : specs) {
+    MediaKernelBench kb;
+    kb.kernel = s.name;
+    kb.iters = s.iters;
+    double scalar_wall = 0;
+    for (const auto b : backends) {
+      mk::setBackend(b);
+      const auto& t = mk::active();
+      media::Block out;
+      std::vector<media::rle::RunLevel> pairs;
+      const std::string name = s.name;
+      const double wall = bestWall(repeats, [&] {
+        std::uint64_t sink = 0;
+        for (int j = 0; j < s.iters; ++j) {
+          const media::Block& in = coefs[static_cast<std::size_t>(j & kMask)];
+          const std::uint8_t* win = plane.data() + (j % 63) * 128 + (j % 111);
+          if (name == "dct_forward") {
+            t.dct_forward(in, out);
+            sink += static_cast<std::uint64_t>(static_cast<std::uint16_t>(out[0]));
+          } else if (name == "dct_inverse") {
+            t.dct_inverse(in, out);
+            sink += static_cast<std::uint64_t>(static_cast<std::uint16_t>(out[0]));
+          } else if (name == "quantize") {
+            t.quantize(in, out, 1 + (j & 15), media::quant::defaultIntraMatrix());
+            sink += static_cast<std::uint64_t>(static_cast<std::uint16_t>(out[0]));
+          } else if (name == "dequantize") {
+            t.dequantize(levels[static_cast<std::size_t>(j & kMask)], out, 1 + (j & 15),
+                         media::quant::defaultIntraMatrix());
+            sink += static_cast<std::uint64_t>(static_cast<std::uint16_t>(out[0]));
+          } else if (name == "to_scan_zigzag") {
+            t.to_scan(in, out, media::scan::Order::Zigzag);
+            sink += static_cast<std::uint64_t>(static_cast<std::uint16_t>(out[0]));
+          } else if (name == "rle_encode") {
+            t.rle_encode(sparse[static_cast<std::size_t>(j & kMask)], pairs);
+            sink += pairs.size();
+          } else if (name == "sad_16x16") {
+            sink += t.sad_16xh(cur.data() + (j % 57) * 128 + (j % 101), 128, win, 128, 16, 0, 0);
+          } else if (name == "sad_16x16_halfpel") {
+            sink += t.sad_16xh(cur.data() + (j % 57) * 128 + (j % 101), 128, win, 128, 16, 1, 1);
+          } else {  // interp_16x16_halfpel
+            std::array<std::uint8_t, 256> dst;
+            t.interp_16xh(dst.data(), 16, win, 128, 16, 1, 1);
+            sink += dst[0];
+          }
+        }
+        g_media_sink = g_media_sink + sink;
+      });
+      MediaPoint p;
+      p.backend = mk::backendName(b);
+      p.wall_s = wall;
+      p.per_s = wall > 0 ? static_cast<double>(s.iters) / wall : 0;
+      if (b == mk::Backend::Scalar) scalar_wall = wall;
+      p.speedup = (wall > 0 && scalar_wall > 0) ? scalar_wall / wall : 0;
+      kb.points.push_back(p);
+    }
+    r.kernels.push_back(kb);
+  }
+
+  mk::resetBackendFromEnv();
+  return r;
+}
+
+void emitMedia(std::FILE* f, const MediaBenchResult& r) {
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"eclipse-bench-media-v1\",\n");
+  std::fprintf(f, "  \"backends\": [");
+  for (std::size_t i = 0; i < r.backends.size(); ++i) {
+    std::fprintf(f, "\"%s\"%s", r.backends[i].c_str(), i + 1 < r.backends.size() ? ", " : "");
+  }
+  std::fprintf(f, "],\n");
+  std::fprintf(f, "  \"best_backend\": \"%s\",\n", r.best.c_str());
+  std::fprintf(f, "  \"identity_blocks\": %d,\n", r.identity_blocks);
+  std::fprintf(f, "  \"identity\": \"%s\",\n", r.identity_ok ? "ok" : "MISMATCH");
+  std::fprintf(f,
+               "  \"decode_pin\": {\"sim_cycles\": %llu, \"events\": %llu, "
+               "\"macroblocks\": %llu, \"invariant\": %s},\n",
+               static_cast<unsigned long long>(r.pin_cycles),
+               static_cast<unsigned long long>(r.pin_events),
+               static_cast<unsigned long long>(r.pin_macroblocks), r.pin_ok ? "true" : "false");
+  std::fprintf(f, "  \"decode_wall\": [\n");
+  for (std::size_t i = 0; i < r.decode.size(); ++i) {
+    std::fprintf(f, "    {\"backend\": \"%s\", \"wall_s\": %.6f}%s\n", r.decode[i].backend.c_str(),
+                 r.decode[i].wall_s, i + 1 < r.decode.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"kernels\": [\n");
+  for (std::size_t i = 0; i < r.kernels.size(); ++i) {
+    const MediaKernelBench& kb = r.kernels[i];
+    std::fprintf(f, "    {\"kernel\": \"%s\", \"iters\": %d, \"points\": [\n", kb.kernel.c_str(),
+                 kb.iters);
+    for (std::size_t j = 0; j < kb.points.size(); ++j) {
+      const MediaPoint& p = kb.points[j];
+      std::fprintf(f,
+                   "      {\"backend\": \"%s\", \"wall_s\": %.6f, \"blocks_per_s\": %.0f, "
+                   "\"speedup_vs_scalar\": %.2f}%s\n",
+                   p.backend.c_str(), p.wall_s, p.per_s, p.speedup,
+                   j + 1 < kb.points.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]}%s\n", i + 1 < r.kernels.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+}
+
 void emit(std::FILE* f, const std::vector<Result>& results) {
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"schema\": \"eclipse-bench-kernel-v1\",\n");
@@ -676,6 +1026,7 @@ int main(int argc, char** argv) {
   bool reconfig = false;
   bool faults = false;
   bool farm_bench = false;
+  bool media_bench = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out = argv[++i];
@@ -691,23 +1042,43 @@ int main(int argc, char** argv) {
       faults = true;
     } else if (std::strcmp(argv[i], "--farm") == 0) {
       farm_bench = true;
+    } else if (std::strcmp(argv[i], "--media") == 0) {
+      media_bench = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--out FILE] [--repeats N] [--smoke] "
-                   "[--transport | --reconfig | --faults | --farm]\n",
+                   "[--transport | --reconfig | --faults | --farm | --media]\n",
                    argv[0]);
       return 2;
     }
   }
   if (repeats < 1) repeats = 1;
   if (out.empty()) {
-    out = farm_bench
-              ? "BENCH_farm.json"
-              : (faults ? "BENCH_faults.json"
-                        : (reconfig ? "BENCH_reconfig.json"
-                                    : (transport ? "BENCH_transport.json" : "BENCH_kernel.json")));
+    out = media_bench
+              ? "BENCH_media.json"
+              : farm_bench
+                    ? "BENCH_farm.json"
+                    : (faults ? "BENCH_faults.json"
+                              : (reconfig ? "BENCH_reconfig.json"
+                                          : (transport ? "BENCH_transport.json"
+                                                       : "BENCH_kernel.json")));
   }
 
+  if (media_bench) {
+    const MediaBenchResult r = runMedia(smoke, repeats);
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot open %s for writing\n", out.c_str());
+      return 1;
+    }
+    emitMedia(f, r);
+    std::fclose(f);
+    emitMedia(stdout, r);
+    std::fprintf(stderr, "wrote %s\n", out.c_str());
+    // Bit-identity to the scalar oracle and the backend-invariant decode
+    // pin are hard gates, not perf numbers.
+    return (r.identity_ok && r.pin_ok) ? 0 : 1;
+  }
   if (farm_bench) {
     const FarmBenchResult r = runFarm(smoke);
     std::FILE* f = std::fopen(out.c_str(), "w");
