@@ -41,37 +41,12 @@ struct AudioDecodeApp::DecoderState {
   std::vector<std::uint8_t> out;      // reusable PCM packet buffer
 };
 
-AudioDecodeApp::AudioDecodeApp(EclipseInstance& inst, std::vector<std::uint8_t> coded_stream,
-                               const AudioAppConfig& cfg)
-    : inst_(inst) {
-  if (coded_stream.size() < 16 || getU32(coded_stream, 0) != media::audio::kAudioMagic) {
-    throw std::invalid_argument("AudioDecodeApp: not an audio elementary stream");
-  }
-  const std::uint32_t block_samples = getU32(coded_stream, 8);
-  total_samples_ = getU32(coded_stream, 12);
-
-  auto on_done = inst.registerApp();
-  sink_ = &inst.createByteSink(std::move(on_done));
-
-  // The coded stream lives off-chip, like the video elementary streams.
-  const sim::Addr addr = inst.allocDram(coded_stream.size());
-  inst.dram().storage().write(addr, coded_stream);
-
-  feeder_ = std::make_shared<FeederState>();
-  feeder_->dram_addr = addr;
-  feeder_->stream_bytes = coded_stream.size();
-  feeder_->block_samples = block_samples;
-  feeder_->total_samples = total_samples_;
-  decoder_ = std::make_shared<DecoderState>();
-  decoder_->block_samples = block_samples;
-  decoder_->cycles_per_sample = cfg.cycles_per_sample;
-
-  const std::uint32_t block_frame =
-      frameBytes(1 + static_cast<std::uint32_t>(media::audio::blockBytes(block_samples)));
-  const std::uint32_t pcm_frame = frameBytes(1 + block_samples * 2);
-
-  // Feeder: one coded block per processing step, fetched from off-chip.
-  auto feeder_step = [this, block_frame](sim::TaskId task, std::uint32_t) -> sim::Task<void> {
+// Feeder: one coded block per processing step, fetched from off-chip. The
+// same step serves both topologies — port 0 leads to the decoder in play
+// mode and straight to the sink in bypass mode.
+coproc::SoftCpu::StepHandler AudioDecodeApp::feederStep() const {
+  return [this, block_frame = block_frame_](sim::TaskId task,
+                                            std::uint32_t) -> sim::Task<void> {
     auto& sh = inst_.cpuShell();
     auto& st = *feeder_;
     if (st.eos_sent) {
@@ -99,9 +74,11 @@ AudioDecodeApp::AudioDecodeApp(EclipseInstance& inst, std::vector<std::uint8_t> 
     st.samples_fed += st.block_samples;
     co_await coproc::packet_io::write(sh, task, 0, st.pkt, /*wait=*/false);
   };
+}
 
-  // Decoder: one block per processing step.
-  auto decoder_step = [this, pcm_frame](sim::TaskId task, std::uint32_t) -> sim::Task<void> {
+// Decoder: one block per processing step.
+coproc::SoftCpu::StepHandler AudioDecodeApp::decoderStep() const {
+  return [this, pcm_frame = pcm_frame_](sim::TaskId task, std::uint32_t) -> sim::Task<void> {
     auto& sh = inst_.cpuShell();
     auto& st = *decoder_;
     if (!co_await sh.getSpace(task, 1, withCtl(pcm_frame))) co_return;
@@ -126,30 +103,112 @@ AudioDecodeApp::AudioDecodeApp(EclipseInstance& inst, std::vector<std::uint8_t> 
     std::memcpy(st.out.data() + 1, st.samples.data(), st.samples.size() * 2);
     co_await coproc::packet_io::write(sh, task, 1, st.out, /*wait=*/false);
   };
+}
 
-  GraphSpec g("audio");
+GraphSpec AudioDecodeApp::modeSpec(const std::string& name, const AudioAppConfig& cfg) const {
+  GraphSpec g(name);
   g.task({.name = "feeder",
           .shell = "dsp-cpu",
           .budget_cycles = cfg.budget_cycles,
           .enabled = cfg.feeder_enabled,
           .source = true,
-          .software = std::move(feeder_step)})
-      .task({.name = "decoder",
-             .shell = "dsp-cpu",
+          .software = feederStep()});
+  if (cfg.bypass) {
+    g.task({.name = "sink",
+            .shell = sink_->shell().name(),
+            .budget_cycles = cfg.budget_cycles,
+            .software = {}});
+    g.stream("raw", "feeder", 0, "sink", coproc::ByteSink::kIn, cfg.block_buffer);
+    return g;
+  }
+  g.task({.name = "decoder",
+          .shell = "dsp-cpu",
+          .budget_cycles = cfg.budget_cycles,
+          .software = decoderStep()})
+      .task({.name = "sink",
+             .shell = sink_->shell().name(),
              .budget_cycles = cfg.budget_cycles,
-             .software = std::move(decoder_step)})
-      .task({.name = "sink", .shell = sink_->shell().name(), .budget_cycles = cfg.budget_cycles, .software = {}});
+             .software = {}});
   g.stream("blocks", "feeder", 0, "decoder", 0, cfg.block_buffer)
       .stream("pcm", "decoder", 1, "sink", coproc::ByteSink::kIn, cfg.pcm_buffer);
+  return g;
+}
 
+void AudioDecodeApp::initStreams(std::vector<std::uint8_t>& coded_stream) {
+  if (coded_stream.size() < 16 || getU32(coded_stream, 0) != media::audio::kAudioMagic) {
+    throw std::invalid_argument("AudioDecodeApp: not an audio elementary stream");
+  }
+  const std::uint32_t block_samples = getU32(coded_stream, 8);
+  total_samples_ = getU32(coded_stream, 12);
+
+  auto on_done = inst_.registerApp();
+  sink_ = &inst_.createByteSink(std::move(on_done));
+
+  // The coded stream lives off-chip, like the video elementary streams.
+  const sim::Addr addr = inst_.allocDram(coded_stream.size());
+  inst_.dram().storage().write(addr, coded_stream);
+
+  feeder_ = std::make_shared<FeederState>();
+  feeder_->dram_addr = addr;
+  feeder_->stream_bytes = coded_stream.size();
+  feeder_->block_samples = block_samples;
+  feeder_->total_samples = total_samples_;
+
+  block_frame_ =
+      frameBytes(1 + static_cast<std::uint32_t>(media::audio::blockBytes(block_samples)));
+  pcm_frame_ = frameBytes(1 + block_samples * 2);
+}
+
+void AudioDecodeApp::cacheTaskIds() {
+  t_feeder_ = handle_.taskId("feeder");
+  t_decoder_ = 0;
+  for (const AppTask& t : handle_.tasks()) {
+    if (t.spec.name == "decoder") t_decoder_ = t.id;
+  }
+}
+
+AudioDecodeApp::AudioDecodeApp(EclipseInstance& inst, std::vector<std::uint8_t> coded_stream,
+                               const AudioAppConfig& cfg)
+    : inst_(inst) {
+  initStreams(coded_stream);
+  decoder_ = std::make_shared<DecoderState>();
+  decoder_->block_samples = feeder_->block_samples;
+  decoder_->cycles_per_sample = cfg.cycles_per_sample;
+
+  modes_.mode(modeSpec("audio", cfg));
   Configurator configurator(inst);
-  handle_ = configurator.apply(g);
-  handle_.adoptDram(addr, coded_stream.size());
+  handle_ = configurator.apply(modes_.modes().front());
+  handle_.adoptDram(feeder_->dram_addr, feeder_->stream_bytes);
   handle_.addCleanup([this] {
     if (!sink_->done()) inst_.deregisterApp();
   });
-  t_feeder_ = handle_.taskId("feeder");
-  t_decoder_ = handle_.taskId("decoder");
+  cacheTaskIds();
+}
+
+AudioDecodeApp::AudioDecodeApp(EclipseInstance& inst, std::vector<std::uint8_t> coded_stream,
+                               std::vector<Mode> modes)
+    : inst_(inst) {
+  if (modes.empty()) throw GraphSpecError("AudioDecodeApp: empty mode list");
+  initStreams(coded_stream);
+  decoder_ = std::make_shared<DecoderState>();
+  decoder_->block_samples = feeder_->block_samples;
+  decoder_->cycles_per_sample = modes.front().second.cycles_per_sample;
+
+  for (const Mode& m : modes) modes_.mode(modeSpec(m.first, m.second));
+  modes_.validate(inst);
+  Configurator configurator(inst);
+  handle_ = configurator.apply(modes_.at(modes.front().first));
+  handle_.adoptDram(feeder_->dram_addr, feeder_->stream_bytes);
+  handle_.addCleanup([this] {
+    if (!sink_->done()) inst_.deregisterApp();
+  });
+  cacheTaskIds();
+}
+
+TransitionStats AudioDecodeApp::switchMode(std::string_view mode_name) {
+  const TransitionStats st = handle_.switchMode(modes_, mode_name);
+  cacheTaskIds();
+  return st;
 }
 
 bool AudioDecodeApp::done() const { return sink_->done(); }
@@ -161,5 +220,7 @@ std::vector<std::int16_t> AudioDecodeApp::pcm() const {
   out.resize(total_samples_);
   return out;
 }
+
+const std::vector<std::uint8_t>& AudioDecodeApp::sinkBytes() const { return sink_->bytes(); }
 
 }  // namespace eclipse::app

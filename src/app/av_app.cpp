@@ -37,9 +37,17 @@ AvPlaybackApp::AvPlaybackApp(EclipseInstance& inst, std::vector<std::uint8_t> tr
   vcfg.vld_enabled = false;  // enabled by the demux task at run time
   video_ = std::make_unique<DecodeApp>(inst, std::move(streams[vs]), vcfg);
 
-  AudioAppConfig acfg;
-  acfg.feeder_enabled = false;
-  audio_ = std::make_unique<AudioDecodeApp>(inst, std::move(streams[as]), acfg);
+  // The audio application is a mode family: it boots with the feeder held
+  // back (the demux enables it once the stream is staged), and the decoder
+  // subgraph can be detached ("bypass") and re-attached ("play") live.
+  AudioAppConfig boot;
+  boot.feeder_enabled = false;
+  AudioAppConfig play;
+  AudioAppConfig bypass;
+  bypass.bypass = true;
+  audio_ = std::make_unique<AudioDecodeApp>(
+      inst, std::move(streams[as]),
+      std::vector<AudioDecodeApp::Mode>{{"boot", boot}, {"play", play}, {"bypass", bypass}});
 
   demux_ = std::make_shared<DemuxState>();
   demux_->ts_bytes = transport_stream.size();
@@ -88,6 +96,10 @@ AvPlaybackApp::AvPlaybackApp(EclipseInstance& inst, std::vector<std::uint8_t> tr
   demux_handle_.adoptDram(demux_->ts_addr, transport_stream.size());
   t_demux_ = demux_handle_.taskId("demux");
 }
+
+TransitionStats AvPlaybackApp::detachAudioDecode() { return audio_->switchMode("bypass"); }
+
+TransitionStats AvPlaybackApp::attachAudioDecode() { return audio_->switchMode("play"); }
 
 void AvPlaybackApp::teardown() {
   demux_handle_.teardown();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <set>
 #include <stdexcept>
 
 namespace eclipse::app {
@@ -199,18 +200,25 @@ void AppHandle::repairStream(std::string_view stream_name) {
   bus.write(mmio::streamReg(*s.consumer_shell, s.consumer_row, mmio::kStreamStalled), 0);
 }
 
-bool AppHandle::quiesced() const {
-  if (inst_ == nullptr || torn_down_) return true;
-  for (const AppStream& s : streams_) {
-    const std::uint32_t producer_room =
-        inst_->piBus().read(mmio::streamReg(*s.producer_shell, s.producer_row, mmio::kStreamSpace));
-    const std::uint32_t consumer_data =
-        inst_->piBus().read(mmio::streamReg(*s.consumer_shell, s.consumer_row, mmio::kStreamSpace));
+bool AppHandle::streamsSettled(const std::vector<const AppStream*>& subset) const {
+  for (const AppStream* s : subset) {
+    const std::uint32_t producer_room = inst_->piBus().read(
+        mmio::streamReg(*s->producer_shell, s->producer_row, mmio::kStreamSpace));
+    const std::uint32_t consumer_data = inst_->piBus().read(
+        mmio::streamReg(*s->consumer_shell, s->consumer_row, mmio::kStreamSpace));
     // Empty and settled: the producer sees the whole buffer free again and
     // the consumer sees nothing to read (no putspace message in flight).
-    if (producer_room != s.spec.buffer_bytes || consumer_data != 0) return false;
+    if (producer_room != s->spec.buffer_bytes || consumer_data != 0) return false;
   }
   return true;
+}
+
+bool AppHandle::quiesced() const {
+  if (inst_ == nullptr || torn_down_) return true;
+  std::vector<const AppStream*> all;
+  all.reserve(streams_.size());
+  for (const AppStream& s : streams_) all.push_back(&s);
+  return streamsSettled(all);
 }
 
 bool AppHandle::drain(sim::Cycle max_cycles, sim::Cycle slice) {
@@ -237,8 +245,27 @@ bool AppHandle::drain(sim::Cycle max_cycles, sim::Cycle slice) {
   return true;
 }
 
-void AppHandle::teardown() {
+void AppHandle::teardown(bool force) {
   if (inst_ == nullptr || torn_down_) return;
+  if (!force && !quiesced()) {
+    // Residual FIFO bytes are harmless once no task can run (a finished
+    // graph's reference/feedback streams legitimately end non-empty, every
+    // task having disabled itself at Eos). A graph with an enabled task
+    // may be mid-transaction — discarding it needs an explicit force.
+    bool inert = true;
+    for (const AppTask& t : tasks_) {
+      if (inst_->piBus().read(mmio::taskReg(*t.shell, t.id, mmio::kTaskEnabled)) != 0) {
+        inert = false;
+        break;
+      }
+    }
+    if (!inert) {
+      throw std::logic_error("AppHandle '" + name_ +
+                             "': teardown on an undrained graph — tasks are still enabled and "
+                             "stream FIFOs hold data (drain() first, or pass force to discard a "
+                             "wedged graph)");
+    }
+  }
   for (const auto& [sh, id] : fault_observers_) sh->removeFaultObserver(id);
   fault_observers_.clear();
   mem::PiBus& bus = inst_->piBus();
@@ -266,6 +293,296 @@ void AppHandle::teardown() {
   torn_down_ = true;
 }
 
+AppStream AppHandle::programStream(const StreamSpec& s) {
+  mem::PiBus& bus = inst_->piBus();
+  AppStream as;
+  as.spec = s;
+  as.producer_shell = &taskShell(s.producer.task);
+  as.consumer_shell = &taskShell(s.consumer.task);
+  as.buffer_base = inst_->allocSram(s.buffer_bytes);
+
+  const shell::Shell& psh = *as.producer_shell;
+  as.producer_row = findFreeStreamRow(bus, psh);
+  bus.write(mmio::streamReg(psh, as.producer_row, mmio::kStreamTask),
+            static_cast<std::uint32_t>(taskId(s.producer.task)));
+  bus.write(mmio::streamReg(psh, as.producer_row, mmio::kStreamPort),
+            static_cast<std::uint32_t>(s.producer.port));
+  bus.write(mmio::streamReg(psh, as.producer_row, mmio::kStreamIsProducer), 1);
+  bus.write(mmio::streamReg(psh, as.producer_row, mmio::kStreamBase),
+            static_cast<std::uint32_t>(as.buffer_base));
+  bus.write(mmio::streamReg(psh, as.producer_row, mmio::kStreamSize), s.buffer_bytes);
+  bus.write(mmio::streamReg(psh, as.producer_row, mmio::kStreamSpace), s.buffer_bytes);
+  bus.write(mmio::streamReg(psh, as.producer_row, mmio::kStreamRemoteShell),
+            as.consumer_shell->id());
+  bus.write(mmio::streamReg(psh, as.producer_row, mmio::kStreamValid), 1);
+
+  const shell::Shell& csh = *as.consumer_shell;
+  as.consumer_row = findFreeStreamRow(bus, csh);
+  bus.write(mmio::streamReg(csh, as.consumer_row, mmio::kStreamTask),
+            static_cast<std::uint32_t>(taskId(s.consumer.task)));
+  bus.write(mmio::streamReg(csh, as.consumer_row, mmio::kStreamPort),
+            static_cast<std::uint32_t>(s.consumer.port));
+  bus.write(mmio::streamReg(csh, as.consumer_row, mmio::kStreamIsProducer), 0);
+  bus.write(mmio::streamReg(csh, as.consumer_row, mmio::kStreamBase),
+            static_cast<std::uint32_t>(as.buffer_base));
+  bus.write(mmio::streamReg(csh, as.consumer_row, mmio::kStreamSize), s.buffer_bytes);
+  bus.write(mmio::streamReg(csh, as.consumer_row, mmio::kStreamSpace), 0);
+  bus.write(mmio::streamReg(csh, as.consumer_row, mmio::kStreamRemoteShell), psh.id());
+  bus.write(mmio::streamReg(csh, as.consumer_row, mmio::kStreamRemoteRow), as.producer_row);
+  bus.write(mmio::streamReg(csh, as.consumer_row, mmio::kStreamValid), 1);
+
+  bus.write(mmio::streamReg(psh, as.producer_row, mmio::kStreamRemoteRow), as.consumer_row);
+  return as;
+}
+
+TransitionStats AppHandle::switchTo(const GraphSpec& target,
+                                    const std::function<void(AppHandle&)>& before_enable,
+                                    sim::Cycle max_drain_cycles, sim::Cycle slice) {
+  requireLive();
+  if (slice == 0) throw std::invalid_argument("AppHandle::switchTo: zero slice");
+  target.validateStructure();
+
+  // The currently programmed graph, rebuilt from the placed elements.
+  GraphSpec current(mode_);
+  for (const AppTask& t : tasks_) current.task(t.spec);
+  for (const AppStream& s : streams_) current.stream(s.spec);
+  const GraphDiff d = diffGraphs(current, target);
+
+  // Interface reconciliation before the first MMIO write: kept tasks must
+  // keep their shell and software-ness (the slot stays in place), added
+  // tasks must land on known shells with matching bindings, added buffers
+  // must respect the cache-line constraint.
+  for (const TaskSpec& t : target.tasks()) {
+    if (const TaskSpec* cur = current.findTask(t.name)) {
+      if (cur->shell != t.shell) {
+        throw GraphSpecError("switchTo '" + name_ + "': task '" + t.name + "' moves from shell '" +
+                             cur->shell + "' to '" + t.shell + "' — rename the task if it moves");
+      }
+      if (bool(cur->software) != bool(t.software)) {
+        throw GraphSpecError("switchTo '" + name_ + "': task '" + t.name +
+                             "' switches between software and hardware");
+      }
+    } else {
+      shell::Shell& sh = inst_->shell(t.shell);
+      if ((inst_->softCpuAt(sh) != nullptr) != bool(t.software)) {
+        throw GraphSpecError("switchTo '" + name_ + "': task '" + t.name +
+                             "' software binding does not match shell '" + t.shell + "'");
+      }
+    }
+  }
+  const std::uint32_t line = inst_->params().cache_line_bytes;
+  for (const StreamSpec& s : d.streams_added) {
+    if (s.buffer_bytes == 0 || s.buffer_bytes % line != 0) {
+      throw GraphSpecError("switchTo '" + name_ + "': stream '" + s.name + "' buffer of " +
+                           std::to_string(s.buffer_bytes) + " bytes is not a positive multiple " +
+                           "of the " + std::to_string(line) + "-byte cache line");
+    }
+  }
+
+  mem::PiBus& bus = inst_->piBus();
+  const sim::Cycle t0 = inst_->simulator().now();
+  const std::uint64_t w0 = bus.writeCount();
+  const std::uint64_t r0 = bus.readCount();
+
+  TransitionStats st;
+  st.from = mode_;
+  st.to = target.name();
+  st.tasks_added = static_cast<std::uint32_t>(d.tasks_added.size());
+  st.tasks_removed = static_cast<std::uint32_t>(d.tasks_removed.size());
+  st.tasks_updated = static_cast<std::uint32_t>(d.tasks_updated.size());
+  st.tasks_kept = static_cast<std::uint32_t>(d.tasks_kept.size());
+  st.streams_added = static_cast<std::uint32_t>(d.streams_added.size());
+  st.streams_removed = static_cast<std::uint32_t>(d.streams_removed.size());
+  st.streams_kept = static_cast<std::uint32_t>(d.streams_kept.size());
+
+  // ---- Phase 1: drain only the affected subgraph ----------------------
+  // Every stream that can still feed data into a removed stream (reverse
+  // reachability over consumer-task -> produced-stream edges, cycles
+  // included) must settle before any row is re-bound; only the sources
+  // feeding that closure are gated. The rest of the graph keeps running.
+  if (!d.streams_removed.empty()) {
+    std::set<std::string> closure(d.streams_removed.begin(), d.streams_removed.end());
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (const AppStream& s : streams_) {
+        if (closure.count(s.spec.name) != 0) continue;
+        for (const AppStream& t : streams_) {
+          if (closure.count(t.spec.name) != 0 && t.spec.producer.task == s.spec.consumer.task) {
+            closure.insert(s.spec.name);
+            grew = true;
+            break;
+          }
+        }
+      }
+    }
+    for (const AppTask& t : tasks_) {
+      if (!t.spec.source) continue;
+      bool feeds_closure = false;
+      for (const AppStream& s : streams_) {
+        feeds_closure = feeds_closure ||
+                        (s.spec.producer.task == t.spec.name && closure.count(s.spec.name) != 0);
+      }
+      if (feeds_closure) {
+        bus.write(mmio::taskReg(*t.shell, t.id, mmio::kTaskEnabled), 0);
+      }
+    }
+    std::vector<const AppStream*> subset;
+    for (const AppStream& s : streams_) {
+      if (closure.count(s.spec.name) != 0) subset.push_back(&s);
+    }
+    // A finished subgraph cannot settle: its tasks self-disabled at Eos,
+    // and whatever trailing bytes remain in the closure FIFOs are exactly
+    // what the removal discards. Only a live closure — some task on one of
+    // its streams still enabled — needs draining.
+    bool closure_live = false;
+    for (const AppTask& t : tasks_) {
+      bool touches = false;
+      for (const AppStream* s : subset) {
+        touches = touches || s->spec.producer.task == t.spec.name ||
+                  s->spec.consumer.task == t.spec.name;
+      }
+      if (touches && bus.read(mmio::taskReg(*t.shell, t.id, mmio::kTaskEnabled)) != 0) {
+        closure_live = true;
+        break;
+      }
+    }
+    if (closure_live) {
+      const sim::Cycle deadline = inst_->simulator().now() + max_drain_cycles;
+      while (!streamsSettled(subset)) {
+        const sim::Cycle before = inst_->simulator().now();
+        const bool dry_or_late = before >= deadline;
+        if (!dry_or_late) inst_->run(std::min(deadline, before + slice));
+        if (dry_or_late || inst_->simulator().now() == before) {
+          if (streamsSettled(subset)) break;
+          throw std::runtime_error("AppHandle '" + name_ + "': mode transition to '" +
+                                   target.name() + "' could not drain the affected subgraph");
+        }
+      }
+      st.drained = true;
+    }
+  }
+
+  // ---- Phase 2: invalidate and free only the removed elements ---------
+  for (const std::string& nm : d.tasks_removed) {
+    for (auto it = tasks_.begin(); it != tasks_.end(); ++it) {
+      if (it->spec.name != nm) continue;
+      bus.write(mmio::taskReg(*it->shell, it->id, mmio::kTaskEnabled), 0);
+      bus.write(mmio::taskReg(*it->shell, it->id, mmio::kTaskValid), 0);
+      if (it->spec.software) {
+        if (coproc::SoftCpu* cpu = inst_->softCpuAt(*it->shell)) cpu->unregisterTask(it->id);
+      }
+      inst_->freeTask(*it->shell, it->id);
+      tasks_.erase(it);
+      break;
+    }
+  }
+  for (const std::string& nm : d.streams_removed) {
+    for (auto it = streams_.begin(); it != streams_.end(); ++it) {
+      if (it->spec.name != nm) continue;
+      bus.write(mmio::streamReg(*it->producer_shell, it->producer_row, mmio::kStreamValid), 0);
+      bus.write(mmio::streamReg(*it->consumer_shell, it->consumer_row, mmio::kStreamValid), 0);
+      inst_->freeSram(it->buffer_base, it->spec.buffer_bytes);
+      streams_.erase(it);
+      break;
+    }
+  }
+
+  // ---- Phase 3: allocate/program added elements, rebind the rest ------
+  // Tasks first (stream rows reference task ids); kept tasks keep their
+  // slots, software handlers are refreshed from the target spec.
+  std::set<std::string> added_tasks;
+  for (const TaskSpec& t : d.tasks_added) added_tasks.insert(t.name);
+  std::vector<AppTask> new_tasks;
+  new_tasks.reserve(target.tasks().size());
+  for (const TaskSpec& tspec : target.tasks()) {
+    AppTask* existing = nullptr;
+    for (AppTask& t : tasks_) {
+      if (t.spec.name == tspec.name) {
+        existing = &t;
+        break;
+      }
+    }
+    if (existing != nullptr) {
+      AppTask t = *existing;
+      t.spec = tspec;
+      if (t.spec.software) inst_->softCpuAt(*t.shell)->registerTask(t.id, t.spec.software);
+      new_tasks.push_back(std::move(t));
+    } else {
+      shell::Shell& sh = inst_->shell(tspec.shell);
+      const sim::TaskId id = inst_->allocTask(sh);
+      if (tspec.software) inst_->softCpuAt(sh)->registerTask(id, tspec.software);
+      new_tasks.push_back(AppTask{tspec, &sh, id});
+    }
+  }
+  tasks_ = std::move(new_tasks);
+
+  std::vector<AppStream> new_streams;
+  new_streams.reserve(target.streams().size());
+  for (const StreamSpec& sspec : target.streams()) {
+    AppStream* kept = nullptr;
+    for (AppStream& s : streams_) {
+      if (s.spec.name == sspec.name) {
+        kept = &s;  // survivors of phase 2 are exactly the kept streams
+        break;
+      }
+    }
+    if (kept != nullptr) {
+      AppStream s = *kept;
+      s.spec = sspec;
+      new_streams.push_back(std::move(s));
+    } else {
+      new_streams.push_back(programStream(sspec));
+    }
+  }
+  streams_ = std::move(new_streams);
+
+  // Coprocessor-specific parameter setup (needs the new task ids, must
+  // precede the first scheduling opportunity of the target mode).
+  if (before_enable) before_enable(*this);
+
+  // Enables last, on an already-consistent graph. Kept tasks only get the
+  // writes the diff demands: changed scalar fields, plus — when any row
+  // was re-bound — a blocked-latch clear and an enable refresh so tasks
+  // parked on a stale row re-evaluate against the new stream table.
+  const bool rebind = d.touchesStreams();
+  for (const AppTask& t : tasks_) {
+    if (added_tasks.count(t.spec.name) != 0) {
+      bus.write(mmio::taskReg(*t.shell, t.id, mmio::kTaskBudget), t.spec.budget_cycles);
+      bus.write(mmio::taskReg(*t.shell, t.id, mmio::kTaskInfo), t.spec.task_info);
+      bus.write(mmio::taskReg(*t.shell, t.id, mmio::kTaskValid), 1);
+      bus.write(mmio::taskReg(*t.shell, t.id, mmio::kTaskEnabled), t.spec.enabled ? 1 : 0);
+      continue;
+    }
+    const TaskSpec* prev = current.findTask(t.spec.name);
+    if (prev->budget_cycles != t.spec.budget_cycles) {
+      bus.write(mmio::taskReg(*t.shell, t.id, mmio::kTaskBudget), t.spec.budget_cycles);
+    }
+    if (prev->task_info != t.spec.task_info) {
+      bus.write(mmio::taskReg(*t.shell, t.id, mmio::kTaskInfo), t.spec.task_info);
+    }
+    if (rebind) {
+      bus.write(mmio::taskReg(*t.shell, t.id, mmio::kTaskBlocked), 0);
+      bus.write(mmio::taskReg(*t.shell, t.id, mmio::kTaskEnabled), t.spec.enabled ? 1 : 0);
+    } else if (prev->enabled != t.spec.enabled) {
+      bus.write(mmio::taskReg(*t.shell, t.id, mmio::kTaskEnabled), t.spec.enabled ? 1 : 0);
+    }
+  }
+
+  st.cycles = inst_->simulator().now() - t0;
+  st.mmio_writes = bus.writeCount() - w0;
+  st.mmio_reads = bus.readCount() - r0;
+  mode_ = target.name();
+  paused_ = false;
+  last_transition_ = st;
+  return st;
+}
+
+TransitionStats AppHandle::switchMode(const ModeSet& modes, std::string_view mode_name,
+                                      const std::function<void(AppHandle&)>& before_enable) {
+  return switchTo(modes.at(mode_name), before_enable);
+}
+
 void AppHandle::adoptDram(sim::Addr addr, std::size_t bytes) {
   requireLive();
   dram_regions_.emplace_back(addr, bytes);
@@ -287,6 +604,7 @@ AppHandle Configurator::apply(const GraphSpec& spec,
   AppHandle handle;
   handle.inst_ = &inst_;
   handle.name_ = spec.name();
+  handle.mode_ = spec.name();
   mem::PiBus& bus = inst_.piBus();
 
   // Phase 1: allocate a task slot per task, in spec order (the legacy
@@ -306,44 +624,7 @@ AppHandle Configurator::apply(const GraphSpec& spec,
   // any task is enabled, so a freshly scheduled task can never look up a
   // half-wired port.
   for (const StreamSpec& s : spec.streams()) {
-    AppStream as;
-    as.spec = s;
-    as.producer_shell = &handle.taskShell(s.producer.task);
-    as.consumer_shell = &handle.taskShell(s.consumer.task);
-    as.buffer_base = inst_.allocSram(s.buffer_bytes);
-
-    const shell::Shell& psh = *as.producer_shell;
-    as.producer_row = findFreeStreamRow(bus, psh);
-    bus.write(mmio::streamReg(psh, as.producer_row, mmio::kStreamTask),
-              static_cast<std::uint32_t>(handle.taskId(s.producer.task)));
-    bus.write(mmio::streamReg(psh, as.producer_row, mmio::kStreamPort),
-              static_cast<std::uint32_t>(s.producer.port));
-    bus.write(mmio::streamReg(psh, as.producer_row, mmio::kStreamIsProducer), 1);
-    bus.write(mmio::streamReg(psh, as.producer_row, mmio::kStreamBase),
-              static_cast<std::uint32_t>(as.buffer_base));
-    bus.write(mmio::streamReg(psh, as.producer_row, mmio::kStreamSize), s.buffer_bytes);
-    bus.write(mmio::streamReg(psh, as.producer_row, mmio::kStreamSpace), s.buffer_bytes);
-    bus.write(mmio::streamReg(psh, as.producer_row, mmio::kStreamRemoteShell),
-              as.consumer_shell->id());
-    bus.write(mmio::streamReg(psh, as.producer_row, mmio::kStreamValid), 1);
-
-    const shell::Shell& csh = *as.consumer_shell;
-    as.consumer_row = findFreeStreamRow(bus, csh);
-    bus.write(mmio::streamReg(csh, as.consumer_row, mmio::kStreamTask),
-              static_cast<std::uint32_t>(handle.taskId(s.consumer.task)));
-    bus.write(mmio::streamReg(csh, as.consumer_row, mmio::kStreamPort),
-              static_cast<std::uint32_t>(s.consumer.port));
-    bus.write(mmio::streamReg(csh, as.consumer_row, mmio::kStreamIsProducer), 0);
-    bus.write(mmio::streamReg(csh, as.consumer_row, mmio::kStreamBase),
-              static_cast<std::uint32_t>(as.buffer_base));
-    bus.write(mmio::streamReg(csh, as.consumer_row, mmio::kStreamSize), s.buffer_bytes);
-    bus.write(mmio::streamReg(csh, as.consumer_row, mmio::kStreamSpace), 0);
-    bus.write(mmio::streamReg(csh, as.consumer_row, mmio::kStreamRemoteShell), psh.id());
-    bus.write(mmio::streamReg(csh, as.consumer_row, mmio::kStreamRemoteRow), as.producer_row);
-    bus.write(mmio::streamReg(csh, as.consumer_row, mmio::kStreamValid), 1);
-
-    bus.write(mmio::streamReg(psh, as.producer_row, mmio::kStreamRemoteRow), as.consumer_row);
-    handle.streams_.push_back(as);
+    handle.streams_.push_back(handle.programStream(s));
   }
 
   // Coprocessor-specific parameter setup (needs task ids, must precede the

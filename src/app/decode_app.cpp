@@ -1,5 +1,7 @@
 #include "eclipse/app/decode_app.hpp"
 
+#include <stdexcept>
+
 #include "eclipse/media/bitstream.hpp"
 #include "eclipse/media/codec.hpp"
 
@@ -14,8 +16,9 @@ EclipseInstance::StreamHandle toStreamHandle(const AppStream& s) {
 
 }  // namespace
 
-GraphSpec DecodeApp::spec(const DecodeAppConfig& cfg, const std::string& sink_shell) {
-  GraphSpec g("decode");
+GraphSpec DecodeApp::spec(const DecodeAppConfig& cfg, const std::string& sink_shell,
+                          const std::string& name) {
+  GraphSpec g(name);
   g.task({.name = "vld",
           .shell = "vld",
           .budget_cycles = cfg.budget_cycles,
@@ -39,43 +42,43 @@ GraphSpec DecodeApp::spec(const DecodeAppConfig& cfg, const std::string& sink_sh
   return g;
 }
 
-DecodeApp::DecodeApp(EclipseInstance& inst, std::vector<std::uint8_t> bitstream,
-                     const DecodeAppConfig& cfg)
-    : inst_(inst) {
+ModeSet DecodeApp::modeSet(const std::vector<Mode>& modes, const std::string& sink_shell) {
+  ModeSet set("decode-modes");
+  for (const Mode& m : modes) set.mode(spec(m.second, sink_shell, m.first));
+  return set;
+}
+
+std::function<void(AppHandle&)> DecodeApp::stageBitstream(std::vector<std::uint8_t> bitstream) {
   // Peek at the sequence header to size the off-chip frame store.
   media::BitReader br(bitstream);
   const media::SeqHeader sh = media::stages::parseSeqHeader(br);
 
-  auto on_done = inst.registerApp();
-  sink_ = &inst.createFrameSink(std::move(on_done));
-
   // Off-chip resources: the compressed stream and a 3-slot frame store.
-  const sim::Addr bs_addr = inst.allocDram(bitstream.size());
-  inst.dram().storage().write(bs_addr, bitstream);
+  const sim::Addr bs_addr = inst_.allocDram(bitstream.size());
+  inst_.dram().storage().write(bs_addr, bitstream);
+  const std::size_t bs_bytes = bitstream.size();
   const std::size_t store_bytes =
       static_cast<std::size_t>(coproc::McCoproc::frameSlotBytes(sh)) * 3;
-  const sim::Addr store = inst.allocDram(store_bytes);
+  const sim::Addr store = inst_.allocDram(store_bytes);
 
-  Configurator configurator(inst);
-  handle_ = configurator.apply(
-      spec(cfg, sink_->shell().name()), [&](AppHandle& h) {
-        coproc::VldTaskConfig vc;
-        vc.bitstream_addr = bs_addr;
-        vc.bitstream_bytes = static_cast<std::uint32_t>(bitstream.size());
-        inst.vld().configureTask(h.taskId("vld"), vc);
+  return [this, bs_addr, bs_bytes, store, store_bytes](AppHandle& h) {
+    coproc::VldTaskConfig vc;
+    vc.bitstream_addr = bs_addr;
+    vc.bitstream_bytes = static_cast<std::uint32_t>(bs_bytes);
+    inst_.vld().configureTask(h.taskId("vld"), vc);
 
-        coproc::McTaskConfig mcc;
-        mcc.kind = coproc::McTaskKind::DecodeRecon;
-        mcc.frame_store_base = store;
-        mcc.frame_store_slots = 3;
-        inst.mc().configureTask(h.taskId("mc"), mcc);
-      });
-  handle_.adoptDram(bs_addr, bitstream.size());
-  handle_.adoptDram(store, store_bytes);
-  handle_.addCleanup([this] {
-    if (!sink_->done()) inst_.deregisterApp();
-  });
+    coproc::McTaskConfig mcc;
+    mcc.kind = coproc::McTaskKind::DecodeRecon;
+    mcc.frame_store_base = store;
+    mcc.frame_store_slots = 3;
+    inst_.mc().configureTask(h.taskId("mc"), mcc);
 
+    h.adoptDram(bs_addr, bs_bytes);
+    h.adoptDram(store, store_bytes);
+  };
+}
+
+void DecodeApp::cacheHandles() {
   t_vld_ = handle_.taskId("vld");
   t_rlsq_ = handle_.taskId("rlsq");
   t_dct_ = handle_.taskId("idct");
@@ -85,6 +88,62 @@ DecodeApp::DecodeApp(EclipseInstance& inst, std::vector<std::uint8_t> bitstream,
   s_blocks_ = toStreamHandle(handle_.stream("blocks"));
   s_res_ = toStreamHandle(handle_.stream("res"));
   s_pix_ = toStreamHandle(handle_.stream("pix"));
+}
+
+DecodeApp::DecodeApp(EclipseInstance& inst, std::vector<std::uint8_t> bitstream,
+                     const DecodeAppConfig& cfg)
+    : inst_(inst) {
+  auto on_done = inst.registerApp();
+  sink_ = &inst.createFrameSink(std::move(on_done));
+  modes_.mode(spec(cfg, sink_->shell().name()));
+
+  Configurator configurator(inst);
+  handle_ = configurator.apply(modes_.modes().front(), stageBitstream(std::move(bitstream)));
+  handle_.addCleanup([this] {
+    if (!sink_->done()) inst_.deregisterApp();
+  });
+  cacheHandles();
+}
+
+DecodeApp::DecodeApp(EclipseInstance& inst, std::vector<std::uint8_t> bitstream,
+                     std::vector<Mode> modes)
+    : inst_(inst) {
+  if (modes.empty()) throw GraphSpecError("DecodeApp: empty mode list");
+  auto on_done = inst.registerApp();
+  sink_ = &inst.createFrameSink(std::move(on_done));
+  modes_ = modeSet(modes, sink_->shell().name());
+  modes_.validate(inst);
+
+  Configurator configurator(inst);
+  handle_ = configurator.apply(modes_.at(modes.front().first),
+                               stageBitstream(std::move(bitstream)));
+  handle_.addCleanup([this] {
+    if (!sink_->done()) inst_.deregisterApp();
+  });
+  cacheHandles();
+}
+
+TransitionStats DecodeApp::switchMode(std::string_view mode_name) {
+  TransitionStats st = handle_.switchMode(modes_, mode_name);
+  cacheHandles();
+  return st;
+}
+
+TransitionStats DecodeApp::switchSegment(std::string_view mode_name,
+                                         std::vector<std::uint8_t> bitstream) {
+  if (!sink_->done()) {
+    throw std::logic_error("DecodeApp::switchSegment: current segment not finished");
+  }
+  sink_->rearm(inst_.registerApp());
+  TransitionStats st = handle_.switchTo(modes_.at(mode_name), stageBitstream(std::move(bitstream)));
+  // Every task parked itself at the previous segment's Eos (self-disable on
+  // finishTask); the enable refresh below restarts the pipeline on the new
+  // bitstream. Count the writes into the transition's cost.
+  const std::uint64_t w0 = inst_.piBus().writeCount();
+  handle_.resume();
+  st.mmio_writes += inst_.piBus().writeCount() - w0;
+  cacheHandles();
+  return st;
 }
 
 void DecodeApp::enableRecovery() {
@@ -108,7 +167,38 @@ void DecodeApp::enableRecovery() {
   });
 }
 
+void DecodeApp::enableDegradedFallback(std::string degraded_mode) {
+  modes_.at(degraded_mode);  // fail fast on an unknown mode
+  degraded_mode_ = std::move(degraded_mode);
+  handle_.onFault([this](const TaskFault& f) {
+    ++recoveries_;
+    if (f.task == "vld") {
+      inst_.vld().requestAbort(t_vld_);
+      handle_.clearFault("vld", /*reenable=*/true);
+    } else {
+      inst_.vld().requestResync(t_vld_);
+      inst_.rlsq().requestDiscard(t_rlsq_);
+      inst_.dct().requestDiscard(t_dct_);
+      handle_.clearFault(f.task, /*reenable=*/true);
+    }
+    // First contained fault drops the clip into the degraded mode: a
+    // field-only transition (same topology, reduced budgets), so it runs
+    // to completion inside this callback without advancing the simulation.
+    if (!degraded_ && handle_.currentMode() != degraded_mode_) {
+      degraded_ = true;
+      handle_.switchMode(modes_, degraded_mode_);
+      cacheHandles();
+    }
+  });
+}
+
 std::uint64_t DecodeApp::framesDropped() const { return sink_->framesDropped(); }
+
+std::size_t DecodeApp::segmentsCompleted() const { return sink_->segmentsCompleted(); }
+
+std::vector<media::Frame> DecodeApp::segmentFrames(std::size_t i) const {
+  return sink_->segmentFrames(i);
+}
 
 bool DecodeApp::done() const { return sink_->done(); }
 

@@ -4,8 +4,8 @@ namespace eclipse::app {
 
 GraphSpec EncodeApp::spec(const EncodeAppConfig& cfg, const std::string& sink_shell,
                           coproc::SoftCpu::StepHandler source_step,
-                          coproc::SoftCpu::StepHandler vle_step) {
-  GraphSpec g("encode");
+                          coproc::SoftCpu::StepHandler vle_step, const std::string& name) {
+  GraphSpec g(name);
   const std::uint32_t b = cfg.budget_cycles;
   g.task({.name = "src",
           .shell = "dsp-cpu",
@@ -51,40 +51,33 @@ GraphSpec EncodeApp::spec(const EncodeAppConfig& cfg, const std::string& sink_sh
   return g;
 }
 
-EncodeApp::EncodeApp(EclipseInstance& inst, std::vector<media::Frame> frames,
-                     const media::CodecParams& params, const EncodeAppConfig& cfg)
-    : inst_(inst) {
-  const media::SeqHeader sh = params.toSeqHeader(static_cast<int>(frames.size()));
+GraphSpec EncodeApp::modeSpec(const std::string& name, const EncodeAppConfig& cfg) const {
+  return spec(
+      cfg, sink_->shell().name(),
+      [this](sim::TaskId t, std::uint32_t info) { return source_->step(t, info); },
+      [this](sim::TaskId t, std::uint32_t info) { return vle_->step(t, info); }, name);
+}
 
-  auto on_done = inst.registerApp();
-  sink_ = &inst.createByteSink(std::move(on_done));
+void EncodeApp::init(const media::CodecParams& params, int frame_count) {
+  const media::SeqHeader sh = params.toSeqHeader(frame_count);
 
   // Shared off-chip reconstruction frame store for ME and RECON.
   const std::size_t store_bytes =
       static_cast<std::size_t>(coproc::McCoproc::frameSlotBytes(sh)) * 3;
-  const sim::Addr store = inst.allocDram(store_bytes);
+  const sim::Addr store = inst_.allocDram(store_bytes);
 
-  // Software tasks on the DSP-CPU.
-  source_ = std::make_unique<coproc::EncoderSource>(inst.cpu(), std::move(frames), params);
-  vle_ = std::make_unique<coproc::VleTask>(inst.cpu());
+  Configurator configurator(inst_);
+  handle_ = configurator.apply(modes_.modes().front(), [&](AppHandle& h) {
+    coproc::McTaskConfig me_cfg;
+    me_cfg.kind = coproc::McTaskKind::MotionEst;
+    me_cfg.frame_store_base = store;
+    inst_.mc().configureTask(h.taskId("me"), me_cfg);
 
-  Configurator configurator(inst);
-  handle_ = configurator.apply(
-      spec(
-          cfg, sink_->shell().name(),
-          [this](sim::TaskId t, std::uint32_t info) { return source_->step(t, info); },
-          [this](sim::TaskId t, std::uint32_t info) { return vle_->step(t, info); }),
-      [&](AppHandle& h) {
-        coproc::McTaskConfig me_cfg;
-        me_cfg.kind = coproc::McTaskKind::MotionEst;
-        me_cfg.frame_store_base = store;
-        inst.mc().configureTask(h.taskId("me"), me_cfg);
-
-        coproc::McTaskConfig rec_cfg;
-        rec_cfg.kind = coproc::McTaskKind::EncodeRecon;
-        rec_cfg.frame_store_base = store;
-        inst.mc().configureTask(h.taskId("recon"), rec_cfg);
-      });
+    coproc::McTaskConfig rec_cfg;
+    rec_cfg.kind = coproc::McTaskKind::EncodeRecon;
+    rec_cfg.frame_store_base = store;
+    inst_.mc().configureTask(h.taskId("recon"), rec_cfg);
+  });
   handle_.adoptDram(store, store_bytes);
   handle_.addCleanup([this] {
     if (!sink_->done()) inst_.deregisterApp();
@@ -96,6 +89,42 @@ EncodeApp::EncodeApp(EclipseInstance& inst, std::vector<media::Frame> frames,
   t_idct_ = handle_.taskId("idct");
   t_qrle_ = handle_.taskId("qrle");
   t_deq_ = handle_.taskId("deq");
+}
+
+EncodeApp::EncodeApp(EclipseInstance& inst, std::vector<media::Frame> frames,
+                     const media::CodecParams& params, const EncodeAppConfig& cfg)
+    : inst_(inst) {
+  const int frame_count = static_cast<int>(frames.size());
+  auto on_done = inst.registerApp();
+  sink_ = &inst.createByteSink(std::move(on_done));
+
+  // Software tasks on the DSP-CPU.
+  source_ = std::make_unique<coproc::EncoderSource>(inst.cpu(), std::move(frames), params);
+  vle_ = std::make_unique<coproc::VleTask>(inst.cpu());
+
+  modes_.mode(modeSpec("encode", cfg));
+  init(params, frame_count);
+}
+
+EncodeApp::EncodeApp(EclipseInstance& inst, std::vector<media::Frame> frames,
+                     const media::CodecParams& params, std::vector<Mode> modes)
+    : inst_(inst) {
+  if (modes.empty()) throw GraphSpecError("EncodeApp: empty mode list");
+  const int frame_count = static_cast<int>(frames.size());
+  auto on_done = inst.registerApp();
+  sink_ = &inst.createByteSink(std::move(on_done));
+
+  source_ = std::make_unique<coproc::EncoderSource>(inst.cpu(), std::move(frames), params);
+  vle_ = std::make_unique<coproc::VleTask>(inst.cpu());
+
+  for (const Mode& m : modes) modes_.mode(modeSpec(m.first, m.second));
+  modes_.validate(inst);
+  // Apply order keeps the first listed mode first even if names differ.
+  init(params, frame_count);
+}
+
+TransitionStats EncodeApp::switchMode(std::string_view mode_name) {
+  return handle_.switchMode(modes_, mode_name);
 }
 
 bool EncodeApp::done() const { return sink_->done(); }

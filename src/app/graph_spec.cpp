@@ -15,14 +15,13 @@ const TaskSpec* GraphSpec::findTask(std::string_view task_name) const {
   return nullptr;
 }
 
-void GraphSpec::validate(EclipseInstance& inst) const {
+void GraphSpec::validateStructure() const {
   auto fail = [this](const std::string& msg) {
     throw GraphSpecError("GraphSpec '" + name_ + "': " + msg);
   };
 
   if (tasks_.empty()) fail("graph has no tasks");
 
-  // --- Structural checks (instance-independent) -----------------------
   std::set<std::string> task_names;
   for (const TaskSpec& t : tasks_) {
     if (t.name.empty()) fail("task with empty name");
@@ -48,6 +47,14 @@ void GraphSpec::validate(EclipseInstance& inst) const {
       }
     }
   }
+}
+
+void GraphSpec::validate(EclipseInstance& inst) const {
+  auto fail = [this](const std::string& msg) {
+    throw GraphSpecError("GraphSpec '" + name_ + "': " + msg);
+  };
+
+  validateStructure();
 
   // --- Capacity checks against the instance ---------------------------
   std::map<shell::Shell*, std::uint32_t> tasks_needed;

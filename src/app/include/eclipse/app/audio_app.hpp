@@ -2,10 +2,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "eclipse/app/configurator.hpp"
 #include "eclipse/app/instance.hpp"
+#include "eclipse/app/mode_set.hpp"
 #include "eclipse/media/audio.hpp"
 
 namespace eclipse::app {
@@ -33,16 +37,42 @@ struct AudioAppConfig {
   /// When false, the feeder task starts disabled (a demux task enables it
   /// once the audio elementary stream is staged).
   bool feeder_enabled = true;
+
+  /// Bypass topology: the decoder task is detached and the feeder streams
+  /// the coded blocks straight to the sink (audio muted / passed through
+  /// to an off-chip consumer). Used as a mode of a multi-mode family to
+  /// exercise live subgraph attach/detach.
+  bool bypass = false;
 };
 
 class AudioDecodeApp {
  public:
+  /// A named audio mode, e.g. {"play", {}} and {"bypass", {.bypass=true}}.
+  using Mode = std::pair<std::string, AudioAppConfig>;
+
   AudioDecodeApp(EclipseInstance& inst, std::vector<std::uint8_t> coded_stream,
                  const AudioAppConfig& cfg = {});
+
+  /// Multi-mode constructor: validates the family up front and applies the
+  /// first mode. A bypass mode detaches the decoder task and its streams;
+  /// switching back re-attaches them live (diff-based transition with a
+  /// partial drain of the affected FIFOs).
+  AudioDecodeApp(EclipseInstance& inst, std::vector<std::uint8_t> coded_stream,
+                 std::vector<Mode> modes);
+
+  /// Live transition to another mode of the family. Detach/attach of the
+  /// decoder subgraph drains only the audio FIFOs; other applications on
+  /// the instance keep running.
+  TransitionStats switchMode(std::string_view mode_name);
+
+  [[nodiscard]] const std::string& currentMode() const { return handle_.currentMode(); }
+  [[nodiscard]] const ModeSet& modes() const { return modes_; }
 
   [[nodiscard]] bool done() const;
   /// Decoded PCM samples (valid after completion).
   [[nodiscard]] std::vector<std::int16_t> pcm() const;
+  /// Raw bytes the sink collected (coded blocks while a bypass mode ran).
+  [[nodiscard]] const std::vector<std::uint8_t>& sinkBytes() const;
 
   /// Runtime control (pause/resume/drain/teardown) for this application.
   [[nodiscard]] AppHandle& handle() { return handle_; }
@@ -56,13 +86,23 @@ class AudioDecodeApp {
   struct FeederState;
   struct DecoderState;
 
+  void initStreams(std::vector<std::uint8_t>& coded_stream);
+  [[nodiscard]] coproc::SoftCpu::StepHandler feederStep() const;
+  [[nodiscard]] coproc::SoftCpu::StepHandler decoderStep() const;
+  /// The graph of one mode: play (feeder -> decoder -> sink) or bypass
+  /// (feeder -> sink).
+  [[nodiscard]] GraphSpec modeSpec(const std::string& name, const AudioAppConfig& cfg) const;
+  void cacheTaskIds();
+
   EclipseInstance& inst_;
   coproc::ByteSink* sink_ = nullptr;
   std::shared_ptr<FeederState> feeder_;
   std::shared_ptr<DecoderState> decoder_;
   AppHandle handle_;
+  ModeSet modes_{"audio-modes"};
   sim::TaskId t_feeder_ = 0, t_decoder_ = 0;
   std::uint32_t total_samples_ = 0;
+  std::uint32_t block_frame_ = 0, pcm_frame_ = 0;
 };
 
 }  // namespace eclipse::app

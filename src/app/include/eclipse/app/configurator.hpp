@@ -9,6 +9,7 @@
 
 #include "eclipse/app/graph_spec.hpp"
 #include "eclipse/app/instance.hpp"
+#include "eclipse/app/mode_set.hpp"
 
 namespace eclipse::app {
 
@@ -57,7 +58,7 @@ enum TaskField : std::uint32_t {
   kTaskInfo = 3,
   kTaskBusyLo = 4,
   kTaskBusyHi = 5,
-  kTaskBlocked = 6,
+  kTaskBlocked = 6,  ///< write 0 to clear the blocked latch (row re-binding)
   // Fault register block (DESIGN §9).
   kTaskFaulted = 14,
   kTaskFaultCause = 15,
@@ -218,12 +219,40 @@ class AppHandle {
   /// during the drain.
   bool drain(sim::Cycle max_cycles = 2'000'000, sim::Cycle slice = 5'000);
 
+  /// Live diff-based reconfiguration: computes the task/stream delta to
+  /// `target` (diffGraphs), gates only the source tasks that can reach an
+  /// affected stream, slice-runs until the affected subgraph is empty by
+  /// space accounting (read back over the PI-bus), invalidates and frees
+  /// only removed rows/buffers, programs only added ones (kept streams
+  /// reuse their rows and SRAM in place, kept tasks their slots), then
+  /// re-enables. `before_enable` runs after programming, before any enable
+  /// write — the hook for coprocessor parameter setup that needs task ids.
+  /// Field-only diffs (budgets/info) never pause the graph. Returns the
+  /// measured transition cost; throws if the partial drain does not
+  /// converge within `max_drain_cycles`.
+  TransitionStats switchTo(const GraphSpec& target,
+                           const std::function<void(AppHandle&)>& before_enable = {},
+                           sim::Cycle max_drain_cycles = 2'000'000, sim::Cycle slice = 5'000);
+
+  /// switchTo on a named mode of a validated ModeSet.
+  TransitionStats switchMode(const ModeSet& modes, std::string_view mode_name,
+                             const std::function<void(AppHandle&)>& before_enable = {});
+
+  /// Name of the GraphSpec currently programmed (mode name after a
+  /// switchTo/switchMode, the applied spec's name before the first switch).
+  [[nodiscard]] const std::string& currentMode() const { return mode_; }
+
+  /// Cost record of the most recent switchTo/switchMode.
+  [[nodiscard]] const TransitionStats& lastTransition() const { return last_transition_; }
+
   /// Frees everything the application holds: task rows and stream rows are
   /// invalidated over the PI-bus (resetting them for reuse), software
   /// handlers unbound, task slots / stream SRAM / adopted DRAM returned to
   /// the instance allocators, and registered cleanups run. Idempotent.
-  /// Only safe when the graph is quiesced (or was never run).
-  void teardown();
+  /// Only safe when the graph is quiesced (or was never run) — throws
+  /// std::logic_error otherwise unless `force` is set (e.g. discarding a
+  /// wedged graph after a fault).
+  void teardown(bool force = false);
   [[nodiscard]] bool tornDown() const { return torn_down_; }
 
   /// Registers an off-chip region (e.g. an input bitstream or a frame
@@ -239,13 +268,22 @@ class AppHandle {
 
   void requireLive() const;
 
+  /// quiesced(), restricted to the given streams (partial-drain check).
+  [[nodiscard]] bool streamsSettled(const std::vector<const AppStream*>& subset) const;
+
+  /// Allocates SRAM and free rows for one stream and programs both table
+  /// rows (fields first, valid last). Shared by apply() and switchTo().
+  AppStream programStream(const StreamSpec& s);
+
   EclipseInstance* inst_ = nullptr;
   std::string name_;
+  std::string mode_;
   std::vector<AppTask> tasks_;
   std::vector<AppStream> streams_;
   std::vector<std::pair<sim::Addr, std::size_t>> dram_regions_;
   std::vector<std::function<void()>> cleanups_;
   std::vector<std::pair<shell::Shell*, int>> fault_observers_;  ///< (shell, observer id)
+  TransitionStats last_transition_{};
   bool torn_down_ = false;
   bool paused_ = false;
 };

@@ -1,10 +1,14 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "eclipse/app/configurator.hpp"
 #include "eclipse/app/instance.hpp"
+#include "eclipse/app/mode_set.hpp"
 #include "eclipse/media/types.hpp"
 
 namespace eclipse::app {
@@ -38,13 +42,46 @@ struct DecodeAppConfig {
 /// table (time-shared hardware).
 class DecodeApp {
  public:
+  /// A named decode mode: the GraphSpec carries the mode name, the config
+  /// its buffer sizes and budgets.
+  using Mode = std::pair<std::string, DecodeAppConfig>;
+
   DecodeApp(EclipseInstance& inst, std::vector<std::uint8_t> bitstream,
             const DecodeAppConfig& cfg = {});
 
+  /// Multi-mode constructor: validates the whole mode family up front
+  /// (ModeSet::validate) and applies the first mode. Later modes are
+  /// reachable live via switchMode()/switchSegment().
+  DecodeApp(EclipseInstance& inst, std::vector<std::uint8_t> bitstream,
+            std::vector<Mode> modes);
+
   /// The GraphSpec the constructor applies (exposed for inspection,
   /// validation tests and tooling). `sink_shell` is the name of the frame
-  /// sink's shell.
-  static GraphSpec spec(const DecodeAppConfig& cfg, const std::string& sink_shell);
+  /// sink's shell; `name` becomes the graph/mode name.
+  static GraphSpec spec(const DecodeAppConfig& cfg, const std::string& sink_shell,
+                        const std::string& name = "decode");
+
+  /// The decode mode family as a validated ModeSet (one spec per entry).
+  static ModeSet modeSet(const std::vector<Mode>& modes, const std::string& sink_shell);
+
+  /// Live in-clip transition to another mode of the family (diff-based,
+  /// AppHandle::switchTo). Field-only diffs — budget/priority modes over
+  /// identical topology, e.g. a degraded low-power mode — complete without
+  /// draining or advancing the simulation, so this is safe to call from
+  /// inside a fault callback. Modes with different buffer sizes re-bind
+  /// the affected streams (partial drain, advances the simulation).
+  TransitionStats switchMode(std::string_view mode_name);
+
+  /// Segment boundary: after the current bitstream finished (done()),
+  /// re-arms the sink, switches to `mode_name` and points the VLD at the
+  /// next segment's bitstream — SD↔HD adaptive-bitrate decode without
+  /// tearing the application down. Finished frames of the previous segment
+  /// are archived (segmentFrames). Throws std::logic_error unless done().
+  TransitionStats switchSegment(std::string_view mode_name, std::vector<std::uint8_t> bitstream);
+
+  /// Active mode name ("decode" for the single-mode constructor).
+  [[nodiscard]] const std::string& currentMode() const { return handle_.currentMode(); }
+  [[nodiscard]] const ModeSet& modes() const { return modes_; }
 
   [[nodiscard]] bool done() const;
   [[nodiscard]] std::vector<media::Frame> frames() const;
@@ -61,8 +98,23 @@ class DecodeApp {
   /// Fault recoveries performed so far (enableRecovery() policy runs).
   [[nodiscard]] std::uint64_t recoveries() const { return recoveries_; }
 
+  /// enableRecovery(), plus: the first recovered fault also drops the
+  /// application into `degraded_mode` (a mode of the family, typically a
+  /// reduced-budget low-power graph) via a live field-only switch — the
+  /// PR-4 fault path feeding the mode-set machinery. Requires the
+  /// multi-mode constructor and a field-only diff to the degraded mode.
+  void enableDegradedFallback(std::string degraded_mode);
+
+  /// True once the degraded fallback fired.
+  [[nodiscard]] bool degraded() const { return degraded_; }
+
   /// Frames the sink abandoned mid-assembly during recovery.
   [[nodiscard]] std::uint64_t framesDropped() const;
+
+  /// Segments archived by switchSegment() so far.
+  [[nodiscard]] std::size_t segmentsCompleted() const;
+  /// Display-order frames of archived segment `i`.
+  [[nodiscard]] std::vector<media::Frame> segmentFrames(std::size_t i) const;
 
   /// Runtime control (pause/resume/drain/teardown) for this application.
   [[nodiscard]] AppHandle& handle() { return handle_; }
@@ -84,12 +136,21 @@ class DecodeApp {
   [[nodiscard]] sim::TaskId mcTask() const { return t_mc_; }
 
  private:
+  /// (Re)configures the VLD and MC task parameters for a bitstream whose
+  /// sequence header is already parsed; allocates and adopts the off-chip
+  /// regions. Shared by the constructors and switchSegment().
+  std::function<void(AppHandle&)> stageBitstream(std::vector<std::uint8_t> bitstream);
+  void cacheHandles();
+
   EclipseInstance& inst_;
   coproc::FrameSink* sink_ = nullptr;
   AppHandle handle_;
+  ModeSet modes_{"decode-modes"};
+  std::string degraded_mode_;
   sim::TaskId t_vld_ = 0, t_rlsq_ = 0, t_dct_ = 0, t_mc_ = 0;
   EclipseInstance::StreamHandle s_coef_{}, s_hdr_{}, s_blocks_{}, s_res_{}, s_pix_{};
   std::uint64_t recoveries_ = 0;
+  bool degraded_ = false;
 };
 
 }  // namespace eclipse::app

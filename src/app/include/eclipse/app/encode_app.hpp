@@ -3,10 +3,13 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "eclipse/app/configurator.hpp"
 #include "eclipse/app/instance.hpp"
+#include "eclipse/app/mode_set.hpp"
 #include "eclipse/coproc/soft_tasks.hpp"
 #include "eclipse/media/codec.hpp"
 
@@ -36,14 +39,33 @@ struct EncodeAppConfig {
 /// PI-bus; this class owns the resulting AppHandle.
 class EncodeApp {
  public:
+  /// A named encode mode (e.g. "hq"/"eco" with different task budgets).
+  using Mode = std::pair<std::string, EncodeAppConfig>;
+
   EncodeApp(EclipseInstance& inst, std::vector<media::Frame> frames,
             const media::CodecParams& params, const EncodeAppConfig& cfg = {});
+
+  /// Multi-mode constructor: validates the family up front and applies the
+  /// first mode; the others are reachable live via switchMode(). Modes of
+  /// a family must share buffer sizes (field-only transitions): the encode
+  /// reconstruction loop never fully drains mid-clip, so stream re-binding
+  /// is only possible between clips.
+  EncodeApp(EclipseInstance& inst, std::vector<media::Frame> frames,
+            const media::CodecParams& params, std::vector<Mode> modes);
 
   /// The GraphSpec the constructor applies. `sink_shell` names the byte
   /// sink's shell; the two handlers are the source and VLE software steps.
   static GraphSpec spec(const EncodeAppConfig& cfg, const std::string& sink_shell,
                         coproc::SoftCpu::StepHandler source_step,
-                        coproc::SoftCpu::StepHandler vle_step);
+                        coproc::SoftCpu::StepHandler vle_step,
+                        const std::string& name = "encode");
+
+  /// Live field-only transition to another mode of the family (budget /
+  /// task-info rewrites over the PI-bus, no drain, no simulated cycles).
+  TransitionStats switchMode(std::string_view mode_name);
+
+  [[nodiscard]] const std::string& currentMode() const { return handle_.currentMode(); }
+  [[nodiscard]] const ModeSet& modes() const { return modes_; }
 
   [[nodiscard]] bool done() const;
   /// The produced elementary stream (valid after completion).
@@ -62,11 +84,16 @@ class EncodeApp {
   [[nodiscard]] sim::TaskId reconTask() const { return t_recon_; }
 
  private:
+  /// spec() bound to this app's sink shell and software handlers.
+  GraphSpec modeSpec(const std::string& name, const EncodeAppConfig& cfg) const;
+  void init(const media::CodecParams& params, int frame_count);
+
   EclipseInstance& inst_;
   coproc::ByteSink* sink_ = nullptr;
   std::unique_ptr<coproc::EncoderSource> source_;
   std::unique_ptr<coproc::VleTask> vle_;
   AppHandle handle_;
+  ModeSet modes_{"encode-modes"};
   sim::TaskId t_me_ = 0, t_fdct_ = 0, t_qrle_ = 0;
   sim::TaskId t_deq_ = 0, t_idct_ = 0, t_recon_ = 0;
 };

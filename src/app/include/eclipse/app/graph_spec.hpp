@@ -86,9 +86,15 @@ class GraphSpec {
   /// Finds a task by name; nullptr when absent.
   [[nodiscard]] const TaskSpec* findTask(std::string_view task_name) const;
 
-  /// Interface checking before deployment: structural validation (dangling
-  /// ports, double-bound endpoints, duplicate names, missing/forbidden
-  /// software bindings) plus capacity validation against the instance
+  /// Instance-independent structural validation: dangling ports,
+  /// double-bound endpoints, duplicate names, empty graphs. Throws
+  /// GraphSpecError naming the offending element. Used on its own by the
+  /// mode-transition path, where capacity is settled incrementally by the
+  /// diff (freed resources are reused before new ones are allocated).
+  void validateStructure() const;
+
+  /// Interface checking before deployment: validateStructure() plus
+  /// software-binding checks and capacity validation against the instance
   /// (unknown shells, task-slot and stream-row exhaustion, SRAM headroom,
   /// buffer size vs. cache-line constraints). Throws GraphSpecError with a
   /// message naming the offending element.

@@ -1,0 +1,126 @@
+#include "eclipse/app/mode_set.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "eclipse/app/instance.hpp"
+
+namespace eclipse::app {
+
+namespace {
+
+bool sameEndpoint(const PortRef& a, const PortRef& b) {
+  return a.task == b.task && a.port == b.port;
+}
+
+bool sameScalarFields(const TaskSpec& a, const TaskSpec& b) {
+  return a.budget_cycles == b.budget_cycles && a.task_info == b.task_info &&
+         a.enabled == b.enabled && a.source == b.source;
+}
+
+}  // namespace
+
+GraphDiff diffGraphs(const GraphSpec& current, const GraphSpec& target) {
+  GraphDiff d;
+
+  for (const TaskSpec& t : target.tasks()) {
+    const TaskSpec* cur = current.findTask(t.name);
+    if (cur == nullptr) {
+      d.tasks_added.push_back(t);
+    } else if (sameScalarFields(*cur, t)) {
+      d.tasks_kept.push_back(t.name);
+    } else {
+      d.tasks_updated.push_back(t.name);
+    }
+  }
+  for (const TaskSpec& t : current.tasks()) {
+    if (target.findTask(t.name) == nullptr) d.tasks_removed.push_back(t.name);
+  }
+
+  auto findStream = [](const GraphSpec& g, const std::string& name) -> const StreamSpec* {
+    for (const StreamSpec& s : g.streams()) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  };
+
+  for (const StreamSpec& s : target.streams()) {
+    const StreamSpec* cur = findStream(current, s.name);
+    if (cur != nullptr && sameEndpoint(cur->producer, s.producer) &&
+        sameEndpoint(cur->consumer, s.consumer) && cur->buffer_bytes == s.buffer_bytes) {
+      d.streams_kept.push_back(s.name);
+    } else {
+      d.streams_added.push_back(s);
+    }
+  }
+  for (const StreamSpec& s : current.streams()) {
+    const StreamSpec* tgt = findStream(target, s.name);
+    if (tgt == nullptr || !sameEndpoint(tgt->producer, s.producer) ||
+        !sameEndpoint(tgt->consumer, s.consumer) || tgt->buffer_bytes != s.buffer_bytes) {
+      d.streams_removed.push_back(s.name);
+    }
+  }
+
+  return d;
+}
+
+ModeSet& ModeSet::mode(GraphSpec spec) {
+  if (find(spec.name()) != nullptr) {
+    throw GraphSpecError("ModeSet '" + name_ + "': duplicate mode '" + spec.name() + "'");
+  }
+  modes_.push_back(std::move(spec));
+  return *this;
+}
+
+const GraphSpec* ModeSet::find(std::string_view mode_name) const {
+  for (const GraphSpec& g : modes_) {
+    if (g.name() == mode_name) return &g;
+  }
+  return nullptr;
+}
+
+const GraphSpec& ModeSet::at(std::string_view mode_name) const {
+  if (const GraphSpec* g = find(mode_name)) return *g;
+  std::string known;
+  for (const GraphSpec& g : modes_) {
+    if (!known.empty()) known += ", ";
+    known += g.name();
+  }
+  throw std::out_of_range("ModeSet '" + name_ + "': no mode named '" + std::string(mode_name) +
+                          "' (known: " + known + ")");
+}
+
+void ModeSet::validate(EclipseInstance& inst) const {
+  if (modes_.empty()) throw GraphSpecError("ModeSet '" + name_ + "': no modes");
+
+  // Task identity across modes: the first mode that names a task pins its
+  // shell and software-ness; every later mode must agree, because a
+  // transition keeps the slot and only rewrites scalar fields.
+  struct Identity {
+    const std::string* mode;
+    const std::string* shell;
+    bool software;
+  };
+  std::map<std::string, Identity> identities;
+  for (const GraphSpec& g : modes_) {
+    g.validate(inst);
+    for (const TaskSpec& t : g.tasks()) {
+      auto [it, fresh] =
+          identities.try_emplace(t.name, Identity{&g.name(), &t.shell, bool(t.software)});
+      if (fresh) continue;
+      if (*it->second.shell != t.shell) {
+        throw GraphSpecError("ModeSet '" + name_ + "': task '" + t.name + "' is on shell '" +
+                             *it->second.shell + "' in mode '" + *it->second.mode +
+                             "' but on shell '" + t.shell + "' in mode '" + g.name() +
+                             "' — rename the task if it moves");
+      }
+      if (it->second.software != bool(t.software)) {
+        throw GraphSpecError("ModeSet '" + name_ + "': task '" + t.name +
+                             "' switches between software and hardware across modes '" +
+                             *it->second.mode + "' and '" + g.name() + "'");
+      }
+    }
+  }
+}
+
+}  // namespace eclipse::app

@@ -31,6 +31,17 @@ class FrameSink final : public Coprocessor {
   /// accounting: a clip that lost pictures still reports how many).
   [[nodiscard]] std::uint64_t framesDropped() const { return frames_dropped_; }
 
+  /// Re-arms a completed sink for another bitstream segment (multi-segment
+  /// playback across mode switches): archives the finished frames, clears
+  /// the assembly state and the done latch, and installs the next segment's
+  /// completion callback. Throws std::logic_error unless done().
+  void rearm(std::function<void()> on_done);
+
+  /// Segments archived by rearm() so far (the live segment is not counted).
+  [[nodiscard]] std::size_t segmentsCompleted() const { return segments_.size(); }
+  /// Display-order frames of archived segment `i`; throws std::out_of_range.
+  [[nodiscard]] const std::vector<media::Frame>& segmentFrames(std::size_t i) const;
+
  protected:
   sim::Task<void> step(sim::TaskId task, std::uint32_t task_info) override;
 
@@ -39,6 +50,7 @@ class FrameSink final : public Coprocessor {
   media::SeqHeader seq_{};
   media::PicHeader pic_{};
   std::map<int, media::Frame> frames_;  // by temporal_ref
+  std::vector<std::vector<media::Frame>> segments_;  // archived by rearm()
   int mb_index_ = 0;
   bool pic_open_ = false;  ///< a picture header arrived, MBs still expected
   std::uint64_t mbs_ = 0;

@@ -1,6 +1,7 @@
 #include "eclipse/coproc/sinks.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "eclipse/coproc/packet_io.hpp"
 
@@ -11,6 +12,31 @@ std::vector<media::Frame> FrameSink::framesInDisplayOrder() const {
   out.reserve(frames_.size());
   for (const auto& [idx, f] : frames_) out.push_back(f);
   return out;
+}
+
+void FrameSink::rearm(std::function<void()> on_done) {
+  if (!done_) {
+    throw std::logic_error("FrameSink::rearm: sink has not finished the current segment");
+  }
+  std::vector<media::Frame> seg;
+  seg.reserve(frames_.size());
+  for (auto& [idx, f] : frames_) seg.push_back(std::move(f));
+  segments_.push_back(std::move(seg));
+  frames_.clear();
+  seq_ = media::SeqHeader{};
+  pic_ = media::PicHeader{};
+  mb_index_ = 0;
+  pic_open_ = false;
+  done_ = false;
+  on_done_ = std::move(on_done);
+}
+
+const std::vector<media::Frame>& FrameSink::segmentFrames(std::size_t i) const {
+  if (i >= segments_.size()) {
+    throw std::out_of_range("FrameSink::segmentFrames: only " +
+                            std::to_string(segments_.size()) + " segment(s) archived");
+  }
+  return segments_[i];
 }
 
 sim::Task<void> FrameSink::step(sim::TaskId task, std::uint32_t /*task_info*/) {

@@ -46,6 +46,16 @@ struct AppSpec {
 
 enum class Priority { High = 0, Normal = 1, Low = 2 };
 
+/// One segment of an adaptive (mode-scheduled) decode job: the clip
+/// generated from `workload` is decoded under the named mode of the job's
+/// decode mode family ("sd" / "hd"; see the worker's mode table). At each
+/// segment boundary the worker performs a live diff-based transition
+/// (DecodeApp::switchSegment) instead of tearing the application down.
+struct ModeSegment {
+  std::string mode = "sd";
+  WorkloadDesc workload{};
+};
+
 /// One unit of farm work: a set of applications on one instance shape.
 ///
 /// The determinism contract: every *simulated* field of the JobResult is a
@@ -62,6 +72,13 @@ struct Job {
   sim::Cycle watchdog_timeout = 0;  ///< arm per-shell watchdogs when > 0
   sim::Cycle max_cycles = 50'000'000;  ///< simulated-cycle budget (0 = unbounded)
   bool verify = true;  ///< bit-exact (decode) / PSNR (encode) checks
+
+  /// Adaptive-decode schedule. When non-empty, `apps` is ignored and the
+  /// job runs ONE multi-mode decode application through the segments in
+  /// order, switching modes live at each boundary. The simulated fields of
+  /// the result stay under the determinism contract: the whole scheduled
+  /// run is a pure function of this vector.
+  std::vector<ModeSegment> schedule;
 };
 
 /// Admission-control outcome of a submit.
@@ -108,6 +125,8 @@ struct JobResult {
   std::uint64_t faults_latched = 0;
   std::uint64_t stalls_latched = 0;
   std::uint64_t frames_dropped = 0;
+  std::uint64_t mode_switches = 0;       ///< live transitions (scheduled jobs)
+  std::uint64_t switch_mmio_writes = 0;  ///< control-plane writes spent on them
   std::string quiescence;  ///< classification when incomplete
 
   // --- host-side (execution facts, outside the contract) ---

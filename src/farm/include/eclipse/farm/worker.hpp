@@ -54,6 +54,12 @@ class Worker {
  private:
   void threadMain();
   JobResult runJob(const Job& job);
+  /// Scheduled (adaptive multi-segment) decode path: one multi-mode
+  /// DecodeApp, a live switchSegment transition at every boundary.
+  void runScheduled(const Job& job, JobResult& r);
+  /// Reuses the recycled instance when the Config shape matches, builds a
+  /// cold one otherwise; records the choice in `r` and the stats.
+  void acquireInstance(const Job& job, JobResult& r);
   /// Quiesce/teardown the finished job and recycle the instance for
   /// reuse; on any doubt, retire the instance (next job builds cold).
   void retireOrRecycle(bool healthy);

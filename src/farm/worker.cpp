@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <stdexcept>
 #include <vector>
 
 #include "eclipse/app/decode_app.hpp"
@@ -36,6 +37,22 @@ struct RunningApp {
   [[nodiscard]] bool done() const { return dec ? dec->done() : enc->done(); }
   [[nodiscard]] app::AppHandle& handle() { return dec ? dec->handle() : enc->handle(); }
 };
+
+/// Buffer shapes of the farm's decode mode family. "sd" is the default
+/// (pinned) decode graph; "hd" widens the FIFOs for higher-rate segments,
+/// so an sd<->hd boundary exercises the stream-rebinding transition path.
+app::DecodeAppConfig decodeModeConfig(const std::string& mode) {
+  if (mode == "sd") return {};
+  if (mode == "hd") {
+    app::DecodeAppConfig cfg;
+    cfg.coef_buffer = 6144;
+    cfg.blocks_buffer = 3072;
+    cfg.res_buffer = 3072;
+    cfg.pix_buffer = 3072;
+    return cfg;
+  }
+  throw std::invalid_argument("unknown decode mode in schedule: " + mode);
+}
 
 }  // namespace
 
@@ -77,9 +94,34 @@ void Worker::threadMain() {
   }
 }
 
+void Worker::acquireInstance(const Job& job, JobResult& r) {
+  // Reuse the recycled instance only for an identical parameter shape.
+  const std::string shape = job.config.toString();
+  const bool reuse = inst_ != nullptr && shape == shape_;
+  if (reuse) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.reused;
+  } else {
+    const Clock::time_point tb = Clock::now();
+    inst_.reset();
+    inst_ = std::make_unique<app::EclipseInstance>(app::InstanceParams::fromConfig(job.config));
+    shape_ = shape;
+    const double build_ms = msSince(tb);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.cold_builds;
+    stats_.build_ms += build_ms;
+  }
+  r.reused_instance = reuse;
+}
+
 JobResult Worker::runJob(const Job& job) {
   JobResult r;
   try {
+    if (!job.schedule.empty()) {
+      runScheduled(job, r);
+      return r;
+    }
+
     // Workload preparation first (host-side; cache hit after the first
     // job with a given descriptor), so instance state is untouched if the
     // descriptor is degenerate.
@@ -87,23 +129,7 @@ JobResult Worker::runJob(const Job& job) {
     prepared.reserve(job.apps.size());
     for (const AppSpec& s : job.apps) prepared.push_back(cache_.get(s.workload));
 
-    // Reuse the recycled instance only for an identical parameter shape.
-    const std::string shape = job.config.toString();
-    const bool reuse = inst_ != nullptr && shape == shape_;
-    if (reuse) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.reused;
-    } else {
-      const Clock::time_point tb = Clock::now();
-      inst_.reset();
-      inst_ = std::make_unique<app::EclipseInstance>(app::InstanceParams::fromConfig(job.config));
-      shape_ = shape;
-      const double build_ms = msSince(tb);
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.cold_builds;
-      stats_.build_ms += build_ms;
-    }
-    r.reused_instance = reuse;
+    acquireInstance(job, r);
 
     sim::Simulator& sim = inst_->simulator();
     const sim::Cycle c0 = sim.now();
@@ -200,6 +226,90 @@ JobResult Worker::runJob(const Job& job) {
     retireOrRecycle(false);
   }
   return r;
+}
+
+void Worker::runScheduled(const Job& job, JobResult& r) {
+  // Per-segment prepared workloads (host-side; the cache is shared, so a
+  // schedule reusing one descriptor pays its preparation once).
+  std::vector<std::shared_ptr<const PreparedWorkload>> segs;
+  segs.reserve(job.schedule.size());
+  for (const ModeSegment& s : job.schedule) segs.push_back(cache_.get(s.workload));
+
+  // The decode mode family: distinct mode names in first-seen order, so
+  // the first segment's mode is the one the constructor applies.
+  std::vector<app::DecodeApp::Mode> modes;
+  for (const ModeSegment& s : job.schedule) {
+    bool seen = false;
+    for (const app::DecodeApp::Mode& m : modes) seen = seen || m.first == s.mode;
+    if (!seen) modes.push_back({s.mode, decodeModeConfig(s.mode)});
+  }
+
+  acquireInstance(job, r);
+  sim::Simulator& sim = inst_->simulator();
+  const sim::Cycle c0 = sim.now();
+  const std::uint64_t e0 = sim.eventsDispatched();
+
+  const bool armed = !job.faults.faults.empty();
+  if (armed) inst_->armFaults(job.faults);
+  if (job.watchdog_timeout > 0) inst_->armWatchdogs(job.watchdog_timeout);
+
+  app::DecodeApp dec(*inst_, segs.front()->bitstream, modes);
+
+  const sim::Cycle budget =
+      job.max_cycles == 0 || c0 > sim::Simulator::kForever - job.max_cycles
+          ? sim::Simulator::kForever
+          : c0 + job.max_cycles;
+
+  // Decode each segment to completion, verify it against its own golden
+  // frames while they are still current, then transition live into the
+  // next segment's mode — the application is never torn down mid-job.
+  bool all_exact = true;
+  bool completed = true;
+  for (std::size_t i = 0; i < job.schedule.size(); ++i) {
+    inst_->run(budget);
+    if (!dec.done()) {
+      completed = false;
+      break;
+    }
+    if (job.verify) {
+      const auto out = dec.frames();
+      bool ok = out.size() == segs[i]->golden.size();
+      for (std::size_t f = 0; ok && f < out.size(); ++f) ok = out[f] == segs[i]->golden[f];
+      all_exact = all_exact && ok;
+    }
+    if (i + 1 < job.schedule.size()) {
+      const app::TransitionStats st =
+          dec.switchSegment(job.schedule[i + 1].mode, segs[i + 1]->bitstream);
+      ++r.mode_switches;
+      r.switch_mmio_writes += st.mmio_writes;
+    }
+  }
+  r.sim_cycles = sim.now() - c0;
+  r.sim_events = sim.eventsDispatched() - e0;
+  r.status = completed ? JobStatus::Completed : JobStatus::Incomplete;
+  if (!completed) r.quiescence = app::quiescenceName(inst_->classifyQuiescence());
+
+  const app::AppHealth h = dec.handle().health();
+  r.faults_latched = h.faults.size();
+  r.stalls_latched = h.stalls.size();
+  r.macroblocks = dec.macroblocksDecoded();  // cumulative across segments
+  r.frames_dropped = dec.framesDropped();
+  r.bit_exact = job.verify && completed && all_exact;
+
+  bool healthy = completed && !armed && job.watchdog_timeout == 0 &&
+                 r.faults_latched == 0 && r.stalls_latched == 0;
+  const Clock::time_point tr = Clock::now();
+  if (healthy) {
+    if (!sim.quiescent()) inst_->run(sim.now() + kSettleCap);
+    healthy = sim.quiescent();
+    if (healthy) dec.handle().teardown();
+  }
+  retireOrRecycle(healthy);
+  if (healthy) {
+    const double recycle_ms = msSince(tr);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.recycle_ms += recycle_ms;
+  }
 }
 
 void Worker::retireOrRecycle(bool healthy) {

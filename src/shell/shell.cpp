@@ -728,6 +728,17 @@ void Shell::mmioWrite(sim::Addr offset, std::uint32_t value) {
       break;
     case 2: t.budget_cycles = value; break;
     case 3: t.task_info = value; break;
+    case 6:
+      // Writing 0 clears the best-guess blocked latch. After a mode
+      // transition re-binds stream rows, a task may be parked on a space
+      // threshold of a row that no longer exists; clearing the latch makes
+      // the scheduler re-evaluate it against the new stream table.
+      if (value == 0 && t.blocked) {
+        t.blocked = false;
+        t.blocked_row = -1;
+        sched_event_.notifyAll();
+      }
+      break;
     case 14:
       // Writing 0 acknowledges and clears the fault register (the enable
       // bit is restored separately via field 1 — two-step recovery).

@@ -17,6 +17,8 @@
 #include "eclipse/sim/sim_event.hpp"
 #include "eclipse/sim/simulator.hpp"
 
+#include "decode_pin.hpp"
+
 namespace {
 
 using namespace eclipse;
@@ -208,9 +210,9 @@ TEST(Determinism, TimedDecodeMatchesSeedKernel) {
   app::DecodeApp dec(inst, bitstream);
   const Cycle cycles = inst.run();
   ASSERT_TRUE(dec.done());
-  EXPECT_EQ(cycles, 144885u);
-  EXPECT_EQ(inst.simulator().eventsDispatched(), 48109u);
-  EXPECT_EQ(dec.macroblocksDecoded(), 150u);
+  EXPECT_EQ(cycles, pin::kDecodePinCycles);
+  EXPECT_EQ(inst.simulator().eventsDispatched(), pin::kDecodePinEvents);
+  EXPECT_EQ(dec.macroblocksDecoded(), pin::kDecodePinMacroblocks);
 
   // And identical across runs in the same process (no hidden state).
   app::EclipseInstance inst2;

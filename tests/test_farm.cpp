@@ -17,6 +17,8 @@
 #include "eclipse/farm/farm.hpp"
 #include "eclipse/sim/fault.hpp"
 
+#include "decode_pin.hpp"
+
 using namespace eclipse;
 using farm::Admission;
 using farm::AppKind;
@@ -27,11 +29,11 @@ using farm::JobStatus;
 
 namespace {
 
-// The suite-wide decode pin (tests/test_event_queue.cpp): default 96x80x5
+// The suite-wide decode pin (tests/decode_pin.hpp): default 96x80x5
 // workload on the default instance.
-constexpr sim::Cycle kPinCycles = 144885;
-constexpr std::uint64_t kPinEvents = 48109;
-constexpr std::uint64_t kPinMacroblocks = 150;
+constexpr sim::Cycle kPinCycles = pin::kDecodePinCycles;
+constexpr std::uint64_t kPinEvents = pin::kDecodePinEvents;
+constexpr std::uint64_t kPinMacroblocks = pin::kDecodePinMacroblocks;
 
 Job decodeJob(std::string name, int qscale = 14) {
   Job j;

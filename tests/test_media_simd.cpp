@@ -18,6 +18,8 @@
 #include "eclipse/media/vlc.hpp"
 #include "eclipse/sim/prng.hpp"
 
+#include "decode_pin.hpp"
+
 namespace {
 
 using namespace eclipse;
@@ -454,9 +456,9 @@ TEST(SimdDecodePin, CyclePinHoldsUnderEveryBackend) {
     app::DecodeApp dec(inst, bitstream);
     const sim::Cycle cycles = inst.run();
     ASSERT_TRUE(dec.done()) << k::backendName(b);
-    EXPECT_EQ(cycles, 144885u) << k::backendName(b);
-    EXPECT_EQ(inst.simulator().eventsDispatched(), 48109u) << k::backendName(b);
-    EXPECT_EQ(dec.macroblocksDecoded(), 150u) << k::backendName(b);
+    EXPECT_EQ(cycles, pin::kDecodePinCycles) << k::backendName(b);
+    EXPECT_EQ(inst.simulator().eventsDispatched(), pin::kDecodePinEvents) << k::backendName(b);
+    EXPECT_EQ(dec.macroblocksDecoded(), pin::kDecodePinMacroblocks) << k::backendName(b);
   }
 }
 

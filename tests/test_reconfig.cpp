@@ -16,6 +16,8 @@
 #include "eclipse/app/graph_spec.hpp"
 #include "eclipse/eclipse.hpp"
 
+#include "decode_pin.hpp"
+
 namespace {
 
 using namespace eclipse;
@@ -226,8 +228,8 @@ TEST(Reconfig, DecodeTimingViaGraphSpecStaysPinned) {
   app::DecodeApp dec(inst, bitstream);
   const sim::Cycle cycles = inst.run();
   ASSERT_TRUE(dec.done());
-  EXPECT_EQ(cycles, 144885u);
-  EXPECT_EQ(inst.simulator().eventsDispatched(), 48109u);
+  EXPECT_EQ(cycles, pin::kDecodePinCycles);
+  EXPECT_EQ(inst.simulator().eventsDispatched(), pin::kDecodePinEvents);
 }
 
 TEST(Reconfig, PauseFreezesProgressAndResumeCompletes) {

@@ -5,7 +5,8 @@
 // machine-readable output, and has a --smoke mode cheap enough for CI.
 //
 // Usage: bench_json [--out FILE] [--repeats N] [--smoke]
-//                   [--transport | --reconfig | --faults | --farm | --media]
+//                   [--transport | --reconfig | --faults | --farm | --media
+//                    | --modes]
 
 #include <chrono>
 #include <cstdint>
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "decode_pin.hpp"
 #include "eclipse/app/configurator.hpp"
 #include "eclipse/app/decode_app.hpp"
 #include "eclipse/eclipse.hpp"
@@ -995,6 +997,222 @@ void emitMedia(std::FILE* f, const MediaBenchResult& r) {
   std::fprintf(f, "  ]\n}\n");
 }
 
+/// Mode-set scenario (DESIGN §12): the cost of live diff-based
+/// reconfiguration versus cold teardown+relaunch, with hard gates:
+///   1. a multi-mode application that never switches must land exactly on
+///      the suite-wide decode pin (full runs; smoke uses a 2-frame clip),
+///   2. the mid-clip SD->HD segment switch must be seamless — both
+///      segments bit-exact against their goldens, zero dropped frames —
+///      and must cost fewer MMIO writes than teardown+relaunch,
+///   3. the mid-clip field-only switch (degraded mode) must cost zero
+///      simulated transition cycles, and reaching completion through it
+///      must be cheaper than drain+teardown+relaunch at the same point.
+struct ModesResult {
+  bool pin_checked = false;  // full runs only (smoke clip is not the pin workload)
+  bool pin_ok = true;
+  std::uint64_t noswitch_cycles = 0, noswitch_events = 0, noswitch_mbs = 0;
+
+  app::TransitionStats seg;            // the SD->HD diff transition
+  std::uint64_t seg_cold_writes = 0;   // teardown + cold relaunch at the boundary
+  std::uint64_t seg_dropped = 0;
+  bool seamless = false;
+
+  app::TransitionStats mid;              // the field-only degraded switch
+  std::uint64_t mid_cold_writes = 0;     // drain + teardown + relaunch
+  std::uint64_t mid_cold_drain_cycles = 0;
+  std::uint64_t mid_diff_to_done = 0;    // switch decision -> clip complete
+  std::uint64_t mid_cold_to_done = 0;
+  bool gates_ok = true;
+};
+
+app::DecodeAppConfig hdDecodeConfig() {
+  app::DecodeAppConfig cfg;
+  cfg.coef_buffer = 6144;
+  cfg.blocks_buffer = 3072;
+  cfg.res_buffer = 3072;
+  cfg.pix_buffer = 3072;
+  return cfg;
+}
+
+bool framesBitExact(const std::vector<media::Frame>& out, const std::vector<media::Frame>& golden) {
+  bool ok = out.size() == golden.size();
+  for (std::size_t i = 0; ok && i < out.size(); ++i) ok = out[i] == golden[i];
+  return ok;
+}
+
+ModesResult runModes(bool smoke) {
+  ModesResult r;
+  const int frames = smoke ? 2 : 5;
+  const auto sd = eclipse::bench::makeWorkload(96, 80, frames);
+  const auto hd = eclipse::bench::makeWorkload(128, 96, frames);
+  const std::vector<app::DecodeApp::Mode> sd_hd = {{"sd", {}}, {"hd", hdDecodeConfig()}};
+
+  // Gate 1: the mode machinery must be invisible when no switch occurs.
+  {
+    app::EclipseInstance inst;
+    app::DecodeApp dec(inst, sd.bitstream, sd_hd);
+    r.noswitch_cycles = inst.run();
+    r.noswitch_events = inst.simulator().eventsDispatched();
+    r.noswitch_mbs = dec.macroblocksDecoded();
+    if (!dec.done()) {
+      std::fprintf(stderr, "modes: no-switch decode incomplete\n");
+      r.gates_ok = false;
+    }
+    r.pin_checked = !smoke;
+    if (r.pin_checked) {
+      r.pin_ok = r.noswitch_cycles == pin::kDecodePinCycles &&
+                 r.noswitch_events == pin::kDecodePinEvents &&
+                 r.noswitch_mbs == pin::kDecodePinMacroblocks;
+      if (!r.pin_ok) {
+        std::fprintf(stderr, "modes: no-switch decode off the pin (%llu/%llu/%llu)\n",
+                     static_cast<unsigned long long>(r.noswitch_cycles),
+                     static_cast<unsigned long long>(r.noswitch_events),
+                     static_cast<unsigned long long>(r.noswitch_mbs));
+      }
+    }
+  }
+
+  // Gate 2: SD->HD segment switch, diff transition vs cold relaunch.
+  {
+    app::EclipseInstance inst;
+    app::DecodeApp dec(inst, sd.bitstream, sd_hd);
+    inst.run();
+    const bool seg0_done = dec.done();
+    r.seg = dec.switchSegment("hd", hd.bitstream);
+    inst.run();
+    const bool seg1_done = dec.done();
+    r.seg_dropped = dec.framesDropped();
+    r.seamless = seg0_done && seg1_done && r.seg_dropped == 0 &&
+                 framesBitExact(dec.segmentFrames(0), sd.golden) &&
+                 framesBitExact(dec.frames(), hd.golden);
+    if (!r.seamless) {
+      std::fprintf(stderr, "modes: SD->HD segment switch not seamless\n");
+      r.gates_ok = false;
+    }
+  }
+  {
+    // Cold comparison: tear the finished SD application down and launch an
+    // HD application from scratch at the same boundary.
+    app::EclipseInstance inst;
+    mem::PiBus& bus = inst.piBus();
+    app::DecodeApp dec(inst, sd.bitstream, {{"sd", app::DecodeAppConfig{}}});
+    inst.run();
+    const std::uint64_t w0 = bus.writeCount();
+    dec.teardown();
+    app::DecodeApp dec2(inst, hd.bitstream, hdDecodeConfig());
+    r.seg_cold_writes = bus.writeCount() - w0;
+    inst.run();
+    if (!dec2.done()) {
+      std::fprintf(stderr, "modes: cold HD relaunch incomplete\n");
+      r.gates_ok = false;
+    }
+  }
+  if (r.seg.mmio_writes >= r.seg_cold_writes) {
+    std::fprintf(stderr, "modes: diff segment switch not cheaper (%llu vs %llu writes)\n",
+                 static_cast<unsigned long long>(r.seg.mmio_writes),
+                 static_cast<unsigned long long>(r.seg_cold_writes));
+    r.gates_ok = false;
+  }
+
+  // Gate 3: mid-clip field-only switch into the degraded (reduced-budget)
+  // mode vs drain+teardown+relaunch at the same decision point.
+  app::DecodeAppConfig eco;
+  eco.budget_cycles = 500;
+  const Cycle half = r.noswitch_cycles / 2;
+  {
+    app::EclipseInstance inst;
+    app::DecodeApp dec(inst, sd.bitstream, {{"sd", app::DecodeAppConfig{}}, {"eco", eco}});
+    inst.run(half);
+    const Cycle c0 = inst.simulator().now();
+    r.mid = dec.switchMode("eco");
+    inst.run();
+    r.mid_diff_to_done = inst.simulator().now() - c0;
+    if (!dec.done()) {
+      std::fprintf(stderr, "modes: mid-clip diff run incomplete\n");
+      r.gates_ok = false;
+    }
+    if (r.mid.cycles != 0) {
+      std::fprintf(stderr, "modes: field-only switch consumed %llu simulated cycles\n",
+                   static_cast<unsigned long long>(r.mid.cycles));
+      r.gates_ok = false;
+    }
+  }
+  {
+    app::EclipseInstance inst;
+    mem::PiBus& bus = inst.piBus();
+    app::DecodeApp dec(inst, sd.bitstream);
+    inst.run(half);
+    const Cycle c0 = inst.simulator().now();
+    const std::uint64_t w0 = bus.writeCount();
+    dec.handle().drain();
+    dec.teardown();
+    r.mid_cold_drain_cycles = inst.simulator().now() - c0;
+    app::DecodeApp dec2(inst, sd.bitstream, eco);
+    r.mid_cold_writes = bus.writeCount() - w0;
+    inst.run();
+    r.mid_cold_to_done = inst.simulator().now() - c0;
+    if (!dec2.done()) {
+      std::fprintf(stderr, "modes: mid-clip cold run incomplete\n");
+      r.gates_ok = false;
+    }
+  }
+  if (r.mid_diff_to_done >= r.mid_cold_to_done) {
+    std::fprintf(stderr, "modes: diff mid-clip switch not cheaper to completion (%llu vs %llu)\n",
+                 static_cast<unsigned long long>(r.mid_diff_to_done),
+                 static_cast<unsigned long long>(r.mid_cold_to_done));
+    r.gates_ok = false;
+  }
+  if (r.mid.mmio_writes >= r.mid_cold_writes) {
+    std::fprintf(stderr, "modes: field-only switch not cheaper in writes (%llu vs %llu)\n",
+                 static_cast<unsigned long long>(r.mid.mmio_writes),
+                 static_cast<unsigned long long>(r.mid_cold_writes));
+    r.gates_ok = false;
+  }
+  r.gates_ok = r.gates_ok && r.pin_ok;
+  return r;
+}
+
+void emitModes(std::FILE* f, const ModesResult& r) {
+  const double ratio = r.seg_cold_writes > 0
+                           ? static_cast<double>(r.seg.mmio_writes) /
+                                 static_cast<double>(r.seg_cold_writes)
+                           : 0;
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"eclipse-bench-modes-v1\",\n");
+  std::fprintf(f,
+               "  \"no_switch\": {\"sim_cycles\": %llu, \"events\": %llu, "
+               "\"macroblocks\": %llu, \"pin_checked\": %s, \"pin_ok\": %s},\n",
+               static_cast<unsigned long long>(r.noswitch_cycles),
+               static_cast<unsigned long long>(r.noswitch_events),
+               static_cast<unsigned long long>(r.noswitch_mbs),
+               r.pin_checked ? "true" : "false", r.pin_ok ? "true" : "false");
+  std::fprintf(f,
+               "  \"segment_switch\": {\"diff_mmio_writes\": %llu, \"diff_mmio_reads\": %llu, "
+               "\"transition_cycles\": %llu, \"tasks_kept\": %u, \"streams_kept\": %u, "
+               "\"streams_rebound\": %u, \"cold_mmio_writes\": %llu, "
+               "\"diff_vs_cold_write_ratio\": %.3f, \"frames_dropped\": %llu, "
+               "\"seamless\": %s},\n",
+               static_cast<unsigned long long>(r.seg.mmio_writes),
+               static_cast<unsigned long long>(r.seg.mmio_reads),
+               static_cast<unsigned long long>(r.seg.cycles), r.seg.tasks_kept,
+               r.seg.streams_kept, r.seg.streams_removed,
+               static_cast<unsigned long long>(r.seg_cold_writes), ratio,
+               static_cast<unsigned long long>(r.seg_dropped), r.seamless ? "true" : "false");
+  std::fprintf(f,
+               "  \"midclip_switch\": {\"diff_transition_cycles\": %llu, "
+               "\"diff_mmio_writes\": %llu, \"cold_drain_cycles\": %llu, "
+               "\"cold_mmio_writes\": %llu, \"diff_cycles_to_done\": %llu, "
+               "\"cold_cycles_to_done\": %llu},\n",
+               static_cast<unsigned long long>(r.mid.cycles),
+               static_cast<unsigned long long>(r.mid.mmio_writes),
+               static_cast<unsigned long long>(r.mid_cold_drain_cycles),
+               static_cast<unsigned long long>(r.mid_cold_writes),
+               static_cast<unsigned long long>(r.mid_diff_to_done),
+               static_cast<unsigned long long>(r.mid_cold_to_done));
+  std::fprintf(f, "  \"gates_ok\": %s\n", r.gates_ok ? "true" : "false");
+  std::fprintf(f, "}\n");
+}
+
 void emit(std::FILE* f, const std::vector<Result>& results) {
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"schema\": \"eclipse-bench-kernel-v1\",\n");
@@ -1027,6 +1245,7 @@ int main(int argc, char** argv) {
   bool faults = false;
   bool farm_bench = false;
   bool media_bench = false;
+  bool modes_bench = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out = argv[++i];
@@ -1044,24 +1263,44 @@ int main(int argc, char** argv) {
       farm_bench = true;
     } else if (std::strcmp(argv[i], "--media") == 0) {
       media_bench = true;
+    } else if (std::strcmp(argv[i], "--modes") == 0) {
+      modes_bench = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--out FILE] [--repeats N] [--smoke] "
-                   "[--transport | --reconfig | --faults | --farm | --media]\n",
+                   "[--transport | --reconfig | --faults | --farm | --media | --modes]\n",
                    argv[0]);
       return 2;
     }
   }
   if (repeats < 1) repeats = 1;
   if (out.empty()) {
-    out = media_bench
-              ? "BENCH_media.json"
-              : farm_bench
-                    ? "BENCH_farm.json"
-                    : (faults ? "BENCH_faults.json"
-                              : (reconfig ? "BENCH_reconfig.json"
-                                          : (transport ? "BENCH_transport.json"
-                                                       : "BENCH_kernel.json")));
+    out = modes_bench
+              ? "BENCH_modes.json"
+              : media_bench
+                    ? "BENCH_media.json"
+                    : farm_bench
+                          ? "BENCH_farm.json"
+                          : (faults ? "BENCH_faults.json"
+                                    : (reconfig ? "BENCH_reconfig.json"
+                                                : (transport ? "BENCH_transport.json"
+                                                             : "BENCH_kernel.json")));
+  }
+
+  if (modes_bench) {
+    const ModesResult r = runModes(smoke);
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot open %s for writing\n", out.c_str());
+      return 1;
+    }
+    emitModes(f, r);
+    std::fclose(f);
+    emitModes(stdout, r);
+    std::fprintf(stderr, "wrote %s\n", out.c_str());
+    // Seamlessness, the diff-cheaper-than-cold comparisons, and (on full
+    // runs) the no-switch decode pin are hard gates, not perf numbers.
+    return r.gates_ok ? 0 : 1;
   }
 
   if (media_bench) {

@@ -7,21 +7,32 @@
 // Configurator writes to the wrong word shows up here as a broken edge.
 //
 // Usage: graph_dump [--dot FILE] [--json FILE] [--run] [--demo-fault]
+//                   [--modes]
 //   --run         simulate to completion first, so the measurement registers
 //                 (bytes transferred, busy cycles) carry real traffic.
 //   --demo-fault  latch a fault on the VLD task before dumping, so the
 //                 fault-rendering path (salmon node, fault registers in the
 //                 JSON) can be exercised and eyeballed without an injector.
+//   --modes       run a multi-mode decode through a live SD->HD segment
+//                 switch and dump the re-bound graph: the active mode is
+//                 rendered in the graph label, re-bound streams are
+//                 highlighted blue, and the JSON carries the transition
+//                 stats and the diffed stream names.
 
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "eclipse/app/audio_app.hpp"
 #include "eclipse/app/configurator.hpp"
+#include "eclipse/app/decode_app.hpp"
+#include "eclipse/app/mode_set.hpp"
 #include "eclipse/eclipse.hpp"
 
 using namespace eclipse;
@@ -111,11 +122,27 @@ std::string nodeId(std::uint32_t shell_id, std::uint32_t task) {
   return "s" + std::to_string(shell_id) + "_t" + std::to_string(task);
 }
 
-void emitDot(std::FILE* f, const std::vector<ShellDump>& shells) {
+/// Diff annotations for a --modes dump: which hardware rows the live
+/// transition re-bound or added, plus the mode names and transition stats.
+struct ModeAnnotations {
+  std::string active, from;
+  app::TransitionStats st;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> diff_edges;  // (shell, producer row)
+  std::set<std::pair<std::uint32_t, std::uint32_t>> diff_tasks;  // (shell, slot)
+  std::vector<std::string> rebound_streams, kept_streams;
+};
+
+void emitDot(std::FILE* f, const std::vector<ShellDump>& shells,
+             const ModeAnnotations* mode = nullptr) {
   std::map<std::uint32_t, const ShellDump*> by_id;
   for (const auto& s : shells) by_id[s.id] = &s;
 
   std::fprintf(f, "digraph eclipse {\n  rankdir=LR;\n  node [shape=box];\n");
+  if (mode != nullptr) {
+    std::fprintf(f, "  labelloc=t;\n  label=\"active mode: %s (diff from %s — %u streams re-bound, %u kept)\";\n",
+                 mode->active.c_str(), mode->from.c_str(), mode->st.streams_removed,
+                 mode->st.streams_kept);
+  }
   for (const auto& s : shells) {
     if (s.tasks.empty()) continue;
     std::fprintf(f, "  subgraph \"cluster_%s\" {\n    label=\"%s\";\n", s.name.c_str(),
@@ -123,10 +150,15 @@ void emitDot(std::FILE* f, const std::vector<ShellDump>& shells) {
     for (const auto& t : s.tasks) {
       // Faulted tasks are filled salmon and labeled with the latched cause;
       // merely-disabled tasks stay dashed.
+      const bool diffed =
+          mode != nullptr && mode->diff_tasks.count({s.id, t.slot}) != 0;
       if (t.faulted != 0) {
         std::fprintf(f, "    %s [label=\"t%u (%s)\" style=filled fillcolor=salmon];\n",
                      nodeId(s.id, t.slot).c_str(), t.slot,
                      shell::faultCauseName(static_cast<shell::FaultCause>(t.fault_cause)));
+      } else if (diffed) {
+        std::fprintf(f, "    %s [label=\"t%u (diff)\" style=filled fillcolor=lightblue];\n",
+                     nodeId(s.id, t.slot).c_str(), t.slot);
       } else {
         std::fprintf(f, "    %s [label=\"t%u%s\"%s];\n", nodeId(s.id, t.slot).c_str(), t.slot,
                      t.enabled != 0 ? "" : " (off)", t.enabled != 0 ? "" : " style=dashed");
@@ -150,18 +182,48 @@ void emitDot(std::FILE* f, const std::vector<ShellDump>& shells) {
           cstalled = cr.stalled;
         }
       }
-      // A watchdog stall latch on either side paints the edge orange.
+      // A watchdog stall latch on either side paints the edge orange; a
+      // stream the last mode transition re-bound is painted blue.
       const bool stalled = r.stalled != 0 || cstalled != 0;
-      std::fprintf(f, "  %s -> %s [label=\"%u B%s\"%s];\n", nodeId(s.id, r.task).c_str(),
+      const bool rebound =
+          mode != nullptr && mode->diff_edges.count({s.id, r.row}) != 0;
+      const char* color = stalled ? " color=orange penwidth=2"
+                                  : (rebound ? " color=blue penwidth=2" : "");
+      std::fprintf(f, "  %s -> %s [label=\"%u B%s%s\"%s];\n", nodeId(s.id, r.task).c_str(),
                    nodeId(cs.id, ctask).c_str(), r.size, stalled ? " STALL" : "",
-                   stalled ? " color=orange penwidth=2" : "");
+                   rebound ? " REBOUND" : "", color);
     }
   }
   std::fprintf(f, "}\n");
 }
 
-void emitJson(std::FILE* f, const std::vector<ShellDump>& shells) {
-  std::fprintf(f, "{\n  \"schema\": \"eclipse-graph-dump-v1\",\n  \"shells\": [\n");
+void emitJson(std::FILE* f, const std::vector<ShellDump>& shells,
+              const ModeAnnotations* mode = nullptr) {
+  std::fprintf(f, "{\n  \"schema\": \"eclipse-graph-dump-v1\",\n");
+  if (mode != nullptr) {
+    std::fprintf(f,
+                 "  \"mode\": {\"active\": \"%s\", \"from\": \"%s\", "
+                 "\"transition\": {\"mmio_writes\": %llu, \"mmio_reads\": %llu, "
+                 "\"cycles\": %llu, \"tasks_kept\": %u, \"streams_kept\": %u, "
+                 "\"streams_rebound\": %u},\n",
+                 mode->active.c_str(), mode->from.c_str(),
+                 static_cast<unsigned long long>(mode->st.mmio_writes),
+                 static_cast<unsigned long long>(mode->st.mmio_reads),
+                 static_cast<unsigned long long>(mode->st.cycles), mode->st.tasks_kept,
+                 mode->st.streams_kept, mode->st.streams_removed);
+    std::fprintf(f, "    \"rebound_streams\": [");
+    for (std::size_t i = 0; i < mode->rebound_streams.size(); ++i) {
+      std::fprintf(f, "\"%s\"%s", mode->rebound_streams[i].c_str(),
+                   i + 1 < mode->rebound_streams.size() ? ", " : "");
+    }
+    std::fprintf(f, "], \"kept_streams\": [");
+    for (std::size_t i = 0; i < mode->kept_streams.size(); ++i) {
+      std::fprintf(f, "\"%s\"%s", mode->kept_streams[i].c_str(),
+                   i + 1 < mode->kept_streams.size() ? ", " : "");
+    }
+    std::fprintf(f, "]},\n");
+  }
+  std::fprintf(f, "  \"shells\": [\n");
   for (std::size_t i = 0; i < shells.size(); ++i) {
     const ShellDump& s = shells[i];
     std::fprintf(f, "    {\"name\": \"%s\", \"id\": %u,\n      \"streams\": [", s.name.c_str(),
@@ -204,6 +266,7 @@ int main(int argc, char** argv) {
   std::string json_path = "graph.json";
   bool run = false;
   bool demo_fault = false;
+  bool modes = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dot") == 0 && i + 1 < argc) {
       dot_path = argv[++i];
@@ -213,28 +276,84 @@ int main(int argc, char** argv) {
       run = true;
     } else if (std::strcmp(argv[i], "--demo-fault") == 0) {
       demo_fault = true;
+    } else if (std::strcmp(argv[i], "--modes") == 0) {
+      modes = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--dot FILE] [--json FILE] [--run] [--demo-fault]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--dot FILE] [--json FILE] [--run] [--demo-fault] [--modes]\n",
                    argv[0]);
       return 2;
     }
   }
 
-  // Two concurrent applications — a hardware video decode and a software
-  // audio decode — so the dump shows multi-application tables.
-  const auto w = bench::makeWorkload(96, 80, 2);
   app::EclipseInstance inst;
-  app::DecodeApp dec(inst, w.bitstream);
-  app::AudioDecodeApp aud(inst, media::audio::encode(media::audio::generateTone(2048, 7)));
-  if (run) {
+  std::unique_ptr<app::DecodeApp> dec;
+  std::unique_ptr<app::AudioDecodeApp> aud;
+  ModeAnnotations ann;
+
+  if (modes) {
+    // A multi-mode decode driven through a live SD->HD segment switch; the
+    // dump shows the hardware's view of the re-bound graph mid-transition
+    // annotated with what the diff touched.
+    const auto sd = bench::makeWorkload(96, 80, 2);
+    const auto hd = bench::makeWorkload(128, 96, 2);
+    app::DecodeAppConfig hd_cfg;
+    hd_cfg.coef_buffer = 6144;
+    hd_cfg.blocks_buffer = 3072;
+    hd_cfg.res_buffer = 3072;
+    hd_cfg.pix_buffer = 3072;
+    dec = std::make_unique<app::DecodeApp>(
+        inst, sd.bitstream,
+        std::vector<app::DecodeApp::Mode>{{"sd", app::DecodeAppConfig{}}, {"hd", hd_cfg}});
     inst.run();
-    if (!dec.done() || !aud.done()) {
-      std::fprintf(stderr, "graph_dump: applications did not complete\n");
+    if (!dec->done()) {
+      std::fprintf(stderr, "graph_dump: SD segment did not complete\n");
       return 1;
+    }
+    const app::GraphDiff diff = app::diffGraphs(dec->modes().at("sd"), dec->modes().at("hd"));
+    ann.from = dec->currentMode();
+    ann.st = dec->switchSegment("hd", hd.bitstream);
+    ann.active = dec->currentMode();
+    std::set<std::string> touched_tasks(diff.tasks_updated.begin(), diff.tasks_updated.end());
+    for (const app::TaskSpec& t : diff.tasks_added) touched_tasks.insert(t.name);
+    for (const app::AppTask& t : dec->handle().tasks()) {
+      if (touched_tasks.count(t.spec.name) != 0) {
+        ann.diff_tasks.insert({t.shell->id(), static_cast<std::uint32_t>(t.id)});
+      }
+    }
+    const std::set<std::string> added(diff.streams_removed.begin(), diff.streams_removed.end());
+    for (const app::AppStream& s : dec->handle().streams()) {
+      if (added.count(s.spec.name) != 0) {
+        ann.diff_edges.insert({s.producer_shell->id(), s.producer_row});
+        ann.rebound_streams.push_back(s.spec.name);
+      } else {
+        ann.kept_streams.push_back(s.spec.name);
+      }
+    }
+    if (run) {
+      inst.run();
+      if (!dec->done()) {
+        std::fprintf(stderr, "graph_dump: HD segment did not complete\n");
+        return 1;
+      }
+    }
+  } else {
+    // Two concurrent applications — a hardware video decode and a software
+    // audio decode — so the dump shows multi-application tables.
+    const auto w = bench::makeWorkload(96, 80, 2);
+    dec = std::make_unique<app::DecodeApp>(inst, w.bitstream);
+    aud = std::make_unique<app::AudioDecodeApp>(
+        inst, media::audio::encode(media::audio::generateTone(2048, 7)));
+    if (run) {
+      inst.run();
+      if (!dec->done() || !aud->done()) {
+        std::fprintf(stderr, "graph_dump: applications did not complete\n");
+        return 1;
+      }
     }
   }
   if (demo_fault) {
-    inst.vldShell().latchFault(dec.vldTask(), shell::FaultCause::Injected, /*row=*/0,
+    inst.vldShell().latchFault(dec->vldTask(), shell::FaultCause::Injected, /*row=*/0,
                                "demo fault for rendering");
   }
 
@@ -256,8 +375,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "graph_dump: cannot open output files\n");
     return 1;
   }
-  emitDot(fd, shells);
-  emitJson(fj, shells);
+  emitDot(fd, shells, modes ? &ann : nullptr);
+  emitJson(fj, shells, modes ? &ann : nullptr);
   std::fclose(fd);
   std::fclose(fj);
   std::fprintf(stderr, "graph_dump: %zu tasks, %zu stream rows across %zu shells -> %s, %s\n",
