@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "eclipse/sim/shard.hpp"
+#include "eclipse/sim/types.hpp"
+
+namespace eclipse::app {
+
+class GraphSpec;
+
+/// User-facing sharding request for an instance (DESIGN §13).
+///
+/// The partitioner turns this into a ShardAssignment. The default rule is
+/// the *fusion rule*: shells that share a zero-lookahead resource — the
+/// memory hub (shared SRAM read/write buses and the system bus), whose FIFO
+/// grant order couples clients at same-cycle granularity — are fused onto
+/// one lane. On the Figure-8 instance every shell streams through the
+/// shared SRAM, so the whole instance fuses to the hub lane and a sharded
+/// run executes in exactly the serial event order: bit-identity with the
+/// serial oracle holds *structurally*, for any shard count and any thread
+/// interleaving. Lanes beyond the fused group still host genuinely
+/// independent work (and farm jobs pay nothing for them: the engine never
+/// wakes a thread for an empty lane).
+struct ShardPlan {
+  std::uint32_t shards = 1;
+
+  /// Hand override: shell name -> lane. Only meaningful with
+  /// split_memory_hub (the fusion rule is not negotiable — a pinned shell
+  /// that touches a shared bus from a foreign lane throws at run time).
+  std::map<std::string, sim::ShardId> pin;
+
+  /// Escape hatch for bus-silent scenarios (kernel/fault tests, synthetic
+  /// workloads whose shells never issue SRAM/DRAM transfers): distributes
+  /// shells across lanes by load instead of fusing. The memory hub stays
+  /// homed on lane 0 and any bus transfer from another lane throws.
+  bool split_memory_hub = false;
+
+  /// Optional per-shell load weights (e.g. from graphLoadHints); shells
+  /// absent from the map weigh 1.
+  std::map<std::string, std::uint32_t> load_hint;
+};
+
+/// Resolved shard assignment for an instance.
+struct ShardAssignment {
+  std::uint32_t shards = 1;
+  sim::ShardId hub = 0;  ///< lane owning the memory hub (SRAM/DRAM buses)
+  std::map<std::string, sim::ShardId> shell_shard;
+  /// Conservative lookahead between lanes (the modeled putspace delivery
+  /// latency — the only cross-shard transport). 0 when at most one lane is
+  /// populated: no conservative windows are needed at all.
+  sim::Cycle lookahead = 0;
+  std::string rule;  ///< human-readable rationale (graph_dump, logs)
+
+  [[nodiscard]] sim::ShardId laneOf(const std::string& shell) const {
+    auto it = shell_shard.find(shell);
+    return it == shell_shard.end() ? hub : it->second;
+  }
+  [[nodiscard]] std::uint32_t lanesUsed() const;
+};
+
+/// Computes the shard assignment for the named shells under `plan`.
+/// `message_latency` is the modeled putspace delivery latency — the
+/// lookahead of every cross-lane edge. Deterministic: identical inputs
+/// produce identical assignments (load ties break by shell name).
+ShardAssignment computePartition(const std::vector<std::string>& shells, const ShardPlan& plan,
+                                 sim::Cycle message_latency);
+
+/// Derives per-shell load weights from an application graph: each task
+/// weighs its scheduling presence, each stream endpoint its transport
+/// traffic. Feed the result into ShardPlan::load_hint.
+std::map<std::string, std::uint32_t> graphLoadHints(const GraphSpec& spec);
+
+/// GraphSpec-driven convenience: a plan for `shards` lanes with load hints
+/// merged from every graph that will run on the instance.
+ShardPlan planForGraphs(std::uint32_t shards, const std::vector<const GraphSpec*>& graphs);
+
+}  // namespace eclipse::app

@@ -1,0 +1,134 @@
+#include "eclipse/app/partition.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "eclipse/app/graph_spec.hpp"
+
+namespace eclipse::app {
+
+std::uint32_t ShardAssignment::lanesUsed() const {
+  std::set<sim::ShardId> used;
+  for (const auto& [name, lane] : shell_shard) used.insert(lane);
+  return used.empty() ? 1 : static_cast<std::uint32_t>(used.size());
+}
+
+ShardAssignment computePartition(const std::vector<std::string>& shells, const ShardPlan& plan,
+                                 sim::Cycle message_latency) {
+  ShardAssignment asg;
+  asg.shards = plan.shards == 0 ? 1 : plan.shards;
+  if (asg.shards == 1) {
+    for (const auto& name : shells) asg.shell_shard[name] = 0;
+    asg.rule = "serial (1 shard)";
+    return asg;
+  }
+
+  if (!plan.split_memory_hub) {
+    // Fusion rule: every shell on this instance streams through the shared
+    // SRAM, whose FIFO bus arbitration is a zero-lookahead coupling. All of
+    // them fuse onto the hub lane; bit-identity with the serial oracle is
+    // structural (one populated lane executes in serial event order).
+    for (const auto& name : shells) {
+      auto it = plan.pin.find(name);
+      if (it != plan.pin.end() && it->second != asg.hub) {
+        throw std::logic_error(
+            "ShardPlan: pin of '" + name + "' to lane " + std::to_string(it->second) +
+            " conflicts with the memory-hub fusion rule; set split_memory_hub "
+            "(bus-silent scenarios only) to distribute shells");
+      }
+      asg.shell_shard[name] = asg.hub;
+    }
+    asg.rule = "fused: all shells share the SRAM/system buses (zero-lookahead "
+               "FIFO arbitration); single populated lane = serial event order";
+    return asg;
+  }
+
+  // Split mode: honor pins, then greedy least-loaded bin-pack of the rest,
+  // heaviest first. Deterministic: weights tie-break by shell name, lane
+  // ties by lowest id.
+  std::vector<std::uint64_t> lane_load(asg.shards, 0);
+  std::vector<std::string> unpinned;
+  for (const auto& name : shells) {
+    auto it = plan.pin.find(name);
+    if (it != plan.pin.end()) {
+      if (it->second >= asg.shards) {
+        throw std::logic_error("ShardPlan: pin of '" + name + "' targets lane " +
+                               std::to_string(it->second) + " but the plan has " +
+                               std::to_string(asg.shards) + " shards");
+      }
+      asg.shell_shard[name] = it->second;
+      lane_load[it->second] += std::max<std::uint32_t>(1, [&] {
+        auto h = plan.load_hint.find(name);
+        return h == plan.load_hint.end() ? 1u : h->second;
+      }());
+    } else {
+      unpinned.push_back(name);
+    }
+  }
+  auto weightOf = [&](const std::string& name) -> std::uint32_t {
+    auto h = plan.load_hint.find(name);
+    return h == plan.load_hint.end() ? 1u : std::max<std::uint32_t>(1, h->second);
+  };
+  std::sort(unpinned.begin(), unpinned.end(), [&](const std::string& a, const std::string& b) {
+    const std::uint32_t wa = weightOf(a);
+    const std::uint32_t wb = weightOf(b);
+    return wa != wb ? wa > wb : a < b;
+  });
+  for (const auto& name : unpinned) {
+    std::size_t best = 0;
+    for (std::size_t l = 1; l < lane_load.size(); ++l) {
+      if (lane_load[l] < lane_load[best]) best = l;
+    }
+    asg.shell_shard[name] = static_cast<sim::ShardId>(best);
+    lane_load[best] += weightOf(name);
+  }
+  if (asg.lanesUsed() > 1) {
+    // The putspace latency is the conservative lookahead for cross-lane
+    // traffic. With a zero latency there is no legal window width: fail at
+    // plan time with the reason, instead of letting the engine throw on the
+    // first cross-lane putspace mid-run.
+    if (message_latency == 0) {
+      throw std::logic_error(
+          "ShardPlan: split_memory_hub spread shells over " +
+          std::to_string(asg.lanesUsed()) +
+          " lanes but network.message_latency is 0; the putspace latency is the "
+          "conservative cross-shard lookahead and must be >= 1 cycle (raise the "
+          "latency, or pin every shell to one lane)");
+    }
+    asg.lookahead = message_latency;
+  }
+  asg.rule = "split memory hub (bus-silent): load-balanced bin-pack, lookahead = "
+             "putspace latency " + std::to_string(message_latency);
+  return asg;
+}
+
+std::map<std::string, std::uint32_t> graphLoadHints(const GraphSpec& spec) {
+  std::map<std::string, std::uint32_t> hints;
+  // A task's shell pays for its scheduling slot; every stream endpoint adds
+  // transport work on the shell owning that port.
+  std::map<std::string, std::string> task_shell;
+  for (const auto& t : spec.tasks()) {
+    task_shell[t.name] = t.shell;
+    hints[t.shell] += 4;
+  }
+  for (const auto& s : spec.streams()) {
+    auto p = task_shell.find(s.producer.task);
+    if (p != task_shell.end()) hints[p->second] += 1;
+    auto c = task_shell.find(s.consumer.task);
+    if (c != task_shell.end()) hints[c->second] += 1;
+  }
+  return hints;
+}
+
+ShardPlan planForGraphs(std::uint32_t shards, const std::vector<const GraphSpec*>& graphs) {
+  ShardPlan plan;
+  plan.shards = shards;
+  for (const GraphSpec* g : graphs) {
+    if (g == nullptr) continue;
+    for (const auto& [shell, w] : graphLoadHints(*g)) plan.load_hint[shell] += w;
+  }
+  return plan;
+}
+
+}  // namespace eclipse::app

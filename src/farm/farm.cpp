@@ -26,10 +26,16 @@ Farm::Farm(FarmOptions options)
   int n = options.workers;
   if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
   if (n <= 0) n = 1;
+  // Split the lane-thread budget evenly among the workers: a job may use
+  // at most this many shard lanes, so workers x lanes stays within budget.
+  int lane_threads = options.lane_threads;
+  if (lane_threads <= 0) lane_threads = static_cast<int>(std::thread::hardware_concurrency());
+  if (lane_threads <= 0) lane_threads = 1;
+  const auto max_lanes = static_cast<std::uint32_t>(std::max(1, lane_threads / n));
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     workers_.push_back(std::make_unique<Worker>(
-        i, queue_, *cache_, [this](const JobResult& r) { onComplete(r); }));
+        i, queue_, *cache_, max_lanes, [this](const JobResult& r) { onComplete(r); }));
   }
 }
 

@@ -17,6 +17,12 @@ namespace eclipse::farm {
 struct FarmOptions {
   int workers = 0;  ///< 0 = std::thread::hardware_concurrency()
   std::size_t queue_capacity = 64;
+  /// Host-thread budget for shard lanes, shared across the workers: each
+  /// worker grants a job at most max(1, lane_threads / workers) lanes, so
+  /// worker parallelism and intra-job lane parallelism compose without
+  /// oversubscribing the host. 0 = hardware_concurrency(). Clamping is
+  /// contract-safe: lane count never changes a job's simulated result.
+  int lane_threads = 0;
   /// Share a prepared-workload cache across farms (e.g. a bench sweeping
   /// worker counts pays video generation once). Null = private cache.
   std::shared_ptr<WorkloadCache> cache;

@@ -73,6 +73,14 @@ struct Job {
   sim::Cycle max_cycles = 50'000'000;  ///< simulated-cycle budget (0 = unbounded)
   bool verify = true;  ///< bit-exact (decode) / PSNR (encode) checks
 
+  /// Requested shard lanes for the job's instance (ShardPlan::shards; the
+  /// fusion rule decides what actually spreads). Host-side resource only:
+  /// the sharded kernel is bit-identical to the serial oracle, so this
+  /// field is *outside* the shape of the determinism contract — the worker
+  /// may clamp it to the farm's lane budget (see FarmOptions::lane_threads)
+  /// without changing any simulated result. 0 behaves as 1.
+  std::uint32_t shards = 1;
+
   /// Adaptive-decode schedule. When non-empty, `apps` is ignored and the
   /// job runs ONE multi-mode decode application through the segments in
   /// order, switching modes live at each boundary. The simulated fields of
@@ -131,6 +139,7 @@ struct JobResult {
 
   // --- host-side (execution facts, outside the contract) ---
   int worker = -1;
+  std::uint32_t lanes = 1;  ///< shard lanes granted (Job::shards clamped to budget)
   bool reused_instance = false;
   double wall_ms = 0.0;     ///< run time on the worker
   double latency_ms = 0.0;  ///< submission to completion

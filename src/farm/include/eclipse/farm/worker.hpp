@@ -40,7 +40,10 @@ class Worker {
  public:
   using CompletionFn = std::function<void(const JobResult&)>;
 
-  Worker(int index, JobQueue& queue, WorkloadCache& cache, CompletionFn on_complete);
+  /// `max_lanes` caps the shard lanes any one job may be granted (the
+  /// farm's lane-thread budget divided among the workers; >= 1).
+  Worker(int index, JobQueue& queue, WorkloadCache& cache, std::uint32_t max_lanes,
+         CompletionFn on_complete);
   ~Worker() { join(); }
 
   Worker(const Worker&) = delete;
@@ -67,11 +70,13 @@ class Worker {
   const int index_;
   JobQueue& queue_;
   WorkloadCache& cache_;
+  const std::uint32_t max_lanes_;
   CompletionFn on_complete_;
 
-  // Owned by the worker thread exclusively (one thread per Simulator).
+  // Owned by the worker thread exclusively (one thread per Simulator;
+  // shard lanes are the instance's own team, inside that ownership).
   std::unique_ptr<app::EclipseInstance> inst_;
-  std::string shape_;  ///< Config::toString() of the live instance
+  std::string shape_;  ///< Config::toString() + lane count of the live instance
 
   mutable std::mutex stats_mu_;
   WorkerStats stats_;

@@ -56,8 +56,13 @@ app::DecodeAppConfig decodeModeConfig(const std::string& mode) {
 
 }  // namespace
 
-Worker::Worker(int index, JobQueue& queue, WorkloadCache& cache, CompletionFn on_complete)
-    : index_(index), queue_(queue), cache_(cache), on_complete_(std::move(on_complete)) {
+Worker::Worker(int index, JobQueue& queue, WorkloadCache& cache, std::uint32_t max_lanes,
+               CompletionFn on_complete)
+    : index_(index),
+      queue_(queue),
+      cache_(cache),
+      max_lanes_(std::max<std::uint32_t>(1, max_lanes)),
+      on_complete_(std::move(on_complete)) {
   stats_.index = index;
   thread_ = std::thread([this] { threadMain(); });
 }
@@ -95,8 +100,17 @@ void Worker::threadMain() {
 }
 
 void Worker::acquireInstance(const Job& job, JobResult& r) {
-  // Reuse the recycled instance only for an identical parameter shape.
-  const std::string shape = job.config.toString();
+  // Grant the requested shard lanes up to the farm's per-worker budget.
+  // Deterministic (pure function of job + farm options) and contract-safe:
+  // the sharded kernel is bit-identical to serial, so the clamp can never
+  // move a simulated result.
+  const std::uint32_t lanes =
+      std::clamp<std::uint32_t>(job.shards == 0 ? 1 : job.shards, 1, max_lanes_);
+  // Reuse the recycled instance only for an identical parameter shape AND
+  // lane count: setShardCount demands a pristine simulator when the count
+  // changes, so mismatched lane counts always rebuild cold, while an equal
+  // count re-applies the plan idempotently on the recycled instance.
+  const std::string shape = job.config.toString() + "|shards=" + std::to_string(lanes);
   const bool reuse = inst_ != nullptr && shape == shape_;
   if (reuse) {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -111,6 +125,8 @@ void Worker::acquireInstance(const Job& job, JobResult& r) {
     ++stats_.cold_builds;
     stats_.build_ms += build_ms;
   }
+  if (lanes > 1) inst_->applyShardPlan(app::ShardPlan{.shards = lanes});
+  r.lanes = lanes;
   r.reused_instance = reuse;
 }
 

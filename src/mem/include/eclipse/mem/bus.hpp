@@ -25,6 +25,11 @@ struct BusStats {
 /// cycles; concurrent requesters queue. The width parameter corresponds to
 /// the paper's 128-bit (16-byte) data path; the arbitration latency models
 /// the grant handshake.
+///
+/// Sharding: FIFO grant order is a zero-lookahead coupling — every client
+/// of this bus must execute on the bus's home shard, which is why the
+/// partitioner fuses bus-sharing shells onto one lane. transfer() enforces
+/// the affinity at run time when the simulation is sharded.
 class Bus {
  public:
   Bus(sim::Simulator& sim, std::string name, std::uint32_t width_bytes,
@@ -41,6 +46,7 @@ class Bus {
   /// Occupies the bus for the duration of a `bytes`-sized burst.
   /// `client` identifies the requester for per-client accounting.
   sim::Task<void> transfer(std::size_t bytes, int client) {
+    if (sim_.sharded()) sim_.assertOnShard(home_shard_, name_.c_str());
     co_await grant_.acquire();
     sim::SemaphoreGuard guard(grant_);
     const sim::Cycle data_cycles = dataCycles(bytes);
@@ -59,6 +65,11 @@ class Bus {
   [[nodiscard]] sim::Cycle dataCycles(std::size_t bytes) const {
     return (bytes + width_bytes_ - 1) / width_bytes_;
   }
+
+  /// Shard owning this bus's arbitration state. All clients must execute
+  /// there; set by the app-layer partitioner.
+  void setHomeShard(sim::ShardId shard) { home_shard_ = shard; }
+  [[nodiscard]] sim::ShardId homeShard() const { return home_shard_; }
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] std::uint32_t widthBytes() const { return width_bytes_; }
@@ -83,6 +94,7 @@ class Bus {
   std::uint32_t width_bytes_;
   sim::Cycle arb_latency_;
   sim::Semaphore grant_;
+  sim::ShardId home_shard_ = 0;
   BusStats total_;
   std::map<int, BusStats> per_client_;
 };

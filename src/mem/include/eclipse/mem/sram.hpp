@@ -64,6 +64,14 @@ class SharedSram {
     co_await sim_.delay(params_.access_latency);
   }
 
+  /// Homes the SRAM (storage + both buses) on one shard. Every shell that
+  /// touches this memory must execute there — the partitioner's fusion rule.
+  void setHomeShard(sim::ShardId shard) {
+    read_bus_.setHomeShard(shard);
+    write_bus_.setHomeShard(shard);
+  }
+  [[nodiscard]] sim::ShardId homeShard() const { return read_bus_.homeShard(); }
+
   [[nodiscard]] Storage& storage() { return storage_; }
   [[nodiscard]] const Storage& storage() const { return storage_; }
   [[nodiscard]] Bus& readBus() { return read_bus_; }
@@ -120,6 +128,11 @@ class OffChipMemory {
     co_await bus_.transfer(bytes, client);
     co_await sim_.delay(params_.access_latency);
   }
+
+  /// Homes the off-chip memory (storage + system bus) on one shard; see
+  /// SharedSram::setHomeShard.
+  void setHomeShard(sim::ShardId shard) { bus_.setHomeShard(shard); }
+  [[nodiscard]] sim::ShardId homeShard() const { return bus_.homeShard(); }
 
   [[nodiscard]] Storage& storage() { return storage_; }
   [[nodiscard]] const Storage& storage() const { return storage_; }

@@ -432,7 +432,7 @@ void Shell::startWatchdog(sim::Cycle timeout, sim::Cycle period) {
   }
   if (!watchdog_running_) {
     watchdog_running_ = true;
-    sim_.spawn(watchdogProcess(), params_.name + ".watchdog");
+    sim_.spawn(watchdogProcess(), params_.name + ".watchdog", shard_);
   }
 }
 
@@ -522,7 +522,7 @@ void Shell::startProfiler() {
   }
   if (profiling_) return;
   profiling_ = true;
-  sim_.spawn(profilerProcess(), params_.name + ".profiler");
+  sim_.spawn(profilerProcess(), params_.name + ".profiler", shard_);
 }
 
 sim::Task<void> Shell::profilerProcess() {

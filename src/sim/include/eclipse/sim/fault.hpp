@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -20,6 +21,16 @@ namespace eclipse::sim {
 /// The injector itself draws no random numbers: randomised campaigns seed a
 /// Prng externally and derive the spec fields (cycles, addresses, bits)
 /// from it, so a (plan, seed) pair always reproduces the same run.
+///
+/// Sharding: the hooks are called from lane threads during the same barrier
+/// window (e.g. MessageNetwork::send on a split plan), so every mutating
+/// path serializes on an internal mutex. Determinism is unaffected: each
+/// spec matches on a shell (or shell+task[+port]) key, a shell is affine to
+/// one lane, so a given spec's budget is only ever consumed from one lane —
+/// the mutex just keeps the shared containers intact. The one wall-clock-
+/// dependent artifact is the *interleaving* of the trigger log across lanes
+/// within a window; per-shell subsequences and per-kind counts stay
+/// deterministic. Read triggers()/triggerCount() only outside run().
 enum class FaultKind : std::uint8_t {
   DropPutspace,    ///< silently discard a putspace message leaving a shell
   DelayPutspace,   ///< deliver a putspace message late by delay_cycles
@@ -79,8 +90,12 @@ struct FaultTrigger {
 
 class FaultInjector {
  public:
-  void arm(const FaultSpec& spec) { specs_.push_back(spec); }
+  void arm(const FaultSpec& spec) {
+    std::lock_guard lk(m_);
+    specs_.push_back(spec);
+  }
   void clear() {
+    std::lock_guard lk(m_);
     specs_.clear();
     spent_.clear();  // budgets are per-plan; the trigger log survives re-arming
   }
@@ -88,6 +103,7 @@ class FaultInjector {
 
   /// MessageNetwork hook: drop the putspace message leaving `src_shell`?
   bool shouldDropPutspace(std::uint32_t src_shell, Cycle now) {
+    std::lock_guard lk(m_);
     FaultSpec* s = match(FaultKind::DropPutspace, now,
                          [&](const FaultSpec& f) { return f.shell == src_shell; });
     if (s == nullptr) return false;
@@ -98,6 +114,7 @@ class FaultInjector {
   /// MessageNetwork hook: extra delivery latency for a message leaving
   /// `src_shell` (0 = deliver normally).
   Cycle putspaceDelay(std::uint32_t src_shell, Cycle now) {
+    std::lock_guard lk(m_);
     FaultSpec* s = match(FaultKind::DelayPutspace, now,
                          [&](const FaultSpec& f) { return f.shell == src_shell; });
     if (s == nullptr) return 0;
@@ -108,6 +125,7 @@ class FaultInjector {
   /// Coprocessor hook: cycles the dispatched (shell, task) wedges for
   /// instead of executing its processing step (0 = run normally).
   Cycle taskHangCycles(std::uint32_t shell, TaskId task, Cycle now) {
+    std::lock_guard lk(m_);
     FaultSpec* s = match(FaultKind::TaskHang, now, [&](const FaultSpec& f) {
       return f.shell == shell && f.task == task;
     });
@@ -120,6 +138,7 @@ class FaultInjector {
   /// (shell, task, port), or nullopt to commit cleanly.
   std::optional<std::uint8_t> corruptPayload(std::uint32_t shell, TaskId task, PortId port,
                                              Cycle now) {
+    std::lock_guard lk(m_);
     FaultSpec* s = match(FaultKind::CorruptPayload, now, [&](const FaultSpec& f) {
       return f.shell == shell && f.task == task && f.port == port;
     });
@@ -130,7 +149,10 @@ class FaultInjector {
 
   /// Records a fault that fired (also called by externally armed events,
   /// e.g. the instance's scheduled bit-flips).
-  void logTrigger(const FaultTrigger& t) { triggers_.push_back(t); }
+  void logTrigger(const FaultTrigger& t) {
+    std::lock_guard lk(m_);
+    triggers_.push_back(t);
+  }
 
   [[nodiscard]] const std::vector<FaultTrigger>& triggers() const { return triggers_; }
   [[nodiscard]] std::size_t triggerCount(FaultKind k) const {
@@ -163,6 +185,7 @@ class FaultInjector {
   std::uint32_t spent_of(FaultSpec& s) { return spent_ref(s); }
   void consume(FaultSpec& s) { ++spent_ref(s); }
 
+  std::mutex m_;  ///< serializes the hooks against lane-thread concurrency
   std::vector<FaultSpec> specs_;
   std::vector<std::uint32_t> spent_;
   std::vector<FaultTrigger> triggers_;

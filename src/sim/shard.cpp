@@ -1,0 +1,417 @@
+#include "eclipse/sim/shard.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "eclipse/sim/simulator.hpp"
+
+namespace eclipse::sim {
+
+namespace {
+
+/// Thread-local execution context: which engine/lane this thread is
+/// currently driving. Set only for the duration of runLane(), so a farm
+/// worker thread that runs several simulators in sequence never leaks a
+/// stale lane between them.
+struct ExecContext {
+  const ShardEngine* engine = nullptr;
+  ShardScheduler* lane = nullptr;
+};
+
+thread_local ExecContext tls_exec;
+
+constexpr Cycle satAdd(Cycle a, Cycle b) {
+  return a > ShardEngine::kForever - b ? ShardEngine::kForever : a + b;
+}
+
+/// xorshift64* — tiny deterministic PRNG for the jitter hook.
+struct JitterRng {
+  std::uint64_t s;
+  std::uint64_t next() {
+    s ^= s >> 12;
+    s ^= s << 25;
+    s ^= s >> 27;
+    return s * 0x2545F4914F6CDD1DULL;
+  }
+};
+
+}  // namespace
+
+void ShardScheduler::reclaimFinishedRoots() {
+  std::erase_if(roots, [](Root& r) {
+    if (r.handle && r.handle.done()) {
+      r.handle.destroy();
+      return true;
+    }
+    return false;
+  });
+}
+
+void ShardScheduler::destroyRoots() {
+  for (auto& root : roots) {
+    if (root.handle) {
+      root.handle.destroy();
+      root.handle = nullptr;
+    }
+  }
+  roots.clear();
+  live = 0;
+}
+
+ShardEngine::ShardEngine(Simulator& sim, std::uint32_t shards) : sim_(sim) {
+  if (shards < 2) throw std::logic_error("ShardEngine requires >= 2 shards");
+  lanes_.reserve(shards);
+  for (std::uint32_t i = 0; i < shards; ++i) {
+    lanes_.push_back(std::make_unique<ShardScheduler>());
+    lanes_.back()->id = i;
+  }
+  channels_.resize(static_cast<std::size_t>(shards) * shards);
+}
+
+ShardEngine::~ShardEngine() {
+  {
+    std::lock_guard lk(m_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : team_) t.join();
+  destroyProcesses();
+}
+
+ShardScheduler* ShardEngine::executingLane() const {
+  return tls_exec.engine == this ? tls_exec.lane : nullptr;
+}
+
+Cycle ShardEngine::now() const {
+  if (ShardScheduler* l = executingLane()) return l->now;
+  return global_now_;
+}
+
+ShardId ShardEngine::currentShard() const {
+  if (ShardScheduler* l = executingLane()) return l->id;
+  return 0;
+}
+
+ShardScheduler& ShardEngine::laneFor(ShardId shard) {
+  if (shard >= lanes_.size()) throw std::out_of_range("shard id out of range");
+  return *lanes_[shard];
+}
+
+void ShardEngine::schedule(Cycle delay, Event ev) {
+  if (ShardScheduler* l = executingLane()) {
+    l->wheel.push(satAdd(l->now, delay), std::move(ev));
+  } else {
+    defaultLane().wheel.push(satAdd(global_now_, delay), std::move(ev));
+  }
+}
+
+void ShardEngine::scheduleAt(Cycle at, Event ev) {
+  if (ShardScheduler* l = executingLane()) {
+    l->wheel.push(at < l->now ? l->now : at, std::move(ev));
+  } else {
+    defaultLane().wheel.push(at < global_now_ ? global_now_ : at, std::move(ev));
+  }
+}
+
+void ShardEngine::scheduleOn(ShardId shard, Cycle delay, Event ev) {
+  ShardScheduler& dst = laneFor(shard);
+  ShardScheduler* src = executingLane();
+  if (src == nullptr) {
+    // Setup / between-runs context: direct push, no window is open.
+    dst.wheel.push(satAdd(global_now_, delay), std::move(ev));
+    return;
+  }
+  if (src->id == shard) {
+    src->wheel.push(satAdd(src->now, delay), std::move(ev));
+    return;
+  }
+  // Cross-shard injection mid-window: the conservative contract requires the
+  // target cycle to be at or beyond every peer's window end, which holds iff
+  // the modeled delay is at least the declared lookahead.
+  if (lookahead_ == kForever) {
+    throw std::logic_error(
+        "cross-shard event scheduled with no declared lookahead (declareCrossLatency)");
+  }
+  if (delay < lookahead_) {
+    throw std::logic_error("cross-shard event delay below conservative lookahead");
+  }
+  ShardChannel& ch = channel(src->id, shard);
+  if (ch.buf.capacity() == 0) ch.buf.reserve(kChannelBound);
+  if (ch.buf.size() >= kChannelBound) ++ch.overflows;
+  ch.buf.push_back(detail::CrossEvent{satAdd(src->now, delay), std::move(ev)});
+  ++ch.pushed;
+  ch.high_water = std::max<std::uint64_t>(ch.high_water, ch.buf.size());
+}
+
+void ShardEngine::declareCrossLatency(Cycle latency) {
+  if (latency == 0) throw std::logic_error("cross-shard lookahead must be >= 1 cycle");
+  lookahead_ = std::min(lookahead_, latency);
+}
+
+void ShardEngine::spawn(Task<void>::handle_type handle, std::string name, ShardId shard) {
+  ShardScheduler* lane;
+  if (shard == kAutoShard) {
+    lane = executingLane();
+    if (lane == nullptr) lane = &defaultLane();
+  } else {
+    // Validation failures destroy the never-started frame: the caller has
+    // already released ownership, so throwing without destroying would
+    // leak the coroutine.
+    if (shard >= lanes_.size()) {
+      handle.destroy();
+      throw std::out_of_range("shard id out of range");
+    }
+    lane = lanes_[shard].get();
+    ShardScheduler* src = executingLane();
+    if (src != nullptr && src->id != shard) {
+      handle.destroy();
+      throw std::logic_error("explicit remote-shard spawn from inside a window");
+    }
+  }
+  if (lane->roots.size() >= 1024) lane->reclaimFinishedRoots();
+  lane->roots.push_back(ShardScheduler::Root{std::move(name), handle});
+  ++lane->live;
+  const Cycle at = executingLane() == lane ? lane->now : global_now_;
+  lane->wheel.push(at, Event(handle));
+}
+
+void ShardEngine::runLane(ShardScheduler& lane, Cycle W) {
+  tls_exec = ExecContext{this, &lane};
+  JitterRng rng{jitter_seed_ == 0
+                    ? 0
+                    : (jitter_seed_ ^ (0x9E3779B97F4A7C15ULL * (lane.id + 1)) ^ round_gen_)};
+  while (!lane.wheel.empty() && !lane.stop_requested) {
+    if (lane.wheel.nextCycle() >= W) break;
+    Cycle at = 0;
+    Event ev = lane.wheel.pop(&at);
+    lane.now = at;
+    ++lane.events;
+    if (jitter_seed_ != 0 && (rng.next() & 7) == 0) {
+      // Perturb wall-clock interleaving without touching simulated time:
+      // determinism tests assert results are invariant under this.
+      if ((rng.next() & 3) == 0) {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(rng.next() % 20000));
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    try {
+      ev();
+    } catch (...) {
+      if (!lane.error) {
+        lane.error = std::current_exception();
+        lane.error_cycle = at;
+      }
+      lane.stop_requested = true;
+      stop_flag_.store(true, std::memory_order_relaxed);
+      break;
+    }
+    if (lane.error) break;  // a root process failed; latched via notifyRootDone
+  }
+  tls_exec = ExecContext{};
+}
+
+void ShardEngine::runQueuedLanes(Cycle W) {
+  for (;;) {
+    const std::size_t i = next_work_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= round_work_.size()) return;
+    runLane(*round_work_[i], W);
+  }
+}
+
+void ShardEngine::ensureTeam() {
+  if (!team_.empty()) return;
+  team_.reserve(lanes_.size() - 1);
+  for (std::size_t i = 1; i < lanes_.size(); ++i) {
+    team_.emplace_back([this] { teamMain(); });
+  }
+}
+
+void ShardEngine::teamMain() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Cycle W;
+    {
+      std::unique_lock lk(m_);
+      cv_work_.wait(lk, [&] { return shutdown_ || round_gen_ != seen; });
+      if (shutdown_) return;
+      seen = round_gen_;
+      W = round_window_;
+    }
+    runQueuedLanes(W);
+    {
+      std::lock_guard lk(m_);
+      ++done_count_;
+    }
+    cv_done_.notify_one();
+  }
+}
+
+void ShardEngine::drainChannels() {
+  // Deterministic merge: destination lanes ascending, source lanes ascending
+  // within each destination, FIFO within each channel. Pushed after the
+  // destination's own window pushes, so same-cycle ordering is a fixed
+  // function of the partition, never of thread timing.
+  const std::size_t n = lanes_.size();
+  for (std::size_t dst = 0; dst < n; ++dst) {
+    ShardScheduler& lane = *lanes_[dst];
+    for (std::size_t src = 0; src < n; ++src) {
+      if (src == dst) continue;
+      ShardChannel& ch = channel(static_cast<ShardId>(src), static_cast<ShardId>(dst));
+      if (ch.buf.empty()) continue;
+      cross_events_ += ch.buf.size();
+      for (auto& ce : ch.buf) {
+        lane.wheel.push(ce.at, std::move(ce.ev));
+      }
+      ch.buf.clear();
+    }
+  }
+}
+
+Cycle ShardEngine::run(Cycle until) {
+  stop_flag_.store(false, std::memory_order_relaxed);
+  for (auto& l : lanes_) l->stop_requested = false;
+  for (;;) {
+    // 1. Global horizon: earliest pending cycle across all lanes.
+    Cycle M = kForever;
+    for (auto& l : lanes_) {
+      if (!l->wheel.empty()) M = std::min(M, l->wheel.nextCycle());
+    }
+    if (M == kForever) {
+      for (auto& l : lanes_) global_now_ = std::max(global_now_, l->now);
+      return global_now_;  // drained
+    }
+    if (M > until) {
+      global_now_ = until;
+      return until;
+    }
+    // 2. Conservative window: [M, W). Infinite lookahead (no declared cross
+    // links) means the lanes are independent and may run to `until`.
+    const Cycle W = std::min(satAdd(M, lookahead_), satAdd(until, 1));
+    round_work_.clear();
+    for (auto& l : lanes_) {
+      if (!l->wheel.empty() && l->wheel.nextCycle() < W) round_work_.push_back(l.get());
+    }
+    ++rounds_;
+    // 3. Execute the window. Single-active rounds (fused partitions, or
+    // phases where only one lane has near-term work) run inline; the team
+    // never wakes, which keeps the serial-equivalent path at serial speed.
+    if (round_work_.size() == 1) {
+      runLane(*round_work_[0], W);
+    } else {
+      ++parallel_rounds_;
+      ensureTeam();
+      // The whole round descriptor (work cursor, window, done counter,
+      // generation) is published atomically under the mutex: a worker that
+      // loops around early must either see the complete new round or keep
+      // waiting — never a new generation with a stale cursor.
+      {
+        std::lock_guard lk(m_);
+        done_count_ = 0;
+        round_window_ = W;
+        next_work_.store(0, std::memory_order_relaxed);
+        ++round_gen_;
+      }
+      cv_work_.notify_all();
+      runQueuedLanes(W);
+      std::unique_lock lk(m_);
+      cv_done_.wait(lk, [&] { return done_count_ == team_.size(); });
+    }
+    // 4. Barrier passed: merge cross-shard traffic, then surface errors and
+    // stops in a deterministic order.
+    drainChannels();
+    ShardScheduler* failed = nullptr;
+    for (auto& l : lanes_) {
+      if (!l->error) continue;
+      if (failed == nullptr || l->error_cycle < failed->error_cycle ||
+          (l->error_cycle == failed->error_cycle && l->id < failed->id)) {
+        failed = l.get();
+      }
+    }
+    if (failed != nullptr) {
+      std::exception_ptr err = std::exchange(failed->error, nullptr);
+      for (auto& l : lanes_) l->error = nullptr;
+      global_now_ = std::max(global_now_, failed->error_cycle);
+      std::rethrow_exception(err);
+    }
+    if (stop_flag_.load(std::memory_order_relaxed)) {
+      Cycle at = kForever;
+      for (auto& l : lanes_) {
+        if (l->stop_requested) at = std::min(at, l->now);
+      }
+      if (at == kForever) at = M;  // stop() from outside any lane
+      global_now_ = std::max(global_now_, at);
+      return global_now_;
+    }
+  }
+}
+
+void ShardEngine::notifyRootDone(std::exception_ptr exception) {
+  ShardScheduler* l = executingLane();
+  if (l == nullptr) return;  // frames only complete while their lane executes
+  if (l->live > 0) --l->live;
+  if (exception && !l->error) {
+    l->error = exception;
+    l->error_cycle = l->now;
+    l->stop_requested = true;
+    stop_flag_.store(true, std::memory_order_relaxed);
+  }
+}
+
+void ShardEngine::stop() {
+  if (ShardScheduler* l = executingLane()) l->stop_requested = true;
+  stop_flag_.store(true, std::memory_order_relaxed);
+}
+
+bool ShardEngine::quiescent() const {
+  for (const auto& l : lanes_) {
+    if (!l->wheel.empty()) return false;
+  }
+  for (const auto& ch : channels_) {
+    if (!ch.buf.empty()) return false;
+  }
+  return true;
+}
+
+std::size_t ShardEngine::liveProcesses() const {
+  std::size_t n = 0;
+  for (const auto& l : lanes_) n += l->live;
+  return n;
+}
+
+std::uint64_t ShardEngine::eventsDispatched() const {
+  std::uint64_t n = 0;
+  for (const auto& l : lanes_) n += l->events;
+  return n;
+}
+
+void ShardEngine::destroyProcesses() {
+  // Channels and wheels may hold events capturing coroutine handles, so
+  // both are dropped before any frame is destroyed.
+  for (auto& ch : channels_) ch.buf.clear();
+  for (auto& l : lanes_) l->wheel.clear();
+  for (auto& l : lanes_) l->destroyRoots();
+}
+
+ShardStats ShardEngine::snapshotStats() const {
+  ShardStats s;
+  s.rounds = rounds_;
+  s.parallel_rounds = parallel_rounds_;
+  s.cross_events = cross_events_;
+  s.lookahead = lookahead_;
+  for (const auto& ch : channels_) {
+    s.channel_overflows += ch.overflows;
+    s.channel_high_water = std::max(s.channel_high_water, ch.high_water);
+  }
+  s.lane_events.reserve(lanes_.size());
+  s.lane_live.reserve(lanes_.size());
+  for (const auto& l : lanes_) {
+    s.lane_events.push_back(l->events);
+    s.lane_live.push_back(l->live);
+  }
+  return s;
+}
+
+}  // namespace eclipse::sim

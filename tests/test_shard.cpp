@@ -1,0 +1,625 @@
+// Sharded conservative-PDES kernel (DESIGN §13): ShardEngine semantics
+// (lane-affine scheduling, run-until, quiescence), cross-shard injection
+// legality (lookahead validation), seeded determinism stress under thread
+// jitter at shards 1/2/4, the decode pin at every shard count (fusion
+// rule), bus-silent split-plan traffic over the message network, and the
+// fault-injection interaction: a lost-sync fault across a shard boundary
+// must latch on the owning shard's task registers and classify as a true
+// cross-shard deadlock.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "eclipse/eclipse.hpp"
+
+#include "decode_pin.hpp"
+
+namespace {
+
+using namespace eclipse;
+
+// ---------------------------------------------------------------------
+// Raw-kernel helpers
+// ---------------------------------------------------------------------
+
+sim::Task<void> ticker(sim::Simulator& sim, int steps, sim::Cycle stride, std::uint64_t& acc) {
+  for (int i = 0; i < steps; ++i) {
+    co_await sim.delay(stride);
+    acc += sim.now();
+  }
+}
+
+std::uint64_t fnv1a(const std::vector<std::uint8_t>& bytes, std::uint64_t h = 1469598103934665603ULL) {
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------
+// Engine semantics
+// ---------------------------------------------------------------------
+
+TEST(Shard, SerialOracleIsTheDefaultAndShardCountOneStaysSerial) {
+  sim::Simulator sim;
+  EXPECT_FALSE(sim.sharded());
+  EXPECT_EQ(sim.shardCount(), 1u);
+  sim.setShardCount(1);  // explicit 1 must not build an engine
+  EXPECT_FALSE(sim.sharded());
+
+  std::uint64_t acc = 0;
+  sim.spawn(ticker(sim, 10, 7, acc));
+  EXPECT_EQ(sim.run(), 70u);
+  EXPECT_EQ(sim.eventsDispatched(), 11u);  // initial resume + 10 delays
+  EXPECT_TRUE(sim.quiescent());
+  EXPECT_EQ(sim.liveProcesses(), 0u);
+}
+
+TEST(Shard, IndependentLanesMatchSerialTotals) {
+  // The same six processes, distributed over 1, 2 and 4 lanes, must land
+  // on the same final cycle, the same dispatched-event total and the same
+  // per-process accumulators: per-lane clocks advance independently but
+  // every event runs at the same simulated cycle as in the serial oracle.
+  struct Totals {
+    sim::Cycle end;
+    std::uint64_t events;
+    std::array<std::uint64_t, 6> acc;
+  };
+  auto runAt = [](std::uint32_t shards) -> Totals {
+    sim::Simulator sim;
+    sim.setShardCount(shards);
+    Totals t{};
+    t.acc = {};
+    for (int i = 0; i < 6; ++i) {
+      const auto lane = static_cast<sim::ShardId>(i % static_cast<int>(shards));
+      sim.spawn(ticker(sim, 20 + i, 3 + static_cast<sim::Cycle>(i), t.acc[static_cast<std::size_t>(i)]),
+                "ticker", lane);
+    }
+    t.end = sim.run();
+    t.events = sim.eventsDispatched();
+    return t;
+  };
+
+  const Totals serial = runAt(1);
+  for (std::uint32_t shards : {2u, 4u}) {
+    const Totals sharded = runAt(shards);
+    EXPECT_EQ(sharded.end, serial.end) << "shards=" << shards;
+    EXPECT_EQ(sharded.events, serial.events) << "shards=" << shards;
+    EXPECT_EQ(sharded.acc, serial.acc) << "shards=" << shards;
+  }
+}
+
+TEST(Shard, RunUntilQuiescenceAndLiveProcesses) {
+  sim::Simulator sim;
+  sim.setShardCount(2);
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  sim.spawn(ticker(sim, 100, 10, a), "a", 0);
+  sim.spawn(ticker(sim, 100, 10, b), "b", 1);
+
+  EXPECT_EQ(sim.run(100), 100u);
+  EXPECT_FALSE(sim.quiescent());
+  EXPECT_EQ(sim.liveProcesses(), 2u);
+
+  EXPECT_EQ(sim.run(), 1000u);
+  EXPECT_TRUE(sim.quiescent());
+  EXPECT_EQ(sim.liveProcesses(), 0u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Shard, SetShardCountRequiresPristineSimulatorAndIsIdempotent) {
+  sim::Simulator dirty;
+  std::uint64_t acc = 0;
+  dirty.spawn(ticker(dirty, 1, 1, acc));
+  EXPECT_THROW(dirty.setShardCount(2), std::logic_error);
+
+  sim::Simulator sim;
+  sim.setShardCount(2);
+  sim.setShardCount(2);  // idempotent: same count on a live engine is a no-op
+  EXPECT_EQ(sim.shardCount(), 2u);
+  std::uint64_t x = 0;
+  sim.spawn(ticker(sim, 5, 4, x), "x", 1);
+  sim.run();
+  sim.setShardCount(2);  // still fine mid-life with the same count
+  EXPECT_EQ(sim.shardCount(), 2u);
+  sim.setShardCount(4);  // drained + no live processes = pristine enough
+  EXPECT_EQ(sim.shardCount(), 4u);
+  sim.setShardCount(1);
+  EXPECT_FALSE(sim.sharded());
+}
+
+// ---------------------------------------------------------------------
+// Cross-shard injection legality
+// ---------------------------------------------------------------------
+
+sim::Task<void> injector(sim::Simulator& sim, sim::Cycle delay, std::uint64_t& delivered) {
+  co_await sim.delay(1);
+  std::uint64_t* slot = &delivered;
+  sim.scheduleOnShard(1, delay, [slot] { ++*slot; });
+}
+
+TEST(Shard, CrossShardPushWithoutDeclaredLookaheadThrows) {
+  sim::Simulator sim;
+  sim.setShardCount(2);
+  std::uint64_t delivered = 0;
+  sim.spawn(injector(sim, 1, delivered), "inj", 0);
+  EXPECT_THROW(sim.run(), std::logic_error);
+  EXPECT_EQ(delivered, 0u);
+}
+
+TEST(Shard, CrossShardPushBelowLookaheadThrows) {
+  sim::Simulator sim;
+  sim.setShardCount(2);
+  sim.declareCrossShardLatency(4);
+  EXPECT_EQ(sim.crossShardLookahead(), 4u);
+  std::uint64_t delivered = 0;
+  sim.spawn(injector(sim, 2, delivered), "inj", 0);
+  EXPECT_THROW(sim.run(), std::logic_error);
+  EXPECT_EQ(delivered, 0u);
+}
+
+TEST(Shard, CrossShardPushAtLookaheadDelivers) {
+  sim::Simulator sim;
+  sim.setShardCount(2);
+  sim.declareCrossShardLatency(4);
+  std::uint64_t delivered = 0;
+  sim.spawn(injector(sim, 4, delivered), "inj", 0);
+  sim.run();
+  EXPECT_EQ(delivered, 1u);
+  const sim::ShardStats stats = sim.shardStats();
+  EXPECT_EQ(stats.cross_events, 1u);
+  EXPECT_EQ(stats.channel_overflows, 0u);
+}
+
+TEST(Shard, ExplicitRemoteSpawnFromInsideAWindowThrows) {
+  sim::Simulator sim;
+  sim.setShardCount(2);
+  std::uint64_t unused = 0;
+  auto offender = [](sim::Simulator& s, std::uint64_t& acc) -> sim::Task<void> {
+    co_await s.delay(1);
+    s.spawn(ticker(s, 1, 1, acc), "remote", 1);  // lane 0 -> lane 1 mid-window
+  };
+  sim.spawn(offender(sim, unused), "offender", 0);
+  EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+// ---------------------------------------------------------------------
+// Determinism stress: shards x jitter (ISSUE 8 satellite)
+// ---------------------------------------------------------------------
+
+// Four process groups arranged in a ring; group g streams tokens to group
+// (g+1) % 4 through explicit cross-shard injections at exactly the
+// declared lookahead. The receiving accumulators fold with XOR/sum —
+// commutative, so arrivals that share a cycle are order-insensitive and
+// the totals must be bit-identical for every shard count and every
+// thread interleaving the jitter provokes.
+struct RingTotals {
+  sim::Cycle end = 0;
+  std::uint64_t events = 0;
+  std::array<std::uint64_t, 4> hash{};
+  std::array<std::uint64_t, 4> count{};
+
+  bool operator==(const RingTotals&) const = default;
+};
+
+sim::Task<void> ringGen(sim::Simulator& sim, int g, int rounds, std::uint32_t shards,
+                        std::array<std::uint64_t, 4>& hash, std::array<std::uint64_t, 4>& count) {
+  for (int k = 0; k < rounds; ++k) {
+    co_await sim.delay(1 + static_cast<sim::Cycle>((g + k) % 3));
+    const int dst = (g + 1) % 4;
+    const auto dst_lane = static_cast<sim::ShardId>(dst % static_cast<int>(shards));
+    const std::uint64_t token = (static_cast<std::uint64_t>(g) << 32) ^
+                                (static_cast<std::uint64_t>(k) * 0x9E3779B97F4A7C15ULL);
+    std::uint64_t* h = &hash[static_cast<std::size_t>(dst)];
+    std::uint64_t* c = &count[static_cast<std::size_t>(dst)];
+    sim.scheduleOnShard(dst_lane, 2, [h, c, token] {
+      *h ^= token;
+      *c += 1;
+    });
+  }
+}
+
+RingTotals runRing(std::uint32_t shards, std::uint64_t jitter_seed) {
+  sim::Simulator sim;
+  sim.setShardCount(shards);
+  if (shards > 1) {
+    sim.declareCrossShardLatency(2);
+    sim.setShardJitter(jitter_seed);
+  }
+  RingTotals t;
+  for (int g = 0; g < 4; ++g) {
+    const auto lane = static_cast<sim::ShardId>(g % static_cast<int>(shards));
+    sim.spawn(ringGen(sim, g, 40, shards, t.hash, t.count), "ring", lane);
+  }
+  t.end = sim.run();
+  t.events = sim.eventsDispatched();
+  return t;
+}
+
+TEST(Shard, DeterminismStressAcrossShardCountsAndJitter) {
+  const RingTotals serial = runRing(1, 0);
+  for (std::uint64_t g : serial.count) EXPECT_EQ(g, 40u);
+
+  for (std::uint32_t shards : {2u, 4u}) {
+    for (std::uint64_t seed : {std::uint64_t{0}, std::uint64_t{0xC0FFEE}, std::uint64_t{977}}) {
+      const RingTotals t = runRing(shards, seed);
+      EXPECT_EQ(t, serial) << "shards=" << shards << " jitter=" << seed;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// The decode pin at every shard count (fusion rule)
+// ---------------------------------------------------------------------
+
+std::vector<std::uint8_t> pinnedBitstream() {
+  media::VideoGenParams vp;
+  vp.width = 96;
+  vp.height = 80;
+  vp.frames = 5;
+  vp.seed = 3;
+  vp.detail = 8;
+  vp.noise_level = 0.0;
+  vp.motion_speed = 4;
+  media::CodecParams cp;
+  cp.width = vp.width;
+  cp.height = vp.height;
+  cp.qscale = 14;
+  cp.gop = {9, 3};
+  media::Encoder enc(cp);
+  return enc.encode(media::generateVideo(vp));
+}
+
+std::uint64_t framesHash(const std::vector<media::Frame>& frames) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const media::Frame& f : frames) {
+    h = fnv1a(f.yPlane(), h);
+    h = fnv1a(f.cbPlane(), h);
+    h = fnv1a(f.crPlane(), h);
+  }
+  return h;
+}
+
+TEST(Shard, DecodePinHoldsAtEveryShardCount) {
+  const auto bitstream = pinnedBitstream();
+  std::uint64_t serial_hash = 0;
+  for (std::uint32_t shards : {1u, 2u, 4u}) {
+    app::EclipseInstance inst;
+    app::ShardPlan plan;
+    plan.shards = shards;
+    const app::ShardAssignment& asg = inst.applyShardPlan(plan);
+    if (shards > 1) {
+      EXPECT_EQ(inst.simulator().shardCount(), shards);
+      // Fusion rule: the decode shells all share the SRAM buses, so the
+      // partitioner must fuse them onto the hub lane.
+      EXPECT_EQ(asg.lanesUsed(), 1u) << "shards=" << shards;
+    }
+
+    app::DecodeApp dec(inst, bitstream);
+    const sim::Cycle cycles = inst.run();
+    ASSERT_TRUE(dec.done()) << "shards=" << shards;
+    EXPECT_EQ(cycles, pin::kDecodePinCycles) << "shards=" << shards;
+    EXPECT_EQ(inst.simulator().eventsDispatched(), pin::kDecodePinEvents) << "shards=" << shards;
+    EXPECT_EQ(dec.macroblocksDecoded(), pin::kDecodePinMacroblocks) << "shards=" << shards;
+
+    const std::uint64_t h = framesHash(dec.frames());
+    if (shards == 1) {
+      serial_hash = h;
+    } else {
+      EXPECT_EQ(h, serial_hash) << "sink payload diverged at shards=" << shards;
+      // A fused plan executes on one populated lane; the engine must never
+      // have gone parallel (that is what makes the pin structural).
+      EXPECT_EQ(inst.simulator().shardStats().parallel_rounds, 0u);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Split plans: bus-silent cross-shard sync traffic
+// ---------------------------------------------------------------------
+
+// Drives one task slot through the shell's five-primitive interface the
+// way a coprocessor control loop does: GetTask -> GetSpace -> PutSpace.
+// No data is read or written, so nothing touches the SRAM buses and the
+// scenario is legal under a split (non-fused) shard plan.
+sim::Task<void> pump(shell::Shell& sh, sim::PortId port, std::uint32_t chunk, std::uint64_t rounds,
+                     std::uint64_t& done) {
+  while (done < rounds) {
+    const shell::GetTaskResult r = co_await sh.getTask();
+    if (co_await sh.getSpace(r.task, port, chunk)) {
+      co_await sh.putSpace(r.task, port, chunk);
+      ++done;
+    }
+  }
+}
+
+app::InstanceParams busSilentParams() {
+  app::InstanceParams p;
+  p.prefetch = false;  // a granted-window prefetch would touch the read bus
+  return p;
+}
+
+struct SplitTotals {
+  sim::Cycle cycles = 0;
+  std::uint64_t events = 0;
+  std::uint64_t produced = 0;
+  std::uint64_t consumed = 0;
+  std::uint64_t cross_msgs = 0;
+};
+
+SplitTotals runSplitPipeline(std::uint32_t shards, std::uint64_t rounds, std::uint64_t jitter) {
+  app::EclipseInstance inst(busSilentParams());
+  app::ShardPlan plan;
+  plan.shards = shards;
+  plan.split_memory_hub = true;
+  if (shards > 1) {
+    plan.pin["vld"] = 0;
+    plan.pin["dct"] = 1;
+  }
+  inst.applyShardPlan(plan);
+  if (jitter != 0) inst.simulator().setShardJitter(jitter);
+
+  shell::Shell& prod = inst.vldShell();
+  shell::Shell& cons = inst.dctShell();
+  inst.connectStream({&prod, 0, 0}, {&cons, 0, 0}, 256);
+  prod.configureTask(0, {});
+  cons.configureTask(0, {});
+
+  SplitTotals t;
+  inst.simulator().spawn(pump(prod, 0, 64, rounds, t.produced), "producer", prod.shard());
+  inst.simulator().spawn(pump(cons, 0, 64, rounds, t.consumed), "consumer", cons.shard());
+  t.cycles = inst.simulator().run(2'000'000);
+  t.events = inst.simulator().eventsDispatched();
+  t.cross_msgs = inst.network().crossShardMessages();
+  return t;
+}
+
+TEST(Shard, SplitPlanSyncTrafficMatchesSerialUnderJitter) {
+  const SplitTotals serial = runSplitPipeline(1, 200, 0);
+  EXPECT_EQ(serial.produced, 200u);
+  EXPECT_EQ(serial.consumed, 200u);
+  EXPECT_EQ(serial.cross_msgs, 0u);
+
+  for (std::uint64_t seed : {std::uint64_t{0}, std::uint64_t{0xDECAF}}) {
+    const SplitTotals split = runSplitPipeline(2, 200, seed);
+    EXPECT_EQ(split.produced, serial.produced) << "jitter=" << seed;
+    EXPECT_EQ(split.consumed, serial.consumed) << "jitter=" << seed;
+    EXPECT_EQ(split.cycles, serial.cycles) << "jitter=" << seed;
+    EXPECT_EQ(split.events, serial.events) << "jitter=" << seed;
+    EXPECT_GT(split.cross_msgs, 0u) << "the putspace ring must actually cross lanes";
+  }
+}
+
+TEST(Shard, SplitPlanShardAffinityGuardsTheMemoryHub) {
+  // A split plan homes the SRAM buses on the hub lane; touching them from
+  // a remote lane is the exact violation the fusion rule exists to
+  // prevent, and the bus guard must call it out rather than corrupt
+  // arbitration state.
+  app::EclipseInstance inst(busSilentParams());
+  app::ShardPlan plan;
+  plan.shards = 2;
+  plan.split_memory_hub = true;
+  plan.pin["vld"] = 0;
+  plan.pin["dct"] = 1;
+  inst.applyShardPlan(plan);
+
+  shell::Shell& prod = inst.vldShell();
+  shell::Shell& cons = inst.dctShell();
+  inst.connectStream({&prod, 0, 0}, {&cons, 0, 0}, 256);
+  prod.configureTask(0, {});
+  cons.configureTask(0, {});
+
+  // The consumer *reads payload* this time: the read walks the stream
+  // cache into the SRAM read bus from lane 1 -> shard-affinity violation.
+  auto readingConsumer = [](shell::Shell& sh) -> sim::Task<void> {
+    for (;;) {
+      const shell::GetTaskResult r = co_await sh.getTask();
+      if (co_await sh.getSpace(r.task, 0, 64)) {
+        std::array<std::uint8_t, 64> buf{};
+        co_await sh.read(r.task, 0, 0, buf);
+        co_await sh.putSpace(r.task, 0, 64);
+      }
+    }
+  };
+  std::uint64_t produced = 0;
+  inst.simulator().spawn(pump(prod, 0, 64, 10, produced), "producer", prod.shard());
+  inst.simulator().spawn(readingConsumer(cons), "consumer", cons.shard());
+  EXPECT_THROW(inst.simulator().run(1'000'000), std::logic_error);
+}
+
+TEST(Shard, SplitPlanWithZeroMessageLatencyFailsAtPlanTime) {
+  // With the putspace latency at 0 there is no legal conservative window
+  // width for cross-lane traffic; the partitioner must say so when the
+  // plan is applied, not via a logic_error on the first putspace mid-run.
+  app::InstanceParams p = busSilentParams();
+  p.message_latency = 0;
+  app::EclipseInstance inst(p);
+  app::ShardPlan plan;
+  plan.shards = 2;
+  plan.split_memory_hub = true;
+  plan.pin["vld"] = 0;
+  plan.pin["dct"] = 1;
+  EXPECT_THROW(inst.applyShardPlan(plan), std::logic_error);
+}
+
+TEST(Shard, FusedPlanRejectsLateCreatedShellPinnedOffTheHub) {
+  // computePartition rejects fused-plan pins off the hub lane for shells
+  // that exist at plan time; a shell created *after* the plan (application
+  // sinks) must hit the same wall instead of silently landing on a remote
+  // lane where only the run-time bus guards could catch it — and a
+  // bus-silent sink would never be caught at all.
+  app::EclipseInstance inst(busSilentParams());
+  app::ShardPlan plan;
+  plan.shards = 2;  // fused: split_memory_hub stays false
+  plan.pin["byte-sink-5"] = 1;  // the first late-created shell's name
+  inst.applyShardPlan(plan);
+  EXPECT_THROW(inst.createByteSink([] {}), std::logic_error);
+}
+
+TEST(Shard, LateCreatedShellPinBeyondPlanLanesThrows) {
+  app::EclipseInstance inst(busSilentParams());
+  app::ShardPlan plan;
+  plan.shards = 2;
+  plan.split_memory_hub = true;
+  plan.pin["vld"] = 0;
+  plan.pin["dct"] = 1;
+  plan.pin["byte-sink-5"] = 7;  // out of range; the shell appears post-plan
+  inst.applyShardPlan(plan);
+  EXPECT_THROW(inst.createByteSink([] {}), std::logic_error);
+}
+
+// ---------------------------------------------------------------------
+// Fault injection across shard boundaries (ISSUE 8 satellite)
+// ---------------------------------------------------------------------
+
+TEST(Shard, ConcurrentFaultHooksOnSplitLanesStayDeterministic) {
+  // Both pumps send putspace messages from their own lanes inside the same
+  // barrier window, and every send queries the armed injector: the hooks
+  // must survive real lane concurrency (the TSan leg runs this), and the
+  // per-spec trigger budgets must not depend on the interleaving — each
+  // spec keys on a lane-affine shell, so the counts and the simulated
+  // timing must match the serial oracle exactly.
+  auto runWithDelayFaults = [](std::uint32_t shards, std::uint64_t jitter) {
+    app::EclipseInstance inst(busSilentParams());
+    app::ShardPlan plan;
+    plan.shards = shards;
+    plan.split_memory_hub = true;
+    if (shards > 1) {
+      plan.pin["vld"] = 0;
+      plan.pin["dct"] = 1;
+    }
+    inst.applyShardPlan(plan);
+    if (jitter != 0) inst.simulator().setShardJitter(jitter);
+
+    shell::Shell& prod = inst.vldShell();
+    shell::Shell& cons = inst.dctShell();
+    inst.connectStream({&prod, 0, 0}, {&cons, 0, 0}, 256);
+    prod.configureTask(0, {});
+    cons.configureTask(0, {});
+
+    sim::FaultPlan fp;
+    for (const shell::Shell* sh : {&prod, &cons}) {
+      sim::FaultSpec delay;
+      delay.kind = sim::FaultKind::DelayPutspace;
+      delay.shell = sh->id();
+      delay.count = 25;  // first 25 messages from each shell arrive late
+      delay.delay_cycles = 7;
+      fp.faults.push_back(delay);
+    }
+    inst.armFaults(fp);
+
+    SplitTotals t;
+    inst.simulator().spawn(pump(prod, 0, 64, 200, t.produced), "producer", prod.shard());
+    inst.simulator().spawn(pump(cons, 0, 64, 200, t.consumed), "consumer", cons.shard());
+    t.cycles = inst.simulator().run(2'000'000);
+    t.events = inst.simulator().eventsDispatched();
+    t.cross_msgs = inst.faults().triggerCount(sim::FaultKind::DelayPutspace);
+    return t;
+  };
+
+  const SplitTotals serial = runWithDelayFaults(1, 0);
+  EXPECT_EQ(serial.produced, 200u);
+  EXPECT_EQ(serial.consumed, 200u);
+  EXPECT_EQ(serial.cross_msgs, 50u);
+  for (std::uint64_t seed : {std::uint64_t{0}, std::uint64_t{0xFAB}}) {
+    const SplitTotals split = runWithDelayFaults(2, seed);
+    EXPECT_EQ(split.produced, serial.produced) << "jitter=" << seed;
+    EXPECT_EQ(split.consumed, serial.consumed) << "jitter=" << seed;
+    EXPECT_EQ(split.cycles, serial.cycles) << "jitter=" << seed;
+    EXPECT_EQ(split.events, serial.events) << "jitter=" << seed;
+    EXPECT_EQ(split.cross_msgs, serial.cross_msgs) << "jitter=" << seed;
+  }
+}
+
+TEST(Shard, CrossShardLostSyncDeadlockIsClassifiedDeadlocked) {
+  // Drop every putspace leaving the producer's shell (lane 0). The
+  // consumer on lane 1 blocks waiting for data it will never hear about;
+  // the producer fills the FIFO and blocks waiting for space the consumer
+  // will never return. Each task's blocked-on edge points at the *other*
+  // shard's shell, and classifyQuiescence() must follow the chain across
+  // the boundary and find the cycle.
+  app::EclipseInstance inst(busSilentParams());
+  app::ShardPlan plan;
+  plan.shards = 2;
+  plan.split_memory_hub = true;
+  plan.pin["vld"] = 0;
+  plan.pin["dct"] = 1;
+  inst.applyShardPlan(plan);
+
+  shell::Shell& prod = inst.vldShell();
+  shell::Shell& cons = inst.dctShell();
+  ASSERT_NE(prod.shard(), cons.shard());
+  inst.connectStream({&prod, 0, 0}, {&cons, 0, 0}, 256);
+  prod.configureTask(0, {});
+  cons.configureTask(0, {});
+
+  sim::FaultPlan fp;
+  sim::FaultSpec drop;
+  drop.kind = sim::FaultKind::DropPutspace;
+  drop.shell = prod.id();
+  drop.count = 0;  // unlimited: every sync message from the producer dies
+  fp.faults.push_back(drop);
+  inst.armFaults(fp);
+
+  std::uint64_t produced = 0;
+  std::uint64_t consumed = 0;
+  inst.simulator().spawn(pump(prod, 0, 64, 1'000'000, produced), "producer", prod.shard());
+  inst.simulator().spawn(pump(cons, 0, 64, 1'000'000, consumed), "consumer", cons.shard());
+  inst.simulator().run(500'000);
+
+  EXPECT_EQ(produced, 4u) << "producer commits exactly one FIFO of chunks, then starves";
+  EXPECT_EQ(consumed, 0u);
+  EXPECT_GT(inst.network().messagesDropped(), 0u);
+  EXPECT_EQ(inst.classifyQuiescence(), app::Quiescence::Deadlocked);
+}
+
+TEST(Shard, WatchdogLatchesStallOnTheRemoteShardsTaskRegisters) {
+  // Same lost-sync scenario, with every shell's watchdog armed over the
+  // PI-bus. The stall must latch in the task/stream registers of the
+  // shell that *owns* the blocked task — including the consumer shell on
+  // the remote lane — not merely on the hub.
+  app::EclipseInstance inst(busSilentParams());
+  app::ShardPlan plan;
+  plan.shards = 2;
+  plan.split_memory_hub = true;
+  plan.pin["vld"] = 0;
+  plan.pin["dct"] = 1;
+  inst.applyShardPlan(plan);
+
+  shell::Shell& prod = inst.vldShell();
+  shell::Shell& cons = inst.dctShell();
+  inst.connectStream({&prod, 0, 0}, {&cons, 0, 0}, 256);
+  prod.configureTask(0, {});
+  cons.configureTask(0, {});
+
+  sim::FaultPlan fp;
+  sim::FaultSpec drop;
+  drop.kind = sim::FaultKind::DropPutspace;
+  drop.shell = prod.id();
+  drop.count = 0;
+  fp.faults.push_back(drop);
+  inst.armFaults(fp);
+  inst.armWatchdogs(5'000, 512);
+
+  std::uint64_t produced = 0;
+  std::uint64_t consumed = 0;
+  inst.simulator().spawn(pump(prod, 0, 64, 1'000'000, produced), "producer", prod.shard());
+  inst.simulator().spawn(pump(cons, 0, 64, 1'000'000, consumed), "consumer", cons.shard());
+  inst.simulator().run(100'000);  // watchdog scans keep the queue alive
+
+  EXPECT_GE(cons.stallsLatched(), 1u) << "stall must latch on the remote shard's shell";
+  EXPECT_GE(prod.stallsLatched(), 1u);
+  const shell::TaskRow& blocked = cons.tasks().row(0);
+  EXPECT_TRUE(blocked.blocked);
+  ASSERT_GE(blocked.blocked_row, 0);
+  EXPECT_TRUE(cons.streams().row(static_cast<std::uint32_t>(blocked.blocked_row)).stalled);
+  // Stall latching is detection-only: the cycle is still a deadlock.
+  EXPECT_EQ(inst.classifyQuiescence(), app::Quiescence::Deadlocked);
+}
+
+}  // namespace

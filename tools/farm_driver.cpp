@@ -28,6 +28,9 @@ void usage() {
       "  --demo [N]     built-in mixed list of N jobs (default 12)\n"
       "  --workers N    worker threads (default: hardware concurrency)\n"
       "  --queue N      queue capacity for admission control (default 64)\n"
+      "  --shards N     default shard lanes per job (job lines override with shards=)\n"
+      "  --lane-threads N  host-thread budget shared by all jobs' shard lanes\n"
+      "                    (default: hardware concurrency; lanes are clamped, not rejected)\n"
       "  --csv FILE     write per-job results as CSV\n"
       "  --json FILE    write per-job results + farm metrics as JSON\n"
       "  --quiet        suppress the per-job progress lines\n"
@@ -35,11 +38,12 @@ void usage() {
       "job line:   <name> [key=value ...]\n"
       "  kind=decode|encode|decode+decode+...   applications on one instance\n"
       "  width= height= frames= seed= qscale= gop=N,M detail= motion= noise=\n"
-      "  priority=high|normal|low   repeat=N   max_cycles=N   verify=0|1\n"
+      "  priority=high|normal|low   repeat=N   max_cycles=N   verify=0|1   shards=N\n"
       "  config:KEY=VALUE           instance parameter (e.g. config:sram.size_bytes=65536)\n");
 }
 
-bool parseJobLine(const std::string& line, std::vector<farm::Job>& out, std::string& err) {
+bool parseJobLine(const std::string& line, unsigned default_shards, std::vector<farm::Job>& out,
+                  std::string& err) {
   std::istringstream is(line);
   std::string name;
   if (!(is >> name)) return true;  // blank
@@ -47,6 +51,7 @@ bool parseJobLine(const std::string& line, std::vector<farm::Job>& out, std::str
 
   farm::Job job;
   job.name = name;
+  job.shards = default_shards;
   farm::WorkloadDesc wd;  // shared by every app of the job
   std::vector<farm::AppKind> kinds{farm::AppKind::Decode};
   int repeat = 1;
@@ -116,6 +121,8 @@ bool parseJobLine(const std::string& line, std::vector<farm::Job>& out, std::str
         job.max_cycles = std::stoull(val);
       } else if (key == "verify") {
         job.verify = val != "0" && val != "false";
+      } else if (key == "shards") {
+        job.shards = static_cast<std::uint32_t>(std::stoul(val));
       } else if (key.rfind("config:", 0) == 0) {
         job.config.set(key.substr(7), val);
       } else {
@@ -138,11 +145,12 @@ bool parseJobLine(const std::string& line, std::vector<farm::Job>& out, std::str
   return true;
 }
 
-std::vector<farm::Job> demoJobs(int n) {
+std::vector<farm::Job> demoJobs(int n, unsigned default_shards) {
   std::vector<farm::Job> jobs;
   for (int i = 0; i < n; ++i) {
     farm::Job j;
     j.name = "demo-" + std::to_string(i);
+    j.shards = default_shards;
     switch (i % 4) {
       case 0:  // pinned decode
         break;
@@ -180,13 +188,13 @@ std::string jsonEscape(const std::string& s) {
 void writeCsv(const std::string& path, const std::vector<farm::JobResult>& results) {
   std::ofstream os(path);
   os << "id,name,status,sim_cycles,sim_events,macroblocks,bit_exact,psnr_db,"
-        "faults,stalls,worker,reused,wall_ms,latency_ms,error\n";
+        "faults,stalls,worker,lanes,reused,wall_ms,latency_ms,error\n";
   for (const auto& r : results) {
     os << r.id << ',' << r.name << ',' << farm::jobStatusName(r.status) << ',' << r.sim_cycles
        << ',' << r.sim_events << ',' << r.macroblocks << ',' << (r.bit_exact ? 1 : 0) << ','
        << r.psnr_db << ',' << r.faults_latched << ',' << r.stalls_latched << ',' << r.worker
-       << ',' << (r.reused_instance ? 1 : 0) << ',' << r.wall_ms << ',' << r.latency_ms << ','
-       << r.error << '\n';
+       << ',' << r.lanes << ',' << (r.reused_instance ? 1 : 0) << ',' << r.wall_ms << ','
+       << r.latency_ms << ',' << r.error << '\n';
   }
 }
 
@@ -203,6 +211,7 @@ void writeJson(const std::string& path, const std::vector<farm::JobResult>& resu
        << ", \"macroblocks\": " << r.macroblocks
        << ", \"bit_exact\": " << (r.bit_exact ? "true" : "false")
        << ", \"psnr_db\": " << r.psnr_db << ", \"worker\": " << r.worker
+       << ", \"lanes\": " << r.lanes
        << ", \"reused\": " << (r.reused_instance ? "true" : "false")
        << ", \"wall_ms\": " << r.wall_ms << ", \"latency_ms\": " << r.latency_ms
        << (r.error.empty() ? "" : ", \"error\": \"" + jsonEscape(r.error) + "\"") << "}"
@@ -221,6 +230,7 @@ int main(int argc, char** argv) {
   std::string jobs_path, csv_path, json_path;
   int demo = 0;
   bool quiet = false;
+  unsigned default_shards = 1;
   farm::FarmOptions opts;
 
   for (int i = 1; i < argc; ++i) {
@@ -240,6 +250,11 @@ int main(int argc, char** argv) {
       opts.workers = std::atoi(next());
     } else if (a == "--queue") {
       opts.queue_capacity = static_cast<std::size_t>(std::atoll(next()));
+    } else if (a == "--shards") {
+      default_shards = static_cast<unsigned>(std::atoi(next()));
+      if (default_shards == 0) default_shards = 1;
+    } else if (a == "--lane-threads") {
+      opts.lane_threads = std::atoi(next());
     } else if (a == "--csv") {
       csv_path = next();
     } else if (a == "--json") {
@@ -267,14 +282,14 @@ int main(int argc, char** argv) {
     int line_no = 0;
     while (std::getline(is, line)) {
       ++line_no;
-      if (!parseJobLine(line, jobs, err)) {
+      if (!parseJobLine(line, default_shards, jobs, err)) {
         std::fprintf(stderr, "farm_driver: %s:%d: %s\n", jobs_path.c_str(), line_no,
                      err.c_str());
         return 2;
       }
     }
   } else {
-    jobs = demoJobs(demo);
+    jobs = demoJobs(demo, default_shards);
   }
   if (jobs.empty()) {
     std::fprintf(stderr, "farm_driver: no jobs\n");
@@ -296,10 +311,10 @@ int main(int argc, char** argv) {
                     (!r.error.empty() ? false : true) && r.faults_latched == 0;
     all_ok = all_ok && ok;
     if (!quiet) {
-      std::printf("  [%s] %-16s %10llu cycles %8llu MBs  worker %d %s%s%s\n",
+      std::printf("  [%s] %-16s %10llu cycles %8llu MBs  worker %d lanes %u %s%s%s\n",
                   farm::jobStatusName(r.status), r.name.c_str(),
                   static_cast<unsigned long long>(r.sim_cycles),
-                  static_cast<unsigned long long>(r.macroblocks), r.worker,
+                  static_cast<unsigned long long>(r.macroblocks), r.worker, r.lanes,
                   r.reused_instance ? "(reused)" : "(cold)", r.error.empty() ? "" : " error: ",
                   r.error.c_str());
     }
