@@ -5,10 +5,12 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "eclipse/farm/job.hpp"
 #include "eclipse/farm/job_queue.hpp"
+#include "eclipse/farm/supervisor.hpp"
 #include "eclipse/farm/worker.hpp"
 #include "eclipse/farm/workload_cache.hpp"
 
@@ -28,30 +30,61 @@ struct FarmOptions {
   std::shared_ptr<WorkloadCache> cache;
 };
 
+/// A job the farm refuses to run again: it hung (killed) two workers.
+/// Terminal — its future resolved with status Quarantined and it will
+/// never be re-admitted, however many retry attempts its policy had left.
+struct QuarantineRecord {
+  std::uint64_t id = 0;
+  std::string name;
+  int attempts = 0;      ///< attempts consumed before quarantine
+  int worker_kills = 0;  ///< workers this job took down (>= 2)
+  std::string error;
+};
+
 /// Aggregate farm metrics (host-side view; snapshot).
 struct FarmMetrics {
   std::uint64_t submitted = 0;  ///< submit attempts
   std::uint64_t accepted = 0;
   std::uint64_t rejected = 0;  ///< QueueFull or ShuttingDown
   std::uint64_t completed = 0;  ///< results delivered with status Completed
-  std::uint64_t failed = 0;     ///< Incomplete or Error results
+  std::uint64_t failed = 0;     ///< terminal non-Completed results
+  // Per-cause breakdown of the failure/retry traffic (see JobError):
+  std::uint64_t deadline_exceeded = 0;  ///< terminal deadline failures
+  std::uint64_t fault_latched = 0;      ///< terminal fault-latch failures
+  std::uint64_t worker_lost = 0;     ///< hang events (each costs one worker)
+  std::uint64_t quarantined = 0;     ///< jobs retired after killing 2 workers
+  std::uint64_t retried = 0;         ///< re-admissions staged
+  std::uint64_t retry_succeeded = 0;  ///< completions that needed > 1 attempt
+  std::uint64_t workers_replaced = 0;  ///< fresh workers spawned for hung ones
   std::size_t queue_depth = 0;
+  std::size_t staged_retries = 0;  ///< retries waiting out their backoff
   double elapsed_s = 0.0;   ///< since farm construction
   double jobs_per_s = 0.0;  ///< delivered results / elapsed
   // Completion-latency percentiles (submission to result, ms).
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   double p99_ms = 0.0;
-  std::vector<WorkerStats> workers;
+  std::vector<WorkerStats> workers;  ///< active workers
+  std::vector<WorkerStats> zombies;  ///< retired (replaced) workers
 
   [[nodiscard]] std::uint64_t reused() const {
     std::uint64_t n = 0;
     for (const WorkerStats& w : workers) n += w.reused;
+    for (const WorkerStats& w : zombies) n += w.reused;
     return n;
   }
   [[nodiscard]] std::uint64_t coldBuilds() const {
     std::uint64_t n = 0;
     for (const WorkerStats& w : workers) n += w.cold_builds;
+    for (const WorkerStats& w : zombies) n += w.cold_builds;
+    return n;
+  }
+  /// Jobs that ran under heartbeat slicing (0 on an unarmed farm: the
+  /// chaos harness gates on exactly that to pin the zero-overhead claim).
+  [[nodiscard]] std::uint64_t supervisedJobs() const {
+    std::uint64_t n = 0;
+    for (const WorkerStats& w : workers) n += w.supervised_jobs;
+    for (const WorkerStats& w : zombies) n += w.supervised_jobs;
     return n;
   }
 };
@@ -67,6 +100,15 @@ struct SubmitTicket {
 /// queue. Deterministic by construction — all simulation state is private
 /// to a worker, so a job's simulated result does not depend on worker
 /// count, placement, or interleaving (see DESIGN §10).
+///
+/// Supervision tier (DESIGN §14): jobs may arm a simulated-cycle deadline,
+/// a host wall-clock supervision timeout and a retry policy. The farm then
+/// self-heals — hung workers are retired to a zombie list and replaced,
+/// their in-flight jobs fail-fast to the retry path, retries re-admit on a
+/// demoted lane after a deterministic backoff, and a job that kills two
+/// workers is quarantined. Every accepted job's future resolves exactly
+/// once, terminal, whatever happens; retried runs are bit-identical to a
+/// clean first run in all simulated fields.
 class Farm {
  public:
   explicit Farm(FarmOptions options = {});
@@ -87,24 +129,44 @@ class Farm {
   /// Submits a batch with waiting admission; futures arrive in job order.
   std::vector<std::future<JobResult>> submitBatch(std::vector<Job> jobs);
 
-  /// Blocks until every accepted job has delivered its result.
+  /// Blocks until every accepted job has delivered its terminal result
+  /// (retried jobs count as delivered only once terminal).
   void drain();
 
-  /// Stops admissions; workers finish the backlog and exit.
+  /// Stops admissions; workers finish the backlog and exit. Retries still
+  /// in backoff terminal-fail instead of re-admitting.
   void close();
 
   [[nodiscard]] FarmMetrics metrics() const;
+  /// Jobs retired for killing two workers (terminal; never re-admitted).
+  [[nodiscard]] std::vector<QuarantineRecord> quarantined() const;
   [[nodiscard]] std::size_t queueDepth() const { return queue_.depth(); }
-  [[nodiscard]] int workerCount() const { return static_cast<int>(workers_.size()); }
+  [[nodiscard]] int workerCount() const;
   [[nodiscard]] WorkloadCache& workloadCache() { return *cache_; }
 
  private:
+  friend class Supervisor;
+
   PendingJob makePending(Job&& job);
-  void onComplete(const JobResult& r);
+  /// Terminal-or-retry decision for a finished attempt. Owns `pj` (and in
+  /// particular its promise); every path resolves or re-stages it.
+  void disposition(PendingJob&& pj, JobResult&& r);
+  /// Terminal delivery: metrics, quarantine ledger, promise resolution.
+  void deliverTerminal(PendingJob&& pj, JobResult&& r);
+  /// Supervisor duties (called from the supervisor thread):
+  Admission readmit(PendingJob& pj);
+  void terminalFailStaged(PendingJob&& pj, const char* why);
+  void scanForHungWorkers(std::chrono::steady_clock::time_point now);
+  void handleHungWorker(int index, const std::shared_ptr<InFlight>& fl);
+  /// Retires `workers_[index]` to the zombie list and spawns a fresh
+  /// worker (cold instance) in its slot.
+  void replaceWorker(int index);
+  [[nodiscard]] Worker::FinishFn finishFn();
 
   std::shared_ptr<WorkloadCache> cache_;
   JobQueue queue_;
   std::chrono::steady_clock::time_point started_;
+  std::uint32_t max_lanes_ = 1;
 
   mutable std::mutex mu_;
   std::condition_variable drained_;
@@ -115,9 +177,23 @@ class Farm {
   std::uint64_t delivered_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;
+  std::uint64_t deadline_exceeded_ = 0;
+  std::uint64_t fault_latched_ = 0;
+  std::uint64_t worker_lost_ = 0;
+  std::uint64_t quarantined_count_ = 0;
+  std::uint64_t retried_ = 0;
+  std::uint64_t retry_succeeded_ = 0;
+  std::uint64_t workers_replaced_ = 0;
   std::vector<double> latencies_ms_;
+  std::vector<QuarantineRecord> quarantine_;
 
-  std::vector<std::unique_ptr<Worker>> workers_;  // after queue_: joined first
+  // Lifetime order matters at teardown: the supervisor is shut down only
+  // after every worker (and zombie) thread has been joined, and both
+  // outlive the queue they reference.
+  std::unique_ptr<Supervisor> supervisor_;
+  mutable std::mutex workers_mu_;  ///< guards workers_ + zombies_ membership
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::unique_ptr<Worker>> zombies_;  ///< retired hung workers
 };
 
 }  // namespace eclipse::farm

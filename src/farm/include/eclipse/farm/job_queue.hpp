@@ -13,11 +13,25 @@
 namespace eclipse::farm {
 
 /// A job admitted to the farm, waiting for (or owned by) a worker.
+///
+/// Retry metadata rides along: the id, the submission timestamp (latency
+/// covers every attempt) and the promise survive re-admission, while
+/// `attempt`/`worker_kills`/`history` accumulate and `run_priority`
+/// carries the demoted lane of a retry without touching the user's Job.
 struct PendingJob {
   Job job;
   std::uint64_t id = 0;
   std::chrono::steady_clock::time_point submitted{};
   std::promise<JobResult> promise;
+
+  int attempt = 1;       ///< 1-based; incremented on each re-admission
+  int worker_kills = 0;  ///< workers this job has hung (2 => quarantine)
+  std::optional<Priority> run_priority;     ///< demoted lane of a retry
+  std::vector<AttemptRecord> history;       ///< prior failed attempts
+
+  /// Lane this pending job queues on: the retry-demoted lane when set,
+  /// the job's submitted priority otherwise.
+  [[nodiscard]] Priority lane() const { return run_priority.value_or(job.priority); }
 };
 
 /// Bounded multi-producer / multi-consumer queue with three priority

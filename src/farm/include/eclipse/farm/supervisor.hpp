@@ -1,0 +1,75 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "eclipse/farm/job_queue.hpp"
+
+namespace eclipse::farm {
+
+class Farm;
+
+/// The farm's self-healing control thread.
+///
+/// Two duties, both driven from one ~1 ms poll loop:
+///
+///  * **Retry staging.** Failed attempts eligible for retry are parked
+///    here with their deterministic backoff deadline and re-admitted into
+///    the farm's priority queue (demoted lane) when due. A full queue
+///    retries next tick; a closed queue terminal-fails the job so no
+///    promise is ever stranded.
+///
+///  * **Hang detection.** Every supervised in-flight job publishes
+///    heartbeats; when one goes silent past its `supervise_ms`, the
+///    Supervisor claims the job (InFlight::tryClaim — the claim winner
+///    owns the promise), has the farm replace the wedged worker with a
+///    fresh one, and fail-fasts the job to the retry path as WorkerLost.
+///
+/// The thread is started lazily by the first job that arms supervision or
+/// retries, so farms that never use the tier never pay for it — not even
+/// a parked thread.
+class Supervisor {
+ public:
+  explicit Supervisor(Farm& farm);
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Starts the monitor thread if it is not running yet (idempotent,
+  /// thread-safe). Called on the first supervision-arming submission.
+  void ensureRunning();
+
+  /// Stages a retry for re-admission after `delay_ms`. Thread-safe; if
+  /// the supervisor is already shut down the job terminal-fails instead
+  /// (its promise still resolves).
+  void schedule(PendingJob&& pj, double delay_ms);
+
+  /// Stops the thread and terminal-fails anything still staged. Idempotent;
+  /// called from the farm destructor after the workers have been joined.
+  void shutdown();
+
+  /// Staged retries currently waiting for their backoff to elapse.
+  [[nodiscard]] std::size_t stagedDepth() const;
+
+ private:
+  void loop();
+
+  struct Staged {
+    std::chrono::steady_clock::time_point due{};
+    PendingJob pj;
+  };
+
+  Farm& farm_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Staged> staged_;
+  bool started_ = false;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace eclipse::farm

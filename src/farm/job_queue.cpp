@@ -7,7 +7,7 @@ Admission JobQueue::tryPush(PendingJob&& pj) {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_) return Admission::ShuttingDown;
     if (depthLocked() >= capacity_) return Admission::QueueFull;
-    lanes_[static_cast<int>(pj.job.priority)].push_back(std::move(pj));
+    lanes_[static_cast<int>(pj.lane())].push_back(std::move(pj));
   }
   not_empty_.notify_one();
   return Admission::Accepted;
@@ -18,7 +18,7 @@ bool JobQueue::waitPush(PendingJob&& pj) {
     std::unique_lock<std::mutex> lock(mu_);
     not_full_.wait(lock, [&] { return closed_ || depthLocked() < capacity_; });
     if (closed_) return false;
-    lanes_[static_cast<int>(pj.job.priority)].push_back(std::move(pj));
+    lanes_[static_cast<int>(pj.lane())].push_back(std::move(pj));
   }
   not_empty_.notify_one();
   return true;

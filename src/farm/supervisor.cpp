@@ -1,0 +1,111 @@
+#include "eclipse/farm/supervisor.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "eclipse/farm/farm.hpp"
+
+namespace eclipse::farm {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::duration msToDuration(double ms) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(std::max(0.0, ms)));
+}
+
+}  // namespace
+
+Supervisor::Supervisor(Farm& farm) : farm_(farm) {}
+
+Supervisor::~Supervisor() { shutdown(); }
+
+void Supervisor::ensureRunning() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_ || stop_) return;
+  started_ = true;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Supervisor::schedule(PendingJob&& pj, double delay_ms) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stop_) {
+      Staged s;
+      s.due = Clock::now() + msToDuration(delay_ms);
+      s.pj = std::move(pj);
+      staged_.push_back(std::move(s));
+      cv_.notify_all();
+      return;
+    }
+  }
+  // Already shut down (farm tearing down): the retry can never run, but
+  // the caller still holds a future — resolve it terminally.
+  farm_.terminalFailStaged(std::move(pj), "farm shut down before retry re-admission");
+}
+
+std::size_t Supervisor::stagedDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return staged_.size();
+}
+
+void Supervisor::loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    // 1 ms cadence: far finer than any sane supervise_ms (>= 100 ms) and
+    // coarse enough to be invisible in farm throughput. Only armed farms
+    // ever start this thread.
+    cv_.wait_for(lock, std::chrono::milliseconds(1));
+    if (stop_) break;
+    const auto now = Clock::now();
+    std::vector<PendingJob> due;
+    for (auto it = staged_.begin(); it != staged_.end();) {
+      if (it->due <= now) {
+        due.push_back(std::move(it->pj));
+        it = staged_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    lock.unlock();
+    for (PendingJob& pj : due) {
+      const Admission a = farm_.readmit(pj);  // moves from pj only on Accepted
+      if (a == Admission::QueueFull) {
+        // Backlog pressure: stage again and yield to the consumers. The
+        // extra millisecond of backoff is noise next to a full queue.
+        std::lock_guard<std::mutex> relock(mu_);
+        if (!stop_) {
+          staged_.push_back(Staged{now + msToDuration(1.0), std::move(pj)});
+          continue;
+        }
+        farm_.terminalFailStaged(std::move(pj), "farm shut down before retry re-admission");
+      } else if (a == Admission::ShuttingDown) {
+        farm_.terminalFailStaged(std::move(pj), "farm closed during retry backoff");
+      }
+    }
+    farm_.scanForHungWorkers(now);
+    lock.lock();
+  }
+}
+
+void Supervisor::shutdown() {
+  std::vector<Staged> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ && !thread_.joinable() && staged_.empty()) return;
+    stop_ = true;
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftover.swap(staged_);
+  }
+  for (Staged& s : leftover) {
+    farm_.terminalFailStaged(std::move(s.pj), "farm closed during retry backoff");
+  }
+}
+
+}  // namespace eclipse::farm

@@ -26,6 +26,11 @@ double msSince(Clock::time_point t0) {
 /// torn-down graph settles in a few hundred cycles.
 constexpr sim::Cycle kSettleCap = 1'000'000;
 
+/// Slice length of a supervised run: big enough that the heartbeat load
+/// is negligible (a decode job is a handful of slices), small enough that
+/// a heartbeat lands every few host milliseconds on any sane config.
+constexpr sim::Cycle kBeatSlice = 32'768;
+
 /// One application instantiated on the worker's instance for the current
 /// job, kept alive across the run.
 struct RunningApp {
@@ -57,18 +62,30 @@ app::DecodeAppConfig decodeModeConfig(const std::string& mode) {
 }  // namespace
 
 Worker::Worker(int index, JobQueue& queue, WorkloadCache& cache, std::uint32_t max_lanes,
-               CompletionFn on_complete)
+               FinishFn on_finish)
     : index_(index),
       queue_(queue),
       cache_(cache),
       max_lanes_(std::max<std::uint32_t>(1, max_lanes)),
-      on_complete_(std::move(on_complete)) {
+      on_finish_(std::move(on_finish)) {
   stats_.index = index;
   thread_ = std::thread([this] { threadMain(); });
 }
 
 void Worker::join() {
+  std::lock_guard<std::mutex> lock(join_mu_);
   if (thread_.joinable()) thread_.join();
+}
+
+void Worker::retire() {
+  retired_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.retired = true;
+}
+
+std::shared_ptr<InFlight> Worker::inflight() const {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  return inflight_;
 }
 
 WorkerStats Worker::stats() const {
@@ -77,64 +94,109 @@ WorkerStats Worker::stats() const {
 }
 
 void Worker::threadMain() {
-  while (auto pj = queue_.pop()) {
+  while (!retired_.load(std::memory_order_acquire)) {
+    auto popped = queue_.pop();
+    if (!popped) break;
+    auto fl = std::make_shared<InFlight>();
+    fl->pj = std::move(*popped);
+    fl->started = Clock::now();
+    fl->supervise_ms = fl->pj.job.supervise_ms;
+    fl->beat();
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      inflight_ = fl;
+    }
     const Clock::time_point t0 = Clock::now();
-    JobResult r = runJob(pj->job);
-    r.id = pj->id;
-    r.name = pj->job.name;
+    JobResult r = runJob(*fl);
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      inflight_.reset();
+    }
+    if (!fl->tryClaim()) {
+      // The Supervisor declared this worker hung and owns the job's
+      // completion now: whatever this run produced is void (the retry will
+      // recompute the identical simulated result). The abandon path
+      // already retired the instance; this thread exits on `retired_`.
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.abandoned;
+      continue;
+    }
+    r.id = fl->pj.id;
+    r.name = fl->pj.job.name;
     r.worker = index_;
     r.wall_ms = msSince(t0);
     r.latency_ms =
-        std::chrono::duration<double, std::milli>(Clock::now() - pj->submitted).count();
+        std::chrono::duration<double, std::milli>(Clock::now() - fl->pj.submitted).count();
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.jobs;
       r.status == JobStatus::Completed ? ++stats_.completed : ++stats_.failed;
       stats_.busy_ms += r.wall_ms;
     }
-    // Farm accounting first, so a caller observing the future immediately
-    // afterwards sees metrics that already include this job.
-    if (on_complete_) on_complete_(r);
-    pj->promise.set_value(std::move(r));
+    // Farm disposition (deliver / retry / quarantine) owns the promise
+    // from here; metrics are updated before the future resolves.
+    on_finish_(std::move(fl), std::move(r));
   }
 }
 
-void Worker::acquireInstance(const Job& job, JobResult& r) {
-  // Grant the requested shard lanes up to the farm's per-worker budget.
-  // Deterministic (pure function of job + farm options) and contract-safe:
-  // the sharded kernel is bit-identical to serial, so the clamp can never
-  // move a simulated result.
-  const std::uint32_t lanes =
-      std::clamp<std::uint32_t>(job.shards == 0 ? 1 : job.shards, 1, max_lanes_);
-  // Reuse the recycled instance only for an identical parameter shape AND
-  // lane count: setShardCount demands a pristine simulator when the count
-  // changes, so mismatched lane counts always rebuild cold, while an equal
-  // count re-applies the plan idempotently on the recycled instance.
-  const std::string shape = job.config.toString() + "|shards=" + std::to_string(lanes);
-  const bool reuse = inst_ != nullptr && shape == shape_;
-  if (reuse) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.reused;
-  } else {
-    const Clock::time_point tb = Clock::now();
-    inst_.reset();
-    inst_ = std::make_unique<app::EclipseInstance>(app::InstanceParams::fromConfig(job.config));
-    shape_ = shape;
-    const double build_ms = msSince(tb);
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.cold_builds;
-    stats_.build_ms += build_ms;
-  }
-  if (lanes > 1) inst_->applyShardPlan(app::ShardPlan{.shards = lanes});
-  r.lanes = lanes;
-  r.reused_instance = reuse;
+sim::Cycle Worker::budgetEnd(const Job& job, sim::Cycle c0) {
+  sim::Cycle cap = job.max_cycles;
+  if (job.deadline > 0 && (cap == 0 || job.deadline < cap)) cap = job.deadline;
+  if (cap == 0 || c0 > sim::Simulator::kForever - cap) return sim::Simulator::kForever;
+  return c0 + cap;
 }
 
-JobResult Worker::runJob(const Job& job) {
+JobError Worker::classifyRun(const Job& job, const JobResult& r, bool all_done,
+                             sim::Cycle ran) {
+  if (all_done) return JobError::None;
+  // The deadline is what stopped the run: the budget was clamped to it, so
+  // reaching it is exact (same cycle on every worker, every attempt).
+  if (job.deadline > 0 && ran >= job.deadline) return JobError::DeadlineExceeded;
+  if (r.faults_latched > 0) return JobError::FaultLatched;
+  return JobError::Stall;
+}
+
+sim::Cycle Worker::runToBudget(InFlight& fl, sim::Cycle budget_end) {
+  sim::Simulator& sim = inst_->simulator();
+  // Unsupervised jobs take the original single-call path: zero overhead.
+  if (!fl.supervised.load(std::memory_order_relaxed)) return inst_->run(budget_end);
+  // Supervised: bounded slices with a heartbeat between them. Bit-identical
+  // to the single call — Simulator::run(until) executes events *at* `until`
+  // and a resumed run continues the same dispatch sequence, so the slice
+  // boundaries are invisible to the simulation (asserted by the pin tests).
+  sim::Cycle now = sim.now();
+  for (;;) {
+    const sim::Cycle next = budget_end - now > kBeatSlice ? now + kBeatSlice : budget_end;
+    now = inst_->run(next);
+    fl.beat();
+    if (fl.claimed.load(std::memory_order_acquire)) throw Abandoned{};
+    if (inst_->pendingApps() <= 0) break;
+    if (now >= budget_end) break;
+    if (sim.quiescent()) break;
+  }
+  return now;
+}
+
+void Worker::injectHostHang(InFlight& fl) {
+  const HostHangSpec& h = fl.pj.job.chaos;
+  if (h.hang_ms <= 0.0 || fl.pj.attempt > h.attempts) return;
+  // Wedge without heartbeating. Sleeping in chunks lets the abandoned
+  // thread notice the claim and exit promptly — the Supervisor has already
+  // declared it hung either way (no beat landed).
+  const auto until = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                        std::chrono::duration<double, std::milli>(h.hang_ms));
+  while (Clock::now() < until) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    if (fl.claimed.load(std::memory_order_acquire)) throw Abandoned{};
+  }
+}
+
+JobResult Worker::runJob(InFlight& fl) {
+  const Job& job = fl.pj.job;
   JobResult r;
   try {
     if (!job.schedule.empty()) {
-      runScheduled(job, r);
+      runScheduled(fl, r);
       return r;
     }
 
@@ -146,6 +208,17 @@ JobResult Worker::runJob(const Job& job) {
     for (const AppSpec& s : job.apps) prepared.push_back(cache_.get(s.workload));
 
     acquireInstance(job, r);
+
+    // Supervision arms only now: preparation may legitimately block on
+    // another worker's cache build, and a cold instance build is real
+    // work — neither is a hang.
+    if (job.supervise_ms > 0.0) {
+      fl.beat();
+      fl.supervised.store(true, std::memory_order_release);
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.supervised_jobs;
+    }
+    injectHostHang(fl);
 
     sim::Simulator& sim = inst_->simulator();
     const sim::Cycle c0 = sim.now();
@@ -169,11 +242,7 @@ JobResult Worker::runJob(const Job& job) {
     if (armed) inst_->armFaults(job.faults);
     if (job.watchdog_timeout > 0) inst_->armWatchdogs(job.watchdog_timeout);
 
-    const sim::Cycle budget =
-        job.max_cycles == 0 || c0 > sim::Simulator::kForever - job.max_cycles
-            ? sim::Simulator::kForever
-            : c0 + job.max_cycles;
-    const sim::Cycle end = inst_->run(budget);
+    const sim::Cycle end = runToBudget(fl, budgetEnd(job, c0));
     r.sim_cycles = end - c0;
     r.sim_events = sim.eventsDispatched() - e0;
 
@@ -217,6 +286,8 @@ JobResult Worker::runJob(const Job& job) {
     }
     r.bit_exact = job.verify && all_done && decode_exact;
     r.psnr_db = any_encode && job.verify && all_done ? min_psnr : 0.0;
+    if (armed) r.fault_triggers = inst_->faults().triggerTotal();
+    r.cause = classifyRun(job, r, all_done, r.sim_cycles);
 
     // Quiesce and tear down so the instance can be recycled. Anything
     // suspicious retires the instance instead — correctness over reuse.
@@ -236,15 +307,21 @@ JobResult Worker::runJob(const Job& job) {
       std::lock_guard<std::mutex> lock(stats_mu_);
       stats_.recycle_ms += recycle_ms;
     }
+  } catch (const Abandoned&) {
+    // Claimed away mid-run: the instance is mid-simulation and must not
+    // be reused. The result is discarded by threadMain (claim lost).
+    retireOrRecycle(false);
   } catch (const std::exception& e) {
     r.status = JobStatus::Error;
+    r.cause = JobError::Config;
     r.error = e.what();
     retireOrRecycle(false);
   }
   return r;
 }
 
-void Worker::runScheduled(const Job& job, JobResult& r) {
+void Worker::runScheduled(InFlight& fl, JobResult& r) {
+  const Job& job = fl.pj.job;
   // Per-segment prepared workloads (host-side; the cache is shared, so a
   // schedule reusing one descriptor pays its preparation once).
   std::vector<std::shared_ptr<const PreparedWorkload>> segs;
@@ -261,6 +338,15 @@ void Worker::runScheduled(const Job& job, JobResult& r) {
   }
 
   acquireInstance(job, r);
+
+  if (job.supervise_ms > 0.0) {
+    fl.beat();
+    fl.supervised.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.supervised_jobs;
+  }
+  injectHostHang(fl);
+
   sim::Simulator& sim = inst_->simulator();
   const sim::Cycle c0 = sim.now();
   const std::uint64_t e0 = sim.eventsDispatched();
@@ -271,10 +357,7 @@ void Worker::runScheduled(const Job& job, JobResult& r) {
 
   app::DecodeApp dec(*inst_, segs.front()->bitstream, modes);
 
-  const sim::Cycle budget =
-      job.max_cycles == 0 || c0 > sim::Simulator::kForever - job.max_cycles
-          ? sim::Simulator::kForever
-          : c0 + job.max_cycles;
+  const sim::Cycle budget = budgetEnd(job, c0);
 
   // Decode each segment to completion, verify it against its own golden
   // frames while they are still current, then transition live into the
@@ -282,7 +365,7 @@ void Worker::runScheduled(const Job& job, JobResult& r) {
   bool all_exact = true;
   bool completed = true;
   for (std::size_t i = 0; i < job.schedule.size(); ++i) {
-    inst_->run(budget);
+    runToBudget(fl, budget);
     if (!dec.done()) {
       completed = false;
       break;
@@ -311,6 +394,8 @@ void Worker::runScheduled(const Job& job, JobResult& r) {
   r.macroblocks = dec.macroblocksDecoded();  // cumulative across segments
   r.frames_dropped = dec.framesDropped();
   r.bit_exact = job.verify && completed && all_exact;
+  if (armed) r.fault_triggers = inst_->faults().triggerTotal();
+  r.cause = classifyRun(job, r, completed, r.sim_cycles);
 
   bool healthy = completed && !armed && job.watchdog_timeout == 0 &&
                  r.faults_latched == 0 && r.stalls_latched == 0;
@@ -326,6 +411,44 @@ void Worker::runScheduled(const Job& job, JobResult& r) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.recycle_ms += recycle_ms;
   }
+}
+
+void Worker::acquireInstance(const Job& job, JobResult& r) {
+  // Grant the requested shard lanes up to the farm's per-worker budget.
+  // Deterministic (pure function of job + farm options) and contract-safe:
+  // the sharded kernel is bit-identical to serial, so the clamp can never
+  // move a simulated result.
+  const std::uint32_t lanes =
+      std::clamp<std::uint32_t>(job.shards == 0 ? 1 : job.shards, 1, max_lanes_);
+  // Reuse the recycled instance only for an identical parameter shape AND
+  // lane count: setShardCount demands a pristine simulator when the count
+  // changes, so mismatched lane counts always rebuild cold, while an equal
+  // count re-applies the plan idempotently on the recycled instance.
+  const std::string shape = job.config.toString() + "|shards=" + std::to_string(lanes);
+  // Fault-armed jobs are fully isolated on both sides: they already retire
+  // the instance afterwards (retireOrRecycle(false)), and they must also
+  // *start* cold — FaultSpec::at_cycle windows (and bit-flip events) are
+  // absolute simulator cycles, so running on a recycled instance whose
+  // clock is already advanced would shift every injection window and break
+  // the job-purity contract (retried storms would diverge per worker
+  // history; the chaos gate pins this).
+  const bool reuse = inst_ != nullptr && shape == shape_ && job.faults.faults.empty();
+  if (reuse) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.reused;
+  } else {
+    const Clock::time_point tb = Clock::now();
+    inst_.reset();
+    inst_ = std::make_unique<app::EclipseInstance>(app::InstanceParams::fromConfig(job.config));
+    shape_ = shape;
+    const double build_ms = msSince(tb);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.cold_builds;
+    stats_.build_ms += build_ms;
+  }
+  if (lanes > 1) inst_->applyShardPlan(app::ShardPlan{.shards = lanes});
+  r.lanes = lanes;
+  r.reused_instance = reuse;
 }
 
 void Worker::retireOrRecycle(bool healthy) {

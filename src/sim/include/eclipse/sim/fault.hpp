@@ -163,6 +163,18 @@ class FaultInjector {
     return n;
   }
 
+  /// Locked copies for callers that cannot prove they are outside run()
+  /// (e.g. the farm's result plumbing while shard lanes are parked): safe
+  /// against concurrent hook calls, unlike the borrowing accessors above.
+  [[nodiscard]] std::vector<FaultTrigger> triggersSnapshot() const {
+    std::lock_guard lk(m_);
+    return triggers_;
+  }
+  [[nodiscard]] std::size_t triggerTotal() const {
+    std::lock_guard lk(m_);
+    return triggers_.size();
+  }
+
  private:
   template <typename Pred>
   FaultSpec* match(FaultKind kind, Cycle now, Pred&& pred) {
@@ -185,7 +197,7 @@ class FaultInjector {
   std::uint32_t spent_of(FaultSpec& s) { return spent_ref(s); }
   void consume(FaultSpec& s) { ++spent_ref(s); }
 
-  std::mutex m_;  ///< serializes the hooks against lane-thread concurrency
+  mutable std::mutex m_;  ///< serializes the hooks against lane-thread concurrency
   std::vector<FaultSpec> specs_;
   std::vector<std::uint32_t> spent_;
   std::vector<FaultTrigger> triggers_;

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -21,7 +22,9 @@
 #include "eclipse/app/decode_app.hpp"
 #include "eclipse/eclipse.hpp"
 #include "eclipse/media/kernels.hpp"
+#include "eclipse/coproc/vld.hpp"
 #include "eclipse/media/vlc.hpp"
+#include "eclipse/sim/prng.hpp"
 #include "eclipse/sim/sim_event.hpp"
 
 using namespace eclipse;
@@ -520,6 +523,7 @@ struct FarmSweepPoint {
 
 struct FarmBenchResult {
   int jobs = 0;
+  int host_cores = 0;  ///< hardware_concurrency of the measuring host
   bool deterministic = true;
   std::vector<FarmSweepPoint> points;
 };
@@ -562,6 +566,9 @@ struct FarmSimFields {
 FarmBenchResult runFarm(bool smoke) {
   FarmBenchResult r;
   r.jobs = smoke ? 24 : 200;
+  // Scaling curves only mean something relative to the host: a flat curve
+  // on a 1-core container is expected, not a regression (ROADMAP PR-5 note).
+  r.host_cores = static_cast<int>(std::thread::hardware_concurrency());
   const std::vector<int> worker_counts = smoke ? std::vector<int>{1, 2, 4}
                                                : std::vector<int>{1, 2, 4, 8};
   // One prepared-workload cache across the sweep: video generation and
@@ -629,22 +636,421 @@ void emitFarm(std::FILE* f, const FarmBenchResult& r) {
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"schema\": \"eclipse-bench-farm-v1\",\n");
   std::fprintf(f, "  \"jobs\": %d,\n", r.jobs);
+  std::fprintf(f, "  \"host_cores\": %d,\n", r.host_cores);
   std::fprintf(f, "  \"deterministic\": %s,\n", r.deterministic ? "true" : "false");
   const double base = r.points.empty() ? 0 : r.points.front().jobs_per_s;
   std::fprintf(f, "  \"points\": [\n");
   for (std::size_t i = 0; i < r.points.size(); ++i) {
     const FarmSweepPoint& p = r.points[i];
     std::fprintf(f,
-                 "    {\"workers\": %d, \"wall_s\": %.3f, \"jobs_per_s\": %.2f, "
+                 "    {\"workers\": %d, \"worker_core_ratio\": %.2f, \"wall_s\": %.3f, "
+                 "\"jobs_per_s\": %.2f, "
                  "\"speedup\": %.2f, \"p50_ms\": %.2f, \"p95_ms\": %.2f, \"p99_ms\": %.2f, "
                  "\"completed\": %llu, \"failed\": %llu, \"reused\": %llu, "
                  "\"cold_builds\": %llu, \"build_ms\": %.1f, \"recycle_ms\": %.1f}%s\n",
-                 p.workers, p.wall_s, p.jobs_per_s, base > 0 ? p.jobs_per_s / base : 0, p.p50_ms,
+                 p.workers,
+                 r.host_cores > 0 ? static_cast<double>(p.workers) / r.host_cores : 0.0,
+                 p.wall_s, p.jobs_per_s, base > 0 ? p.jobs_per_s / base : 0, p.p50_ms,
                  p.p95_ms, p.p99_ms, static_cast<unsigned long long>(p.completed),
                  static_cast<unsigned long long>(p.failed),
                  static_cast<unsigned long long>(p.reused),
                  static_cast<unsigned long long>(p.cold_builds), p.build_ms, p.recycle_ms,
                  i + 1 < r.points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+}
+
+/// Chaos scenario (--chaos): the supervision-tier gate (DESIGN.md §14).
+/// A seeded storm of adversarial jobs — simulated-cycle deadline misses,
+/// PR-4 fault storms (task hangs, payload corruption, dropped putspaces)
+/// and injected host-side worker hangs — runs on a multi-worker supervised
+/// farm, next to a clean oracle farm and an unarmed control farm. Four
+/// hard gates (exit 1):
+///   * all_terminal      — every accepted job's future resolves terminally
+///                         within the harness deadline, whatever was
+///                         injected (no lost promises, no wedged farm);
+///   * oracle_identical  — every simulated field of every retried /
+///                         supervised run is bit-identical to a clean
+///                         first run (pin constants for clean and
+///                         hang-survivor jobs, a 1-worker unsupervised
+///                         oracle farm for deadline and fault-storm jobs);
+///   * attempts_identical / quarantine_exact — failed attempts of a
+///                         deterministic failure are bit-identical to the
+///                         terminal attempt, and the quarantine ledger
+///                         holds exactly the jobs that killed two workers
+///                         (zero quarantine leaks);
+///   * overhead_ok       — the unarmed control farm never enters the
+///                         sliced heartbeat path (supervisedJobs() == 0)
+///                         and still lands exactly on the decode pin, so
+///                         supervision costs nothing unless armed.
+struct ChaosJobRecord {
+  std::string name, cls, status, cause;
+  int attempts = 1;
+  std::uint64_t sim_cycles = 0, sim_events = 0;
+  bool ok = true;
+};
+
+struct ChaosBenchResult {
+  int jobs = 0;
+  int workers = 0;
+  int host_cores = 0;
+  bool all_terminal = true;
+  bool oracle_identical = true;
+  bool attempts_identical = true;
+  bool quarantine_exact = true;
+  bool overhead_ok = true;
+  std::uint64_t retried = 0, retry_succeeded = 0, worker_lost = 0;
+  std::uint64_t workers_replaced = 0, quarantined = 0;
+  double armed_wall_s = 0.0;
+  int unarmed_jobs = 0;
+  double unarmed_jobs_per_s = 0.0;
+  std::uint64_t unarmed_supervised_jobs = 0;
+  std::vector<ChaosJobRecord> records;
+
+  [[nodiscard]] bool gatesOk() const {
+    return all_terminal && oracle_identical && attempts_identical && quarantine_exact &&
+           overhead_ok;
+  }
+};
+
+FarmSimFields chaosFields(const farm::JobResult& r) {
+  return {r.sim_cycles, r.sim_events,     r.macroblocks,   r.bit_exact,
+          r.psnr_db,    r.faults_latched, r.stalls_latched};
+}
+
+bool chaosOnPin(const farm::JobResult& r) {
+  return r.sim_cycles == pin::kDecodePinCycles && r.sim_events == pin::kDecodePinEvents &&
+         r.macroblocks == pin::kDecodePinMacroblocks && r.bit_exact;
+}
+
+/// One adversarial job plus what the gate demands of its terminal result.
+struct ChaosCase {
+  const char* cls = "clean";
+  farm::Job job;
+  bool require_completed = false;   ///< terminal status must be Completed
+  bool require_failed = false;      ///< terminal status must NOT be Completed
+  bool require_retry = false;       ///< attempts >= 2 (survived a worker loss)
+  bool require_quarantine = false;  ///< terminal status must be Quarantined
+  bool require_pin = false;         ///< simulated fields must equal the pin
+  int oracle_idx = -1;              ///< index into the oracle-farm results
+};
+
+std::vector<ChaosCase> chaosCases(bool smoke, std::vector<farm::Job>& oracle_jobs) {
+  std::vector<ChaosCase> cases;
+  auto oracle_for = [&](const farm::Job& j) {
+    // The clean-first-run oracle: same Job, retry/supervision/chaos
+    // stripped. Those fields are host-side only, so the supervised,
+    // retried, sliced run must reproduce these simulated fields exactly.
+    farm::Job o = j;
+    o.retry = farm::RetryPolicy{};
+    o.supervise_ms = 0.0;
+    o.chaos = farm::HostHangSpec{};
+    oracle_jobs.push_back(std::move(o));
+    return static_cast<int>(oracle_jobs.size()) - 1;
+  };
+
+  // Class 1: clean supervised pin decodes. Armed (retries + heartbeat
+  // slicing) but nothing injected: must stay exactly on the decode pin.
+  for (int i = 0; i < (smoke ? 4 : 8); ++i) {
+    ChaosCase c;
+    c.cls = "clean";
+    c.job.name = "clean-" + std::to_string(i);
+    c.job.supervise_ms = 2000.0;
+    c.job.retry.max_attempts = 2;
+    c.require_completed = true;
+    c.require_pin = true;
+    cases.push_back(std::move(c));
+  }
+
+  // Class 2: deadline misses. The pin decode needs 144885 cycles; a
+  // 60000-cycle deadline fails at exactly that cycle on every attempt.
+  for (int i = 0; i < (smoke ? 2 : 3); ++i) {
+    ChaosCase c;
+    c.cls = "deadline";
+    c.job.name = "deadline-" + std::to_string(i);
+    c.job.deadline = 60'000;
+    c.job.supervise_ms = 2000.0;
+    c.job.retry.max_attempts = 3;
+    c.require_failed = true;
+    c.oracle_idx = oracle_for(c.job);
+    cases.push_back(std::move(c));
+  }
+
+  // Class 3: seeded PR-4 fault storms (the test_fuzz idiom): task hangs
+  // against per-shell watchdogs, payload corruption at the VLD output and
+  // dropped putspace credits. Whatever each storm does — latch a fault,
+  // stall, or complete with bit_exact=false — it does it deterministically,
+  // so the retried terminal run must equal the clean oracle bit for bit.
+  const sim::FaultKind kinds[] = {sim::FaultKind::TaskHang, sim::FaultKind::CorruptPayload,
+                                  sim::FaultKind::DropPutspace};
+  const int per_kind = smoke ? 1 : 2;
+  for (int k = 0; k < 3; ++k) {
+    for (int i = 0; i < per_kind; ++i) {
+      const std::uint64_t seed = 11 + static_cast<std::uint64_t>(i);
+      sim::Prng rng(seed * 977 + static_cast<std::uint64_t>(kinds[k]));
+      sim::FaultSpec spec;
+      spec.kind = kinds[k];
+      spec.at_cycle = 2'000 + rng.below(60'000);
+      switch (kinds[k]) {
+        case sim::FaultKind::TaskHang:
+          spec.shell = static_cast<std::uint32_t>(rng.below(4));
+          spec.task = 0;
+          spec.delay_cycles = 10'000 + rng.below(100'000);
+          break;
+        case sim::FaultKind::CorruptPayload:
+          spec.shell = 0;  // VLD
+          spec.task = 0;
+          spec.port = coproc::VldCoproc::kOutCoef;
+          spec.xor_mask = static_cast<std::uint8_t>(1 + rng.below(255));
+          break;
+        default:  // DropPutspace
+          spec.shell = static_cast<std::uint32_t>(rng.below(4));
+          spec.count = 3;
+          break;
+      }
+      ChaosCase c;
+      c.cls = "storm";
+      c.job.name = std::string("storm-") + sim::faultKindName(kinds[k]) + "-" +
+                   std::to_string(i);
+      c.job.faults.seed = seed;
+      c.job.faults.faults.push_back(spec);
+      c.job.watchdog_timeout = 20'000;
+      c.job.max_cycles = 800'000;
+      c.job.supervise_ms = 2000.0;
+      c.job.retry.max_attempts = 2;
+      c.oracle_idx = oracle_for(c.job);
+      cases.push_back(std::move(c));
+    }
+  }
+
+  // Class 4: a worker hang on the first attempt only. The Supervisor must
+  // replace the wedged worker, fail-fast the job (WorkerLost) and the
+  // retry must complete on the pin — the hang is host-side noise.
+  for (int i = 0; i < (smoke ? 2 : 3); ++i) {
+    ChaosCase c;
+    c.cls = "hang-once";
+    c.job.name = "hang-once-" + std::to_string(i);
+    c.job.chaos.hang_ms = 1500.0;
+    c.job.chaos.attempts = 1;
+    c.job.supervise_ms = 250.0;
+    c.job.retry.max_attempts = 3;
+    c.require_completed = true;
+    c.require_retry = true;
+    c.require_pin = true;
+    cases.push_back(std::move(c));
+  }
+
+  // Class 5: hangs on every attempt. After killing two workers the job
+  // must be quarantined — terminal, never re-admitted — with retry budget
+  // deliberately left over (quarantine overrides the policy).
+  for (int i = 0; i < 2; ++i) {
+    ChaosCase c;
+    c.cls = "hang-always";
+    c.job.name = "hang-always-" + std::to_string(i);
+    c.job.chaos.hang_ms = 1500.0;
+    c.job.chaos.attempts = 99;
+    c.job.supervise_ms = 250.0;
+    c.job.retry.max_attempts = 6;
+    c.require_quarantine = true;
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+ChaosBenchResult runChaos(bool smoke) {
+  ChaosBenchResult r;
+  r.workers = 4;
+  r.host_cores = static_cast<int>(std::thread::hardware_concurrency());
+  auto cache = std::make_shared<farm::WorkloadCache>();
+
+  std::vector<farm::Job> oracle_jobs;
+  std::vector<ChaosCase> cases = chaosCases(smoke, oracle_jobs);
+  r.jobs = static_cast<int>(cases.size());
+
+  // Clean oracle pass: 1 worker, nothing armed — the reference outcome of
+  // every deadline / storm job under the determinism contract.
+  std::vector<FarmSimFields> oracle_fields;
+  {
+    farm::FarmOptions opts;
+    opts.workers = 1;
+    opts.queue_capacity = oracle_jobs.size() + 1;
+    opts.cache = cache;
+    farm::Farm oracle(opts);
+    auto futs = oracle.submitBatch(std::move(oracle_jobs));
+    oracle_fields.reserve(futs.size());
+    for (auto& fut : futs) oracle_fields.push_back(chaosFields(fut.get()));
+  }
+
+  // The chaos pass: every adversarial class at once on a 4-worker farm.
+  std::vector<std::string> expect_quarantine;
+  for (const ChaosCase& c : cases) {
+    if (c.require_quarantine) expect_quarantine.push_back(c.job.name);
+  }
+  {
+    farm::FarmOptions opts;
+    opts.workers = r.workers;
+    opts.queue_capacity = cases.size() + 8;
+    opts.cache = cache;
+    farm::Farm f(opts);
+
+    std::vector<farm::Job> jobs;
+    jobs.reserve(cases.size());
+    for (const ChaosCase& c : cases) jobs.push_back(c.job);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto futs = f.submitBatch(std::move(jobs));
+
+    // Terminality gate: bounded waits, not blocking gets — a lost promise
+    // or a wedged farm must fail the gate, not hang the bench.
+    const auto harness_deadline = t0 + std::chrono::seconds(smoke ? 120 : 300);
+    for (std::size_t i = 0; i < futs.size(); ++i) {
+      const ChaosCase& c = cases[i];
+      ChaosJobRecord rec;
+      rec.name = c.job.name;
+      rec.cls = c.cls;
+      if (futs[i].wait_until(harness_deadline) != std::future_status::ready) {
+        r.all_terminal = false;
+        rec.status = "UNRESOLVED";
+        rec.ok = false;
+        r.records.push_back(std::move(rec));
+        continue;
+      }
+      const farm::JobResult jr = futs[i].get();
+      rec.status = farm::jobStatusName(jr.status);
+      rec.cause = farm::jobErrorName(jr.cause);
+      rec.attempts = jr.attempts;
+      rec.sim_cycles = jr.sim_cycles;
+      rec.sim_events = jr.sim_events;
+
+      bool ok = true;
+      if (c.require_completed && jr.status != farm::JobStatus::Completed) ok = false;
+      if (c.require_failed && jr.status == farm::JobStatus::Completed) ok = false;
+      if (c.require_quarantine && jr.status != farm::JobStatus::Quarantined) ok = false;
+      if (c.require_retry && jr.attempts < 2) ok = false;
+      if (c.require_pin && !chaosOnPin(jr)) {
+        ok = false;
+        r.oracle_identical = false;
+      }
+      if (c.oracle_idx >= 0 &&
+          !(chaosFields(jr) == oracle_fields[static_cast<std::size_t>(c.oracle_idx)])) {
+        ok = false;
+        r.oracle_identical = false;
+      }
+      // Per-attempt determinism: every prior attempt that actually ran the
+      // simulation (i.e. was not a host-side worker loss) must carry the
+      // same simulated fields as the terminal attempt of the same
+      // deterministic failure.
+      if (jr.cause != farm::JobError::WorkerLost &&
+          jr.status != farm::JobStatus::Quarantined) {
+        for (const farm::AttemptRecord& a : jr.attempts_log) {
+          if (a.cause == farm::JobError::WorkerLost) continue;
+          if (a.sim_cycles != jr.sim_cycles || a.sim_events != jr.sim_events) {
+            std::fprintf(stderr,
+                         "CHAOS ATTEMPT DIVERGENCE: %s attempt %d "
+                         "(cycles %llu vs %llu, events %llu vs %llu)\n",
+                         rec.name.c_str(), a.attempt,
+                         static_cast<unsigned long long>(a.sim_cycles),
+                         static_cast<unsigned long long>(jr.sim_cycles),
+                         static_cast<unsigned long long>(a.sim_events),
+                         static_cast<unsigned long long>(jr.sim_events));
+            ok = false;
+            r.attempts_identical = false;
+          }
+        }
+      }
+      rec.ok = ok;
+      r.records.push_back(std::move(rec));
+    }
+    r.armed_wall_s = seconds(t0);
+
+    // Quarantine ledger: exactly the hang-always jobs, each with two
+    // worker kills on record, and the counter in agreement — no leaks in
+    // either direction.
+    const std::vector<farm::QuarantineRecord> ledger = f.quarantined();
+    const farm::FarmMetrics m = f.metrics();
+    r.retried = m.retried;
+    r.retry_succeeded = m.retry_succeeded;
+    r.worker_lost = m.worker_lost;
+    r.workers_replaced = m.workers_replaced;
+    r.quarantined = m.quarantined;
+    if (ledger.size() != expect_quarantine.size() || m.quarantined != ledger.size()) {
+      r.quarantine_exact = false;
+    }
+    for (const farm::QuarantineRecord& q : ledger) {
+      bool expected = false;
+      for (const std::string& name : expect_quarantine) expected |= (name == q.name);
+      if (!expected || q.worker_kills < 2) r.quarantine_exact = false;
+    }
+  }
+
+  // Unarmed control pass: plain pin decodes, default policies. Gate: the
+  // sliced heartbeat path never runs (supervisedJobs() == 0) and every
+  // result sits exactly on the decode pin — arming is strictly opt-in.
+  {
+    r.unarmed_jobs = smoke ? 8 : 24;
+    farm::FarmOptions opts;
+    opts.workers = r.workers;
+    opts.queue_capacity = static_cast<std::size_t>(r.unarmed_jobs);
+    opts.cache = cache;
+    farm::Farm f(opts);
+    std::vector<farm::Job> jobs(static_cast<std::size_t>(r.unarmed_jobs));
+    for (int i = 0; i < r.unarmed_jobs; ++i) {
+      jobs[static_cast<std::size_t>(i)].name = "control-" + std::to_string(i);
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    auto futs = f.submitBatch(std::move(jobs));
+    for (auto& fut : futs) {
+      const farm::JobResult jr = fut.get();
+      if (jr.status != farm::JobStatus::Completed || !chaosOnPin(jr)) r.overhead_ok = false;
+    }
+    const double wall = seconds(t0);
+    r.unarmed_jobs_per_s = wall > 0 ? r.unarmed_jobs / wall : 0;
+    r.unarmed_supervised_jobs = f.metrics().supervisedJobs();
+    if (r.unarmed_supervised_jobs != 0) r.overhead_ok = false;
+  }
+  return r;
+}
+
+void emitChaos(std::FILE* f, const ChaosBenchResult& r) {
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"eclipse-bench-chaos-v1\",\n");
+  std::fprintf(f, "  \"jobs\": %d,\n", r.jobs);
+  std::fprintf(f, "  \"workers\": %d,\n", r.workers);
+  std::fprintf(f, "  \"host_cores\": %d,\n", r.host_cores);
+  std::fprintf(f, "  \"worker_core_ratio\": %.2f,\n",
+               r.host_cores > 0 ? static_cast<double>(r.workers) / r.host_cores : 0.0);
+  std::fprintf(f,
+               "  \"gates\": {\"all_terminal\": %s, \"oracle_identical\": %s, "
+               "\"attempts_identical\": %s, \"quarantine_exact\": %s, "
+               "\"overhead_ok\": %s},\n",
+               r.all_terminal ? "true" : "false", r.oracle_identical ? "true" : "false",
+               r.attempts_identical ? "true" : "false", r.quarantine_exact ? "true" : "false",
+               r.overhead_ok ? "true" : "false");
+  std::fprintf(f,
+               "  \"metrics\": {\"retried\": %llu, \"retry_succeeded\": %llu, "
+               "\"worker_lost\": %llu, \"workers_replaced\": %llu, "
+               "\"quarantined\": %llu},\n",
+               static_cast<unsigned long long>(r.retried),
+               static_cast<unsigned long long>(r.retry_succeeded),
+               static_cast<unsigned long long>(r.worker_lost),
+               static_cast<unsigned long long>(r.workers_replaced),
+               static_cast<unsigned long long>(r.quarantined));
+  std::fprintf(f, "  \"armed_wall_s\": %.3f,\n", r.armed_wall_s);
+  std::fprintf(f,
+               "  \"unarmed\": {\"jobs\": %d, \"jobs_per_s\": %.2f, "
+               "\"supervised_jobs\": %llu},\n",
+               r.unarmed_jobs, r.unarmed_jobs_per_s,
+               static_cast<unsigned long long>(r.unarmed_supervised_jobs));
+  std::fprintf(f, "  \"jobs_detail\": [\n");
+  for (std::size_t i = 0; i < r.records.size(); ++i) {
+    const ChaosJobRecord& j = r.records[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"class\": \"%s\", \"status\": \"%s\", "
+                 "\"cause\": \"%s\", \"attempts\": %d, \"sim_cycles\": %llu, "
+                 "\"sim_events\": %llu, \"ok\": %s}%s\n",
+                 j.name.c_str(), j.cls.c_str(), j.status.c_str(), j.cause.c_str(), j.attempts,
+                 static_cast<unsigned long long>(j.sim_cycles),
+                 static_cast<unsigned long long>(j.sim_events), j.ok ? "true" : "false",
+                 i + 1 < r.records.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
 }
@@ -1486,6 +1892,7 @@ int main(int argc, char** argv) {
   bool reconfig = false;
   bool faults = false;
   bool farm_bench = false;
+  bool chaos_bench = false;
   bool media_bench = false;
   bool modes_bench = false;
   bool shards_bench = false;
@@ -1504,6 +1911,8 @@ int main(int argc, char** argv) {
       faults = true;
     } else if (std::strcmp(argv[i], "--farm") == 0) {
       farm_bench = true;
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      chaos_bench = true;
     } else if (std::strcmp(argv[i], "--media") == 0) {
       media_bench = true;
     } else if (std::strcmp(argv[i], "--modes") == 0) {
@@ -1513,15 +1922,17 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--out FILE] [--repeats N] [--smoke] "
-                   "[--transport | --reconfig | --faults | --farm | --media | --modes"
-                   " | --shards]\n",
+                   "[--transport | --reconfig | --faults | --farm | --chaos | --media"
+                   " | --modes | --shards]\n",
                    argv[0]);
       return 2;
     }
   }
   if (repeats < 1) repeats = 1;
   if (out.empty()) {
-    out = shards_bench
+    out = chaos_bench
+              ? "BENCH_chaos.json"
+              : shards_bench
               ? "BENCH_shards.json"
               : modes_bench
               ? "BENCH_modes.json"
@@ -1533,6 +1944,22 @@ int main(int argc, char** argv) {
                                     : (reconfig ? "BENCH_reconfig.json"
                                                 : (transport ? "BENCH_transport.json"
                                                              : "BENCH_kernel.json")));
+  }
+
+  if (chaos_bench) {
+    const ChaosBenchResult r = runChaos(smoke);
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot open %s for writing\n", out.c_str());
+      return 1;
+    }
+    emitChaos(f, r);
+    std::fclose(f);
+    emitChaos(stdout, r);
+    std::fprintf(stderr, "wrote %s\n", out.c_str());
+    // Terminality, retry bit-identity, quarantine exactness and the
+    // unarmed zero-overhead claim are hard gates, not perf numbers.
+    return r.gatesOk() ? 0 : 1;
   }
 
   if (shards_bench) {

@@ -31,6 +31,11 @@ void usage() {
       "  --shards N     default shard lanes per job (job lines override with shards=)\n"
       "  --lane-threads N  host-thread budget shared by all jobs' shard lanes\n"
       "                    (default: hardware concurrency; lanes are clamped, not rejected)\n"
+      "  --retries N    default retry attempts per job, incl. the first (job lines\n"
+      "                 override with retries=; default 1 = never retry)\n"
+      "  --deadline N   default simulated-cycle deadline per job (deadline=; 0 = none)\n"
+      "  --supervise-ms X  default hung-worker supervision timeout in wall-clock ms\n"
+      "                    (supervise_ms=; 0 = unsupervised)\n"
       "  --csv FILE     write per-job results as CSV\n"
       "  --json FILE    write per-job results + farm metrics as JSON\n"
       "  --quiet        suppress the per-job progress lines\n"
@@ -39,11 +44,30 @@ void usage() {
       "  kind=decode|encode|decode+decode+...   applications on one instance\n"
       "  width= height= frames= seed= qscale= gop=N,M detail= motion= noise=\n"
       "  priority=high|normal|low   repeat=N   max_cycles=N   verify=0|1   shards=N\n"
-      "  config:KEY=VALUE           instance parameter (e.g. config:sram.size_bytes=65536)\n");
+      "  retries=N   backoff_ms=X   deadline=N   supervise_ms=X\n"
+      "  config:KEY=VALUE           instance parameter (e.g. config:sram.size_bytes=65536)\n"
+      "\n"
+      "exit status: 0 only when every job ends Completed (quarantined, deadline-\n"
+      "exceeded, stalled or errored jobs all fail the run).\n");
 }
 
-bool parseJobLine(const std::string& line, unsigned default_shards, std::vector<farm::Job>& out,
-                  std::string& err) {
+/// CLI-level defaults applied to every job a line does not override.
+struct JobDefaults {
+  unsigned shards = 1;
+  int retries = 1;
+  std::uint64_t deadline = 0;
+  double supervise_ms = 0.0;
+};
+
+void applyDefaults(farm::Job& job, const JobDefaults& d) {
+  job.shards = d.shards;
+  job.retry.max_attempts = d.retries;
+  job.deadline = d.deadline;
+  job.supervise_ms = d.supervise_ms;
+}
+
+bool parseJobLine(const std::string& line, const JobDefaults& defaults,
+                  std::vector<farm::Job>& out, std::string& err) {
   std::istringstream is(line);
   std::string name;
   if (!(is >> name)) return true;  // blank
@@ -51,7 +75,7 @@ bool parseJobLine(const std::string& line, unsigned default_shards, std::vector<
 
   farm::Job job;
   job.name = name;
-  job.shards = default_shards;
+  applyDefaults(job, defaults);
   farm::WorkloadDesc wd;  // shared by every app of the job
   std::vector<farm::AppKind> kinds{farm::AppKind::Decode};
   int repeat = 1;
@@ -123,6 +147,14 @@ bool parseJobLine(const std::string& line, unsigned default_shards, std::vector<
         job.verify = val != "0" && val != "false";
       } else if (key == "shards") {
         job.shards = static_cast<std::uint32_t>(std::stoul(val));
+      } else if (key == "retries") {
+        job.retry.max_attempts = std::stoi(val);
+      } else if (key == "backoff_ms") {
+        job.retry.backoff_ms = std::stod(val);
+      } else if (key == "deadline") {
+        job.deadline = std::stoull(val);
+      } else if (key == "supervise_ms") {
+        job.supervise_ms = std::stod(val);
       } else if (key.rfind("config:", 0) == 0) {
         job.config.set(key.substr(7), val);
       } else {
@@ -145,12 +177,12 @@ bool parseJobLine(const std::string& line, unsigned default_shards, std::vector<
   return true;
 }
 
-std::vector<farm::Job> demoJobs(int n, unsigned default_shards) {
+std::vector<farm::Job> demoJobs(int n, const JobDefaults& defaults) {
   std::vector<farm::Job> jobs;
   for (int i = 0; i < n; ++i) {
     farm::Job j;
     j.name = "demo-" + std::to_string(i);
-    j.shards = default_shards;
+    applyDefaults(j, defaults);
     switch (i % 4) {
       case 0:  // pinned decode
         break;
@@ -187,10 +219,11 @@ std::string jsonEscape(const std::string& s) {
 
 void writeCsv(const std::string& path, const std::vector<farm::JobResult>& results) {
   std::ofstream os(path);
-  os << "id,name,status,sim_cycles,sim_events,macroblocks,bit_exact,psnr_db,"
+  os << "id,name,status,cause,attempts,sim_cycles,sim_events,macroblocks,bit_exact,psnr_db,"
         "faults,stalls,worker,lanes,reused,wall_ms,latency_ms,error\n";
   for (const auto& r : results) {
-    os << r.id << ',' << r.name << ',' << farm::jobStatusName(r.status) << ',' << r.sim_cycles
+    os << r.id << ',' << r.name << ',' << farm::jobStatusName(r.status) << ','
+       << farm::jobErrorName(r.cause) << ',' << r.attempts << ',' << r.sim_cycles
        << ',' << r.sim_events << ',' << r.macroblocks << ',' << (r.bit_exact ? 1 : 0) << ','
        << r.psnr_db << ',' << r.faults_latched << ',' << r.stalls_latched << ',' << r.worker
        << ',' << r.lanes << ',' << (r.reused_instance ? 1 : 0) << ',' << r.wall_ms << ','
@@ -207,7 +240,9 @@ void writeJson(const std::string& path, const std::vector<farm::JobResult>& resu
     const auto& r = results[i];
     os << "    {\"id\": " << r.id << ", \"name\": \"" << jsonEscape(r.name)
        << "\", \"status\": \"" << farm::jobStatusName(r.status)
-       << "\", \"sim_cycles\": " << r.sim_cycles << ", \"sim_events\": " << r.sim_events
+       << "\", \"cause\": \"" << farm::jobErrorName(r.cause)
+       << "\", \"attempts\": " << r.attempts
+       << ", \"sim_cycles\": " << r.sim_cycles << ", \"sim_events\": " << r.sim_events
        << ", \"macroblocks\": " << r.macroblocks
        << ", \"bit_exact\": " << (r.bit_exact ? "true" : "false")
        << ", \"psnr_db\": " << r.psnr_db << ", \"worker\": " << r.worker
@@ -219,6 +254,11 @@ void writeJson(const std::string& path, const std::vector<farm::JobResult>& resu
   }
   os << "  ],\n  \"metrics\": {\"accepted\": " << m.accepted << ", \"rejected\": " << m.rejected
      << ", \"completed\": " << m.completed << ", \"failed\": " << m.failed
+     << ", \"deadline_exceeded\": " << m.deadline_exceeded
+     << ", \"fault_latched\": " << m.fault_latched << ", \"worker_lost\": " << m.worker_lost
+     << ", \"quarantined\": " << m.quarantined << ", \"retried\": " << m.retried
+     << ", \"retry_succeeded\": " << m.retry_succeeded
+     << ", \"workers_replaced\": " << m.workers_replaced
      << ", \"jobs_per_s\": " << m.jobs_per_s << ", \"p50_ms\": " << m.p50_ms
      << ", \"p95_ms\": " << m.p95_ms << ", \"p99_ms\": " << m.p99_ms
      << ", \"reused\": " << m.reused() << ", \"cold_builds\": " << m.coldBuilds() << "}\n}\n";
@@ -230,7 +270,7 @@ int main(int argc, char** argv) {
   std::string jobs_path, csv_path, json_path;
   int demo = 0;
   bool quiet = false;
-  unsigned default_shards = 1;
+  JobDefaults defaults;
   farm::FarmOptions opts;
 
   for (int i = 1; i < argc; ++i) {
@@ -251,10 +291,16 @@ int main(int argc, char** argv) {
     } else if (a == "--queue") {
       opts.queue_capacity = static_cast<std::size_t>(std::atoll(next()));
     } else if (a == "--shards") {
-      default_shards = static_cast<unsigned>(std::atoi(next()));
-      if (default_shards == 0) default_shards = 1;
+      defaults.shards = static_cast<unsigned>(std::atoi(next()));
+      if (defaults.shards == 0) defaults.shards = 1;
     } else if (a == "--lane-threads") {
       opts.lane_threads = std::atoi(next());
+    } else if (a == "--retries") {
+      defaults.retries = std::atoi(next());
+    } else if (a == "--deadline") {
+      defaults.deadline = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (a == "--supervise-ms") {
+      defaults.supervise_ms = std::atof(next());
     } else if (a == "--csv") {
       csv_path = next();
     } else if (a == "--json") {
@@ -282,14 +328,14 @@ int main(int argc, char** argv) {
     int line_no = 0;
     while (std::getline(is, line)) {
       ++line_no;
-      if (!parseJobLine(line, default_shards, jobs, err)) {
+      if (!parseJobLine(line, defaults, jobs, err)) {
         std::fprintf(stderr, "farm_driver: %s:%d: %s\n", jobs_path.c_str(), line_no,
                      err.c_str());
         return 2;
       }
     }
   } else {
-    jobs = demoJobs(demo, default_shards);
+    jobs = demoJobs(demo, defaults);
   }
   if (jobs.empty()) {
     std::fprintf(stderr, "farm_driver: no jobs\n");
@@ -307,16 +353,22 @@ int main(int argc, char** argv) {
   bool all_ok = true;
   for (auto& fut : futs) {
     farm::JobResult r = fut.get();
-    const bool ok = r.status == farm::JobStatus::Completed &&
-                    (!r.error.empty() ? false : true) && r.faults_latched == 0;
+    // Strict: any terminal state other than a clean Completed (quarantine,
+    // deadline, stall, latched fault, config error) fails the run.
+    const bool ok = r.status == farm::JobStatus::Completed && r.error.empty() &&
+                    r.faults_latched == 0;
     all_ok = all_ok && ok;
     if (!quiet) {
-      std::printf("  [%s] %-16s %10llu cycles %8llu MBs  worker %d lanes %u %s%s%s\n",
+      std::printf("  [%s] %-16s %10llu cycles %8llu MBs  worker %d lanes %u attempt%s %d %s%s%s%s\n",
                   farm::jobStatusName(r.status), r.name.c_str(),
                   static_cast<unsigned long long>(r.sim_cycles),
                   static_cast<unsigned long long>(r.macroblocks), r.worker, r.lanes,
-                  r.reused_instance ? "(reused)" : "(cold)", r.error.empty() ? "" : " error: ",
-                  r.error.c_str());
+                  r.attempts == 1 ? "" : "s", r.attempts,
+                  r.reused_instance ? "(reused)" : "(cold)",
+                  r.cause == farm::JobError::None ? "" : " cause: ",
+                  r.cause == farm::JobError::None ? "" : farm::jobErrorName(r.cause),
+                  r.error.empty() ? "" : " error: ");
+      if (!quiet && !r.error.empty()) std::printf("      %s\n", r.error.c_str());
     }
     results.push_back(std::move(r));
   }
@@ -329,6 +381,21 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(m.rejected), m.jobs_per_s, m.p50_ms, m.p95_ms, m.p99_ms,
       static_cast<unsigned long long>(m.reused()),
       static_cast<unsigned long long>(m.coldBuilds()));
+  std::printf(
+      "causes: %llu deadline-exceeded, %llu fault-latched, %llu worker-lost, "
+      "%llu quarantined | %llu retried, %llu retry-succeeded, %llu workers replaced\n",
+      static_cast<unsigned long long>(m.deadline_exceeded),
+      static_cast<unsigned long long>(m.fault_latched),
+      static_cast<unsigned long long>(m.worker_lost),
+      static_cast<unsigned long long>(m.quarantined),
+      static_cast<unsigned long long>(m.retried),
+      static_cast<unsigned long long>(m.retry_succeeded),
+      static_cast<unsigned long long>(m.workers_replaced));
+  for (const farm::QuarantineRecord& q : f.quarantined()) {
+    std::printf("quarantined: job %llu (%s) after %d attempt(s), %d worker(s) killed\n",
+                static_cast<unsigned long long>(q.id), q.name.c_str(), q.attempts,
+                q.worker_kills);
+  }
 
   if (!csv_path.empty()) writeCsv(csv_path, results);
   if (!json_path.empty()) writeJson(json_path, results, m, workers);
