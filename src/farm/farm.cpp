@@ -152,6 +152,45 @@ std::future<JobResult> Farm::submitWait(Job job) {
   return fut;
 }
 
+SubmitTicket Farm::submitFor(Job job, std::chrono::milliseconds timeout) {
+  PendingJob pj = makePending(std::move(job));
+  std::future<JobResult> fut = pj.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++accepted_;
+  }
+  const Admission a = queue_.waitPushFor(std::move(pj), timeout);
+  if (a != Admission::Accepted) {
+    std::lock_guard<std::mutex> lock(mu_);
+    --accepted_;
+    ++rejected_;
+  }
+  SubmitTicket t;
+  t.admission = a;
+  if (a == Admission::Accepted) t.result = std::move(fut);
+  return t;
+}
+
+SubmitTicket Farm::submitCallback(Job job, std::function<void(const JobResult&)> on_result) {
+  PendingJob pj = makePending(std::move(job));
+  pj.on_terminal = std::move(on_result);
+  std::future<JobResult> fut = pj.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++accepted_;
+  }
+  const Admission a = queue_.tryPush(std::move(pj));
+  if (a != Admission::Accepted) {
+    std::lock_guard<std::mutex> lock(mu_);
+    --accepted_;
+    ++rejected_;
+  }
+  SubmitTicket t;
+  t.admission = a;
+  if (a == Admission::Accepted) t.result = std::move(fut);
+  return t;
+}
+
 std::vector<std::future<JobResult>> Farm::submitBatch(std::vector<Job> jobs) {
   std::vector<std::future<JobResult>> futs;
   futs.reserve(jobs.size());
@@ -169,6 +208,7 @@ void Farm::close() { queue_.close(); }
 void Farm::disposition(PendingJob&& pj, JobResult&& r) {
   r.id = pj.id;
   r.name = pj.job.name;
+  r.tenant = pj.job.tenant;
   r.attempts = pj.attempt;
 
   const int max_attempts = std::max(1, pj.job.retry.max_attempts);
@@ -227,6 +267,15 @@ void Farm::deliverTerminal(PendingJob&& pj, JobResult&& r) {
     latencies_ms_.push_back(r.latency_ms);
     if (delivered_ >= accepted_) drained_.notify_all();
   }
+  // The terminal hook (submitCallback) fires after metrics, outside every
+  // farm lock (it may re-enter submit*), and before the future resolves.
+  if (pj.on_terminal) {
+    try {
+      pj.on_terminal(r);
+    } catch (...) {
+      // A throwing result hook must not strand the promise.
+    }
+  }
   pj.promise.set_value(std::move(r));
 }
 
@@ -236,6 +285,7 @@ void Farm::terminalFailStaged(PendingJob&& pj, const char* why) {
   JobResult r;
   r.id = pj.id;
   r.name = pj.job.name;
+  r.tenant = pj.job.tenant;
   r.status = JobStatus::Error;
   // The staged retry never ran: report the cause that sent it to the
   // retry path (its last recorded attempt), and the attempts that did run.
@@ -284,6 +334,9 @@ void Farm::handleHungWorker(int index, const std::shared_ptr<InFlight>& fl) {
   meta.run_priority = fl->pj.run_priority;
   meta.history = fl->pj.history;
   meta.promise = std::move(fl->pj.promise);
+  // Like the promise, the terminal hook belongs to the claim winner; the
+  // wedged loser never reads it.
+  meta.on_terminal = std::move(fl->pj.on_terminal);
 
   JobResult r;
   r.status = JobStatus::Error;
@@ -302,12 +355,35 @@ void Farm::handleHungWorker(int index, const std::shared_ptr<InFlight>& fl) {
 
 void Farm::replaceWorker(int index) {
   std::lock_guard<std::mutex> lock(workers_mu_);
+  // A concurrent resizeWorkers() may have shrunk the pool since the hang
+  // was observed; the job still fail-fasts, but there is no slot to refill.
+  if (index < 0 || static_cast<std::size_t>(index) >= workers_.size()) return;
   auto& slot = workers_[static_cast<std::size_t>(index)];
   slot->retire();
   zombies_.push_back(std::move(slot));
   slot = std::make_unique<Worker>(index, queue_, *cache_, max_lanes_, finishFn());
   std::lock_guard<std::mutex> mlock(mu_);
   ++workers_replaced_;
+}
+
+void Farm::resizeWorkers(int n) {
+  if (n < 1) n = 1;
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  while (static_cast<int>(workers_.size()) > n) {
+    // Retire from the top slot down: the worker finishes its current job
+    // (retire() only takes effect at its next pop boundary), gets kicked
+    // out of a blocked pop() by wake(), and parks on the zombie list with
+    // its stats intact until the farm joins it at destruction.
+    auto& slot = workers_.back();
+    slot->retire();
+    zombies_.push_back(std::move(slot));
+    workers_.pop_back();
+  }
+  queue_.wake();
+  while (static_cast<int>(workers_.size()) < n) {
+    const int index = static_cast<int>(workers_.size());
+    workers_.push_back(std::make_unique<Worker>(index, queue_, *cache_, max_lanes_, finishFn()));
+  }
 }
 
 std::vector<QuarantineRecord> Farm::quarantined() const {
@@ -335,6 +411,7 @@ FarmMetrics Farm::metrics() const {
     lat = latencies_ms_;
   }
   m.queue_depth = queue_.depth();
+  m.lanes = queue_.gauges();
   m.staged_retries = supervisor_->stagedDepth();
   m.elapsed_s = std::chrono::duration<double>(Clock::now() - started_).count();
   const double delivered = static_cast<double>(m.completed + m.failed);

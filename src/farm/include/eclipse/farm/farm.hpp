@@ -57,6 +57,10 @@ struct FarmMetrics {
   std::uint64_t retry_succeeded = 0;  ///< completions that needed > 1 attempt
   std::uint64_t workers_replaced = 0;  ///< fresh workers spawned for hung ones
   std::size_t queue_depth = 0;
+  /// Per-lane *now* gauges (depth + oldest-job queue age), indexed by
+  /// Priority — the cumulative counters above say what happened, these say
+  /// what is waiting right now (the serving tier exports them live).
+  std::array<LaneGauge, 3> lanes{};
   std::size_t staged_retries = 0;  ///< retries waiting out their backoff
   double elapsed_s = 0.0;   ///< since farm construction
   double jobs_per_s = 0.0;  ///< delivered results / elapsed
@@ -126,6 +130,20 @@ class Farm {
   /// std::runtime_error when the farm is shutting down.
   std::future<JobResult> submitWait(Job job);
 
+  /// Bounded-blocking submission: waits up to `timeout` for queue space
+  /// and reports the admission outcome instead of blocking forever or
+  /// throwing — QueueFull when the wait timed out, ShuttingDown when the
+  /// farm closed while waiting. The ticket's future is valid only when
+  /// Accepted. The serving tier's submission primitive.
+  SubmitTicket submitFor(Job job, std::chrono::milliseconds timeout);
+
+  /// Non-blocking submission with a terminal-result callback: `on_result`
+  /// fires exactly once, after metrics are updated and just before the
+  /// (still valid) future resolves, on whichever thread delivered the
+  /// terminal result — it must not block. Lets the serving tier fan many
+  /// thousand results back to connections without a waiter thread each.
+  SubmitTicket submitCallback(Job job, std::function<void(const JobResult&)> on_result);
+
   /// Submits a batch with waiting admission; futures arrive in job order.
   std::vector<std::future<JobResult>> submitBatch(std::vector<Job> jobs);
 
@@ -137,7 +155,17 @@ class Farm {
   /// in backoff terminal-fail instead of re-admitting.
   void close();
 
+  /// Live worker-pool resize (config reload): grows by spawning fresh
+  /// workers, shrinks by retiring the highest slots — each retiree
+  /// finishes its current job, so no accepted work is dropped, and its
+  /// stats are preserved on the zombie list. The per-job lane budget
+  /// (max lanes) is fixed at construction and not rebalanced. Clamped to
+  /// >= 1; no-op when `n` equals the current count.
+  void resizeWorkers(int n);
+
   [[nodiscard]] FarmMetrics metrics() const;
+  /// Per-lane depth + oldest-job age right now (telemetry gauges).
+  [[nodiscard]] std::array<LaneGauge, 3> laneGauges() const { return queue_.gauges(); }
   /// Jobs retired for killing two workers (terminal; never re-admitted).
   [[nodiscard]] std::vector<QuarantineRecord> quarantined() const;
   [[nodiscard]] std::size_t queueDepth() const { return queue_.depth(); }

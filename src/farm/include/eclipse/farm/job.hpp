@@ -61,6 +61,14 @@ enum class Priority { High = 0, Normal = 1, Low = 2 };
                             : static_cast<Priority>(static_cast<int>(p) + 1);
 }
 
+/// One lane higher (clamped at High) — the serving tier's mirror of
+/// demoted(): a job whose deadline slack has shrunk below the promotion
+/// threshold overtakes fresh traffic on the next lane up.
+[[nodiscard]] constexpr Priority promoted(Priority p) {
+  return p == Priority::High ? Priority::High
+                             : static_cast<Priority>(static_cast<int>(p) - 1);
+}
+
 /// One segment of an adaptive (mode-scheduled) decode job: the clip
 /// generated from `workload` is decoded under the named mode of the job's
 /// decode mode family ("sd" / "hd"; see the worker's mode table). At each
@@ -118,6 +126,11 @@ struct HostHangSpec {
 /// recycled.
 struct Job {
   std::string name;
+  /// Owning tenant (serving tier). Pure pass-through for the farm — it
+  /// never affects scheduling here (per-tenant QoS lives in eclipse::serve,
+  /// *above* the lanes) and is echoed back in JobResult::tenant so results
+  /// can be routed and accounted per tenant. Empty for batch jobs.
+  std::string tenant;
   std::vector<AppSpec> apps{AppSpec{}};  ///< default: one decode application
   sim::Config config{};                  ///< instance parameters (shape key)
   std::uint64_t seed = 0;  ///< recorded; keys the retry-backoff jitter
@@ -251,6 +264,7 @@ struct AttemptRecord {
 struct JobResult {
   std::uint64_t id = 0;
   std::string name;
+  std::string tenant;  ///< echo of Job::tenant (empty for batch jobs)
   JobStatus status = JobStatus::Error;
   JobError cause = JobError::None;  ///< why status != Completed
 

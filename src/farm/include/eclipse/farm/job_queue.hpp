@@ -1,9 +1,12 @@
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <optional>
@@ -22,7 +25,16 @@ struct PendingJob {
   Job job;
   std::uint64_t id = 0;
   std::chrono::steady_clock::time_point submitted{};
+  /// When this pending entered the queue it currently sits in (re-stamped
+  /// on every push, including retry re-admissions) — the queue-age gauges
+  /// measure from here, while `submitted` anchors end-to-end latency.
+  std::chrono::steady_clock::time_point queued{};
   std::promise<JobResult> promise;
+  /// Optional terminal-result hook (Farm::submitCallback): invoked exactly
+  /// once, by the claim winner, after metrics and just before the promise
+  /// resolves. The serving tier routes results back to connections here
+  /// without parking a thread per future.
+  std::function<void(const JobResult&)> on_terminal;
 
   int attempt = 1;       ///< 1-based; incremented on each re-admission
   int worker_kills = 0;  ///< workers this job has hung (2 => quarantine)
@@ -34,11 +46,21 @@ struct PendingJob {
   [[nodiscard]] Priority lane() const { return run_priority.value_or(job.priority); }
 };
 
+/// Current state of one priority lane: how many jobs are queued on it and
+/// how long the one at the head (the oldest) has been waiting. Gauges, not
+/// counters — they describe *now*, complementing FarmMetrics' cumulative
+/// view, and feed the serving tier's telemetry endpoint.
+struct LaneGauge {
+  std::size_t depth = 0;
+  double oldest_ms = 0.0;  ///< queue age of the lane's head job (0 if empty)
+};
+
 /// Bounded multi-producer / multi-consumer queue with three priority
 /// lanes. Admission control is explicit: tryPush() never blocks and
 /// reports QueueFull when the bound is hit, so callers can shed load
 /// (reject upstream) instead of buffering without limit; waitPush() is
-/// the cooperating-producer alternative that blocks for space.
+/// the cooperating-producer alternative that blocks for space (optionally
+/// bounded by a timeout via waitPushFor).
 class JobQueue {
  public:
   explicit JobQueue(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
@@ -51,15 +73,28 @@ class JobQueue {
   /// the queue was closed before space appeared.
   bool waitPush(PendingJob&& pj);
 
+  /// Like waitPush, but gives up after `timeout`: QueueFull when no space
+  /// appeared in time (job untouched), ShuttingDown when the queue closed
+  /// while waiting. The serving tier's bounded-blocking submission path.
+  Admission waitPushFor(PendingJob&& pj, std::chrono::milliseconds timeout);
+
   /// Blocks for the next job, highest priority lane first (FIFO within a
   /// lane). Returns nullopt once the queue is closed *and* empty, letting
-  /// workers drain the backlog before exiting.
-  std::optional<PendingJob> pop();
+  /// workers drain the backlog before exiting — or, when `stop` is given,
+  /// as soon as it reads true with nothing popped (a retiring worker
+  /// leaves without waiting for the queue to close; see wake()).
+  std::optional<PendingJob> pop(const std::atomic<bool>* stop = nullptr);
 
   /// Stops admissions; pop() keeps draining what was already accepted.
   void close();
 
+  /// Wakes every blocked pop() so stop-flagged poppers can re-check their
+  /// flag (used when retiring a worker without closing the queue).
+  void wake();
+
   [[nodiscard]] std::size_t depth() const;
+  /// Per-lane depth + oldest-job age, indexed by Priority.
+  [[nodiscard]] std::array<LaneGauge, 3> gauges() const;
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] bool closed() const;
 

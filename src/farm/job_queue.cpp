@@ -2,11 +2,16 @@
 
 namespace eclipse::farm {
 
+namespace {
+using Clock = std::chrono::steady_clock;
+}
+
 Admission JobQueue::tryPush(PendingJob&& pj) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_) return Admission::ShuttingDown;
     if (depthLocked() >= capacity_) return Admission::QueueFull;
+    pj.queued = Clock::now();
     lanes_[static_cast<int>(pj.lane())].push_back(std::move(pj));
   }
   not_empty_.notify_one();
@@ -18,15 +23,33 @@ bool JobQueue::waitPush(PendingJob&& pj) {
     std::unique_lock<std::mutex> lock(mu_);
     not_full_.wait(lock, [&] { return closed_ || depthLocked() < capacity_; });
     if (closed_) return false;
+    pj.queued = Clock::now();
     lanes_[static_cast<int>(pj.lane())].push_back(std::move(pj));
   }
   not_empty_.notify_one();
   return true;
 }
 
-std::optional<PendingJob> JobQueue::pop() {
+Admission JobQueue::waitPushFor(PendingJob&& pj, std::chrono::milliseconds timeout) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    const bool ready = not_full_.wait_for(
+        lock, timeout, [&] { return closed_ || depthLocked() < capacity_; });
+    if (closed_) return Admission::ShuttingDown;
+    if (!ready) return Admission::QueueFull;  // timed out, job untouched
+    pj.queued = Clock::now();
+    lanes_[static_cast<int>(pj.lane())].push_back(std::move(pj));
+  }
+  not_empty_.notify_one();
+  return Admission::Accepted;
+}
+
+std::optional<PendingJob> JobQueue::pop(const std::atomic<bool>* stop) {
   std::unique_lock<std::mutex> lock(mu_);
-  not_empty_.wait(lock, [&] { return closed_ || depthLocked() > 0; });
+  not_empty_.wait(lock, [&] {
+    return closed_ || depthLocked() > 0 ||
+           (stop != nullptr && stop->load(std::memory_order_acquire));
+  });
   for (auto& lane : lanes_) {
     if (!lane.empty()) {
       PendingJob pj = std::move(lane.front());
@@ -36,7 +59,7 @@ std::optional<PendingJob> JobQueue::pop() {
       return pj;
     }
   }
-  return std::nullopt;  // closed and drained
+  return std::nullopt;  // closed and drained, or the popper is retiring
 }
 
 void JobQueue::close() {
@@ -48,9 +71,26 @@ void JobQueue::close() {
   not_full_.notify_all();
 }
 
+void JobQueue::wake() { not_empty_.notify_all(); }
+
 std::size_t JobQueue::depth() const {
   std::lock_guard<std::mutex> lock(mu_);
   return depthLocked();
+}
+
+std::array<LaneGauge, 3> JobQueue::gauges() const {
+  const Clock::time_point now = Clock::now();
+  std::array<LaneGauge, 3> g{};
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int i = 0; i < 3; ++i) {
+    g[static_cast<std::size_t>(i)].depth = lanes_[i].size();
+    if (!lanes_[i].empty()) {
+      // FIFO within a lane: the head is the oldest resident.
+      g[static_cast<std::size_t>(i)].oldest_ms =
+          std::chrono::duration<double, std::milli>(now - lanes_[i].front().queued).count();
+    }
+  }
+  return g;
 }
 
 bool JobQueue::closed() const {

@@ -79,6 +79,9 @@ void Worker::join() {
 
 void Worker::retire() {
   retired_.store(true, std::memory_order_release);
+  // A retiree idling in pop() must be kicked awake to notice the flag
+  // (shrinking resize); a hung one ignores the notify, which is fine.
+  queue_.wake();
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.retired = true;
 }
@@ -95,7 +98,7 @@ WorkerStats Worker::stats() const {
 
 void Worker::threadMain() {
   while (!retired_.load(std::memory_order_acquire)) {
-    auto popped = queue_.pop();
+    auto popped = queue_.pop(&retired_);
     if (!popped) break;
     auto fl = std::make_shared<InFlight>();
     fl->pj = std::move(*popped);

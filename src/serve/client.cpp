@@ -1,0 +1,142 @@
+#include "eclipse/serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+
+namespace eclipse::serve {
+
+void Client::connect(const std::string& host, std::uint16_t port, const std::string& tenant) {
+  if (fd_ >= 0) throw std::runtime_error("client already connected");
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw std::runtime_error("client: socket() failed");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close();
+    throw std::runtime_error("client: bad host (IPv4 literal expected): " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    close();
+    throw std::runtime_error("client: cannot connect " + host + ":" + std::to_string(port));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+  if (::send(fd_, kMagic, sizeof kMagic, MSG_NOSIGNAL) != sizeof kMagic) {
+    close();
+    throw std::runtime_error("client: handshake write failed");
+  }
+  ByteWriter w;
+  w.putStr(tenant);
+  if (!sendFrame(fd_, FrameType::Hello, w.bytes())) {
+    close();
+    throw std::runtime_error("client: hello write failed");
+  }
+  const Frame f = readUntil({FrameType::HelloOk});
+  (void)f;
+}
+
+Client::Submitted Client::submit(const std::string& spec) {
+  Submitted s;
+  s.req_id = next_req_id_++;
+  ByteWriter w;
+  w.putU64(s.req_id);
+  w.putStr(spec);
+  if (!sendFrame(fd_, FrameType::Submit, w.bytes()))
+    throw ProtocolError("submit write failed");
+
+  // The reply for *this* id: results (even for this id, under extreme
+  // server speed) and replies never reorder within a type, but a Result
+  // may legally precede the Accepted — buffer and keep reading.
+  const Frame f = readUntil({FrameType::Accepted, FrameType::Rejected});
+  ByteReader rd(f.payload);
+  const std::uint64_t id = rd.getU64();
+  if (id != s.req_id) throw ProtocolError("reply for unexpected req_id");
+  if (f.type == FrameType::Accepted) {
+    s.accepted = true;
+    outstanding_[s.req_id] = true;
+  } else {
+    s.accepted = false;
+    s.reason = static_cast<RejectReason>(rd.getU8());
+    s.detail = rd.getStr();
+  }
+  return s;
+}
+
+WireResult Client::await(std::uint64_t req_id) {
+  for (;;) {
+    auto it = results_.find(req_id);
+    if (it != results_.end()) {
+      WireResult r = std::move(it->second);
+      results_.erase(it);
+      outstanding_.erase(req_id);
+      return r;
+    }
+    bufferResult(readUntil({FrameType::Result}));
+  }
+}
+
+std::vector<WireResult> Client::awaitAll() {
+  std::vector<WireResult> out;
+  while (!outstanding_.empty()) {
+    out.push_back(await(outstanding_.begin()->first));
+  }
+  return out;
+}
+
+std::string Client::metricsText() {
+  if (!sendFrame(fd_, FrameType::Metrics, {})) throw ProtocolError("metrics write failed");
+  const Frame f = readUntil({FrameType::MetricsText});
+  ByteReader rd(f.payload);
+  return rd.getStr();
+}
+
+void Client::ping() {
+  if (!sendFrame(fd_, FrameType::Ping, {})) throw ProtocolError("ping write failed");
+  (void)readUntil({FrameType::Pong});
+}
+
+void Client::close() {
+  if (fd_ < 0) return;
+  // Best-effort goodbye; the server also handles plain EOF.
+  sendFrame(fd_, FrameType::Quit, {});
+  ::close(fd_);
+  fd_ = -1;
+}
+
+Frame Client::readUntil(std::initializer_list<FrameType> want) {
+  for (;;) {
+    Frame f;
+    if (!recvFrame(fd_, f)) throw ProtocolError("server closed the connection");
+    for (FrameType t : want) {
+      if (f.type == t) return f;
+    }
+    if (f.type == FrameType::Result) {
+      bufferResult(f);
+      continue;
+    }
+    if (f.type == FrameType::Error) {
+      ByteReader rd(f.payload);
+      throw ProtocolError("server error: " + rd.getStr());
+    }
+    throw ProtocolError("unexpected frame while waiting");
+  }
+}
+
+void Client::bufferResult(const Frame& f) {
+  ByteReader rd(f.payload);
+  const std::uint64_t id = rd.getU64();
+  WireResult r = decodeResult(rd);
+  r.req_id = id;
+  results_.emplace(id, std::move(r));
+}
+
+}  // namespace eclipse::serve

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace eclipse::serve {
+
+/// Fixed-bucket latency histogram (milliseconds, log-spaced bounds).
+///
+/// Cheap enough to update on every result under the dispatcher lock, and
+/// exportable both as quantile estimates (upper bucket bound at the target
+/// rank — the usual Prometheus-style approximation) and as cumulative
+/// bucket counts for the /metrics endpoint. Not internally synchronised:
+/// the owner (TenantState) serialises access.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 16;
+
+  /// Upper bounds in ms; the last bucket is +inf (represented by max()).
+  [[nodiscard]] static constexpr std::array<double, kBuckets> bounds() {
+    return {0.5,   1.0,   2.0,    5.0,    10.0,   20.0,    50.0,    100.0,
+            200.0, 500.0, 1000.0, 2000.0, 5000.0, 10000.0, 30000.0, 1e300};
+  }
+
+  void record(double ms) {
+    const auto b = bounds();
+    std::size_t i = 0;
+    while (i + 1 < kBuckets && ms > b[i]) ++i;
+    ++counts_[i];
+    ++count_;
+    sum_ms_ += ms;
+    max_ms_ = std::max(max_ms_, ms);
+  }
+
+  /// Quantile estimate: the upper bound of the bucket holding the q-th
+  /// ranked sample (q in [0,1]). The open-ended top bucket reports the
+  /// observed max instead of +inf. 0 when empty.
+  [[nodiscard]] double percentile(double q) const {
+    if (count_ == 0) return 0.0;
+    const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      cum += counts_[i];
+      if (cum >= rank) return i + 1 == kBuckets ? max_ms_ : bounds()[i];
+    }
+    return max_ms_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sumMs() const { return sum_ms_; }
+  [[nodiscard]] double maxMs() const { return max_ms_; }
+  [[nodiscard]] std::uint64_t bucketCount(std::size_t i) const { return counts_[i]; }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  double sum_ms_ = 0.0;
+  double max_ms_ = 0.0;
+};
+
+}  // namespace eclipse::serve

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eclipse/farm/farm.hpp"
+#include "eclipse/serve/tenant.hpp"
+
+namespace eclipse::serve {
+
+/// Renders the /metrics exposition: Prometheus-style text combining the
+/// farm's cumulative counters, the live per-lane gauges, and per-tenant
+/// serve counters with latency / queue-age quantiles and cumulative
+/// histogram buckets. Pure formatting — callers pass consistent snapshots.
+[[nodiscard]] std::string renderMetricsText(const farm::FarmMetrics& farm,
+                                            const std::vector<TenantStats>& tenants);
+
+}  // namespace eclipse::serve

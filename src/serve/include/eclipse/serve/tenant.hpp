@@ -1,0 +1,97 @@
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "eclipse/serve/histogram.hpp"
+
+namespace eclipse::serve {
+
+/// What to do when a tenant exceeds its rate: Shed rejects at admission
+/// (RateLimited), Queue accepts and lets the job wait in the tenant's
+/// pending queue for tokens (only the pending bound rejects then).
+enum class OverloadPolicy { Shed, Queue };
+
+[[nodiscard]] constexpr const char* overloadPolicyName(OverloadPolicy p) {
+  return p == OverloadPolicy::Shed ? "shed" : "queue";
+}
+
+/// Per-tenant QoS contract. All limits are serve-level: the farm below
+/// never sees tenants, only the jobs the dispatcher chose to release.
+struct TenantConfig {
+  std::string name;
+  /// Token-bucket rate in jobs/second (0 = unlimited). Tokens are spent at
+  /// dispatch, so a Queue-policy tenant is *paced*, not rejected.
+  double rate = 0.0;
+  double burst = 8.0;  ///< bucket capacity (min 1 when rate-limited)
+  /// Admission quota: jobs this tenant may have in flight in the farm at
+  /// once. Bounds the share of workers one tenant can pin down.
+  int max_inflight = 4;
+  /// Pending bound: jobs waiting in the tenant's serve-side queue. Beyond
+  /// it admission rejects with QueueFull whatever the policy.
+  std::size_t max_pending = 64;
+  /// Deficit-round-robin weight: quantum added per dispatch round. Twice
+  /// the weight, twice the backlog drain rate under contention.
+  double weight = 1.0;
+  OverloadPolicy policy = OverloadPolicy::Shed;
+};
+
+/// Classic token bucket; the caller provides the clock (the dispatcher
+/// refills all buckets from one now() per round).
+struct TokenBucket {
+  double tokens = 0.0;
+  std::chrono::steady_clock::time_point last{};
+
+  void refill(const TenantConfig& cfg, std::chrono::steady_clock::time_point now) {
+    if (cfg.rate <= 0.0) return;
+    if (last.time_since_epoch().count() == 0) {
+      last = now;
+      tokens = std::max(1.0, cfg.burst);  // start full: a burst is allowed up front
+      return;
+    }
+    const double dt = std::chrono::duration<double>(now - last).count();
+    last = now;
+    tokens = std::min(std::max(1.0, cfg.burst), tokens + cfg.rate * dt);
+  }
+
+  /// True (and one token consumed) when the tenant may dispatch now.
+  [[nodiscard]] bool tryTake(const TenantConfig& cfg) {
+    if (cfg.rate <= 0.0) return true;  // unlimited
+    if (tokens < 1.0) return false;
+    tokens -= 1.0;
+    return true;
+  }
+
+  void refund(const TenantConfig& cfg) {
+    if (cfg.rate > 0.0) tokens += 1.0;
+  }
+};
+
+/// Snapshot of one tenant's counters + quantiles (for /metrics and the
+/// bench gates). Counters are cumulative since registration.
+struct TenantStats {
+  TenantConfig config;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed_rate = 0;    ///< rejected: bucket empty under Shed
+  std::uint64_t shed_queue = 0;   ///< rejected: pending bound hit
+  std::uint64_t dispatched = 0;   ///< released into the farm
+  std::uint64_t completed = 0;    ///< terminal results, status Completed
+  std::uint64_t failed = 0;       ///< terminal results, any other status
+  std::uint64_t promoted = 0;     ///< deadline-slack lane promotions
+  std::size_t pending = 0;        ///< gauge: waiting in the tenant queue
+  int inflight = 0;               ///< gauge: inside the farm now
+  Histogram latency;    ///< serve latency (admission -> result), ms
+  Histogram queue_age;  ///< admission -> dispatch, ms
+
+  [[nodiscard]] std::uint64_t shed() const { return shed_rate + shed_queue; }
+};
+
+/// Parses a tenant spec string: `name[:key=value,...]` with keys rate,
+/// burst, quota (max_inflight), pending (max_pending), weight, policy
+/// (shed|queue). Used by the daemon's --tenant flag and config file.
+/// Returns false with `err` set on a malformed spec.
+bool parseTenantSpec(const std::string& spec, TenantConfig& out, std::string& err);
+
+}  // namespace eclipse::serve

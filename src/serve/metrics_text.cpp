@@ -1,0 +1,145 @@
+#include "eclipse/serve/metrics_text.hpp"
+
+#include <sstream>
+
+namespace eclipse::serve {
+
+namespace {
+
+constexpr const char* kLaneNames[3] = {"high", "normal", "low"};
+
+void counter(std::ostream& os, const char* name, const char* help, std::uint64_t v) {
+  os << "# HELP " << name << ' ' << help << "\n# TYPE " << name << " counter\n"
+     << name << ' ' << v << '\n';
+}
+
+void quantiles(std::ostream& os, const std::string& metric, const std::string& tenant,
+               const Histogram& h) {
+  static constexpr struct {
+    const char* label;
+    double q;
+  } kQuantiles[] = {{"0.5", 0.5}, {"0.95", 0.95}, {"0.99", 0.99}};
+  for (const auto& e : kQuantiles) {
+    os << metric << "{tenant=\"" << tenant << "\",quantile=\"" << e.label
+       << "\"} " << h.percentile(e.q) << '\n';
+  }
+  os << metric << "_sum{tenant=\"" << tenant << "\"} " << h.sumMs() << '\n';
+  os << metric << "_count{tenant=\"" << tenant << "\"} " << h.count() << '\n';
+}
+
+void buckets(std::ostream& os, const std::string& metric, const std::string& tenant,
+             const Histogram& h) {
+  const auto bounds = Histogram::bounds();
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    cum += h.bucketCount(i);
+    os << metric << "_bucket{tenant=\"" << tenant << "\",le=\"";
+    if (i + 1 == Histogram::kBuckets) {
+      os << "+Inf";
+    } else {
+      os << bounds[i];
+    }
+    os << "\"} " << cum << '\n';
+  }
+}
+
+}  // namespace
+
+std::string renderMetricsText(const farm::FarmMetrics& farm,
+                              const std::vector<TenantStats>& tenants) {
+  std::ostringstream os;
+
+  counter(os, "eclipse_farm_accepted_total", "Jobs accepted by the farm", farm.accepted);
+  counter(os, "eclipse_farm_rejected_total", "Jobs rejected at farm admission", farm.rejected);
+  counter(os, "eclipse_farm_completed_total", "Terminal results with status Completed",
+          farm.completed);
+  counter(os, "eclipse_farm_failed_total", "Terminal non-Completed results", farm.failed);
+  counter(os, "eclipse_farm_retried_total", "Retry re-admissions staged", farm.retried);
+  counter(os, "eclipse_farm_quarantined_total", "Jobs quarantined after killing two workers",
+          farm.quarantined);
+  counter(os, "eclipse_farm_workers_replaced_total", "Hung workers replaced",
+          farm.workers_replaced);
+
+  os << "# HELP eclipse_farm_lane_depth Jobs queued on the lane right now\n"
+        "# TYPE eclipse_farm_lane_depth gauge\n";
+  for (int i = 0; i < 3; ++i) {
+    os << "eclipse_farm_lane_depth{lane=\"" << kLaneNames[i] << "\"} "
+       << farm.lanes[static_cast<std::size_t>(i)].depth << '\n';
+  }
+  os << "# HELP eclipse_farm_lane_oldest_ms Queue age of the lane's head job\n"
+        "# TYPE eclipse_farm_lane_oldest_ms gauge\n";
+  for (int i = 0; i < 3; ++i) {
+    os << "eclipse_farm_lane_oldest_ms{lane=\"" << kLaneNames[i] << "\"} "
+       << farm.lanes[static_cast<std::size_t>(i)].oldest_ms << '\n';
+  }
+  os << "# HELP eclipse_farm_queue_depth Total jobs queued across lanes\n"
+        "# TYPE eclipse_farm_queue_depth gauge\n"
+        "eclipse_farm_queue_depth "
+     << farm.queue_depth << '\n';
+  os << "# HELP eclipse_farm_jobs_per_s Delivered results per second since start\n"
+        "# TYPE eclipse_farm_jobs_per_s gauge\n"
+        "eclipse_farm_jobs_per_s "
+     << farm.jobs_per_s << '\n';
+
+  os << "# HELP eclipse_serve_admitted_total Jobs admitted per tenant\n"
+        "# TYPE eclipse_serve_admitted_total counter\n";
+  for (const TenantStats& t : tenants)
+    os << "eclipse_serve_admitted_total{tenant=\"" << t.config.name << "\"} " << t.admitted
+       << '\n';
+  os << "# HELP eclipse_serve_shed_total Jobs rejected at serve admission\n"
+        "# TYPE eclipse_serve_shed_total counter\n";
+  for (const TenantStats& t : tenants) {
+    os << "eclipse_serve_shed_total{tenant=\"" << t.config.name << "\",reason=\"rate\"} "
+       << t.shed_rate << '\n';
+    os << "eclipse_serve_shed_total{tenant=\"" << t.config.name << "\",reason=\"queue\"} "
+       << t.shed_queue << '\n';
+  }
+  os << "# HELP eclipse_serve_dispatched_total Jobs released into the farm\n"
+        "# TYPE eclipse_serve_dispatched_total counter\n";
+  for (const TenantStats& t : tenants)
+    os << "eclipse_serve_dispatched_total{tenant=\"" << t.config.name << "\"} " << t.dispatched
+       << '\n';
+  os << "# HELP eclipse_serve_completed_total Terminal Completed results per tenant\n"
+        "# TYPE eclipse_serve_completed_total counter\n";
+  for (const TenantStats& t : tenants)
+    os << "eclipse_serve_completed_total{tenant=\"" << t.config.name << "\"} " << t.completed
+       << '\n';
+  os << "# HELP eclipse_serve_failed_total Terminal non-Completed results per tenant\n"
+        "# TYPE eclipse_serve_failed_total counter\n";
+  for (const TenantStats& t : tenants)
+    os << "eclipse_serve_failed_total{tenant=\"" << t.config.name << "\"} " << t.failed << '\n';
+  os << "# HELP eclipse_serve_promoted_total Deadline-slack lane promotions per tenant\n"
+        "# TYPE eclipse_serve_promoted_total counter\n";
+  for (const TenantStats& t : tenants)
+    os << "eclipse_serve_promoted_total{tenant=\"" << t.config.name << "\"} " << t.promoted
+       << '\n';
+  os << "# HELP eclipse_serve_pending Jobs waiting in the tenant queue\n"
+        "# TYPE eclipse_serve_pending gauge\n";
+  for (const TenantStats& t : tenants)
+    os << "eclipse_serve_pending{tenant=\"" << t.config.name << "\"} " << t.pending << '\n';
+  os << "# HELP eclipse_serve_inflight Jobs inside the farm per tenant\n"
+        "# TYPE eclipse_serve_inflight gauge\n";
+  for (const TenantStats& t : tenants)
+    os << "eclipse_serve_inflight{tenant=\"" << t.config.name << "\"} " << t.inflight << '\n';
+
+  os << "# HELP eclipse_serve_latency_ms Serve latency, admission to result\n"
+        "# TYPE eclipse_serve_latency_ms summary\n";
+  for (const TenantStats& t : tenants)
+    quantiles(os, "eclipse_serve_latency_ms", t.config.name, t.latency);
+  os << "# HELP eclipse_serve_latency_ms_hist Serve latency histogram\n"
+        "# TYPE eclipse_serve_latency_ms_hist histogram\n";
+  for (const TenantStats& t : tenants)
+    buckets(os, "eclipse_serve_latency_ms_hist", t.config.name, t.latency);
+  os << "# HELP eclipse_serve_queue_age_ms Queue age, admission to dispatch\n"
+        "# TYPE eclipse_serve_queue_age_ms summary\n";
+  for (const TenantStats& t : tenants)
+    quantiles(os, "eclipse_serve_queue_age_ms", t.config.name, t.queue_age);
+  os << "# HELP eclipse_serve_queue_age_ms_hist Queue-age histogram\n"
+        "# TYPE eclipse_serve_queue_age_ms_hist histogram\n";
+  for (const TenantStats& t : tenants)
+    buckets(os, "eclipse_serve_queue_age_ms_hist", t.config.name, t.queue_age);
+
+  return os.str();
+}
+
+}  // namespace eclipse::serve

@@ -1,0 +1,64 @@
+#include "eclipse/serve/tenant.hpp"
+
+#include <sstream>
+
+namespace eclipse::serve {
+
+bool parseTenantSpec(const std::string& spec, TenantConfig& out, std::string& err) {
+  out = TenantConfig{};
+  const auto colon = spec.find(':');
+  out.name = spec.substr(0, colon);
+  if (out.name.empty()) {
+    err = "empty tenant name";
+    return false;
+  }
+  if (colon == std::string::npos) return true;
+
+  std::istringstream is(spec.substr(colon + 1));
+  std::string field;
+  while (std::getline(is, field, ',')) {
+    if (field.empty()) continue;
+    const auto eq = field.find('=');
+    if (eq == std::string::npos) {
+      err = "tenant field without '=': " + field;
+      return false;
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string val = field.substr(eq + 1);
+    try {
+      if (key == "rate") {
+        out.rate = std::stod(val);
+      } else if (key == "burst") {
+        out.burst = std::stod(val);
+      } else if (key == "quota") {
+        out.max_inflight = std::stoi(val);
+      } else if (key == "pending") {
+        out.max_pending = static_cast<std::size_t>(std::stoul(val));
+      } else if (key == "weight") {
+        out.weight = std::stod(val);
+      } else if (key == "policy") {
+        if (val == "shed") {
+          out.policy = OverloadPolicy::Shed;
+        } else if (val == "queue") {
+          out.policy = OverloadPolicy::Queue;
+        } else {
+          err = "unknown policy: " + val;
+          return false;
+        }
+      } else {
+        err = "unknown tenant field: " + key;
+        return false;
+      }
+    } catch (const std::exception&) {
+      err = "bad value for tenant " + key + ": " + val;
+      return false;
+    }
+  }
+  if (out.rate < 0.0 || out.weight <= 0.0 || out.max_inflight < 1) {
+    err = "tenant limits out of range (rate >= 0, weight > 0, quota >= 1)";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace eclipse::serve

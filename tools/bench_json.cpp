@@ -6,12 +6,14 @@
 //
 // Usage: bench_json [--out FILE] [--repeats N] [--smoke]
 //                   [--transport | --reconfig | --faults | --farm | --media
-//                    | --modes | --shards]
+//                    | --modes | --shards | --serve]
 
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -24,6 +26,9 @@
 #include "eclipse/media/kernels.hpp"
 #include "eclipse/coproc/vld.hpp"
 #include "eclipse/media/vlc.hpp"
+#include "eclipse/serve/client.hpp"
+#include "eclipse/serve/jobspec.hpp"
+#include "eclipse/serve/server.hpp"
 #include "eclipse/sim/prng.hpp"
 #include "eclipse/sim/sim_event.hpp"
 
@@ -656,6 +661,397 @@ void emitFarm(std::FILE* f, const FarmBenchResult& r) {
                  static_cast<unsigned long long>(p.reused),
                  static_cast<unsigned long long>(p.cold_builds), p.build_ms, p.recycle_ms,
                  i + 1 < r.points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+}
+
+/// Serve scenario (--serve): the serving-tier gate (DESIGN.md §15). Runs an
+/// in-process Server (ECL1 binary protocol over loopback) with real Clients
+/// and checks the four serving invariants as hard gates (exit 1):
+///   * identity_ok  — every result served over the wire is bit-identical,
+///                    field for field, to a direct Farm::submitWait oracle
+///                    of the same jobspec (same WorkloadCache, 1 worker):
+///                    the serving tier adds framing and QoS, never state;
+///   * pin_ok       — the served reference decode lands exactly on the
+///                    decode pin, and no serve job ever enters the sliced
+///                    heartbeat path (supervisedJobs() == 0): serving an
+///                    unarmed batch costs nothing;
+///   * fairshare_ok — a misbehaving tenant (tiny quota, shed policy,
+///                    flooding back-to-back) gets shed while a compliant
+///                    tenant's every job still completes — no starvation.
+///                    Counters only, no wall-clock asserts (1-core CI);
+///   * zero_loss_ok — a rolling drain issued with results still in flight
+///                    delivers every accepted result (resultsDropped()==0)
+///                    and rejects late submissions with Draining.
+/// Plus an open-loop Poisson load sweep (per-tenant latency / queue-age
+/// percentiles and shed counts per arrival rate) for the JSON record.
+struct ServeTenantPoint {
+  std::string tenant;
+  std::uint64_t admitted = 0, shed = 0, completed = 0;
+  double p50_ms = 0, p95_ms = 0, p99_ms = 0, queue_p95_ms = 0;
+};
+
+struct ServeSweepPoint {
+  double rate_jobs_s = 0;
+  int jobs = 0;
+  double wall_s = 0, jobs_per_s = 0;
+  std::vector<ServeTenantPoint> tenants;
+};
+
+struct ServeBenchResult {
+  bool pin_ok = false, identity_ok = false, fairshare_ok = false, zero_loss_ok = false;
+  int identity_jobs = 0;
+  std::uint64_t supervised_jobs = 0;
+  std::uint64_t results_dropped = 0;
+  std::uint64_t mallory_admitted = 0, mallory_shed = 0;
+  std::uint64_t alice_jobs = 0, alice_completed = 0;
+  std::vector<ServeSweepPoint> sweep;
+
+  [[nodiscard]] bool gatesOk() const {
+    return pin_ok && identity_ok && fairshare_ok && zero_loss_ok;
+  }
+};
+
+FarmSimFields wireSimFields(const serve::WireResult& r) {
+  return {static_cast<sim::Cycle>(r.sim_cycles), r.sim_events, r.macroblocks,
+          r.bit_exact,                           r.psnr_db,    r.faults_latched,
+          r.stalls_latched};
+}
+
+ServeBenchResult runServe(bool smoke) {
+  ServeBenchResult r;
+  // One prepared-workload cache shared by every farm below (served and
+  // oracle): identical prepared state, and setup is paid once.
+  auto cache = std::make_shared<farm::WorkloadCache>();
+
+  // The jobspec mix: the pinned reference decode plus small variants that
+  // cover qscale, encode, multi-app and config-override parsing.
+  const std::string tiny = " width=32 height=32 frames=1";
+  const std::vector<std::string> specs = {
+      "pin",  // no fields: exactly the pinned reference decode
+      "small" + tiny,
+      "coarse" + tiny + " qscale=20",
+      "enc kind=encode" + tiny,
+      "mix kind=decode+decode" + tiny + " config:sram.size_bytes=65536 priority=high",
+  };
+
+  // --- oracle: direct submitWait, no serving tier ----------------------
+  std::vector<FarmSimFields> oracle(specs.size());
+  bool oracle_ok = true;
+  {
+    farm::FarmOptions fo;
+    fo.workers = 1;
+    fo.queue_capacity = 8;
+    fo.cache = cache;
+    farm::Farm f(fo);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      serve::ParsedSpec ps;
+      std::string err;
+      if (!serve::parseJobSpec(specs[i], ps, err)) {
+        std::fprintf(stderr, "SERVE: oracle spec %zu unparseable: %s\n", i, err.c_str());
+        oracle_ok = false;
+        continue;
+      }
+      const farm::JobResult jr = f.submitWait(std::move(ps.job)).get();
+      oracle[i] = {jr.sim_cycles,  jr.sim_events,    jr.macroblocks, jr.bit_exact,
+                   jr.psnr_db,     jr.faults_latched, jr.stalls_latched};
+      if (jr.status != farm::JobStatus::Completed) {
+        std::fprintf(stderr, "SERVE: oracle job %zu not Completed\n", i);
+        oracle_ok = false;
+      }
+    }
+  }
+
+  // --- gate: wire identity + unarmed pin -------------------------------
+  try {
+    serve::ServeOptions so;
+    so.farm.workers = 2;
+    so.farm.queue_capacity = 32;
+    so.farm.cache = cache;
+    serve::Server server(so);
+    server.start();
+    serve::Client alice, bob;
+    alice.connect("127.0.0.1", server.port(), "alice");
+    bob.connect("127.0.0.1", server.port(), "bob");
+
+    // Round-robin the spec mix over two tenant connections, open loop.
+    const int reps = smoke ? 2 : 6;
+    std::map<std::uint64_t, std::size_t> sent_alice, sent_bob;
+    bool all_accepted = true;
+    for (int rep = 0; rep < reps; ++rep) {
+      for (std::size_t i = 0; i < specs.size(); ++i) {
+        const bool use_alice = (rep + static_cast<int>(i)) % 2 == 0;
+        serve::Client& c = use_alice ? alice : bob;
+        const auto s = c.submit(specs[i]);
+        if (!s.accepted) {
+          std::fprintf(stderr, "SERVE: identity submit rejected: %s\n",
+                       serve::rejectReasonName(s.reason));
+          all_accepted = false;
+          continue;
+        }
+        (use_alice ? sent_alice : sent_bob)[s.req_id] = i;
+      }
+    }
+
+    bool identical = oracle_ok && all_accepted;
+    auto check = [&](serve::Client& c, const std::map<std::uint64_t, std::size_t>& sent) {
+      for (const serve::WireResult& wr : c.awaitAll()) {
+        ++r.identity_jobs;
+        const auto it = sent.find(wr.req_id);
+        if (it == sent.end() || wr.status != farm::JobStatus::Completed ||
+            !(wireSimFields(wr) == oracle[it->second])) {
+          std::fprintf(stderr,
+                       "SERVE IDENTITY VIOLATION: req %llu spec %zu "
+                       "(cycles %llu vs oracle %llu, events %llu vs %llu)\n",
+                       static_cast<unsigned long long>(wr.req_id),
+                       it == sent.end() ? static_cast<std::size_t>(-1) : it->second,
+                       static_cast<unsigned long long>(wr.sim_cycles),
+                       it == sent.end()
+                           ? 0ULL
+                           : static_cast<unsigned long long>(oracle[it->second].sim_cycles),
+                       static_cast<unsigned long long>(wr.sim_events),
+                       it == sent.end()
+                           ? 0ULL
+                           : static_cast<unsigned long long>(oracle[it->second].sim_events));
+          identical = false;
+        }
+      }
+    };
+    check(alice, sent_alice);
+    check(bob, sent_bob);
+    r.identity_ok = identical && r.identity_jobs == reps * static_cast<int>(specs.size());
+
+    // Zero overhead on the unarmed batch path: the served pin decode is
+    // cycle-exact and nothing entered the sliced heartbeat path.
+    const farm::FarmMetrics m = server.farm().metrics();
+    r.supervised_jobs = m.supervisedJobs();
+    r.pin_ok = oracle[0].sim_cycles == pin::kDecodePinCycles &&
+               oracle[0].sim_events == pin::kDecodePinEvents &&
+               oracle[0].macroblocks == pin::kDecodePinMacroblocks && oracle[0].bit_exact &&
+               r.identity_ok && r.supervised_jobs == 0;
+
+    alice.close();
+    bob.close();
+    server.shutdown();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "SERVE: identity stage failed: %s\n", e.what());
+  }
+
+  // --- gate: fair share under a flooding tenant ------------------------
+  try {
+    serve::ServeOptions so;
+    so.farm.workers = 2;
+    so.farm.queue_capacity = 8;
+    so.farm.cache = cache;
+    serve::TenantConfig mallory;
+    mallory.name = "mallory";
+    mallory.rate = 50.0;  // paced...
+    mallory.burst = 4.0;
+    mallory.max_inflight = 1;
+    mallory.max_pending = 4;
+    mallory.weight = 1.0;
+    mallory.policy = serve::OverloadPolicy::Shed;  // ...and shed beyond the burst
+    serve::TenantConfig alice_cfg;
+    alice_cfg.name = "alice";
+    alice_cfg.rate = 0.0;  // compliant tenant: unlimited, generous bounds
+    alice_cfg.max_inflight = 4;
+    alice_cfg.max_pending = 128;
+    alice_cfg.weight = 4.0;
+    so.tenants = {mallory, alice_cfg};
+    serve::Server server(so);
+    server.start();
+    serve::Client cm, ca;
+    cm.connect("127.0.0.1", server.port(), "mallory");
+    ca.connect("127.0.0.1", server.port(), "alice");
+
+    // Mallory floods back-to-back; alice submits her modest batch
+    // interleaved. No pacing on the client side — the server's QoS is the
+    // only thing standing between mallory and the farm.
+    const int mallory_jobs = smoke ? 60 : 150;
+    const int alice_jobs = smoke ? 10 : 24;
+    r.alice_jobs = static_cast<std::uint64_t>(alice_jobs);
+    std::uint64_t alice_accepted = 0;
+    int sent_alice = 0;
+    for (int n = 0; n < mallory_jobs; ++n) {
+      const auto s = cm.submit("flood" + tiny + " seed=" + std::to_string(n % 4));
+      if (s.accepted) ++r.mallory_admitted;
+      else ++r.mallory_shed;
+      if (n % (mallory_jobs / alice_jobs + 1) == 0 && sent_alice < alice_jobs) {
+        ++sent_alice;
+        if (ca.submit("steady" + tiny).accepted) ++alice_accepted;
+      }
+    }
+    while (sent_alice < alice_jobs) {
+      ++sent_alice;
+      if (ca.submit("steady" + tiny).accepted) ++alice_accepted;
+    }
+
+    for (const serve::WireResult& wr : ca.awaitAll()) {
+      if (wr.status == farm::JobStatus::Completed) ++r.alice_completed;
+    }
+    cm.awaitAll();  // mallory's admitted jobs still finish (shed, not starved)
+    r.fairshare_ok = alice_accepted == r.alice_jobs &&
+                     r.alice_completed == r.alice_jobs && r.mallory_shed > 0;
+    if (!r.fairshare_ok) {
+      std::fprintf(stderr,
+                   "SERVE FAIRSHARE VIOLATION: alice accepted=%llu completed=%llu of %llu, "
+                   "mallory admitted=%llu shed=%llu\n",
+                   static_cast<unsigned long long>(alice_accepted),
+                   static_cast<unsigned long long>(r.alice_completed),
+                   static_cast<unsigned long long>(r.alice_jobs),
+                   static_cast<unsigned long long>(r.mallory_admitted),
+                   static_cast<unsigned long long>(r.mallory_shed));
+    }
+    cm.close();
+    ca.close();
+    server.shutdown();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "SERVE: fairshare stage failed: %s\n", e.what());
+  }
+
+  // --- gate: rolling drain loses nothing -------------------------------
+  try {
+    serve::ServeOptions so;
+    so.farm.workers = 2;
+    so.farm.queue_capacity = 16;
+    so.farm.cache = cache;
+    serve::Server server(so);
+    server.start();
+    serve::Client c;
+    c.connect("127.0.0.1", server.port(), "drainee");
+    const int n = smoke ? 8 : 16;
+    std::uint64_t accepted = 0;
+    for (int i = 0; i < n; ++i) {
+      if (c.submit("drain" + tiny + " seed=" + std::to_string(i % 4)).accepted) ++accepted;
+    }
+    server.beginDrain();  // results still in flight
+    const auto late = c.submit("late" + tiny);
+    const bool late_rejected = !late.accepted && late.reason == serve::RejectReason::Draining;
+    std::uint64_t results = 0;
+    for (const serve::WireResult& wr : c.awaitAll()) {
+      (void)wr;
+      ++results;
+    }
+    server.shutdown();
+    r.results_dropped = server.resultsDropped();
+    r.zero_loss_ok = late_rejected && accepted == static_cast<std::uint64_t>(n) &&
+                     results == accepted && r.results_dropped == 0;
+    if (!r.zero_loss_ok) {
+      std::fprintf(stderr,
+                   "SERVE DRAIN VIOLATION: accepted=%llu results=%llu dropped=%llu "
+                   "late_rejected=%d\n",
+                   static_cast<unsigned long long>(accepted),
+                   static_cast<unsigned long long>(results),
+                   static_cast<unsigned long long>(r.results_dropped),
+                   late_rejected ? 1 : 0);
+    }
+    c.close();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "SERVE: drain stage failed: %s\n", e.what());
+  }
+
+  // --- open-loop Poisson load sweep (telemetry, not a gate) ------------
+  const std::vector<double> rates = smoke ? std::vector<double>{80.0}
+                                          : std::vector<double>{40.0, 80.0, 160.0};
+  // Seeded arrival jitter, no wall-clock entropy (the serve_client idiom).
+  auto splitmix = [](std::uint64_t& state) {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  for (const double rate : rates) {
+    try {
+      serve::ServeOptions so;
+      so.farm.workers = 2;
+      so.farm.queue_capacity = 32;
+      so.farm.cache = cache;
+      serve::Server server(so);
+      server.start();
+      const std::vector<std::string> tenants = {"alice", "bob", "carol"};
+      std::vector<serve::Client> clients(tenants.size());
+      for (std::size_t i = 0; i < tenants.size(); ++i) {
+        clients[i].connect("127.0.0.1", server.port(), tenants[i]);
+      }
+      ServeSweepPoint p;
+      p.rate_jobs_s = rate;
+      p.jobs = smoke ? 18 : 60;
+      std::uint64_t jitter = 42;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int n = 0; n < p.jobs; ++n) {
+        clients[static_cast<std::size_t>(n) % clients.size()].submit(
+            "load" + tiny + " seed=" + std::to_string(n % 4));
+        if (n + 1 < p.jobs) {
+          const double u =
+              (static_cast<double>(splitmix(jitter) >> 11) + 1.0) / 9007199254740993.0;
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(-std::log(u) / rate * 1000.0));
+        }
+      }
+      for (auto& c : clients) c.awaitAll();
+      p.wall_s = seconds(t0);
+      p.jobs_per_s = p.wall_s > 0 ? static_cast<double>(p.jobs) / p.wall_s : 0;
+      for (const serve::TenantStats& t : server.dispatcher().tenantStats()) {
+        ServeTenantPoint tp;
+        tp.tenant = t.config.name;
+        tp.admitted = t.admitted;
+        tp.shed = t.shed();
+        tp.completed = t.completed;
+        tp.p50_ms = t.latency.percentile(0.5);
+        tp.p95_ms = t.latency.percentile(0.95);
+        tp.p99_ms = t.latency.percentile(0.99);
+        tp.queue_p95_ms = t.queue_age.percentile(0.95);
+        p.tenants.push_back(std::move(tp));
+      }
+      for (auto& c : clients) c.close();
+      server.shutdown();
+      r.sweep.push_back(std::move(p));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "SERVE: sweep at %.0f jobs/s failed: %s\n", rate, e.what());
+    }
+  }
+  return r;
+}
+
+void emitServe(std::FILE* f, const ServeBenchResult& r) {
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"eclipse-bench-serve-v1\",\n");
+  std::fprintf(f, "  \"pin_ok\": %s,\n", r.pin_ok ? "true" : "false");
+  std::fprintf(f, "  \"identity_ok\": %s,\n", r.identity_ok ? "true" : "false");
+  std::fprintf(f, "  \"fairshare_ok\": %s,\n", r.fairshare_ok ? "true" : "false");
+  std::fprintf(f, "  \"zero_loss_ok\": %s,\n", r.zero_loss_ok ? "true" : "false");
+  std::fprintf(f, "  \"identity_jobs\": %d,\n", r.identity_jobs);
+  std::fprintf(f, "  \"supervised_jobs\": %llu,\n",
+               static_cast<unsigned long long>(r.supervised_jobs));
+  std::fprintf(f, "  \"results_dropped\": %llu,\n",
+               static_cast<unsigned long long>(r.results_dropped));
+  std::fprintf(f,
+               "  \"fairshare\": {\"mallory_admitted\": %llu, \"mallory_shed\": %llu, "
+               "\"alice_jobs\": %llu, \"alice_completed\": %llu},\n",
+               static_cast<unsigned long long>(r.mallory_admitted),
+               static_cast<unsigned long long>(r.mallory_shed),
+               static_cast<unsigned long long>(r.alice_jobs),
+               static_cast<unsigned long long>(r.alice_completed));
+  std::fprintf(f, "  \"sweep\": [\n");
+  for (std::size_t i = 0; i < r.sweep.size(); ++i) {
+    const ServeSweepPoint& p = r.sweep[i];
+    std::fprintf(f,
+                 "    {\"rate_jobs_s\": %.0f, \"jobs\": %d, \"wall_s\": %.3f, "
+                 "\"jobs_per_s\": %.2f, \"tenants\": [\n",
+                 p.rate_jobs_s, p.jobs, p.wall_s, p.jobs_per_s);
+    for (std::size_t j = 0; j < p.tenants.size(); ++j) {
+      const ServeTenantPoint& t = p.tenants[j];
+      std::fprintf(f,
+                   "      {\"tenant\": \"%s\", \"admitted\": %llu, \"shed\": %llu, "
+                   "\"completed\": %llu, \"p50_ms\": %.2f, \"p95_ms\": %.2f, "
+                   "\"p99_ms\": %.2f, \"queue_p95_ms\": %.2f}%s\n",
+                   t.tenant.c_str(), static_cast<unsigned long long>(t.admitted),
+                   static_cast<unsigned long long>(t.shed),
+                   static_cast<unsigned long long>(t.completed), t.p50_ms, t.p95_ms, t.p99_ms,
+                   t.queue_p95_ms, j + 1 < p.tenants.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]}%s\n", i + 1 < r.sweep.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
 }
@@ -1896,6 +2292,7 @@ int main(int argc, char** argv) {
   bool media_bench = false;
   bool modes_bench = false;
   bool shards_bench = false;
+  bool serve_bench = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out = argv[++i];
@@ -1919,18 +2316,22 @@ int main(int argc, char** argv) {
       modes_bench = true;
     } else if (std::strcmp(argv[i], "--shards") == 0) {
       shards_bench = true;
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      serve_bench = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--out FILE] [--repeats N] [--smoke] "
                    "[--transport | --reconfig | --faults | --farm | --chaos | --media"
-                   " | --modes | --shards]\n",
+                   " | --modes | --shards | --serve]\n",
                    argv[0]);
       return 2;
     }
   }
   if (repeats < 1) repeats = 1;
   if (out.empty()) {
-    out = chaos_bench
+    out = serve_bench
+              ? "BENCH_serve.json"
+              : chaos_bench
               ? "BENCH_chaos.json"
               : shards_bench
               ? "BENCH_shards.json"
@@ -1944,6 +2345,22 @@ int main(int argc, char** argv) {
                                     : (reconfig ? "BENCH_reconfig.json"
                                                 : (transport ? "BENCH_transport.json"
                                                              : "BENCH_kernel.json")));
+  }
+
+  if (serve_bench) {
+    const ServeBenchResult r = runServe(smoke);
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot open %s for writing\n", out.c_str());
+      return 1;
+    }
+    emitServe(f, r);
+    std::fclose(f);
+    emitServe(stdout, r);
+    std::fprintf(stderr, "wrote %s\n", out.c_str());
+    // Wire identity to the submitWait oracle, the unarmed decode pin,
+    // no-starvation fair share and the zero-loss drain are hard gates.
+    return r.gatesOk() ? 0 : 1;
   }
 
   if (chaos_bench) {

@@ -36,6 +36,9 @@ void usage() {
       "  --deadline N   default simulated-cycle deadline per job (deadline=; 0 = none)\n"
       "  --supervise-ms X  default hung-worker supervision timeout in wall-clock ms\n"
       "                    (supervise_ms=; 0 = unsupervised)\n"
+      "  --submit-timeout-ms N  bounded-blocking admission: give up on a job\n"
+      "                    whose queue slot does not open within N ms instead of\n"
+      "                    blocking (0 = block forever, the default)\n"
       "  --csv FILE     write per-job results as CSV\n"
       "  --json FILE    write per-job results + farm metrics as JSON\n"
       "  --quiet        suppress the per-job progress lines\n"
@@ -219,10 +222,10 @@ std::string jsonEscape(const std::string& s) {
 
 void writeCsv(const std::string& path, const std::vector<farm::JobResult>& results) {
   std::ofstream os(path);
-  os << "id,name,status,cause,attempts,sim_cycles,sim_events,macroblocks,bit_exact,psnr_db,"
-        "faults,stalls,worker,lanes,reused,wall_ms,latency_ms,error\n";
+  os << "id,name,tenant,status,cause,attempts,sim_cycles,sim_events,macroblocks,bit_exact,"
+        "psnr_db,faults,stalls,worker,lanes,reused,wall_ms,latency_ms,error\n";
   for (const auto& r : results) {
-    os << r.id << ',' << r.name << ',' << farm::jobStatusName(r.status) << ','
+    os << r.id << ',' << r.name << ',' << r.tenant << ',' << farm::jobStatusName(r.status) << ','
        << farm::jobErrorName(r.cause) << ',' << r.attempts << ',' << r.sim_cycles
        << ',' << r.sim_events << ',' << r.macroblocks << ',' << (r.bit_exact ? 1 : 0) << ','
        << r.psnr_db << ',' << r.faults_latched << ',' << r.stalls_latched << ',' << r.worker
@@ -239,6 +242,7 @@ void writeJson(const std::string& path, const std::vector<farm::JobResult>& resu
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     os << "    {\"id\": " << r.id << ", \"name\": \"" << jsonEscape(r.name)
+       << (r.tenant.empty() ? "" : "\", \"tenant\": \"" + jsonEscape(r.tenant))
        << "\", \"status\": \"" << farm::jobStatusName(r.status)
        << "\", \"cause\": \"" << farm::jobErrorName(r.cause)
        << "\", \"attempts\": " << r.attempts
@@ -261,7 +265,17 @@ void writeJson(const std::string& path, const std::vector<farm::JobResult>& resu
      << ", \"workers_replaced\": " << m.workers_replaced
      << ", \"jobs_per_s\": " << m.jobs_per_s << ", \"p50_ms\": " << m.p50_ms
      << ", \"p95_ms\": " << m.p95_ms << ", \"p99_ms\": " << m.p99_ms
-     << ", \"reused\": " << m.reused() << ", \"cold_builds\": " << m.coldBuilds() << "}\n}\n";
+     << ", \"reused\": " << m.reused() << ", \"cold_builds\": " << m.coldBuilds() << "},\n";
+  // Per-lane *now* gauges: 0/0 after a drained run, but live snapshots
+  // (e.g. from the serving tier's telemetry) show depth + head age here.
+  static const char* kLaneNames[3] = {"high", "normal", "low"};
+  os << "  \"lanes\": [";
+  for (int i = 0; i < 3; ++i) {
+    const farm::LaneGauge& g = m.lanes[static_cast<std::size_t>(i)];
+    os << (i > 0 ? ", " : "") << "{\"lane\": \"" << kLaneNames[i]
+       << "\", \"depth\": " << g.depth << ", \"oldest_ms\": " << g.oldest_ms << "}";
+  }
+  os << "]\n}\n";
 }
 
 }  // namespace
@@ -269,6 +283,7 @@ void writeJson(const std::string& path, const std::vector<farm::JobResult>& resu
 int main(int argc, char** argv) {
   std::string jobs_path, csv_path, json_path;
   int demo = 0;
+  int submit_timeout_ms = 0;
   bool quiet = false;
   JobDefaults defaults;
   farm::FarmOptions opts;
@@ -301,6 +316,8 @@ int main(int argc, char** argv) {
       defaults.deadline = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (a == "--supervise-ms") {
       defaults.supervise_ms = std::atof(next());
+    } else if (a == "--submit-timeout-ms") {
+      submit_timeout_ms = std::atoi(next());
     } else if (a == "--csv") {
       csv_path = next();
     } else if (a == "--json") {
@@ -347,10 +364,30 @@ int main(int argc, char** argv) {
   std::printf("farm_driver: %zu job(s) on %d worker(s), queue capacity %zu\n", jobs.size(),
               workers, opts.queue_capacity);
 
-  auto futs = f.submitBatch(std::move(jobs));
+  std::vector<std::future<farm::JobResult>> futs;
+  bool all_ok = true;
+  if (submit_timeout_ms > 0) {
+    // Bounded-blocking admission: a job that cannot get a queue slot in
+    // time is dropped (and fails the run) instead of stalling the feed.
+    futs.reserve(jobs.size());
+    for (auto& job : jobs) {
+      const std::string name = job.name;
+      farm::SubmitTicket t =
+          f.submitFor(std::move(job), std::chrono::milliseconds(submit_timeout_ms));
+      if (t.admission == farm::Admission::Accepted) {
+        futs.push_back(std::move(t.result));
+      } else {
+        all_ok = false;
+        std::printf("  [%s] %-16s admission timed out after %d ms\n",
+                    farm::admissionName(t.admission), name.c_str(), submit_timeout_ms);
+      }
+    }
+    jobs.clear();
+  } else {
+    futs = f.submitBatch(std::move(jobs));
+  }
   std::vector<farm::JobResult> results;
   results.reserve(futs.size());
-  bool all_ok = true;
   for (auto& fut : futs) {
     farm::JobResult r = fut.get();
     // Strict: any terminal state other than a clean Completed (quarantine,
